@@ -1,0 +1,139 @@
+#ifndef YOUTOPIA_BENCH_FIG_COMMON_H_
+#define YOUTOPIA_BENCH_FIG_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/experiment.h"
+
+namespace youtopia {
+namespace bench {
+
+// Shared command-line handling and table printing for the figure harnesses.
+//
+// Flags:
+//   --paper             full paper scale (100 relations, 10k initial tuples,
+//                       500 updates, 100 runs) — takes a long time
+//   --runs=N            override number of runs per data point
+//   --initial=N         override initial tuple count
+//   --updates=N         override updates per run
+//   --relations=N       override relation count
+//   --mappings=a,b,c    override the mapping-count sweep
+//   --seed=N            RNG seed
+//   --verbose           progress to stderr
+inline ExperimentConfig ParseFlags(int argc, char** argv, bool* verbose) {
+  ExperimentConfig config;
+  // Default: the paper's dimensions (100 relations, 50 constants, 10k-tuple
+  // chase-seeded initial database, 500 updates per run) averaged over 5
+  // runs per point; --paper raises the averaging to the full 100 runs.
+  config.num_relations = 100;
+  config.num_constants = 50;
+  config.num_mappings_total = 100;
+  config.mapping_counts = {20, 40, 60, 80, 100};
+  config.initial_tuples = 10000;
+  config.updates_per_run = 500;
+  config.runs = 5;
+  config.seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto intval = [&](const char* prefix) -> long {
+      return std::atol(arg.c_str() + std::strlen(prefix));
+    };
+    if (arg == "--paper") {
+      config.initial_tuples = 10000;
+      config.updates_per_run = 500;
+      config.runs = 100;
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      config.runs = static_cast<size_t>(intval("--runs="));
+    } else if (arg.rfind("--initial=", 0) == 0) {
+      config.initial_tuples = static_cast<size_t>(intval("--initial="));
+    } else if (arg.rfind("--updates=", 0) == 0) {
+      config.updates_per_run = static_cast<size_t>(intval("--updates="));
+    } else if (arg.rfind("--relations=", 0) == 0) {
+      config.num_relations = static_cast<size_t>(intval("--relations="));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = static_cast<uint64_t>(intval("--seed="));
+    } else if (arg.rfind("--mappings=", 0) == 0) {
+      config.mapping_counts.clear();
+      const char* p = arg.c_str() + std::strlen("--mappings=");
+      while (*p != '\0') {
+        config.mapping_counts.push_back(
+            static_cast<size_t>(std::strtol(p, const_cast<char**>(&p), 10)));
+        if (*p == ',') ++p;
+      }
+    } else if (arg == "--verbose") {
+      *verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  size_t max_count = 0;
+  for (size_t c : config.mapping_counts) max_count = std::max(max_count, c);
+  config.num_mappings_total = std::max<size_t>(config.num_mappings_total,
+                                               max_count);
+  return config;
+}
+
+inline void PrintResult(const char* figure, const char* workload,
+                        const ExperimentConfig& config,
+                        const ExperimentResult& result) {
+  std::printf("=== %s: %s workload ===\n", figure, workload);
+  std::printf(
+      "config: relations=%zu constants=%zu initial_tuples=%zu "
+      "updates/run=%zu runs=%zu seed=%llu\n",
+      config.num_relations, config.num_constants, config.initial_tuples,
+      config.updates_per_run, config.runs,
+      static_cast<unsigned long long>(config.seed));
+  std::printf("initial database: %zu visible tuples\n\n",
+              result.initial.total_tuples);
+
+  std::printf("--- Panel (a): total aborts ---\n");
+  std::printf("%10s %12s %12s %12s\n", "#mappings", "NAIVE", "COARSE",
+              "PRECISE");
+  for (size_t i = 0; i < result.mapping_counts.size(); ++i) {
+    std::printf("%10zu ", result.mapping_counts[i]);
+    for (size_t t = 0; t < 3; ++t) {
+      if (result.cells[i][t].runs == 0) {
+        std::printf("%12s ", "-");
+      } else {
+        std::printf("%12.1f ", result.cells[i][t].aborts);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n--- Panel (b): cascading abort requests ---\n");
+  std::printf("%10s %12s %12s %12s\n", "#mappings", "NAIVE", "COARSE",
+              "PRECISE");
+  for (size_t i = 0; i < result.mapping_counts.size(); ++i) {
+    std::printf("%10zu ", result.mapping_counts[i]);
+    for (size_t t = 0; t < 3; ++t) {
+      if (result.cells[i][t].runs == 0) {
+        std::printf("%12s ", "-");
+      } else {
+        std::printf("%12.1f ", result.cells[i][t].cascading_abort_requests);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n--- Panel (c): slowdown of PRECISE (vs COARSE) ---\n");
+  std::printf("%10s %12s %16s %16s\n", "#mappings", "slowdown",
+              "COARSE s/upd", "PRECISE s/upd");
+  for (size_t i = 0; i < result.mapping_counts.size(); ++i) {
+    std::printf("%10zu %12.2f %16.6f %16.6f\n", result.mapping_counts[i],
+                result.SlowdownOfPrecise(i),
+                result.cells[i][1].per_update_seconds,
+                result.cells[i][2].per_update_seconds);
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_BENCH_FIG_COMMON_H_

@@ -1,0 +1,118 @@
+// Microbenchmarks for the concurrency-control machinery (Section 5):
+// retroactive conflict checks per read-query form, and the dependency
+// computation cost of COARSE vs PRECISE (Section 5.1.2's complexity claims:
+// COARSE is linear in the logged writes; PRECISE pays for joins on the
+// database).
+#include <benchmark/benchmark.h>
+
+#include "ccontrol/conflict.h"
+#include "ccontrol/dependency_tracker.h"
+#include "ccontrol/write_log.h"
+#include "relational/database.h"
+#include "tgd/parser.h"
+#include "util/rng.h"
+
+namespace youtopia {
+namespace {
+
+struct Fixture {
+  Database db;
+  std::vector<Tgd> tgds;
+  RelationId a, t, r;
+  WriteLog wlog;
+
+  explicit Fixture(size_t rows, size_t logged_writes) {
+    a = *db.CreateRelation("A", {"location", "name"});
+    t = *db.CreateRelation("T", {"attraction", "company", "start"});
+    r = *db.CreateRelation("R", {"company", "attraction", "review"});
+    TgdParser parser(&db.catalog(), &db.symbols());
+    tgds.push_back(*parser.ParseTgd(
+        "A(l, n) & T(n, co, s) -> exists rv: R(co, n, rv)"));
+    Rng rng(3);
+    auto constant = [&](const char* p, size_t i) {
+      return db.InternConstant(std::string(p) + std::to_string(i));
+    };
+    for (size_t i = 0; i < rows; ++i) {
+      db.Apply(WriteOp::Insert(a, {constant("loc", rng.Uniform(64)),
+                                   constant("name", rng.Uniform(64))}),
+               0);
+      db.Apply(WriteOp::Insert(t, {constant("name", rng.Uniform(64)),
+                                   constant("co", rng.Uniform(64)),
+                                   constant("city", rng.Uniform(64))}),
+               0);
+    }
+    // Populate the write log with writes from `logged_writes` updates.
+    for (size_t i = 0; i < logged_writes; ++i) {
+      auto w = db.Apply(
+          WriteOp::Insert(t, {constant("name", rng.Uniform(64)),
+                              constant("co", rng.Uniform(64)),
+                              constant("city", rng.Uniform(64))}),
+          /*update_number=*/1 + i);
+      if (!w.empty()) wlog.Record(1 + i, w[0]);
+    }
+  }
+
+  ReadQueryRecord ViolationRead() const {
+    TupleData pinned{db.symbols().Text(Value::Constant(0)).empty()
+                         ? Value::Constant(0)
+                         : Value::Constant(0),
+                     Value::Constant(1)};
+    // Pin on the A atom (index 0) with an arbitrary existing A tuple.
+    const TupleData* data = db.relation(a).VisibleData(0, kReadLatest);
+    return ReadQueryRecord::Violation(0, /*pinned_on_lhs=*/true, 0,
+                                      data ? *data : pinned);
+  }
+};
+
+void BM_ConflictCheckViolationQuery(benchmark::State& state) {
+  Fixture fix(static_cast<size_t>(state.range(0)), 16);
+  ConflictChecker checker(&fix.tgds);
+  Snapshot snap(&fix.db, kReadLatest);
+  const ReadQueryRecord q = fix.ViolationRead();
+  const WriteLog::Entry& e = fix.wlog.entries().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.Conflicts(snap, e.write, q));
+  }
+}
+BENCHMARK(BM_ConflictCheckViolationQuery)->Range(256, 16384);
+
+void BM_ConflictCheckCorrectionQueries(benchmark::State& state) {
+  // Correction queries are decided without touching the database — the
+  // check should be O(tuple width) regardless of database size.
+  Fixture fix(static_cast<size_t>(state.range(0)), 16);
+  ConflictChecker checker(&fix.tgds);
+  Snapshot snap(&fix.db, kReadLatest);
+  const Value n = Value::Null(12345);
+  const ReadQueryRecord more_specific = ReadQueryRecord::MoreSpecific(
+      fix.t, {fix.db.InternConstant("name1"), n, n});
+  const ReadQueryRecord occurrence = ReadQueryRecord::NullOccurrence(n);
+  const WriteLog::Entry& e = fix.wlog.entries().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.Conflicts(snap, e.write, more_specific));
+    benchmark::DoNotOptimize(checker.Conflicts(snap, e.write, occurrence));
+  }
+}
+BENCHMARK(BM_ConflictCheckCorrectionQueries)->Range(256, 16384);
+
+void BM_DependencyComputation(benchmark::State& state) {
+  // COARSE vs PRECISE cost of computing read dependencies for one violation
+  // query against a write log of the given size (state.range(0)).
+  const bool precise = state.range(1) != 0;
+  Fixture fix(2048, static_cast<size_t>(state.range(0)));
+  DependencyTracker tracker(
+      precise ? TrackerKind::kPrecise : TrackerKind::kCoarse, &fix.tgds);
+  Snapshot snap(&fix.db, kReadLatest);
+  const std::vector<ReadQueryRecord> reads{fix.ViolationRead()};
+  uint64_t reader = 1u << 20;
+  for (auto _ : state) {
+    tracker.OnReads(snap, reader++, reads, fix.wlog);
+  }
+  state.SetLabel(precise ? "PRECISE" : "COARSE");
+}
+BENCHMARK(BM_DependencyComputation)
+    ->ArgsProduct({{16, 64, 256, 1024}, {0, 1}});
+
+}  // namespace
+}  // namespace youtopia
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Microbenchmarks for the conjunctive-query evaluator and the violation
+// queries (Section 4.2): evaluation cost vs relation size, index lookups vs
+// scans, and the cost of the NOT EXISTS check.
+#include <benchmark/benchmark.h>
+
+#include "core/violation_detector.h"
+#include "query/evaluator.h"
+#include "relational/database.h"
+#include "tgd/parser.h"
+#include "util/rng.h"
+
+namespace youtopia {
+namespace {
+
+struct JoinFixture {
+  Database db;
+  std::vector<Tgd> tgds;
+  RelationId a, t, r;
+
+  explicit JoinFixture(size_t rows, size_t domain) {
+    a = *db.CreateRelation("A", {"location", "name"});
+    t = *db.CreateRelation("T", {"attraction", "company", "start"});
+    r = *db.CreateRelation("R", {"company", "attraction", "review"});
+    TgdParser parser(&db.catalog(), &db.symbols());
+    tgds.push_back(*parser.ParseTgd(
+        "A(l, n) & T(n, co, s) -> exists rv: R(co, n, rv)"));
+    Rng rng(7);
+    auto constant = [&](const char* prefix, size_t i) {
+      return db.InternConstant(std::string(prefix) + std::to_string(i));
+    };
+    for (size_t i = 0; i < rows; ++i) {
+      const size_t name = rng.Uniform(domain);
+      db.Apply(WriteOp::Insert(
+                   a, {constant("loc", rng.Uniform(domain)),
+                       constant("name", name)}),
+               0);
+      db.Apply(WriteOp::Insert(t, {constant("name", name),
+                                   constant("co", rng.Uniform(domain)),
+                                   constant("city", rng.Uniform(domain))}),
+               0);
+    }
+  }
+};
+
+void BM_TwoWayJoin(benchmark::State& state) {
+  JoinFixture fix(static_cast<size_t>(state.range(0)), 64);
+  TgdParser parser(&fix.db.catalog(), &fix.db.symbols());
+  const auto q = *parser.ParseQuery("A(l, n) & T(n, co, s)");
+  Snapshot snap(&fix.db, kReadLatest);
+  size_t results = 0;
+  for (auto _ : state) {
+    Evaluator eval(snap);
+    eval.ForEachMatch(q.body, Binding(), nullptr,
+                      [&](const Binding&, const std::vector<TupleRef>&) {
+                        ++results;
+                        return true;
+                      });
+  }
+  benchmark::DoNotOptimize(results);
+  state.SetItemsProcessed(static_cast<int64_t>(results));
+}
+BENCHMARK(BM_TwoWayJoin)->Range(64, 16384);
+
+void BM_PinnedDeltaEvaluation(benchmark::State& state) {
+  // The violation query form: LHS with the new tuple pinned in.
+  JoinFixture fix(static_cast<size_t>(state.range(0)), 64);
+  TgdParser parser(&fix.db.catalog(), &fix.db.symbols());
+  const auto q = *parser.ParseQuery("A(l, n) & T(n, co, s)");
+  Snapshot snap(&fix.db, kReadLatest);
+  const TupleData pinned{fix.db.InternConstant("name1"),
+                         fix.db.InternConstant("co2"),
+                         fix.db.InternConstant("city3")};
+  size_t results = 0;
+  for (auto _ : state) {
+    Evaluator eval(snap);
+    AtomPin pin{1, 0, &pinned};
+    eval.ForEachMatch(q.body, Binding(), &pin,
+                      [&](const Binding&, const std::vector<TupleRef>&) {
+                        ++results;
+                        return true;
+                      });
+  }
+  benchmark::DoNotOptimize(results);
+}
+BENCHMARK(BM_PinnedDeltaEvaluation)->Range(64, 16384);
+
+void BM_ViolationQueryAfterInsert(benchmark::State& state) {
+  // Full violation query (LHS and NOT EXISTS RHS) for one written tuple.
+  JoinFixture fix(static_cast<size_t>(state.range(0)), 64);
+  ViolationDetector detector(&fix.tgds);
+  Snapshot snap(&fix.db, kReadLatest);
+  PhysicalWrite w;
+  w.kind = WriteKind::kInsert;
+  w.rel = fix.t;
+  w.row = 0;
+  w.data = {fix.db.InternConstant("name1"), fix.db.InternConstant("co2"),
+            fix.db.InternConstant("city3")};
+  for (auto _ : state) {
+    std::vector<Violation> viols;
+    detector.AfterWrite(snap, w, &viols, nullptr);
+    benchmark::DoNotOptimize(viols);
+  }
+}
+BENCHMARK(BM_ViolationQueryAfterInsert)->Range(64, 16384);
+
+void BM_FullSatisfactionScan(benchmark::State& state) {
+  JoinFixture fix(static_cast<size_t>(state.range(0)), 64);
+  ViolationDetector detector(&fix.tgds);
+  Snapshot snap(&fix.db, kReadLatest);
+  for (auto _ : state) {
+    std::vector<Violation> viols;
+    detector.FindAll(snap, &viols);
+    benchmark::DoNotOptimize(viols);
+  }
+}
+BENCHMARK(BM_FullSatisfactionScan)->Range(64, 4096);
+
+}  // namespace
+}  // namespace youtopia
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Concurrent editing: many community members update a shared repository at
+// once. Shows the optimistic scheduler's behavior under the three
+// cascading-abort algorithms (NAIVE / COARSE / PRECISE, Section 5.1) on an
+// identical workload — a miniature of the paper's evaluation.
+//
+// Build & run:  cmake --build build && ./build/examples/concurrent_editing
+#include <cstdio>
+
+#include "ccontrol/scheduler.h"
+#include "workload/generators.h"
+
+using namespace youtopia;
+
+int main() {
+  constexpr uint64_t kSeed = 2009;  // VLDB '09
+
+  // A synthetic community repository: 40 relations, 30 mappings, seeded by
+  // the update-exchange machinery itself.
+  Database db;
+  Rng rng(kSeed);
+  SchemaGenOptions schema_opts;
+  schema_opts.num_relations = 40;
+  (void)GenerateSchema(&db, &rng, schema_opts);
+  const std::vector<Value> constants = GenerateConstantPool(&db, &rng, 25);
+  MappingGenOptions mapping_opts;
+  mapping_opts.count = 30;
+  const std::vector<Tgd> tgds =
+      GenerateMappings(db, constants, &rng, mapping_opts);
+
+  RandomAgent seeding_agent(kSeed);
+  InitialDataOptions data_opts;
+  data_opts.num_tuples = 800;
+  const InitialDataReport seeded = GenerateInitialData(
+      &db, &tgds, constants, &rng, &seeding_agent, data_opts);
+  std::printf("repository: %zu relations, %zu mappings, %zu tuples\n\n",
+              db.num_relations(), tgds.size(), seeded.total_tuples);
+
+  // One workload of 120 concurrent updates (80%% inserts / 20%% deletes),
+  // replayed identically under each algorithm.
+  WorkloadOptions wl;
+  wl.num_updates = 120;
+  wl.delete_fraction = 0.2;
+  Rng wl_rng(kSeed + 1);
+  const std::vector<WriteOp> ops =
+      GenerateWorkload(&db, constants, &wl_rng, wl);
+
+  std::printf("%-8s %8s %8s %10s %12s %10s\n", "tracker", "aborts", "direct",
+              "cascading", "steps", "completed");
+  for (TrackerKind kind :
+       {TrackerKind::kNaive, TrackerKind::kCoarse, TrackerKind::kPrecise}) {
+    db.RemoveVersionsAbove(0);  // rewind to the seeded repository
+    RandomAgent agent(kSeed + 7);
+    SchedulerOptions opts;
+    opts.tracker = kind;
+    Scheduler sched(&db, &tgds, &agent, opts);
+    for (const WriteOp& op : ops) sched.Submit(op);
+    sched.RunToCompletion();
+    const SchedulerStats& s = sched.stats();
+    std::printf("%-8s %8llu %8llu %10llu %12llu %10llu\n",
+                TrackerKindName(kind),
+                static_cast<unsigned long long>(s.aborts),
+                static_cast<unsigned long long>(s.direct_conflict_aborts),
+                static_cast<unsigned long long>(s.cascading_abort_requests),
+                static_cast<unsigned long long>(s.total_steps),
+                static_cast<unsigned long long>(s.updates_completed));
+  }
+
+  std::printf(
+      "\nNAIVE aborts every younger update on any conflict; COARSE tracks\n"
+      "read dependencies at relation granularity; PRECISE tests each logged\n"
+      "write against each read query and cascades only true dependencies.\n");
+  return 0;
+}

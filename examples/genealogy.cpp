@@ -1,0 +1,127 @@
+// Genealogy: the paper's Section 2.2 example of a *cyclic* mapping that
+// classical update exchange systems must reject:
+//
+//     Person(x) -> exists y: Father(x, y) & Person(y)
+//
+// Every person has a father who is also a person. The classical chase loops
+// forever on this tgd; Youtopia turns the nontermination into a controlled,
+// cooperative process: the chase stops at frontier tuples and users decide
+// whether the unknown father is a new person (expand — the chain grows) or
+// someone already recorded (unify — the chain closes).
+//
+// Build & run:  cmake --build build && ./build/examples/genealogy
+#include <cstdio>
+
+#include "core/standard_chase.h"
+#include "core/update.h"
+#include "core/youtopia.h"
+#include "tgd/dependency_graph.h"
+#include "tgd/parser.h"
+
+using namespace youtopia;
+
+namespace {
+
+// A "user" with family knowledge: expands the ancestor chain a fixed number
+// of times, then declares the next unknown ancestor to be a known person.
+class FamilyHistorian : public FrontierAgent {
+ public:
+  explicit FamilyHistorian(size_t known_generations)
+      : remaining_(known_generations) {}
+
+  PositiveDecision DecidePositive(const Snapshot&, const FrontierTuple& t,
+                                  const Provenance&) override {
+    if (remaining_ > 0) {
+      --remaining_;
+      return PositiveDecision::Expand();
+    }
+    return PositiveDecision::Unify(t.more_specific.front());
+  }
+  std::vector<size_t> DecideNegative(const Snapshot&,
+                                     const NegativeFrontier&) override {
+    return {0};
+  }
+
+ private:
+  size_t remaining_;
+};
+
+}  // namespace
+
+int main() {
+  Database db;
+  const RelationId person = *db.CreateRelation("Person", {"name"});
+  const RelationId father = *db.CreateRelation("Father", {"child", "father"});
+
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  tgds.push_back(
+      *parser.ParseTgd("Person(x) -> exists y: Father(x, y) & Person(y)"));
+
+  // 1. The mapping is genuinely cyclic: the classical chase refuses it.
+  // (Demonstrated on a scratch copy so the refused insert does not leave a
+  // dangling violation in the real repository.)
+  DependencyGraph graph(db.catalog(), tgds);
+  std::printf("weakly acyclic: %s\n", graph.IsWeaklyAcyclic() ? "yes" : "no");
+  {
+    Database scratch;
+    (void)*scratch.CreateRelation("Person", {"name"});
+    (void)*scratch.CreateRelation("Father", {"child", "father"});
+    TgdParser scratch_parser(&scratch.catalog(), &scratch.symbols());
+    std::vector<Tgd> scratch_tgds;
+    scratch_tgds.push_back(*scratch_parser.ParseTgd(
+        "Person(x) -> exists y: Father(x, y) & Person(y)"));
+    StandardChase classical(&scratch, &scratch_tgds);
+    StandardChase::Options copts;
+    copts.require_weak_acyclicity = true;
+    scratch.Apply(WriteOp::Insert(0, {scratch.InternConstant("John")}), 0);
+    auto refused = classical.Run(0, copts);
+    std::printf("classical chase: %s\n",
+                refused.ok() ? "ran (unexpected!)"
+                             : refused.status().ToString().c_str());
+  }
+
+  // 2. The cooperative chase handles it: a user who knows three
+  // generations expands three times, then ties the family tree back to
+  // John's recorded great-grandfather... here, for the demo, back to an
+  // existing Person (making the lineage finite).
+  FamilyHistorian historian(/*known_generations=*/3);
+  Update update(1, WriteOp::Insert(person, {db.InternConstant("Mary")}),
+                &tgds);
+  update.RunToCompletion(&db, &historian);
+
+  std::printf("cooperative chase finished: %s after %zu steps, %zu frontier "
+              "ops\n",
+              update.finished() ? "yes" : "no", update.steps_taken(),
+              update.frontier_ops_performed());
+  std::printf("Person has %zu tuples, Father has %zu tuples\n",
+              db.CountVisible(person, kReadLatest),
+              db.CountVisible(father, kReadLatest));
+
+  Snapshot snap(&db, kReadLatest);
+  std::printf("\nFather relation (x<N> are labeled nulls — unnamed "
+              "ancestors):\n");
+  snap.ForEachVisible(father, [&](RowId, const TupleData& data) {
+    std::printf("  %s\n", TupleToString(data, db.symbols()).c_str());
+  });
+
+  ViolationDetector detector(&tgds);
+  std::printf("\nall mappings satisfied: %s\n",
+              detector.SatisfiesAll(snap) ? "yes" : "no");
+
+  // 3. Under an always-expand user the chase would never terminate —
+  // Youtopia's controlled nontermination means "users can always add
+  // further ancestors". We bound it with a step cap to show the growth.
+  ExpandAgent always_expand;
+  UpdateOptions opts;
+  opts.max_steps = 30;
+  Update unbounded(2, WriteOp::Insert(person, {db.InternConstant("Ada")}),
+                   &tgds, opts);
+  unbounded.RunToCompletion(&db, &always_expand);
+  std::printf("\nalways-expand user: chase %s (hit step cap: %s); Person "
+              "now has %zu tuples\n",
+              unbounded.finished() ? "stopped" : "running",
+              unbounded.hit_step_cap() ? "yes" : "no",
+              db.CountVisible(person, kReadLatest));
+  return 0;
+}

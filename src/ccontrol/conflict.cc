@@ -1,0 +1,202 @@
+#include "ccontrol/conflict.h"
+
+#include <algorithm>
+
+#include "query/binding.h"
+#include "query/evaluator.h"
+#include "query/specificity.h"
+
+namespace youtopia {
+namespace {
+
+bool RhsSatisfied(const Snapshot& snap, const Tgd& tgd,
+                  const Binding& binding) {
+  Binding seed(tgd.num_vars());
+  for (VarId x : tgd.frontier_vars()) {
+    if (binding.IsBound(x)) seed.Set(x, binding.Get(x));
+  }
+  Evaluator eval(snap);
+  return eval.Exists(tgd.rhs(), seed);
+}
+
+}  // namespace
+
+bool ConflictChecker::Conflicts(const Snapshot& snap, const PhysicalWrite& w,
+                                const ReadQueryRecord& q) const {
+  switch (q.kind) {
+    case ReadQueryKind::kMoreSpecific: {
+      if (w.rel != q.rel) return false;
+      // Inserted/new content may add a more specific candidate; removed/old
+      // content may take one away.
+      if ((w.kind == WriteKind::kInsert || w.kind == WriteKind::kModify) &&
+          IsMoreSpecific(w.data, q.tuple)) {
+        return true;
+      }
+      if ((w.kind == WriteKind::kDelete || w.kind == WriteKind::kModify) &&
+          IsMoreSpecific(w.old_data, q.tuple)) {
+        return true;
+      }
+      return false;
+    }
+    case ReadQueryKind::kNullOccurrence: {
+      if (!w.data.empty() && ContainsNull(w.data, q.null_value)) return true;
+      if (!w.old_data.empty() && ContainsNull(w.old_data, q.null_value)) {
+        return true;
+      }
+      return false;
+    }
+    case ReadQueryKind::kViolation:
+      return ViolationQueryConflicts(snap, w, q);
+  }
+  return false;
+}
+
+bool ConflictChecker::ViolationQueryConflicts(const Snapshot& snap,
+                                              const PhysicalWrite& w,
+                                              const ReadQueryRecord& q) const {
+  CHECK_GE(q.tgd_id, 0);
+  const Tgd& tgd = (*tgds_)[static_cast<size_t>(q.tgd_id)];
+  const auto& rels = tgd.all_relations();
+  if (std::find(rels.begin(), rels.end(), w.rel) == rels.end()) return false;
+
+  // Contents to test: a modification is conservatively a delete of the old
+  // content followed by an insert of the new one.
+  const bool adds = w.kind == WriteKind::kInsert || w.kind == WriteKind::kModify;
+  const bool removes =
+      w.kind == WriteKind::kDelete || w.kind == WriteKind::kModify;
+
+  if (adds) {
+    // New LHS tuple: may create a witness — relevant only if the combined
+    // match actually violates the tgd (NOT EXISTS refinement). New RHS
+    // tuple: may complete an RHS match and remove a witness.
+    if (JoinsWithPin(snap, tgd, q, w.rel, w.data, /*on_lhs=*/true,
+                     /*require_rhs_unsatisfied=*/true)) {
+      return true;
+    }
+    if (JoinsWithPin(snap, tgd, q, w.rel, w.data, /*on_lhs=*/false,
+                     /*require_rhs_unsatisfied=*/false)) {
+      return true;
+    }
+  }
+  if (removes) {
+    // Removed LHS tuple: a witness may disappear. Removed RHS tuple: a
+    // witness may become violated. (The old database state is gone, so the
+    // LHS-side check uses join satisfiability without the NOT EXISTS
+    // refinement — a slight over-approximation.)
+    if (JoinsWithPin(snap, tgd, q, w.rel, w.old_data, /*on_lhs=*/true,
+                     /*require_rhs_unsatisfied=*/false)) {
+      return true;
+    }
+    if (JoinsWithPin(snap, tgd, q, w.rel, w.old_data, /*on_lhs=*/false,
+                     /*require_rhs_unsatisfied=*/false)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ConflictChecker::JoinsWithPin(const Snapshot& snap, const Tgd& tgd,
+                                   const ReadQueryRecord& q, RelationId rel,
+                                   const TupleData& content, bool on_lhs,
+                                   bool require_rhs_unsatisfied) const {
+  // Seed the binding from the query's own pinned tuple.
+  Binding seed(tgd.num_vars());
+  if (q.pinned_on_lhs) {
+    CHECK_LT(q.atom_index, tgd.lhs().atoms.size());
+    if (!MatchAtom(tgd.lhs().atoms[q.atom_index], q.pinned, &seed)) {
+      return false;  // the recorded query can no longer bind (defensive)
+    }
+  } else {
+    CHECK_LT(q.atom_index, tgd.rhs().atoms.size());
+    Binding rhs_binding(tgd.num_vars());
+    if (!MatchAtom(tgd.rhs().atoms[q.atom_index], q.pinned, &rhs_binding)) {
+      return false;
+    }
+    for (VarId x : tgd.frontier_vars()) {
+      if (rhs_binding.IsBound(x)) seed.Set(x, rhs_binding.Get(x));
+    }
+  }
+
+  // The query's pinned tuple is a *given* of the intensional query (it was
+  // the tuple the reader had just written); it participates in the join
+  // through the seed binding but is not required to be stored. When the
+  // query is pinned on an LHS atom, that atom is therefore excluded from
+  // evaluation against the database.
+  ConjunctiveQuery residual_lhs;
+  for (size_t a = 0; a < tgd.lhs().atoms.size(); ++a) {
+    if (q.pinned_on_lhs && a == q.atom_index) continue;
+    residual_lhs.atoms.push_back(tgd.lhs().atoms[a]);
+  }
+
+  Evaluator eval(snap);
+  if (on_lhs) {
+    for (size_t a = 0; a < residual_lhs.atoms.size(); ++a) {
+      const Atom& atom = residual_lhs.atoms[a];
+      if (atom.rel != rel) continue;
+      Binding binding = seed;
+      bool found = false;
+      if (residual_lhs.atoms.size() == 1) {
+        // Only the written atom remains: match it directly.
+        found = MatchAtom(atom, content, &binding) &&
+                (!require_rhs_unsatisfied || !RhsSatisfied(snap, tgd, binding));
+      } else {
+        AtomPin pin{a, /*row=*/0, &content};
+        eval.ForEachMatch(residual_lhs, seed, &pin,
+                          [&](const Binding& match,
+                              const std::vector<TupleRef>&) {
+                            if (!require_rhs_unsatisfied ||
+                                !RhsSatisfied(snap, tgd, match)) {
+                              found = true;
+                              return false;
+                            }
+                            return true;
+                          });
+      }
+      if (found) return true;
+    }
+    // The written tuple may also coincide with the pinned atom itself.
+    if (q.pinned_on_lhs && tgd.lhs().atoms[q.atom_index].rel == rel &&
+        content == q.pinned) {
+      if (residual_lhs.empty()) {
+        return !require_rhs_unsatisfied || !RhsSatisfied(snap, tgd, seed);
+      }
+      bool found = false;
+      eval.ForEachMatch(residual_lhs, seed, nullptr,
+                        [&](const Binding& match, const std::vector<TupleRef>&) {
+                          if (!require_rhs_unsatisfied ||
+                              !RhsSatisfied(snap, tgd, match)) {
+                            found = true;
+                            return false;
+                          }
+                          return true;
+                        });
+      return found;
+    }
+    return false;
+  }
+
+  // RHS side: the written tuple must unify with some RHS atom consistently
+  // with the pinned frontier values, and the residual LHS must have a match
+  // under the combined frontier binding.
+  for (size_t a = 0; a < tgd.rhs().atoms.size(); ++a) {
+    const Atom& atom = tgd.rhs().atoms[a];
+    if (atom.rel != rel) continue;
+    Binding rhs_binding(tgd.num_vars());
+    if (!MatchAtom(atom, content, &rhs_binding)) continue;
+    Binding combined = seed;
+    bool consistent = true;
+    for (VarId x : tgd.frontier_vars()) {
+      if (rhs_binding.IsBound(x) && !combined.Unify(x, rhs_binding.Get(x))) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) continue;
+    if (residual_lhs.empty() || eval.Exists(residual_lhs, combined)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,56 @@
+#ifndef YOUTOPIA_CCONTROL_CONFLICT_H_
+#define YOUTOPIA_CCONTROL_CONFLICT_H_
+
+#include <vector>
+
+#include "ccontrol/read_query.h"
+#include "relational/database.h"
+#include "relational/write.h"
+#include "tgd/tgd.h"
+
+namespace youtopia {
+
+// Decides whether a physical write retroactively changes the answer to a
+// previously posed read query (Algorithm 4's core check, Section 5).
+//
+// Correction queries are decided without touching the database: a write
+// changes the answer of a more-specific query iff the tuple written (or
+// removed) is itself more specific than the query's tuple, and of a
+// null-occurrence query iff the tuple contains the null.
+//
+// Violation queries require database access: the check combines the original
+// violation query's binding (from the tuple it was pinned on) with the new
+// tuple and asks whether the two can participate in a common LHS match —
+// refined, for inserts on the LHS, by the NOT EXISTS (RHS) condition. An
+// insert can change the answer by creating a new witness (LHS join) or by
+// completing an RHS match that removes one; deletions symmetrically; a
+// modification is conservatively treated as a delete followed by an insert
+// (Section 5).
+class ConflictChecker {
+ public:
+  explicit ConflictChecker(const std::vector<Tgd>* tgds) : tgds_(tgds) {}
+
+  // True if `w` changes the answer to `q`. `snap` must carry the *reader's*
+  // visibility (the update that posed `q`).
+  bool Conflicts(const Snapshot& snap, const PhysicalWrite& w,
+                 const ReadQueryRecord& q) const;
+
+ private:
+  bool ViolationQueryConflicts(const Snapshot& snap, const PhysicalWrite& w,
+                               const ReadQueryRecord& q) const;
+
+  // Can `content`, placed at some atom of `side` over `w.rel`, join into a
+  // match of the tgd's LHS consistent with the pinned binding? When
+  // `require_rhs_unsatisfied` is set the match must additionally violate the
+  // tgd (the NOT EXISTS refinement).
+  bool JoinsWithPin(const Snapshot& snap, const Tgd& tgd,
+                    const ReadQueryRecord& q, RelationId rel,
+                    const TupleData& content, bool on_lhs,
+                    bool require_rhs_unsatisfied) const;
+
+  const std::vector<Tgd>* tgds_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CCONTROL_CONFLICT_H_

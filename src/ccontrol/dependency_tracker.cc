@@ -1,0 +1,115 @@
+#include "ccontrol/dependency_tracker.h"
+
+#include "query/specificity.h"
+
+namespace youtopia {
+
+const char* TrackerKindName(TrackerKind kind) {
+  switch (kind) {
+    case TrackerKind::kNaive:
+      return "NAIVE";
+    case TrackerKind::kCoarse:
+      return "COARSE";
+    case TrackerKind::kPrecise:
+      return "PRECISE";
+  }
+  return "?";
+}
+
+void DependencyTracker::OnReads(const Snapshot& snap, uint64_t reader,
+                                const std::vector<ReadQueryRecord>& reads,
+                                const WriteLog& wlog) {
+  if (kind_ == TrackerKind::kNaive) return;  // nothing tracked
+
+  for (const ReadQueryRecord& q : reads) {
+    switch (q.kind) {
+      case ReadQueryKind::kViolation: {
+        if (kind_ == TrackerKind::kCoarse) {
+          // Relation granularity: any writer of any relation of the tgd.
+          const Tgd& tgd = (*tgds_)[static_cast<size_t>(q.tgd_id)];
+          std::unordered_set<uint64_t> writers;
+          for (RelationId rel : tgd.all_relations()) {
+            wlog.WritersOf(rel, &writers);
+          }
+          for (uint64_t writer : writers) {
+            if (writer < reader) AddEdge(writer, reader);
+          }
+        } else {
+          // PRECISE: run the retroactive check against each logged write.
+          for (const WriteLog::Entry& e : wlog.entries()) {
+            if (e.update_number >= reader) continue;
+            if (checker_.Conflicts(snap, e.write, q)) {
+              AddEdge(e.update_number, reader);
+            }
+          }
+        }
+        break;
+      }
+      // Correction queries are the easy case for both algorithms: exact
+      // dependencies straight off the in-memory write log, no database
+      // access (Section 5.1.1).
+      case ReadQueryKind::kMoreSpecific: {
+        for (const WriteLog::Entry& e : wlog.entries()) {
+          if (e.update_number >= reader) continue;
+          const PhysicalWrite& w = e.write;
+          if (w.rel != q.rel) continue;
+          const bool hits =
+              (!w.data.empty() && IsMoreSpecific(w.data, q.tuple)) ||
+              (!w.old_data.empty() && IsMoreSpecific(w.old_data, q.tuple));
+          if (hits) AddEdge(e.update_number, reader);
+        }
+        break;
+      }
+      case ReadQueryKind::kNullOccurrence: {
+        for (const WriteLog::Entry& e : wlog.entries()) {
+          if (e.update_number >= reader) continue;
+          const PhysicalWrite& w = e.write;
+          const bool hits =
+              (!w.data.empty() && ContainsNull(w.data, q.null_value)) ||
+              (!w.old_data.empty() && ContainsNull(w.old_data, q.null_value));
+          if (hits) AddEdge(e.update_number, reader);
+        }
+        break;
+      }
+    }
+  }
+}
+
+const std::unordered_set<uint64_t>& DependencyTracker::ReadersOf(
+    uint64_t writer) const {
+  auto it = readers_of_.find(writer);
+  return it == readers_of_.end() ? empty_ : it->second;
+}
+
+void DependencyTracker::EraseUpdate(uint64_t update_number) {
+  // As a writer: drop its reader set.
+  auto rit = readers_of_.find(update_number);
+  if (rit != readers_of_.end()) {
+    for (uint64_t reader : rit->second) {
+      auto wit = writers_of_.find(reader);
+      if (wit != writers_of_.end()) wit->second.erase(update_number);
+    }
+    num_edges_ -= rit->second.size();
+    readers_of_.erase(rit);
+  }
+  // As a reader: remove it from every writer's reader set.
+  auto wit = writers_of_.find(update_number);
+  if (wit != writers_of_.end()) {
+    for (uint64_t writer : wit->second) {
+      auto r = readers_of_.find(writer);
+      if (r != readers_of_.end() && r->second.erase(update_number) > 0) {
+        --num_edges_;
+      }
+    }
+    writers_of_.erase(wit);
+  }
+}
+
+void DependencyTracker::AddEdge(uint64_t writer, uint64_t reader) {
+  if (readers_of_[writer].insert(reader).second) {
+    writers_of_[reader].insert(writer);
+    ++num_edges_;
+  }
+}
+
+}  // namespace youtopia

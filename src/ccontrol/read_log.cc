@@ -1,0 +1,76 @@
+#include "ccontrol/read_log.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace youtopia {
+
+void ReadLog::Record(uint64_t update_number, const ReadQueryRecord& q) {
+  const uint64_t fp = Fingerprint(q);
+  if (!seen_[update_number].insert(fp).second) return;  // duplicate query
+  logs_[update_number].push_back(q);
+  ++total_queries_;
+  switch (q.kind) {
+    case ReadQueryKind::kViolation: {
+      const Tgd& tgd = (*tgds_)[static_cast<size_t>(q.tgd_id)];
+      for (RelationId rel : tgd.all_relations()) {
+        readers_by_relation_[rel].insert(update_number);
+      }
+      break;
+    }
+    case ReadQueryKind::kMoreSpecific:
+      readers_by_relation_[q.rel].insert(update_number);
+      break;
+    case ReadQueryKind::kNullOccurrence:
+      readers_by_null_[q.null_value.id()].insert(update_number);
+      break;
+  }
+}
+
+void ReadLog::EraseUpdate(uint64_t update_number) {
+  auto it = logs_.find(update_number);
+  if (it != logs_.end()) {
+    total_queries_ -= it->second.size();
+    logs_.erase(it);
+  }
+  seen_.erase(update_number);
+  for (auto& [rel, readers] : readers_by_relation_) {
+    readers.erase(update_number);
+  }
+  for (auto& [null_id, readers] : readers_by_null_) {
+    readers.erase(update_number);
+  }
+}
+
+bool ReadLog::MayTouch(const ReadQueryRecord& q, const PhysicalWrite& w) const {
+  switch (q.kind) {
+    case ReadQueryKind::kViolation: {
+      const Tgd& tgd = (*tgds_)[static_cast<size_t>(q.tgd_id)];
+      const auto& rels = tgd.all_relations();
+      return std::find(rels.begin(), rels.end(), w.rel) != rels.end();
+    }
+    case ReadQueryKind::kMoreSpecific:
+      return q.rel == w.rel;
+    case ReadQueryKind::kNullOccurrence:
+      return (!w.data.empty() && ContainsNull(w.data, q.null_value)) ||
+             (!w.old_data.empty() && ContainsNull(w.old_data, q.null_value));
+  }
+  return false;
+}
+
+uint64_t ReadLog::Fingerprint(const ReadQueryRecord& q) {
+  size_t seed = static_cast<size_t>(q.kind);
+  HashCombine(seed, static_cast<size_t>(q.tgd_id + 1));
+  HashCombine(seed, q.pinned_on_lhs ? 1u : 2u);
+  HashCombine(seed, q.atom_index);
+  HashCombine(seed, q.rel);
+  ValueHash vh;
+  HashCombine(seed, vh(q.null_value));
+  TupleDataHash th;
+  HashCombine(seed, th(q.pinned));
+  HashCombine(seed, th(q.tuple));
+  return seed;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,96 @@
+#ifndef YOUTOPIA_CCONTROL_READ_LOG_H_
+#define YOUTOPIA_CCONTROL_READ_LOG_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ccontrol/read_query.h"
+#include "relational/write.h"
+#include "tgd/tgd.h"
+
+namespace youtopia {
+
+// Stores the read queries each live update has performed (Algorithm 4:
+// "store Q for future checks"), indexed so that a write can cheaply find the
+// candidate queries it might invalidate:
+//   * by relation — violation queries touch every relation of their tgd,
+//     more-specific queries their target relation;
+//   * by labeled null — null-occurrence queries.
+// Exact duplicates (chases re-pose the same violation query on every
+// revalidation) are deduplicated per update.
+class ReadLog {
+ public:
+  explicit ReadLog(const std::vector<Tgd>* tgds) : tgds_(tgds) {}
+
+  void Record(uint64_t update_number, const ReadQueryRecord& q);
+
+  // Invokes fn(reader_number, query) for every logged query of an update
+  // with number > `writer` that might be affected by `w` (callers run the
+  // precise ConflictChecker on these candidates).
+  template <typename Fn>
+  void ForEachCandidate(const PhysicalWrite& w, uint64_t writer,
+                        Fn&& fn) const {
+    auto visit_updates = [&](const std::unordered_set<uint64_t>& readers) {
+      for (uint64_t reader : readers) {
+        if (reader <= writer) continue;
+        auto it = logs_.find(reader);
+        if (it == logs_.end()) continue;
+        for (const ReadQueryRecord& q : it->second) {
+          if (MayTouch(q, w)) fn(reader, q);
+        }
+      }
+    };
+    auto rel_it = readers_by_relation_.find(w.rel);
+    if (rel_it != readers_by_relation_.end()) visit_updates(rel_it->second);
+    // Null-occurrence queries are not relation-indexed; look up by null.
+    auto visit_nulls = [&](const TupleData& data) {
+      for (const Value& v : data) {
+        if (!v.is_null()) continue;
+        auto it = readers_by_null_.find(v.id());
+        if (it == readers_by_null_.end()) continue;
+        for (uint64_t reader : it->second) {
+          if (reader <= writer) continue;
+          auto lit = logs_.find(reader);
+          if (lit == logs_.end()) continue;
+          for (const ReadQueryRecord& q : lit->second) {
+            if (q.kind == ReadQueryKind::kNullOccurrence &&
+                q.null_value == v) {
+              fn(reader, q);
+            }
+          }
+        }
+      }
+    };
+    visit_nulls(w.data);
+    visit_nulls(w.old_data);
+  }
+
+  const std::vector<ReadQueryRecord>* QueriesOf(uint64_t update_number) const {
+    auto it = logs_.find(update_number);
+    return it == logs_.end() ? nullptr : &it->second;
+  }
+
+  void EraseUpdate(uint64_t update_number);
+
+  size_t total_queries() const { return total_queries_; }
+
+ private:
+  // Fast pre-filter: can `w` possibly affect `q`?
+  bool MayTouch(const ReadQueryRecord& q, const PhysicalWrite& w) const;
+
+  static uint64_t Fingerprint(const ReadQueryRecord& q);
+
+  const std::vector<Tgd>* tgds_;
+  std::unordered_map<uint64_t, std::vector<ReadQueryRecord>> logs_;
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> seen_;
+  std::unordered_map<RelationId, std::unordered_set<uint64_t>>
+      readers_by_relation_;
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> readers_by_null_;
+  size_t total_queries_ = 0;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CCONTROL_READ_LOG_H_

@@ -1,0 +1,74 @@
+#ifndef YOUTOPIA_CCONTROL_READ_QUERY_H_
+#define YOUTOPIA_CCONTROL_READ_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace youtopia {
+
+// Section 4.2: the reads a chase step performs are represented
+// *intensionally*, as parameterized queries. They come in exactly three
+// forms, which is what makes retroactive conflict checking tractable
+// (Section 5):
+//
+//  * kViolation      — "which violations of tgd `tgd_id` involve the written
+//                       tuple `pinned` (matched at atom `atom_index` of the
+//                       LHS or RHS)?" — i.e. SELECT * FROM (LHS) WHERE NOT
+//                       EXISTS (RHS) with bindings from the written tuple.
+//  * kMoreSpecific   — "find any t' in `rel` more specific than `tuple`"
+//                       (the first correction query, Section 4.2).
+//  * kNullOccurrence — "find all tuples containing labeled null `null_value`"
+//                       (the second correction query).
+enum class ReadQueryKind : uint8_t {
+  kViolation = 0,
+  kMoreSpecific = 1,
+  kNullOccurrence = 2,
+};
+
+struct ReadQueryRecord {
+  ReadQueryKind kind = ReadQueryKind::kViolation;
+
+  // kViolation
+  int tgd_id = -1;
+  bool pinned_on_lhs = true;  // which side `atom_index` refers to
+  size_t atom_index = 0;
+  TupleData pinned;
+
+  // kMoreSpecific
+  RelationId rel = 0;
+  TupleData tuple;
+
+  // kNullOccurrence
+  Value null_value;
+
+  static ReadQueryRecord Violation(int tgd_id, bool pinned_on_lhs,
+                                   size_t atom_index, TupleData pinned) {
+    ReadQueryRecord r;
+    r.kind = ReadQueryKind::kViolation;
+    r.tgd_id = tgd_id;
+    r.pinned_on_lhs = pinned_on_lhs;
+    r.atom_index = atom_index;
+    r.pinned = std::move(pinned);
+    return r;
+  }
+  static ReadQueryRecord MoreSpecific(RelationId rel, TupleData tuple) {
+    ReadQueryRecord r;
+    r.kind = ReadQueryKind::kMoreSpecific;
+    r.rel = rel;
+    r.tuple = std::move(tuple);
+    return r;
+  }
+  static ReadQueryRecord NullOccurrence(Value null_value) {
+    ReadQueryRecord r;
+    r.kind = ReadQueryKind::kNullOccurrence;
+    r.null_value = null_value;
+    return r;
+  }
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CCONTROL_READ_QUERY_H_

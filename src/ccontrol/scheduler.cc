@@ -1,0 +1,233 @@
+#include "ccontrol/scheduler.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+Scheduler::Scheduler(Database* db, const std::vector<Tgd>* tgds,
+                     FrontierAgent* agent, SchedulerOptions options)
+    : db_(db),
+      tgds_(tgds),
+      agent_(agent),
+      options_(options),
+      checker_(tgds),
+      read_log_(tgds),
+      tracker_(options.tracker, tgds),
+      next_number_(options.first_number) {}
+
+uint64_t Scheduler::Submit(WriteOp initial_op) {
+  const uint64_t number = next_number_++;
+  UpdateOptions uopts;
+  uopts.max_steps = options_.max_steps_per_update;
+  Slot slot;
+  slot.update =
+      std::make_unique<Update>(number, std::move(initial_op), tgds_, uopts);
+  slots_.push_back(std::move(slot));
+  const size_t idx = slots_.size() - 1;
+  slot_by_number_[number] = idx;
+  active_numbers_.insert(number);
+  ++stats_.updates_submitted;
+  EnqueueSlot(idx);
+  return number;
+}
+
+void Scheduler::RunToCompletion() {
+  while (!ready_.empty()) {
+    if (stats_.total_steps >= options_.max_total_steps) {
+      stats_.hit_global_step_cap = true;
+      return;
+    }
+    const size_t idx = ready_.front();
+    ready_.pop_front();
+    slots_[idx].queued = false;
+    Update* u = slots_[idx].update.get();
+    if (slots_[idx].failed || u->finished()) continue;
+    if (slots_[idx].cooldown > 0) {
+      --slots_[idx].cooldown;
+      EnqueueSlot(idx);
+      continue;
+    }
+    StepOne(idx);
+    // The step may have aborted/restarted this very update; requeue it in
+    // either case as long as it is live.
+    if (!slots_[idx].failed && !u->finished()) EnqueueSlot(idx);
+    TryCommit();
+  }
+}
+
+void Scheduler::StepOne(size_t slot_idx) {
+  Update* u = slots_[slot_idx].update.get();
+  const uint64_t number = u->number();
+  StepResult res = u->Step(db_, agent_);
+  ++stats_.total_steps;
+  stats_.physical_writes += res.writes.size();
+  stats_.read_queries += res.reads.size();
+
+  if (u->finished()) {
+    if (u->hit_step_cap()) {
+      // Controlled nontermination: the attempt is abandoned; treat like a
+      // failure so it cannot block commits forever.
+      slots_[slot_idx].failed = true;
+      ++stats_.updates_failed;
+      active_numbers_.erase(number);
+    } else {
+      active_numbers_.erase(number);
+      uncommitted_finished_.insert(number);
+    }
+  }
+
+  // Algorithm 4: each write is checked against the stored read queries of
+  // higher-numbered updates; invalidated readers abort.
+  std::unordered_set<uint64_t> direct;
+  for (const PhysicalWrite& w : res.writes) {
+    write_log_.Record(number, w);
+    read_log_.ForEachCandidate(
+        w, number, [&](uint64_t reader, const ReadQueryRecord& q) {
+          if (direct.count(reader) > 0) return;  // already doomed
+          Snapshot reader_snap(db_, reader);
+          if (checker_.Conflicts(reader_snap, w, q)) direct.insert(reader);
+        });
+  }
+
+  // Store this step's reads and register read dependencies for cascades.
+  Snapshot own_snap(db_, number);
+  for (const ReadQueryRecord& q : res.reads) read_log_.Record(number, q);
+  tracker_.OnReads(own_snap, number, res.reads, write_log_);
+
+  if (!direct.empty()) PerformAborts(direct);
+}
+
+void Scheduler::PerformAborts(const std::unordered_set<uint64_t>& direct) {
+  stats_.direct_conflict_aborts += direct.size();
+
+  // Consolidate: close the direct set under cascading dependencies. Each
+  // update requested for abort purely by cascade (not in direct conflict
+  // with the just-performed writes) counts once per consolidation — the
+  // paper's "cascading abort requests" metric; the scheduler acts only on
+  // the consolidated set.
+  std::unordered_set<uint64_t> marked(direct.begin(), direct.end());
+  std::deque<uint64_t> queue(direct.begin(), direct.end());
+  auto request = [&](uint64_t m) {
+    if (marked.insert(m).second) {
+      ++stats_.cascading_abort_requests;  // m is never in `direct` here
+      queue.push_back(m);
+    }
+  };
+  while (!queue.empty()) {
+    const uint64_t i = queue.front();
+    queue.pop_front();
+    if (tracker_.kind() == TrackerKind::kNaive) {
+      // Strawman: request an abort of every live update numbered above i.
+      for (auto it = active_numbers_.upper_bound(i);
+           it != active_numbers_.end(); ++it) {
+        request(*it);
+      }
+      for (auto it = uncommitted_finished_.upper_bound(i);
+           it != uncommitted_finished_.end(); ++it) {
+        request(*it);
+      }
+    } else {
+      for (uint64_t m : tracker_.ReadersOf(i)) request(m);
+    }
+  }
+
+  for (uint64_t number : marked) AbortOne(number);
+}
+
+void Scheduler::AbortOne(uint64_t number) {
+  auto it = slot_by_number_.find(number);
+  CHECK(it != slot_by_number_.end());
+  const size_t idx = it->second;
+  Slot& slot = slots_[idx];
+  CHECK(!slot.committed);  // committed updates are unabortable by design
+
+  // Undo: unlink every version this attempt created (targeted via the
+  // write log — no database scan) and forget its logs.
+  write_log_.ForEachEntryOf(number, [&](const PhysicalWrite& w) {
+    db_->RemoveRowVersions(w.rel, w.row, number);
+  });
+  write_log_.EraseUpdate(number);
+  read_log_.EraseUpdate(number);
+  tracker_.EraseUpdate(number);
+  slot_by_number_.erase(it);
+  active_numbers_.erase(number);
+  uncommitted_finished_.erase(number);
+  ++stats_.aborts;
+
+  if (slot.failed) return;  // already written off
+  if (slot.update->attempts() >= options_.max_attempts_per_update) {
+    slot.failed = true;
+    ++stats_.updates_failed;
+    return;
+  }
+  // MVTO-style redo under a fresh, highest number. After a few failed
+  // attempts, exponential backoff keeps the redo from being immediately
+  // re-polluted by the same still-running conflicter (livelock guard);
+  // early attempts restart eagerly, like the paper's experiments.
+  const uint64_t new_number = next_number_++;
+  slot.update->Restart(new_number);
+  const size_t attempts = slot.update->attempts();
+  slot.cooldown =
+      attempts <= 3
+          ? 0
+          : std::min<uint32_t>(1u << std::min<size_t>(attempts - 3, 11), 2048);
+  slot_by_number_[new_number] = idx;
+  active_numbers_.insert(new_number);
+  EnqueueSlot(idx);
+}
+
+void Scheduler::TryCommit() {
+  // An update can no longer be aborted once every lower-numbered update has
+  // finished: finished updates write nothing further (no new direct
+  // conflicts), and cascades only flow from lower-numbered aborts.
+  const uint64_t floor =
+      active_numbers_.empty() ? UINT64_MAX : *active_numbers_.begin();
+  while (!uncommitted_finished_.empty() &&
+         *uncommitted_finished_.begin() < floor) {
+    const uint64_t number = *uncommitted_finished_.begin();
+    uncommitted_finished_.erase(uncommitted_finished_.begin());
+    auto it = slot_by_number_.find(number);
+    CHECK(it != slot_by_number_.end());
+    Slot& slot = slots_[it->second];
+    slot.committed = true;
+    ++stats_.updates_completed;
+    stats_.frontier_ops += slot.update->frontier_ops_performed();
+    write_log_.EraseUpdate(number);
+    read_log_.EraseUpdate(number);
+    tracker_.EraseUpdate(number);
+  }
+}
+
+void Scheduler::EnqueueSlot(size_t slot_idx) {
+  if (slots_[slot_idx].queued) return;
+  slots_[slot_idx].queued = true;
+  ready_.push_back(slot_idx);
+}
+
+const Update* Scheduler::FindUpdate(uint64_t number) const {
+  auto it = slot_by_number_.find(number);
+  if (it == slot_by_number_.end()) return nullptr;
+  return slots_[it->second].update.get();
+}
+
+std::vector<WriteOp> Scheduler::CommittedOpsInOrder() const {
+  std::vector<std::pair<uint64_t, const WriteOp*>> numbered;
+  for (const Slot& slot : slots_) {
+    if (slot.committed) {
+      numbered.push_back({slot.update->number(), &slot.update->initial_op()});
+    }
+  }
+  std::sort(numbered.begin(), numbered.end());
+  std::vector<WriteOp> out;
+  out.reserve(numbered.size());
+  for (const auto& [number, op] : numbered) out.push_back(*op);
+  return out;
+}
+
+size_t Scheduler::num_failed() const {
+  size_t n = 0;
+  for (const Slot& slot : slots_) n += slot.failed ? 1 : 0;
+  return n;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,136 @@
+#ifndef YOUTOPIA_CCONTROL_SCHEDULER_H_
+#define YOUTOPIA_CCONTROL_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ccontrol/conflict.h"
+#include "ccontrol/dependency_tracker.h"
+#include "ccontrol/read_log.h"
+#include "ccontrol/write_log.h"
+#include "core/agent.h"
+#include "core/update.h"
+#include "relational/database.h"
+#include "tgd/tgd.h"
+
+namespace youtopia {
+
+struct SchedulerOptions {
+  TrackerKind tracker = TrackerKind::kCoarse;
+  // Per-attempt chase step cap (controlled nontermination guard).
+  size_t max_steps_per_update = 1u << 20;
+  // Livelock guard: an update aborted this many times is marked failed.
+  size_t max_attempts_per_update = 256;
+  // Global safety valve.
+  uint64_t max_total_steps = UINT64_MAX;
+  // First update number to assign (lets a caller continue a numbering
+  // sequence started outside this scheduler).
+  uint64_t first_number = 1;
+};
+
+struct SchedulerStats {
+  uint64_t updates_submitted = 0;
+  uint64_t updates_completed = 0;
+  uint64_t updates_failed = 0;
+
+  uint64_t total_steps = 0;
+  uint64_t physical_writes = 0;
+  uint64_t read_queries = 0;
+  uint64_t frontier_ops = 0;
+
+  // Figure 3/4 metrics.
+  uint64_t aborts = 0;                   // total aborts performed
+  uint64_t direct_conflict_aborts = 0;   // writer invalidated a logged read
+  uint64_t cascading_abort_requests = 0; // requests for updates NOT in
+                                         // direct conflict (Section 6)
+  bool hit_global_step_cap = false;
+};
+
+// The optimistic concurrency-control scheduler (Algorithm 4 instantiating
+// the Algorithm 3 template with the paper's experimental policy: round-robin
+// at individual chase-step granularity).
+//
+// Each scheduled step's writes are checked against the stored read queries
+// of higher-numbered updates; any invalidated reader is aborted, together —
+// per the configured DependencyTracker — with the updates that read from it.
+// Abort information is consolidated per scheduling round and executed once
+// control returns to the scheduler; aborted updates restart under a fresh
+// (highest) number, MVTO-style. An update commits — and its read/write logs
+// are pruned — once every lower-numbered update has finished, since nothing
+// can invalidate it anymore.
+class Scheduler {
+ public:
+  Scheduler(Database* db, const std::vector<Tgd>* tgds, FrontierAgent* agent,
+            SchedulerOptions options);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Registers an update; returns its (initial) priority number.
+  uint64_t Submit(WriteOp initial_op);
+
+  // Round-robin steps all live updates until every update has finished (or
+  // failed its attempt/step caps).
+  void RunToCompletion();
+
+  const SchedulerStats& stats() const { return stats_; }
+  Database* db() { return db_; }
+
+  // Introspection for tests: the update currently (or finally) registered
+  // under `number`, if any.
+  const Update* FindUpdate(uint64_t number) const;
+  size_t num_failed() const;
+
+  // Initial operations of committed updates, in final priority-number order
+  // — the serialization order Theorem 4.4 guarantees equivalence with.
+  std::vector<WriteOp> CommittedOpsInOrder() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<Update> update;
+    bool failed = false;
+    bool committed = false;
+    bool queued = false;
+    // Restart backoff (Section 5.2 scheduling policy): a restarted update
+    // skips this many scheduling rounds, giving the conflicting
+    // lower-numbered update time to finish instead of killing the redo
+    // again and again (livelock prevention).
+    uint32_t cooldown = 0;
+  };
+
+  void StepOne(size_t slot_idx);
+  void PerformAborts(const std::unordered_set<uint64_t>& direct);
+  void AbortOne(uint64_t number);
+  void TryCommit();
+  void EnqueueSlot(size_t slot_idx);
+
+  Database* db_;
+  const std::vector<Tgd>* tgds_;
+  FrontierAgent* agent_;
+  SchedulerOptions options_;
+
+  ConflictChecker checker_;
+  ReadLog read_log_;
+  WriteLog write_log_;
+  DependencyTracker tracker_;
+
+  std::vector<Slot> slots_;
+  std::unordered_map<uint64_t, size_t> slot_by_number_;
+  std::deque<size_t> ready_;
+  // Numbers of updates that are neither finished nor failed (commit floor).
+  std::set<uint64_t> active_numbers_;
+  // Finished but not yet committed (still abortable).
+  std::set<uint64_t> uncommitted_finished_;
+
+  uint64_t next_number_;
+  SchedulerStats stats_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CCONTROL_SCHEDULER_H_

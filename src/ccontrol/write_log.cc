@@ -1,0 +1,18 @@
+#include "ccontrol/write_log.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+void WriteLog::EraseUpdate(uint64_t update_number) {
+  auto new_end = std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) {
+                                  return e.update_number == update_number;
+                                });
+  entries_.erase(new_end, entries_.end());
+  for (auto& [rel, writers] : writers_by_relation_) {
+    writers.erase(update_number);
+  }
+}
+
+}  // namespace youtopia

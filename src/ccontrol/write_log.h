@@ -1,0 +1,63 @@
+#ifndef YOUTOPIA_CCONTROL_WRITE_LOG_H_
+#define YOUTOPIA_CCONTROL_WRITE_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "relational/tuple.h"
+#include "relational/write.h"
+
+namespace youtopia {
+
+// The in-memory log of writes performed by updates that may still be
+// aborted (Section 5.1). COARSE reads the per-relation writer sets; PRECISE
+// scans the entries; both stop paying for an update once it commits
+// (EraseUpdate is called by the scheduler when every lower-numbered update
+// has finished).
+class WriteLog {
+ public:
+  struct Entry {
+    uint64_t update_number;
+    PhysicalWrite write;
+  };
+
+  void Record(uint64_t update_number, const PhysicalWrite& w) {
+    entries_.push_back(Entry{update_number, w});
+    ++writers_by_relation_[w.rel][update_number];
+  }
+
+  const std::deque<Entry>& entries() const { return entries_; }
+
+  // Invokes fn(write) for every logged write of `update_number` (used for
+  // targeted abort undo).
+  template <typename Fn>
+  void ForEachEntryOf(uint64_t update_number, Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      if (e.update_number == update_number) fn(e.write);
+    }
+  }
+
+  // Updates (by number) that have written at least one tuple of `rel` — the
+  // COARSE tracker's dependency granularity.
+  void WritersOf(RelationId rel, std::unordered_set<uint64_t>* out) const {
+    auto it = writers_by_relation_.find(rel);
+    if (it == writers_by_relation_.end()) return;
+    for (const auto& [update, count] : it->second) out->insert(update);
+  }
+
+  // Drops every entry of `update_number` (commit or abort).
+  void EraseUpdate(uint64_t update_number);
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::deque<Entry> entries_;
+  std::unordered_map<RelationId, std::unordered_map<uint64_t, uint32_t>>
+      writers_by_relation_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CCONTROL_WRITE_LOG_H_

@@ -1,0 +1,85 @@
+#include "core/agent.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+PositiveDecision RandomAgent::DecidePositive(const Snapshot& /*snap*/,
+                                             const FrontierTuple& tuple,
+                                             const Provenance& /*prov*/) {
+  // Options: expand, or unify with any of the more-specific candidates.
+  const uint64_t pick = rng_.Uniform(tuple.more_specific.size() + 1);
+  if (pick == 0) return PositiveDecision::Expand();
+  return PositiveDecision::Unify(tuple.more_specific[pick - 1]);
+}
+
+std::vector<size_t> RandomAgent::DecideNegative(const Snapshot& /*snap*/,
+                                                const NegativeFrontier& nf) {
+  CHECK(!nf.candidates.empty());
+  return {static_cast<size_t>(rng_.Uniform(nf.candidates.size()))};
+}
+
+PositiveDecision UnifyFirstAgent::DecidePositive(const Snapshot& /*snap*/,
+                                                 const FrontierTuple& tuple,
+                                                 const Provenance& /*prov*/) {
+  CHECK(!tuple.more_specific.empty());
+  const RowId target =
+      *std::min_element(tuple.more_specific.begin(), tuple.more_specific.end());
+  return PositiveDecision::Unify(target);
+}
+
+PositiveDecision MinContentAgent::DecidePositive(const Snapshot& snap,
+                                                 const FrontierTuple& tuple,
+                                                 const Provenance&) {
+  CHECK(!tuple.more_specific.empty());
+  const TupleData* best = nullptr;
+  RowId best_row = 0;
+  for (RowId row : tuple.more_specific) {
+    const TupleData* data = snap.VisibleData(tuple.rel, row);
+    if (data == nullptr) continue;
+    if (best == nullptr || *data < *best) {
+      best = data;
+      best_row = row;
+    }
+  }
+  CHECK(best != nullptr);
+  return PositiveDecision::Unify(best_row);
+}
+
+std::vector<size_t> MinContentAgent::DecideNegative(const Snapshot& snap,
+                                                    const NegativeFrontier& nf) {
+  CHECK(!nf.candidates.empty());
+  const TupleData* best = nullptr;
+  size_t best_idx = 0;
+  for (size_t i = 0; i < nf.candidates.size(); ++i) {
+    const TupleData* data =
+        snap.VisibleData(nf.candidates[i].rel, nf.candidates[i].row);
+    if (data == nullptr) continue;
+    if (best == nullptr || *data < *best ||
+        (*data == *best && nf.candidates[i].rel < nf.candidates[best_idx].rel)) {
+      best = data;
+      best_idx = i;
+    }
+  }
+  CHECK(best != nullptr);
+  return {best_idx};
+}
+
+PositiveDecision ScriptedAgent::DecidePositive(const Snapshot&,
+                                               const FrontierTuple&,
+                                               const Provenance&) {
+  CHECK(!positive_.empty());
+  PositiveDecision d = positive_.front();
+  positive_.pop_front();
+  return d;
+}
+
+std::vector<size_t> ScriptedAgent::DecideNegative(const Snapshot&,
+                                                  const NegativeFrontier&) {
+  CHECK(!negative_.empty());
+  std::vector<size_t> d = std::move(negative_.front());
+  negative_.pop_front();
+  return d;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,129 @@
+#ifndef YOUTOPIA_CORE_AGENT_H_
+#define YOUTOPIA_CORE_AGENT_H_
+
+#include <deque>
+#include <vector>
+
+#include "core/frontier.h"
+#include "relational/database.h"
+#include "util/rng.h"
+
+namespace youtopia {
+
+// The human in the loop. A chase that stops at a frontier asks its agent to
+// resolve one frontier tuple (positive) or pick deletion victims (negative).
+// Production deployments would hook a UI here; the implementations below
+// simulate users for experiments, tests and examples — exactly as the
+// paper's evaluation does (Section 6).
+class FrontierAgent {
+ public:
+  virtual ~FrontierAgent() = default;
+
+  // Resolve one positive frontier tuple. `more_specific` is non-empty and
+  // lists the rows of `tuple.rel` currently more specific than `tuple.data`.
+  virtual PositiveDecision DecidePositive(
+      const Snapshot& snap, const FrontierTuple& tuple,
+      const Provenance& prov) = 0;
+
+  // Resolve a negative frontier: return the indexes (into `nf.candidates`)
+  // of tuples to delete. Must be non-empty.
+  virtual std::vector<size_t> DecideNegative(const Snapshot& snap,
+                                             const NegativeFrontier& nf) = 0;
+
+  // Extended negative frontier operation supporting *reconfirmation*
+  // (sketched as future work in Section 2.3): instead of deleting, the user
+  // may declare a proper subset of the candidates protected; the chase then
+  // narrows the choice (and deletes deterministically once one candidate
+  // remains). The default delegates to DecideNegative.
+  virtual NegativeDecision DecideNegativeExtended(const Snapshot& snap,
+                                                  const NegativeFrontier& nf) {
+    return NegativeDecision::Delete(DecideNegative(snap, nf));
+  }
+};
+
+// Chooses uniformly at random among all available alternatives, exactly as
+// in the paper's experiments: for a positive frontier tuple the options are
+// {expand} plus one unify per more-specific candidate; for a negative
+// frontier, one candidate is deleted. Because every frontier has at least
+// one unify option, forward chases terminate with probability 1 even under
+// cyclic mappings.
+class RandomAgent : public FrontierAgent {
+ public:
+  explicit RandomAgent(uint64_t seed) : rng_(seed) {}
+
+  PositiveDecision DecidePositive(const Snapshot& snap,
+                                  const FrontierTuple& tuple,
+                                  const Provenance& prov) override;
+  std::vector<size_t> DecideNegative(const Snapshot& snap,
+                                     const NegativeFrontier& nf) override;
+
+ private:
+  Rng rng_;
+};
+
+// Always expands (inserts). Demonstrates controlled nontermination on
+// cyclic mappings (the genealogy example of Section 2.2); use with a step
+// cap.
+class ExpandAgent : public FrontierAgent {
+ public:
+  PositiveDecision DecidePositive(const Snapshot&, const FrontierTuple&,
+                                  const Provenance&) override {
+    return PositiveDecision::Expand();
+  }
+  std::vector<size_t> DecideNegative(const Snapshot&,
+                                     const NegativeFrontier&) override {
+    return {0};
+  }
+};
+
+// Always unifies with the smallest more-specific row (and deletes the first
+// candidate on negative frontiers). Deterministic regardless of
+// interleaving; used by serializability property tests.
+class UnifyFirstAgent : public FrontierAgent {
+ public:
+  PositiveDecision DecidePositive(const Snapshot&, const FrontierTuple& tuple,
+                                  const Provenance&) override;
+  std::vector<size_t> DecideNegative(const Snapshot&,
+                                     const NegativeFrontier&) override {
+    return {0};
+  }
+};
+
+// Chooses deterministically by tuple *content* (not row ids): unify with
+// the candidate of smallest content; delete the candidate of smallest
+// content. Because the choice is a pure function of the visible database
+// state, concurrent and serial executions of a serializable schedule make
+// identical decisions — which is what the Theorem 4.4 property tests need.
+class MinContentAgent : public FrontierAgent {
+ public:
+  PositiveDecision DecidePositive(const Snapshot& snap,
+                                  const FrontierTuple& tuple,
+                                  const Provenance& prov) override;
+  std::vector<size_t> DecideNegative(const Snapshot& snap,
+                                     const NegativeFrontier& nf) override;
+};
+
+// Replays a scripted sequence of decisions (tests and examples). Aborts if
+// the script runs dry.
+class ScriptedAgent : public FrontierAgent {
+ public:
+  void PushPositive(PositiveDecision d) { positive_.push_back(d); }
+  void PushNegative(std::vector<size_t> choice) {
+    negative_.push_back(std::move(choice));
+  }
+
+  PositiveDecision DecidePositive(const Snapshot&, const FrontierTuple&,
+                                  const Provenance&) override;
+  std::vector<size_t> DecideNegative(const Snapshot&,
+                                     const NegativeFrontier&) override;
+
+  bool exhausted() const { return positive_.empty() && negative_.empty(); }
+
+ private:
+  std::deque<PositiveDecision> positive_;
+  std::deque<std::vector<size_t>> negative_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CORE_AGENT_H_

@@ -1,0 +1,54 @@
+#include "core/standard_chase.h"
+
+#include <deque>
+
+#include "query/binding.h"
+#include "tgd/dependency_graph.h"
+
+namespace youtopia {
+
+Result<StandardChase::Report> StandardChase::Run(uint64_t update_number,
+                                                 const Options& options) {
+  if (options.require_weak_acyclicity) {
+    DependencyGraph graph(db_->catalog(), *tgds_);
+    if (!graph.IsWeaklyAcyclic()) {
+      return Status::FailedPrecondition(
+          "standard chase requires a weakly acyclic tgd set");
+    }
+  }
+
+  Report report;
+  Snapshot snap(db_, update_number);
+  std::deque<Violation> queue;
+  {
+    std::vector<Violation> initial;
+    detector_.FindAll(snap, &initial);
+    for (Violation& v : initial) queue.push_back(std::move(v));
+  }
+
+  while (!queue.empty()) {
+    if (report.firings >= options.max_steps) return report;  // cap hit
+    Violation v = std::move(queue.front());
+    queue.pop_front();
+    if (!detector_.IsStillViolated(snap, v, nullptr)) continue;
+    ++report.firings;
+
+    const Tgd& tgd = (*tgds_)[static_cast<size_t>(v.tgd_id)];
+    Binding full = v.binding;
+    full.EnsureSize(tgd.num_vars());
+    for (VarId z : tgd.existential_vars()) full.Set(z, db_->FreshNull());
+    for (const Atom& atom : tgd.rhs().atoms) {
+      const WriteOp op = WriteOp::Insert(atom.rel, InstantiateAtom(atom, full));
+      for (const PhysicalWrite& w : db_->Apply(op, update_number)) {
+        ++report.tuples_added;
+        std::vector<Violation> found;
+        detector_.AfterWrite(snap, w, &found, nullptr);
+        for (Violation& nv : found) queue.push_back(std::move(nv));
+      }
+    }
+  }
+  report.completed = true;
+  return report;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,410 @@
+#include "core/update.h"
+
+#include <algorithm>
+
+#include "query/specificity.h"
+
+namespace youtopia {
+
+Update::Update(uint64_t number, WriteOp initial_op,
+               const std::vector<Tgd>* tgds, UpdateOptions options)
+    : number_(number),
+      initial_op_(std::move(initial_op)),
+      tgds_(tgds),
+      detector_(tgds),
+      options_(options) {
+  write_set_.push_back(initial_op_);
+}
+
+Update Update::ForViolations(uint64_t number, std::vector<Violation> viols,
+                             const std::vector<Tgd>* tgds,
+                             UpdateOptions options) {
+  // The placeholder initial op is never applied: the write set is cleared
+  // and the violation queue seeded directly.
+  Update u(number, WriteOp::NullReplace(Value::Null(0), Value::Null(0)), tgds,
+           options);
+  u.write_set_.clear();
+  for (Violation& v : viols) u.viol_queue_.push_back(std::move(v));
+  return u;
+}
+
+StepResult Update::Step(Database* db, FrontierAgent* agent) {
+  CHECK(!finished_);
+  StepResult res;
+  started_ = true;
+  if (++steps_taken_ > options_.max_steps) {
+    // Controlled nontermination: give up on this attempt but leave the
+    // database consistent with a valid (incomplete) chase prefix.
+    hit_step_cap_ = true;
+    finished_ = true;
+    res.finished = true;
+    return res;
+  }
+
+  // 1. Consume one frontier operation, if one is pending.
+  if (pos_frontier_.has_value()) {
+    ProcessPositiveFrontier(db, agent, &res);
+  } else if (neg_frontier_.has_value()) {
+    ProcessNegativeFrontier(db, agent, &res);
+  }
+
+  // If the frontier is still open (a group with several tuples resolves one
+  // per step, and a decision may itself have produced writes), apply writes
+  // now and come back for the rest of the group next step.
+
+  // 2. Perform the write set. Set-semantics insertion reads the database
+  // (is an equal tuple already visible?); that read is logged so a later
+  // lower-numbered delete of the duplicate retroactively conflicts.
+  std::vector<WriteOp> writes = std::move(write_set_);
+  write_set_.clear();
+  for (const WriteOp& op : writes) {
+    if (op.kind == WriteOp::Kind::kInsert) {
+      res.reads.push_back(ReadQueryRecord::MoreSpecific(op.rel, op.data));
+    }
+    std::vector<PhysicalWrite> applied = db->Apply(op, number_);
+    for (PhysicalWrite& w : applied) res.writes.push_back(std::move(w));
+  }
+
+  // 3. Violation queries for each physical write performed.
+  Snapshot snap(db, number_);
+  for (const PhysicalWrite& w : res.writes) {
+    std::vector<Violation> found;
+    detector_.AfterWrite(snap, w, &found, &res.reads);
+    for (Violation& v : found) viol_queue_.push_back(std::move(v));
+  }
+
+  // 4. Choose the next violation and generate corrective writes, unless the
+  // update is still blocked on an open frontier group.
+  if (!awaiting_frontier()) {
+    ChooseNextViolation(db, snap, &res);
+  }
+
+  if (awaiting_frontier()) {
+    res.awaiting_frontier = true;
+  } else if (write_set_.empty() && viol_queue_.empty()) {
+    finished_ = true;
+    res.finished = true;
+  }
+  return res;
+}
+
+void Update::RunToCompletion(Database* db, FrontierAgent* agent) {
+  while (!finished_) Step(db, agent);
+}
+
+void Update::Restart(uint64_t new_number) {
+  number_ = new_number;
+  write_set_.clear();
+  write_set_.push_back(initial_op_);
+  viol_queue_.clear();
+  pos_frontier_.reset();
+  neg_frontier_.reset();
+  finished_ = false;
+  started_ = false;
+  hit_step_cap_ = false;
+  steps_taken_ = 0;
+  frontier_ops_ = 0;
+  violations_repaired_ = 0;
+  ++attempts_;
+}
+
+void Update::ChooseNextViolation(Database* db, const Snapshot& snap,
+                                 StepResult* res) {
+  if (!write_set_.empty()) return;  // corrective writes already pending
+  // Scan the queue for a deterministically repairable violation (Algorithm
+  // 2 prefers those); fall back to the first valid nondeterministic one.
+  std::deque<Violation> deferred;
+  while (!viol_queue_.empty()) {
+    Violation v = std::move(viol_queue_.front());
+    viol_queue_.pop_front();
+    if (!detector_.IsStillViolated(snap, v, &res->reads)) {
+      continue;  // corrected in the meantime (lazy queue cleanup)
+    }
+    if (v.kind == Violation::Kind::kLhs) {
+      ForwardRepair repair = GenerateForwardRepair(db, snap, v, res);
+      if (repair.already_satisfied) continue;
+      if (repair.deterministic) {
+        write_set_ = std::move(repair.inserts);
+        ++violations_repaired_;
+        break;
+      }
+      // Nondeterministic: defer; if nothing deterministic shows up, the
+      // first deferred violation's frontier is the one we block on.
+      if (deferred.empty()) {
+        pos_frontier_candidate_ = std::move(repair.frontier);
+      }
+      deferred.push_back(std::move(v));
+      continue;
+    }
+    // RHS-violation: candidates are the distinct witness rows.
+    std::vector<TupleRef> candidates;
+    for (const TupleRef& ref : v.witness) {
+      if (std::find(candidates.begin(), candidates.end(), ref) ==
+          candidates.end()) {
+        candidates.push_back(ref);
+      }
+    }
+    CHECK(!candidates.empty());
+    if (candidates.size() == 1) {
+      write_set_.push_back(WriteOp::Delete(candidates[0].rel,
+                                           candidates[0].row));
+      ++violations_repaired_;
+      break;
+    }
+    if (deferred.empty()) {
+      NegativeFrontier nf;
+      nf.prov.tgd_id = v.tgd_id;
+      nf.prov.witness = v.witness;
+      nf.candidates = std::move(candidates);
+      neg_frontier_candidate_ = std::move(nf);
+    }
+    deferred.push_back(std::move(v));
+  }
+
+  if (!write_set_.empty()) {
+    // A deterministic repair was found; requeue the deferred violations.
+    for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
+      viol_queue_.push_front(std::move(*it));
+    }
+    pos_frontier_candidate_.reset();
+    neg_frontier_candidate_.reset();
+    return;
+  }
+  if (!deferred.empty()) {
+    // Block on the first nondeterministic violation; the rest stay queued.
+    Violation first = std::move(deferred.front());
+    deferred.pop_front();
+    for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
+      viol_queue_.push_front(std::move(*it));
+    }
+    if (first.kind == Violation::Kind::kLhs) {
+      CHECK(pos_frontier_candidate_.has_value());
+      pos_frontier_ = std::move(pos_frontier_candidate_);
+    } else {
+      CHECK(neg_frontier_candidate_.has_value());
+      neg_frontier_ = std::move(neg_frontier_candidate_);
+    }
+    pos_frontier_candidate_.reset();
+    neg_frontier_candidate_.reset();
+  }
+}
+
+Update::ForwardRepair Update::GenerateForwardRepair(Database* db,
+                                                    const Snapshot& snap,
+                                                    const Violation& v,
+                                                    StepResult* res) {
+  const Tgd& tgd = (*tgds_)[static_cast<size_t>(v.tgd_id)];
+  ForwardRepair repair;
+
+  // Instantiate the RHS under the violating assignment, with fresh labeled
+  // nulls for the existential variables (shared across the RHS atoms).
+  Binding full = v.binding;
+  full.EnsureSize(tgd.num_vars());
+  PositiveFrontier& pf = repair.frontier;
+  for (VarId z : tgd.existential_vars()) {
+    const Value null_value = db->FreshNull();
+    full.Set(z, null_value);
+    pf.fresh_null_ids.insert(null_value.id());
+  }
+  pf.prov.tgd_id = v.tgd_id;
+  pf.prov.witness = v.witness;
+  pf.binding = v.binding;
+
+  bool any_ambiguous = false;
+  std::vector<TupleData> generated;  // dedup within the firing
+  for (const Atom& atom : tgd.rhs().atoms) {
+    TupleData data = InstantiateAtom(atom, full);
+    if (std::find(generated.begin(), generated.end(), data) !=
+        generated.end()) {
+      continue;  // duplicate RHS atom instantiation
+    }
+    generated.push_back(data);
+    // A tuple that exists verbatim already supplies this RHS atom.
+    if (snap.Contains(atom.rel, data)) continue;
+    FrontierTuple ft;
+    ft.rel = atom.rel;
+    ft.data = std::move(data);
+    res->reads.push_back(ReadQueryRecord::MoreSpecific(atom.rel, ft.data));
+    FindMoreSpecificRows(snap, atom.rel, ft.data, /*exclude_equal=*/false,
+                         &ft.more_specific);
+    any_ambiguous |= !ft.more_specific.empty();
+    pf.tuples.push_back(std::move(ft));
+  }
+
+  if (pf.tuples.empty()) {
+    // Every RHS atom instantiation already exists: nothing to do. (Possible
+    // when distinct atoms are satisfied by existing tuples even though no
+    // single consistent RHS match existed before — inserting nothing would
+    // be wrong, but this branch is only reachable when the RHS has no
+    // existentials and all instantiations are present, in which case the
+    // RHS *is* satisfied.)
+    repair.already_satisfied = true;
+    return repair;
+  }
+  if (!any_ambiguous) {
+    repair.deterministic = true;
+    for (const FrontierTuple& ft : pf.tuples) {
+      repair.inserts.push_back(WriteOp::Insert(ft.rel, ft.data));
+    }
+  }
+  return repair;
+}
+
+void Update::ProcessPositiveFrontier(Database* db, FrontierAgent* agent,
+                                     StepResult* res) {
+  CHECK(pos_frontier_.has_value());
+  PositiveFrontier& pf = *pos_frontier_;
+  Snapshot snap(db, number_);
+
+  // Resolve tuples until one frontier operation produced writes (one user
+  // operation per step); tuples that became trivially satisfied in the
+  // meantime are dropped without consulting the user.
+  while (!pf.tuples.empty() && write_set_.empty()) {
+    FrontierTuple& ft = pf.tuples.front();
+
+    // Refresh the correction query: candidates may have changed while the
+    // request was waiting for the user.
+    ft.more_specific.clear();
+    res->reads.push_back(ReadQueryRecord::MoreSpecific(ft.rel, ft.data));
+    FindMoreSpecificRows(snap, ft.rel, ft.data, /*exclude_equal=*/false,
+                         &ft.more_specific);
+
+    // An exact copy in the database satisfies this atom outright.
+    bool exact = false;
+    for (RowId row : ft.more_specific) {
+      const TupleData* stored = snap.VisibleData(ft.rel, row);
+      if (stored != nullptr && *stored == ft.data) {
+        exact = true;
+        break;
+      }
+    }
+    if (exact) {
+      pf.tuples.erase(pf.tuples.begin());
+      continue;
+    }
+
+    PositiveDecision decision = PositiveDecision::Expand();
+    if (!ft.more_specific.empty()) {
+      decision = agent->DecidePositive(snap, ft, pf.prov);
+      ++frontier_ops_;
+    }
+    // With no more specific tuple there is no ambiguity: expansion is the
+    // only chase-consistent move, performed without user involvement.
+
+    if (decision.kind == PositiveDecision::Kind::kExpand) {
+      write_set_.push_back(WriteOp::Insert(ft.rel, ft.data));
+      for (const Value& value : ft.data) {
+        if (value.is_null() && pf.fresh_null_ids.count(value.id()) > 0) {
+          pf.written_fresh_null_ids.insert(value.id());
+        }
+      }
+      pf.tuples.erase(pf.tuples.begin());
+      continue;
+    }
+
+    // Unification (Section 2.2): the user declares ft the same fact as the
+    // chosen more specific tuple; every labeled null of ft is bound to the
+    // corresponding value and replaced everywhere it occurs.
+    CHECK(decision.kind == PositiveDecision::Kind::kUnify);
+    const TupleData* target = snap.VisibleData(ft.rel, decision.unify_with);
+    CHECK(target != nullptr);
+    CHECK(IsMoreSpecific(*target, ft.data));
+    TupleData source = ft.data;  // ft invalidated by substitutions below
+    for (size_t i = 0; i < source.size(); ++i) {
+      const Value from = source[i];
+      const Value to = (*target)[i];
+      if (!from.is_null() || from == to) continue;
+      const bool fresh_unwritten =
+          pf.fresh_null_ids.count(from.id()) > 0 &&
+          pf.written_fresh_null_ids.count(from.id()) == 0;
+      if (!fresh_unwritten) {
+        // The null occurs in stored tuples: a real global replacement, with
+        // its correction query ("all tuples containing x") logged.
+        res->reads.push_back(ReadQueryRecord::NullOccurrence(from));
+        write_set_.push_back(WriteOp::NullReplace(from, to));
+      }
+      // Keep the rest of the group (and this source tuple) consistent.
+      SubstituteInGroup(&pf, from, to);
+      for (size_t j = i + 1; j < source.size(); ++j) {
+        if (source[j] == from) source[j] = to;
+      }
+    }
+    pf.tuples.erase(pf.tuples.begin());
+  }
+
+  if (pf.tuples.empty()) {
+    ++violations_repaired_;
+    pos_frontier_.reset();
+  }
+}
+
+void Update::ProcessNegativeFrontier(Database* db, FrontierAgent* agent,
+                                     StepResult* res) {
+  (void)res;
+  CHECK(neg_frontier_.has_value());
+  NegativeFrontier& nf = *neg_frontier_;
+  Snapshot snap(db, number_);
+
+  // Candidates deleted by others in the meantime have already repaired the
+  // violation (lazy revalidation would also catch this).
+  std::vector<TupleRef> alive;
+  for (const TupleRef& ref : nf.candidates) {
+    if (snap.IsVisible(ref)) alive.push_back(ref);
+  }
+  if (alive.size() < nf.candidates.size()) {
+    ++violations_repaired_;
+    neg_frontier_.reset();
+    return;
+  }
+
+  std::vector<size_t> chosen;
+  if (alive.size() == 1) {
+    chosen.push_back(0);
+  } else {
+    nf.candidates = alive;
+    const NegativeDecision decision = agent->DecideNegativeExtended(snap, nf);
+    ++frontier_ops_;
+    if (decision.delete_indexes.empty()) {
+      // Reconfirmation (Section 2.3 extension): the named candidates are
+      // protected; the choice narrows to the rest. A user may not
+      // reconfirm everything — the violation would stay unrepaired.
+      CHECK(!decision.reconfirm_indexes.empty());
+      CHECK_LT(decision.reconfirm_indexes.size(), alive.size());
+      std::vector<TupleRef> remaining;
+      for (size_t i = 0; i < alive.size(); ++i) {
+        if (std::find(decision.reconfirm_indexes.begin(),
+                      decision.reconfirm_indexes.end(),
+                      i) == decision.reconfirm_indexes.end()) {
+          remaining.push_back(alive[i]);
+        }
+      }
+      if (remaining.size() == 1) {
+        write_set_.push_back(
+            WriteOp::Delete(remaining[0].rel, remaining[0].row));
+        ++violations_repaired_;
+        neg_frontier_.reset();
+      } else {
+        nf.candidates = std::move(remaining);  // ask again, narrowed
+      }
+      return;
+    }
+    chosen = decision.delete_indexes;
+  }
+  for (size_t idx : chosen) {
+    CHECK_LT(idx, alive.size());
+    write_set_.push_back(WriteOp::Delete(alive[idx].rel, alive[idx].row));
+  }
+  ++violations_repaired_;
+  neg_frontier_.reset();
+}
+
+void Update::SubstituteInGroup(PositiveFrontier* pf, const Value& from,
+                               const Value& to) {
+  for (FrontierTuple& ft : pf->tuples) {
+    for (Value& v : ft.data) {
+      if (v == from) v = to;
+    }
+  }
+}
+
+}  // namespace youtopia

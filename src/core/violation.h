@@ -1,0 +1,33 @@
+#ifndef YOUTOPIA_CORE_VIOLATION_H_
+#define YOUTOPIA_CORE_VIOLATION_H_
+
+#include <vector>
+
+#include "query/binding.h"
+#include "relational/tuple.h"
+
+namespace youtopia {
+
+// Definition 2.1/2.2: a violation of tgd sigma is an assignment of values to
+// its universally quantified variables under which the LHS is satisfied but
+// the RHS is not; its witness is the set of matched LHS tuples.
+//
+// LHS-violations (caused by inserts / null replacements: the new tuple is
+// part of the witness) are repaired by the forward chase; RHS-violations
+// (caused by deletes: a formerly matching RHS tuple is gone) are repaired by
+// the backward chase (Section 2.1).
+struct Violation {
+  enum class Kind : uint8_t { kLhs = 0, kRhs = 1 };
+
+  int tgd_id = -1;
+  Kind kind = Kind::kLhs;
+  // Full assignment to the tgd's LHS variables (frontier x and lhs-only y).
+  Binding binding;
+  // Matched LHS rows, one per LHS atom (in atom order; may repeat on
+  // self-joins).
+  std::vector<TupleRef> witness;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CORE_VIOLATION_H_

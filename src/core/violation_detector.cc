@@ -1,0 +1,168 @@
+#include "core/violation_detector.h"
+
+namespace youtopia {
+
+void ViolationDetector::AfterWrite(const Snapshot& snap,
+                                   const PhysicalWrite& w,
+                                   std::vector<Violation>* out,
+                                   std::vector<ReadQueryRecord>* reads) const {
+  switch (w.kind) {
+    case WriteKind::kInsert:
+      DetectInsertSide(snap, w.rel, w.row, w.data, out, reads);
+      break;
+    case WriteKind::kDelete:
+      DetectDeleteSide(snap, w.rel, w.old_data, out, reads);
+      break;
+    case WriteKind::kModify:
+      // A null replacement rewrites every occurrence of the null at once,
+      // so RHS matches are preserved under the substitution and only
+      // LHS-violations are possible (Section 2). Detect with the new
+      // content.
+      DetectInsertSide(snap, w.rel, w.row, w.data, out, reads);
+      break;
+  }
+}
+
+void ViolationDetector::DetectInsertSide(
+    const Snapshot& snap, RelationId rel, RowId row, const TupleData& data,
+    std::vector<Violation>* out, std::vector<ReadQueryRecord>* reads) const {
+  Evaluator eval(snap);
+  const size_t first_new = out->size();
+  // Self-joins surface the same violating assignment once per pinned atom;
+  // keep each (tgd, assignment) once.
+  auto is_duplicate = [&](int tgd_id, const Binding& binding) {
+    for (size_t i = first_new; i < out->size(); ++i) {
+      if ((*out)[i].tgd_id == tgd_id && (*out)[i].binding == binding) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (size_t t = 0; t < tgds_->size(); ++t) {
+    const Tgd& tgd = (*tgds_)[t];
+    for (size_t a = 0; a < tgd.lhs().atoms.size(); ++a) {
+      if (tgd.lhs().atoms[a].rel != rel) continue;
+      if (reads != nullptr) {
+        reads->push_back(ReadQueryRecord::Violation(
+            static_cast<int>(t), /*pinned_on_lhs=*/true, a, data));
+      }
+      AtomPin pin{a, row, &data};
+      eval.ForEachMatch(
+          tgd.lhs(), Binding(tgd.num_vars()), &pin,
+          [&](const Binding& binding, const std::vector<TupleRef>& rows) {
+            if (!is_duplicate(static_cast<int>(t), binding) &&
+                !RhsSatisfied(snap, tgd, binding)) {
+              Violation v;
+              v.tgd_id = static_cast<int>(t);
+              v.kind = Violation::Kind::kLhs;
+              v.binding = binding;
+              v.witness = rows;
+              out->push_back(std::move(v));
+            }
+            return true;
+          });
+    }
+  }
+}
+
+void ViolationDetector::DetectDeleteSide(
+    const Snapshot& snap, RelationId rel, const TupleData& old_data,
+    std::vector<Violation>* out, std::vector<ReadQueryRecord>* reads) const {
+  Evaluator eval(snap);
+  for (size_t t = 0; t < tgds_->size(); ++t) {
+    const Tgd& tgd = (*tgds_)[t];
+    for (size_t a = 0; a < tgd.rhs().atoms.size(); ++a) {
+      const Atom& atom = tgd.rhs().atoms[a];
+      if (atom.rel != rel) continue;
+      if (reads != nullptr) {
+        reads->push_back(ReadQueryRecord::Violation(
+            static_cast<int>(t), /*pinned_on_lhs=*/false, a, old_data));
+      }
+      // Bind the deleted tuple into the RHS atom; keep only frontier-variable
+      // bindings when ranging over the LHS (existential bindings constrain
+      // nothing there).
+      Binding atom_binding(tgd.num_vars());
+      if (!MatchAtom(atom, old_data, &atom_binding)) continue;
+      Binding lhs_seed(tgd.num_vars());
+      for (VarId x : tgd.frontier_vars()) {
+        if (atom_binding.IsBound(x)) lhs_seed.Set(x, atom_binding.Get(x));
+      }
+      eval.ForEachMatch(
+          tgd.lhs(), lhs_seed, nullptr,
+          [&](const Binding& binding, const std::vector<TupleRef>& rows) {
+            if (!RhsSatisfied(snap, tgd, binding)) {
+              Violation v;
+              v.tgd_id = static_cast<int>(t);
+              v.kind = Violation::Kind::kRhs;
+              v.binding = binding;
+              v.witness = rows;
+              out->push_back(std::move(v));
+            }
+            return true;
+          });
+    }
+  }
+}
+
+bool ViolationDetector::IsStillViolated(
+    const Snapshot& snap, const Violation& v,
+    std::vector<ReadQueryRecord>* reads) const {
+  CHECK_GE(v.tgd_id, 0);
+  CHECK_LT(static_cast<size_t>(v.tgd_id), tgds_->size());
+  const Tgd& tgd = (*tgds_)[static_cast<size_t>(v.tgd_id)];
+  CHECK_EQ(v.witness.size(), tgd.lhs().atoms.size());
+  // Witness rows must still be visible with content matching the binding.
+  for (size_t a = 0; a < v.witness.size(); ++a) {
+    const TupleData* data = snap.VisibleData(v.witness[a].rel, v.witness[a].row);
+    if (data == nullptr) return false;
+    if (InstantiateAtom(tgd.lhs().atoms[a], v.binding) != *data) return false;
+  }
+  // The revalidation re-reads the violation region; log it against the first
+  // witness tuple so later conflicting writes are caught.
+  if (reads != nullptr && !v.witness.empty()) {
+    const TupleData* data = snap.VisibleData(v.witness[0].rel, v.witness[0].row);
+    reads->push_back(ReadQueryRecord::Violation(v.tgd_id, /*pinned_on_lhs=*/true,
+                                                0, *data));
+  }
+  return !RhsSatisfied(snap, tgd, v.binding);
+}
+
+void ViolationDetector::FindAll(const Snapshot& snap,
+                                std::vector<Violation>* out) const {
+  Evaluator eval(snap);
+  for (size_t t = 0; t < tgds_->size(); ++t) {
+    const Tgd& tgd = (*tgds_)[t];
+    eval.ForEachMatch(
+        tgd.lhs(), Binding(tgd.num_vars()), nullptr,
+        [&](const Binding& binding, const std::vector<TupleRef>& rows) {
+          if (!RhsSatisfied(snap, tgd, binding)) {
+            Violation v;
+            v.tgd_id = static_cast<int>(t);
+            v.kind = Violation::Kind::kLhs;
+            v.binding = binding;
+            v.witness = rows;
+            out->push_back(std::move(v));
+          }
+          return true;
+        });
+  }
+}
+
+bool ViolationDetector::SatisfiesAll(const Snapshot& snap) const {
+  std::vector<Violation> found;
+  FindAll(snap, &found);
+  return found.empty();
+}
+
+bool ViolationDetector::RhsSatisfied(const Snapshot& snap, const Tgd& tgd,
+                                     const Binding& binding) const {
+  Binding rhs_seed(tgd.num_vars());
+  for (VarId x : tgd.frontier_vars()) {
+    CHECK(binding.IsBound(x));
+    rhs_seed.Set(x, binding.Get(x));
+  }
+  Evaluator eval(snap);
+  return eval.Exists(tgd.rhs(), rhs_seed);
+}
+
+}  // namespace youtopia

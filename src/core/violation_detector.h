@@ -1,0 +1,72 @@
+#ifndef YOUTOPIA_CORE_VIOLATION_DETECTOR_H_
+#define YOUTOPIA_CORE_VIOLATION_DETECTOR_H_
+
+#include <vector>
+
+#include "ccontrol/read_query.h"
+#include "core/violation.h"
+#include "query/evaluator.h"
+#include "relational/database.h"
+#include "relational/write.h"
+#include "tgd/tgd.h"
+
+namespace youtopia {
+
+// Incremental (delta) violation detection: given one physical write, finds
+// the new violations it causes by evaluating the paper's violation queries
+// (Section 4.2, Example 4.1) with the written tuple pinned into the matching
+// atom. Every query posed is reported through `reads` so the
+// concurrency-control layer can log it.
+class ViolationDetector {
+ public:
+  explicit ViolationDetector(const std::vector<Tgd>* tgds) : tgds_(tgds) {}
+
+  // Appends the violations newly caused by `w`, as seen by `snap`'s reader.
+  //
+  //  * insert  — LHS-violations only: pin the new tuple into each LHS atom
+  //              of each tgd over its relation.
+  //  * delete  — RHS-violations only: pin the old tuple into each RHS atom;
+  //              the LHS assignments that relied on it and now have no
+  //              alternative RHS match are violated.
+  //  * modify  — null replacement changes all occurrences of a null
+  //              consistently, so only LHS-violations can arise (Section 2);
+  //              detection pins the *new* content into LHS atoms.
+  void AfterWrite(const Snapshot& snap, const PhysicalWrite& w,
+                  std::vector<Violation>* out,
+                  std::vector<ReadQueryRecord>* reads) const;
+
+  // Lazy revalidation when a queued violation is popped (implements
+  // "violQueue.remove(violations just corrected)"): the witness rows must
+  // still be visible with content matching the binding, and the RHS must
+  // still have no match. If the revalidation posed a read, it is recorded.
+  bool IsStillViolated(const Snapshot& snap, const Violation& v,
+                       std::vector<ReadQueryRecord>* reads) const;
+
+  // Full-database violation scan (tests, data generation, assertions).
+  void FindAll(const Snapshot& snap, std::vector<Violation>* out) const;
+
+  // True iff the snapshot satisfies every tgd.
+  bool SatisfiesAll(const Snapshot& snap) const;
+
+  const std::vector<Tgd>& tgds() const { return *tgds_; }
+
+ private:
+  // True if the RHS of `tgd` has a match under the frontier-variable part
+  // of `binding`.
+  bool RhsSatisfied(const Snapshot& snap, const Tgd& tgd,
+                    const Binding& binding) const;
+
+  void DetectInsertSide(const Snapshot& snap, RelationId rel, RowId row,
+                        const TupleData& data, std::vector<Violation>* out,
+                        std::vector<ReadQueryRecord>* reads) const;
+  void DetectDeleteSide(const Snapshot& snap, RelationId rel,
+                        const TupleData& old_data,
+                        std::vector<Violation>* out,
+                        std::vector<ReadQueryRecord>* reads) const;
+
+  const std::vector<Tgd>* tgds_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CORE_VIOLATION_DETECTOR_H_

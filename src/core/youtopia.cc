@@ -1,0 +1,223 @@
+#include "core/youtopia.h"
+
+#include <algorithm>
+
+#include "tgd/dependency_graph.h"
+
+namespace youtopia {
+
+Youtopia::Youtopia(uint64_t seed)
+    : agent_(std::make_unique<RandomAgent>(seed)) {}
+
+Status Youtopia::CreateRelation(std::string name,
+                                std::vector<std::string> attributes) {
+  Result<RelationId> id =
+      db_.CreateRelation(std::move(name), std::move(attributes));
+  return id.ok() ? Status::Ok() : id.status();
+}
+
+Result<int> Youtopia::AddMapping(std::string_view tgd_text) {
+  TgdParser parser(&db_.catalog(), &db_.symbols());
+  Result<Tgd> tgd = parser.ParseTgd(tgd_text);
+  if (!tgd.ok()) return tgd.status();
+  tgds_.push_back(std::move(tgd).value());
+  const int id = static_cast<int>(tgds_.size()) - 1;
+
+  // Cooperatively repair any violations the new mapping has over existing
+  // data (Section 1.2: mappings are supplied as the repository grows).
+  ViolationDetector detector(&tgds_);
+  Snapshot snap(&db_, kReadLatest);
+  std::vector<Violation> viols;
+  detector.FindAll(snap, &viols);
+  if (!viols.empty()) {
+    Update repair = Update::ForViolations(next_number_++, std::move(viols),
+                                          &tgds_);
+    repair.RunToCompletion(&db_, agent_.get());
+  }
+  return id;
+}
+
+bool Youtopia::MappingsWeaklyAcyclic() const {
+  DependencyGraph graph(db_.catalog(), tgds_);
+  return graph.IsWeaklyAcyclic();
+}
+
+Result<TupleData> Youtopia::ResolveValues(
+    RelationId rel, const std::vector<std::string>& values,
+    bool allow_new_nulls) {
+  const RelationSchema& schema = db_.catalog().schema(rel);
+  if (values.size() != schema.arity()) {
+    return Status::InvalidArgument(
+        "relation '" + schema.name + "' expects " +
+        std::to_string(schema.arity()) + " values, got " +
+        std::to_string(values.size()));
+  }
+  TupleData data;
+  data.reserve(values.size());
+  for (const std::string& text : values) {
+    if (text == "_") {
+      if (!allow_new_nulls) {
+        return Status::InvalidArgument(
+            "anonymous null '_' not allowed here (it could never match)");
+      }
+      data.push_back(db_.FreshNull());
+    } else if (!text.empty() && text[0] == '?') {
+      auto it = named_nulls_.find(text);
+      if (it != named_nulls_.end()) {
+        data.push_back(it->second);
+      } else {
+        if (!allow_new_nulls) {
+          return Status::InvalidArgument("unknown labeled null '" + text +
+                                         "'");
+        }
+        const Value null_value = db_.FreshNull();
+        named_nulls_.emplace(text, null_value);
+        data.push_back(null_value);
+      }
+    } else {
+      data.push_back(db_.InternConstant(text));
+    }
+  }
+  return data;
+}
+
+UpdateReport Youtopia::RunSerial(WriteOp op) {
+  Update update(next_number_++, std::move(op), &tgds_);
+  update.RunToCompletion(&db_, agent_.get());
+  UpdateReport report;
+  report.number = update.number();
+  report.steps = update.steps_taken();
+  report.frontier_ops = update.frontier_ops_performed();
+  report.violations_repaired = update.violations_repaired();
+  report.completed = !update.hit_step_cap();
+  return report;
+}
+
+Result<UpdateReport> Youtopia::Insert(std::string_view relation,
+                                      const std::vector<std::string>& values) {
+  Result<RelationId> rel = db_.catalog().Find(relation);
+  if (!rel.ok()) return rel.status();
+  Result<TupleData> data = ResolveValues(*rel, values, /*allow_new_nulls=*/true);
+  if (!data.ok()) return data.status();
+  return RunSerial(WriteOp::Insert(*rel, std::move(data).value()));
+}
+
+Result<UpdateReport> Youtopia::Delete(std::string_view relation,
+                                      const std::vector<std::string>& values) {
+  Result<RelationId> rel = db_.catalog().Find(relation);
+  if (!rel.ok()) return rel.status();
+  Result<TupleData> data =
+      ResolveValues(*rel, values, /*allow_new_nulls=*/false);
+  if (!data.ok()) return data.status();
+  std::optional<RowId> row = db_.FindRowWithData(*rel, *data, kReadLatest);
+  if (!row.has_value()) {
+    return Status::NotFound("no such tuple in '" + std::string(relation) +
+                            "'");
+  }
+  return RunSerial(WriteOp::Delete(*rel, *row));
+}
+
+Result<UpdateReport> Youtopia::ReplaceNull(std::string_view null_name,
+                                           std::string_view constant) {
+  auto it = named_nulls_.find(std::string(null_name));
+  if (it == named_nulls_.end()) {
+    return Status::NotFound("unknown labeled null '" + std::string(null_name) +
+                            "'");
+  }
+  return RunSerial(
+      WriteOp::NullReplace(it->second, db_.InternConstant(constant)));
+}
+
+Status Youtopia::QueueInsert(std::string_view relation,
+                             const std::vector<std::string>& values) {
+  Result<RelationId> rel = db_.catalog().Find(relation);
+  if (!rel.ok()) return rel.status();
+  Result<TupleData> data = ResolveValues(*rel, values, /*allow_new_nulls=*/true);
+  if (!data.ok()) return data.status();
+  queued_.push_back(WriteOp::Insert(*rel, std::move(data).value()));
+  return Status::Ok();
+}
+
+Status Youtopia::QueueDelete(std::string_view relation,
+                             const std::vector<std::string>& values) {
+  Result<RelationId> rel = db_.catalog().Find(relation);
+  if (!rel.ok()) return rel.status();
+  Result<TupleData> data =
+      ResolveValues(*rel, values, /*allow_new_nulls=*/false);
+  if (!data.ok()) return data.status();
+  std::optional<RowId> row = db_.FindRowWithData(*rel, *data, kReadLatest);
+  if (!row.has_value()) {
+    return Status::NotFound("no such tuple in '" + std::string(relation) +
+                            "'");
+  }
+  queued_.push_back(WriteOp::Delete(*rel, *row));
+  return Status::Ok();
+}
+
+Result<SchedulerStats> Youtopia::RunQueued(TrackerKind tracker) {
+  SchedulerOptions options;
+  options.tracker = tracker;
+  options.first_number = next_number_;
+  Scheduler scheduler(&db_, &tgds_, agent_.get(), options);
+  for (WriteOp& op : queued_) scheduler.Submit(std::move(op));
+  queued_.clear();
+  scheduler.RunToCompletion();
+  next_number_ = std::max(next_number_, scheduler.stats().updates_submitted +
+                                            options.first_number +
+                                            scheduler.stats().aborts);
+  return scheduler.stats();
+}
+
+Result<Youtopia::QueryAnswer> Youtopia::Query(
+    std::string_view body_text, const std::vector<std::string>& head_vars,
+    QuerySemantics semantics) {
+  TgdParser parser(&db_.catalog(), &db_.symbols());
+  Result<TgdParser::ParsedQuery> parsed = parser.ParseQuery(body_text);
+  if (!parsed.ok()) return parsed.status();
+  std::vector<VarId> head;
+  for (const std::string& name : head_vars) {
+    Result<VarId> v = parsed->VarByName(name);
+    if (!v.ok()) return v.status();
+    head.push_back(*v);
+  }
+  Snapshot snap(&db_, kReadLatest);
+  QueryEngine engine(snap);
+  QueryAnswer answer;
+  answer.head = head_vars;
+  answer.tuples = engine.Evaluate(parsed->body, head, semantics);
+  std::sort(answer.tuples.begin(), answer.tuples.end());
+  for (const TupleData& t : answer.tuples) {
+    answer.rendered.push_back(TupleToString(t, db_.symbols()));
+  }
+  return answer;
+}
+
+Result<size_t> Youtopia::Count(std::string_view relation) const {
+  Result<RelationId> rel = db_.catalog().Find(relation);
+  if (!rel.ok()) return rel.status();
+  return db_.CountVisible(*rel, kReadLatest);
+}
+
+Result<std::string> Youtopia::Dump(std::string_view relation) const {
+  Result<RelationId> rel = db_.catalog().Find(relation);
+  if (!rel.ok()) return rel.status();
+  std::vector<std::string> rows;
+  Snapshot snap(&db_, kReadLatest);
+  snap.ForEachVisible(*rel, [&](RowId, const TupleData& data) {
+    rows.push_back(TupleToString(data, db_.symbols()));
+  });
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const std::string& row : rows) {
+    out += "  " + row + "\n";
+  }
+  return out;
+}
+
+bool Youtopia::AllMappingsSatisfied() const {
+  ViolationDetector detector(&tgds_);
+  Snapshot snap(&db_, kReadLatest);
+  return detector.SatisfiesAll(snap);
+}
+
+}  // namespace youtopia

@@ -1,0 +1,140 @@
+#ifndef YOUTOPIA_CORE_YOUTOPIA_H_
+#define YOUTOPIA_CORE_YOUTOPIA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ccontrol/scheduler.h"
+#include "core/agent.h"
+#include "core/update.h"
+#include "query/query_engine.h"
+#include "relational/database.h"
+#include "tgd/parser.h"
+#include "tgd/tgd.h"
+#include "util/status.h"
+
+namespace youtopia {
+
+// Outcome of one user operation and the chase it set off.
+struct UpdateReport {
+  uint64_t number = 0;
+  size_t steps = 0;
+  size_t frontier_ops = 0;
+  size_t violations_repaired = 0;
+  bool completed = false;  // false iff the step cap was hit
+};
+
+// The top-level public API of the library: a Youtopia repository — logical
+// tables tied together by user-supplied mappings, kept consistent by the
+// cooperative update exchange machinery. See examples/quickstart.cc for the
+// intended usage.
+//
+// Values in this API are strings:
+//   * "Ithaca"  — a constant;
+//   * "?name"   — a labeled null; the name is scoped to the repository, so
+//                 later operations (ReplaceNull, further inserts) can refer
+//                 to the same unknown;
+//   * "_"       — a fresh anonymous labeled null.
+class Youtopia {
+ public:
+  // `seed` drives the default simulated user (RandomAgent) that answers
+  // frontier requests; call SetAgent to supply a different agent (e.g. a
+  // ScriptedAgent standing in for a real user interface).
+  explicit Youtopia(uint64_t seed = 42);
+
+  Youtopia(const Youtopia&) = delete;
+  Youtopia& operator=(const Youtopia&) = delete;
+
+  // --- Schema and mappings ------------------------------------------------
+
+  Status CreateRelation(std::string name, std::vector<std::string> attributes);
+
+  // Registers a mapping given in the parser's text format, e.g.
+  //   "A(l, n) & T(n, co, s) -> exists r: R(co, n, r)".
+  // If existing data violates the new mapping, a repair chase runs
+  // immediately (cooperatively, through the session agent).
+  Result<int> AddMapping(std::string_view tgd_text);
+
+  const std::vector<Tgd>& mappings() const { return tgds_; }
+
+  // True iff the registered mappings are weakly acyclic (i.e. the classical
+  // chase would be guaranteed to terminate; Youtopia does not require this).
+  bool MappingsWeaklyAcyclic() const;
+
+  // --- Updates (each runs its chase to completion, serially) ---------------
+
+  Result<UpdateReport> Insert(std::string_view relation,
+                              const std::vector<std::string>& values);
+  // Deletes the tuple whose content equals `values` (named nulls resolve to
+  // their labeled nulls).
+  Result<UpdateReport> Delete(std::string_view relation,
+                              const std::vector<std::string>& values);
+  // Replaces every occurrence of the named null by a constant.
+  Result<UpdateReport> ReplaceNull(std::string_view null_name,
+                                   std::string_view constant);
+
+  // --- Concurrent batches (the optimistic scheduler) ------------------------
+
+  // Queues operations without running them...
+  Status QueueInsert(std::string_view relation,
+                     const std::vector<std::string>& values);
+  Status QueueDelete(std::string_view relation,
+                     const std::vector<std::string>& values);
+  // ...then interleaves all queued updates at chase-step granularity under
+  // the given cascading-abort algorithm and returns the run's statistics.
+  Result<SchedulerStats> RunQueued(TrackerKind tracker);
+
+  // --- Queries --------------------------------------------------------------
+
+  struct QueryAnswer {
+    std::vector<std::string> head;        // head variable names
+    std::vector<TupleData> tuples;        // raw values
+    std::vector<std::string> rendered;    // printable rows
+  };
+
+  // Evaluates a conjunctive query, e.g.
+  //   Query("T(n, co, s) & R(co, n, r)", {"n", "r"}, kCertain).
+  Result<QueryAnswer> Query(std::string_view body_text,
+                            const std::vector<std::string>& head_vars,
+                            QuerySemantics semantics);
+
+  // --- Introspection --------------------------------------------------------
+
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+
+  // Number of tuples currently visible in `relation`.
+  Result<size_t> Count(std::string_view relation) const;
+
+  // Renders the visible contents of a relation (sorted, for stable output).
+  Result<std::string> Dump(std::string_view relation) const;
+
+  // Does the repository currently satisfy every mapping?
+  bool AllMappingsSatisfied() const;
+
+  void SetAgent(std::unique_ptr<FrontierAgent> agent) {
+    agent_ = std::move(agent);
+  }
+  FrontierAgent* agent() { return agent_.get(); }
+
+  uint64_t next_update_number() const { return next_number_; }
+
+ private:
+  Result<TupleData> ResolveValues(RelationId rel,
+                                  const std::vector<std::string>& values,
+                                  bool allow_new_nulls);
+  UpdateReport RunSerial(WriteOp op);
+
+  Database db_;
+  std::vector<Tgd> tgds_;
+  std::unique_ptr<FrontierAgent> agent_;
+  std::unordered_map<std::string, Value> named_nulls_;
+  std::vector<WriteOp> queued_;
+  uint64_t next_number_ = 1;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CORE_YOUTOPIA_H_

@@ -1,0 +1,83 @@
+#include "query/atom.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+std::vector<VarId> ConjunctiveQuery::Variables() const {
+  std::vector<VarId> out;
+  for (const Atom& atom : atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable() &&
+          std::find(out.begin(), out.end(), t.var()) == out.end()) {
+        out.push_back(t.var());
+      }
+    }
+  }
+  return out;
+}
+
+bool ConjunctiveQuery::UsesVariable(VarId var) const {
+  for (const Atom& atom : atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable() && t.var() == var) return true;
+    }
+  }
+  return false;
+}
+
+bool ConjunctiveQuery::UsesRelation(RelationId rel) const {
+  for (const Atom& atom : atoms) {
+    if (atom.rel == rel) return true;
+  }
+  return false;
+}
+
+std::vector<RelationId> ConjunctiveQuery::Relations() const {
+  std::vector<RelationId> out;
+  for (const Atom& atom : atoms) {
+    if (std::find(out.begin(), out.end(), atom.rel) == out.end()) {
+      out.push_back(atom.rel);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string VarName(VarId v, const std::vector<std::string>& var_names) {
+  if (v < var_names.size() && !var_names[v].empty()) return var_names[v];
+  return "v" + std::to_string(v);
+}
+
+}  // namespace
+
+std::string AtomToString(const Atom& atom, const Catalog& catalog,
+                         const SymbolTable& symbols,
+                         const std::vector<std::string>& var_names) {
+  std::string out = catalog.schema(atom.rel).name + "(";
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Term& t = atom.terms[i];
+    if (t.is_variable()) {
+      out += VarName(t.var(), var_names);
+    } else {
+      out += "'" + std::string(symbols.Text(t.constant())) + "'";
+    }
+  }
+  out += ")";
+  return out;
+}
+
+std::string QueryToString(const ConjunctiveQuery& cq, const Catalog& catalog,
+                          const SymbolTable& symbols,
+                          const std::vector<std::string>& var_names) {
+  std::string out;
+  for (size_t i = 0; i < cq.atoms.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += AtomToString(cq.atoms[i], catalog, symbols, var_names);
+  }
+  return out;
+}
+
+}  // namespace youtopia

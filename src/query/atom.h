@@ -1,0 +1,94 @@
+#ifndef YOUTOPIA_QUERY_ATOM_H_
+#define YOUTOPIA_QUERY_ATOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+#include "util/check.h"
+
+namespace youtopia {
+
+using VarId = uint32_t;
+
+// A term in a query atom: a variable or a constant.
+class Term {
+ public:
+  static Term Var(VarId v) {
+    Term t;
+    t.is_var_ = true;
+    t.var_ = v;
+    return t;
+  }
+  static Term Const(Value v) {
+    CHECK(v.is_constant());
+    Term t;
+    t.is_var_ = false;
+    t.value_ = v;
+    return t;
+  }
+
+  bool is_variable() const { return is_var_; }
+  bool is_constant() const { return !is_var_; }
+  VarId var() const {
+    DCHECK(is_var_);
+    return var_;
+  }
+  const Value& constant() const {
+    DCHECK(!is_var_);
+    return value_;
+  }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return false;
+    return a.is_var_ ? a.var_ == b.var_ : a.value_ == b.value_;
+  }
+
+ private:
+  bool is_var_ = true;
+  VarId var_ = 0;
+  Value value_;
+};
+
+// A relational atom R(t1, ..., tk).
+struct Atom {
+  RelationId rel = 0;
+  std::vector<Term> terms;
+
+  size_t arity() const { return terms.size(); }
+};
+
+// A conjunction of atoms; doubles as one side of a tgd and as a query body.
+struct ConjunctiveQuery {
+  std::vector<Atom> atoms;
+
+  bool empty() const { return atoms.empty(); }
+
+  // All distinct variables, in order of first occurrence.
+  std::vector<VarId> Variables() const;
+
+  // True if `var` occurs in some atom.
+  bool UsesVariable(VarId var) const;
+
+  // True if any atom targets `rel`.
+  bool UsesRelation(RelationId rel) const;
+
+  // The set of distinct relations mentioned.
+  std::vector<RelationId> Relations() const;
+};
+
+// Renders an atom / query with variable names (index = VarId; missing names
+// fall back to v<N>).
+std::string AtomToString(const Atom& atom, const Catalog& catalog,
+                         const SymbolTable& symbols,
+                         const std::vector<std::string>& var_names);
+std::string QueryToString(const ConjunctiveQuery& cq, const Catalog& catalog,
+                          const SymbolTable& symbols,
+                          const std::vector<std::string>& var_names);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_QUERY_ATOM_H_

@@ -1,0 +1,38 @@
+#include "query/binding.h"
+
+namespace youtopia {
+
+bool MatchAtom(const Atom& atom, const TupleData& data, Binding* binding) {
+  if (atom.terms.size() != data.size()) return false;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Term& t = atom.terms[i];
+    if (t.is_constant()) {
+      if (t.constant() != data[i]) return false;
+    } else {
+      if (!binding->Unify(t.var(), data[i])) return false;
+    }
+  }
+  return true;
+}
+
+bool AtomMatches(const Atom& atom, const TupleData& data,
+                 const Binding& binding) {
+  Binding scratch = binding;
+  return MatchAtom(atom, data, &scratch);
+}
+
+TupleData InstantiateAtom(const Atom& atom, const Binding& binding) {
+  TupleData out;
+  out.reserve(atom.terms.size());
+  for (const Term& t : atom.terms) {
+    if (t.is_constant()) {
+      out.push_back(t.constant());
+    } else {
+      CHECK(binding.IsBound(t.var()));
+      out.push_back(binding.Get(t.var()));
+    }
+  }
+  return out;
+}
+
+}  // namespace youtopia

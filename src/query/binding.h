@@ -1,0 +1,84 @@
+#ifndef YOUTOPIA_QUERY_BINDING_H_
+#define YOUTOPIA_QUERY_BINDING_H_
+
+#include <optional>
+#include <vector>
+
+#include "query/atom.h"
+#include "relational/value.h"
+#include "util/check.h"
+
+namespace youtopia {
+
+// A partial assignment of query variables to database values (constants or
+// labeled nulls). Dense over VarIds, which are small and per-tgd/per-query.
+class Binding {
+ public:
+  Binding() = default;
+  explicit Binding(size_t num_vars) : slots_(num_vars) {}
+
+  size_t num_vars() const { return slots_.size(); }
+
+  void EnsureSize(size_t num_vars) {
+    if (slots_.size() < num_vars) slots_.resize(num_vars);
+  }
+
+  bool IsBound(VarId v) const {
+    return v < slots_.size() && slots_[v].has_value();
+  }
+
+  const Value& Get(VarId v) const {
+    DCHECK(IsBound(v));
+    return *slots_[v];
+  }
+
+  void Set(VarId v, const Value& value) {
+    EnsureSize(v + 1);
+    slots_[v] = value;
+  }
+
+  void Unset(VarId v) {
+    if (v < slots_.size()) slots_[v].reset();
+  }
+
+  // Attempts to bind v to value; returns false on inconsistency with an
+  // existing binding.
+  bool Unify(VarId v, const Value& value) {
+    if (IsBound(v)) return Get(v) == value;
+    Set(v, value);
+    return true;
+  }
+
+  friend bool operator==(const Binding& a, const Binding& b) {
+    size_t n = std::max(a.slots_.size(), b.slots_.size());
+    for (size_t i = 0; i < n; ++i) {
+      const bool ba = i < a.slots_.size() && a.slots_[i].has_value();
+      const bool bb = i < b.slots_.size() && b.slots_[i].has_value();
+      if (ba != bb) return false;
+      if (ba && *a.slots_[i] != *b.slots_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::optional<Value>> slots_;
+};
+
+// Attempts to extend `binding` so that `atom` matches `data`. Constant terms
+// must equal the stored value exactly (homomorphism semantics: constants map
+// to themselves; query variables may bind to constants or labeled nulls).
+// Returns false and leaves `binding` in an unspecified-but-restorable state
+// only via the caller keeping a copy; on success `binding` is extended.
+bool MatchAtom(const Atom& atom, const TupleData& data, Binding* binding);
+
+// Non-destructive variant: true if `atom` can match `data` under `binding`
+// without modifying it.
+bool AtomMatches(const Atom& atom, const TupleData& data,
+                 const Binding& binding);
+
+// Instantiates `atom` under `binding`; every variable must be bound.
+TupleData InstantiateAtom(const Atom& atom, const Binding& binding);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_QUERY_BINDING_H_

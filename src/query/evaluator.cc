@@ -1,0 +1,134 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+bool Evaluator::ForEachMatch(const ConjunctiveQuery& cq, Binding binding,
+                             const AtomPin* pin,
+                             const MatchCallback& cb) const {
+  rows_examined_ = 0;
+  if (cq.atoms.empty()) {
+    std::vector<TupleRef> no_rows;
+    return cb(binding, no_rows);
+  }
+  std::vector<bool> done(cq.atoms.size(), false);
+  std::vector<TupleRef> rows(cq.atoms.size());
+  size_t remaining = cq.atoms.size();
+
+  if (pin != nullptr) {
+    CHECK_LT(pin->atom_index, cq.atoms.size());
+    CHECK(pin->data != nullptr);
+    if (!MatchAtom(cq.atoms[pin->atom_index], *pin->data, &binding)) {
+      return true;  // pinned tuple cannot match: zero results
+    }
+    done[pin->atom_index] = true;
+    rows[pin->atom_index] = TupleRef{cq.atoms[pin->atom_index].rel, pin->row};
+    --remaining;
+  }
+  return Recurse(cq, done, remaining, binding, rows, cb);
+}
+
+bool Evaluator::Exists(const ConjunctiveQuery& cq,
+                       const Binding& binding) const {
+  bool found = false;
+  ForEachMatch(cq, binding, nullptr,
+               [&](const Binding&, const std::vector<TupleRef>&) {
+                 found = true;
+                 return false;  // stop at first match
+               });
+  return found;
+}
+
+bool Evaluator::Recurse(const ConjunctiveQuery& cq, std::vector<bool>& done,
+                        size_t remaining, Binding& binding,
+                        std::vector<TupleRef>& rows,
+                        const MatchCallback& cb) const {
+  if (remaining == 0) return cb(binding, rows);
+
+  const size_t idx = PickAtom(cq, done, binding);
+  const Atom& atom = cq.atoms[idx];
+  done[idx] = true;
+
+  // Gather candidate rows: via the index on the most selective bound term,
+  // else a full visible scan.
+  std::vector<RowId> candidates;
+  bool have_index_column = false;
+  for (size_t c = 0; c < atom.terms.size(); ++c) {
+    const Term& t = atom.terms[c];
+    Value bound_value;
+    if (t.is_constant()) {
+      bound_value = t.constant();
+    } else if (binding.IsBound(t.var())) {
+      bound_value = binding.Get(t.var());
+    } else {
+      continue;
+    }
+    std::vector<RowId> col_candidates;
+    snap_.CandidateRows(atom.rel, c, bound_value, &col_candidates);
+    if (!have_index_column || col_candidates.size() < candidates.size()) {
+      candidates = std::move(col_candidates);
+      have_index_column = true;
+    }
+    if (candidates.empty()) break;  // no candidate can match
+  }
+  bool keep_going = true;
+  auto try_row = [&](RowId row, const TupleData& data) -> bool {
+    ++rows_examined_;
+    Binding saved = binding;
+    if (MatchAtom(atom, data, &binding)) {
+      rows[idx] = TupleRef{atom.rel, row};
+      if (!Recurse(cq, done, remaining - 1, binding, rows, cb)) {
+        binding = std::move(saved);
+        return false;
+      }
+    }
+    binding = std::move(saved);
+    return true;
+  };
+
+  if (have_index_column) {
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (RowId row : candidates) {
+      const TupleData* data = snap_.VisibleData(atom.rel, row);
+      if (data == nullptr) continue;  // stale index entry
+      if (!try_row(row, *data)) {
+        keep_going = false;
+        break;
+      }
+    }
+  } else {
+    snap_.ForEachVisible(atom.rel, [&](RowId row, const TupleData& data) {
+      if (keep_going && !try_row(row, data)) keep_going = false;
+    });
+  }
+
+  done[idx] = false;
+  return keep_going;
+}
+
+size_t Evaluator::PickAtom(const ConjunctiveQuery& cq,
+                           const std::vector<bool>& done,
+                           const Binding& binding) const {
+  size_t best = cq.atoms.size();
+  int best_score = -1;
+  for (size_t i = 0; i < cq.atoms.size(); ++i) {
+    if (done[i]) continue;
+    int score = 0;
+    for (const Term& t : cq.atoms[i].terms) {
+      if (t.is_constant() || (t.is_variable() && binding.IsBound(t.var()))) {
+        ++score;
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  CHECK_LT(best, cq.atoms.size());
+  return best;
+}
+
+}  // namespace youtopia

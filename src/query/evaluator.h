@@ -1,0 +1,65 @@
+#ifndef YOUTOPIA_QUERY_EVALUATOR_H_
+#define YOUTOPIA_QUERY_EVALUATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "query/atom.h"
+#include "query/binding.h"
+#include "relational/database.h"
+
+namespace youtopia {
+
+// Forces one atom of a query to match one specific stored row (delta
+// evaluation: "the newly written tuple" in the paper's violation queries).
+struct AtomPin {
+  size_t atom_index = 0;
+  RowId row = 0;
+  const TupleData* data = nullptr;  // content to match (may be a deleted
+                                    // tuple's old content)
+};
+
+// Callback invoked per homomorphism: the full binding and the matched rows
+// (one per atom, in atom order). Return true to continue enumeration.
+using MatchCallback =
+    std::function<bool(const Binding&, const std::vector<TupleRef>&)>;
+
+// Enumerates homomorphisms from a conjunctive query into a database snapshot
+// (naive-table semantics: constants match themselves, variables bind to any
+// value, join variables must bind to literally equal values).
+//
+// Atom ordering is chosen greedily by boundness (most selective first), and
+// candidate rows are fetched through per-column hash indexes when a term is
+// bound, falling back to a visible-rows scan otherwise.
+class Evaluator {
+ public:
+  explicit Evaluator(const Snapshot& snap) : snap_(snap) {}
+
+  // Enumerates matches extending `binding`. If `pin` is non-null, atom
+  // `pin->atom_index` is matched only against the pinned row content.
+  // Returns false iff the callback stopped the enumeration early.
+  bool ForEachMatch(const ConjunctiveQuery& cq, Binding binding,
+                    const AtomPin* pin, const MatchCallback& cb) const;
+
+  // True if at least one match extending `binding` exists.
+  bool Exists(const ConjunctiveQuery& cq, const Binding& binding) const;
+
+  // Statistics: rows touched by the last call (for microbenchmarks).
+  size_t rows_examined() const { return rows_examined_; }
+
+ private:
+  bool Recurse(const ConjunctiveQuery& cq, std::vector<bool>& done,
+               size_t remaining, Binding& binding,
+               std::vector<TupleRef>& rows, const MatchCallback& cb) const;
+
+  // Picks the next atom to process: the one with the most bound terms.
+  size_t PickAtom(const ConjunctiveQuery& cq, const std::vector<bool>& done,
+                  const Binding& binding) const;
+
+  const Snapshot& snap_;
+  mutable size_t rows_examined_ = 0;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_QUERY_EVALUATOR_H_

@@ -1,0 +1,51 @@
+#include "query/query_engine.h"
+
+#include <unordered_set>
+
+namespace youtopia {
+
+std::vector<TupleData> QueryEngine::Evaluate(const ConjunctiveQuery& body,
+                                             const std::vector<VarId>& head,
+                                             QuerySemantics semantics) const {
+  for (VarId v : head) CHECK(body.UsesVariable(v));
+  std::vector<TupleData> out;
+  std::unordered_set<TupleData, TupleDataHash> seen;
+  Evaluator eval(snap_);
+  eval.ForEachMatch(
+      body, Binding(), nullptr,
+      [&](const Binding& binding, const std::vector<TupleRef>&) {
+        TupleData answer;
+        answer.reserve(head.size());
+        bool has_null = false;
+        for (VarId v : head) {
+          const Value& value = binding.Get(v);
+          has_null |= value.is_null();
+          answer.push_back(value);
+        }
+        if (semantics == QuerySemantics::kCertain && has_null) return true;
+        if (seen.insert(answer).second) out.push_back(std::move(answer));
+        return true;
+      });
+  return out;
+}
+
+bool QueryEngine::Ask(const ConjunctiveQuery& body,
+                      QuerySemantics semantics) const {
+  Evaluator eval(snap_);
+  bool yes = false;
+  eval.ForEachMatch(body, Binding(), nullptr,
+                    [&](const Binding& binding, const std::vector<TupleRef>&) {
+                      if (semantics == QuerySemantics::kBestEffort) {
+                        yes = true;
+                        return false;
+                      }
+                      for (VarId v : body.Variables()) {
+                        if (binding.Get(v).is_null()) return true;  // keep looking
+                      }
+                      yes = true;
+                      return false;
+                    });
+  return yes;
+}
+
+}  // namespace youtopia

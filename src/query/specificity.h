@@ -1,0 +1,28 @@
+#ifndef YOUTOPIA_QUERY_SPECIFICITY_H_
+#define YOUTOPIA_QUERY_SPECIFICITY_H_
+
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/tuple.h"
+
+namespace youtopia {
+
+// Definition 2.4 (Specificity Relation). `specific` is more specific than
+// `general` iff the positionwise map f(general[i]) = specific[i] is a
+// well-defined function and is the identity on constants. Intuitively,
+// `specific` can be obtained from `general` by consistently substituting
+// values for labeled nulls. Every tuple is more specific than itself.
+bool IsMoreSpecific(const TupleData& specific, const TupleData& general);
+
+// The paper's correction query "find any t' in R more specific than t":
+// appends every visible row of `rel` whose content is more specific than
+// `data` (excluding rows whose content is literally equal when
+// `exclude_equal` is set, used when the tuple itself is already stored).
+void FindMoreSpecificRows(const Snapshot& snap, RelationId rel,
+                          const TupleData& data, bool exclude_equal,
+                          std::vector<RowId>* out);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_QUERY_SPECIFICITY_H_

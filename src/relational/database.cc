@@ -1,0 +1,139 @@
+#include "relational/database.h"
+
+#include <utility>
+
+namespace youtopia {
+
+Result<RelationId> Database::CreateRelation(
+    std::string name, std::vector<std::string> attributes) {
+  const size_t arity = attributes.size();
+  Result<RelationId> id =
+      catalog_.AddRelation(std::move(name), std::move(attributes));
+  if (!id.ok()) return id;
+  relations_.emplace_back(arity);
+  return id;
+}
+
+std::vector<PhysicalWrite> Database::Apply(const WriteOp& op,
+                                           uint64_t update_number) {
+  std::vector<PhysicalWrite> out;
+  switch (op.kind) {
+    case WriteOp::Kind::kInsert: {
+      CHECK_LT(op.rel, relations_.size());
+      CHECK_EQ(op.data.size(), relations_[op.rel].arity());
+      // Set semantics: no-op if the writer already sees an equal tuple.
+      if (FindRowWithData(op.rel, op.data, update_number).has_value()) {
+        return out;
+      }
+      const RowId row = relations_[op.rel].AppendInsertRow(
+          update_number, next_seq_++, op.data);
+      RegisterNullOccurrences(op.rel, row, op.data);
+      PhysicalWrite w;
+      w.kind = WriteKind::kInsert;
+      w.rel = op.rel;
+      w.row = row;
+      w.data = op.data;
+      out.push_back(std::move(w));
+      return out;
+    }
+    case WriteOp::Kind::kDelete: {
+      CHECK_LT(op.rel, relations_.size());
+      const TupleData* old = relations_[op.rel].VisibleData(op.row,
+                                                            update_number);
+      if (old == nullptr) return out;  // already gone for this writer
+      TupleData old_copy = *old;
+      relations_[op.rel].AppendVersion(op.row, update_number, next_seq_++,
+                                       WriteKind::kDelete, old_copy);
+      PhysicalWrite w;
+      w.kind = WriteKind::kDelete;
+      w.rel = op.rel;
+      w.row = op.row;
+      w.old_data = std::move(old_copy);
+      out.push_back(std::move(w));
+      return out;
+    }
+    case WriteOp::Kind::kNullReplace: {
+      CHECK(op.from.is_null());
+      // Snapshot the occurrence list first: modifying rows appends new
+      // occurrences (when `to` is itself a null) and must not be re-visited.
+      const std::vector<TupleRef> occurrences =
+          nulls_.Occurrences(op.from);  // copy
+      for (const TupleRef& ref : occurrences) {
+        const TupleData* cur =
+            relations_[ref.rel].VisibleData(ref.row, update_number);
+        if (cur == nullptr || !ContainsNull(*cur, op.from)) continue;
+        TupleData next = *cur;
+        for (Value& v : next) {
+          if (v == op.from) v = op.to;
+        }
+        if (next == *cur) continue;  // degenerate replacement (from == to)
+        PhysicalWrite w;
+        w.kind = WriteKind::kModify;
+        w.rel = ref.rel;
+        w.row = ref.row;
+        w.old_data = *cur;
+        w.data = next;
+        relations_[ref.rel].AppendVersion(ref.row, update_number, next_seq_++,
+                                          WriteKind::kModify, next);
+        RegisterNullOccurrences(ref.rel, ref.row, w.data);
+        out.push_back(std::move(w));
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+size_t Database::RemoveVersionsOf(uint64_t update_number) {
+  size_t removed = 0;
+  for (VersionedRelation& rel : relations_) {
+    removed += rel.RemoveVersionsOf(update_number);
+  }
+  return removed;
+}
+
+size_t Database::RemoveVersionsAbove(uint64_t threshold) {
+  size_t removed = 0;
+  for (VersionedRelation& rel : relations_) {
+    removed += rel.RemoveVersionsAbove(threshold);
+  }
+  return removed;
+}
+
+std::optional<RowId> Database::FindRowWithData(RelationId rel,
+                                               const TupleData& data,
+                                               uint64_t reader) const {
+  CHECK_LT(rel, relations_.size());
+  CHECK(!data.empty());
+  std::vector<RowId> candidates;
+  relations_[rel].CandidateRows(0, data[0], &candidates);
+  for (RowId row : candidates) {
+    const TupleData* visible = relations_[rel].VisibleData(row, reader);
+    if (visible != nullptr && *visible == data) return row;
+  }
+  return std::nullopt;
+}
+
+size_t Database::CountVisible(uint64_t reader) const {
+  size_t n = 0;
+  for (RelationId r = 0; r < relations_.size(); ++r) {
+    n += CountVisible(r, reader);
+  }
+  return n;
+}
+
+size_t Database::CountVisible(RelationId rel, uint64_t reader) const {
+  size_t n = 0;
+  relations_[rel].ForEachVisible(reader,
+                                 [&](RowId, const TupleData&) { ++n; });
+  return n;
+}
+
+void Database::RegisterNullOccurrences(RelationId rel, RowId row,
+                                       const TupleData& data) {
+  for (const Value& v : data) {
+    if (v.is_null()) nulls_.AddOccurrence(v, TupleRef{rel, row});
+  }
+}
+
+}  // namespace youtopia

@@ -1,0 +1,154 @@
+#ifndef YOUTOPIA_RELATIONAL_DATABASE_H_
+#define YOUTOPIA_RELATIONAL_DATABASE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "relational/null_registry.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+#include "relational/write.h"
+#include "util/status.h"
+
+namespace youtopia {
+
+// The Youtopia repository at the storage level: a catalog of relations with
+// multiversion rows, an interning table for constants, and the labeled-null
+// registry. All mutations go through Apply(), which expands a logical
+// WriteOp into physical tuple writes tagged with the issuing update's
+// priority number.
+//
+// Update number 0 is reserved for "pre-existing" data: tuples visible to
+// every reader (used when seeding a database directly).
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- Schema -------------------------------------------------------------
+
+  Result<RelationId> CreateRelation(std::string name,
+                                    std::vector<std::string> attributes);
+
+  const Catalog& catalog() const { return catalog_; }
+  size_t num_relations() const { return catalog_.size(); }
+
+  const VersionedRelation& relation(RelationId id) const {
+    CHECK_LT(id, relations_.size());
+    return relations_[id];
+  }
+
+  // --- Values -------------------------------------------------------------
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+  NullRegistry& nulls() { return nulls_; }
+  const NullRegistry& nulls() const { return nulls_; }
+
+  Value InternConstant(std::string_view text) { return symbols_.Intern(text); }
+  Value FreshNull() { return nulls_.Fresh(); }
+
+  // --- Writes -------------------------------------------------------------
+
+  // Applies `op` on behalf of update `update_number` and returns the
+  // physical writes performed. Set semantics: inserting a tuple that is
+  // already visible to the writer performs no physical write. Deleting an
+  // invisible row performs no physical write. A null replacement modifies
+  // every row whose writer-visible content contains the null.
+  std::vector<PhysicalWrite> Apply(const WriteOp& op, uint64_t update_number);
+
+  // Removes every version created by `update_number` across all relations
+  // (abort undo). Returns the number of versions removed.
+  size_t RemoveVersionsOf(uint64_t update_number);
+
+  // Targeted abort undo for one row (callers track written rows, e.g. via
+  // the concurrency-control write log, to avoid a full database scan).
+  size_t RemoveRowVersions(RelationId rel, RowId row, uint64_t update_number) {
+    CHECK_LT(rel, relations_.size());
+    return relations_[rel].RemoveVersionsOfRow(row, update_number);
+  }
+
+  // Removes every version created by updates numbered above `threshold`
+  // across all relations (rewinds the repository to a pre-run state; used
+  // between experiment runs over the same initial database).
+  size_t RemoveVersionsAbove(uint64_t threshold);
+
+  // Finds a row whose content visible to `reader` equals `data` exactly.
+  std::optional<RowId> FindRowWithData(RelationId rel, const TupleData& data,
+                                       uint64_t reader) const;
+
+  // Total visible tuple count for `reader` (scans; for tests/examples).
+  size_t CountVisible(uint64_t reader) const;
+  size_t CountVisible(RelationId rel, uint64_t reader) const;
+
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  void RegisterNullOccurrences(RelationId rel, RowId row,
+                               const TupleData& data);
+
+  Catalog catalog_;
+  std::vector<VersionedRelation> relations_;
+  SymbolTable symbols_;
+  NullRegistry nulls_;
+  uint64_t next_seq_ = 1;
+};
+
+// A read view of the database for one reader (update priority number).
+// Passed throughout the query and chase layers; copying is cheap.
+class Snapshot {
+ public:
+  Snapshot(const Database* db, uint64_t reader) : db_(db), reader_(reader) {}
+
+  const Database& db() const { return *db_; }
+  uint64_t reader() const { return reader_; }
+
+  const TupleData* VisibleData(RelationId rel, RowId row) const {
+    return db_->relation(rel).VisibleData(row, reader_);
+  }
+
+  bool IsVisible(const TupleRef& ref) const {
+    return VisibleData(ref.rel, ref.row) != nullptr;
+  }
+
+  template <typename Fn>
+  void ForEachVisible(RelationId rel, Fn&& fn) const {
+    db_->relation(rel).ForEachVisible(reader_, std::forward<Fn>(fn));
+  }
+
+  void CandidateRows(RelationId rel, size_t column, const Value& value,
+                     std::vector<RowId>* out) const {
+    db_->relation(rel).CandidateRows(column, value, out);
+  }
+
+  bool Contains(RelationId rel, const TupleData& data) const {
+    return db_->FindRowWithData(rel, data, reader_).has_value();
+  }
+
+  // Invokes fn(ref, data) for every tuple whose visible content contains the
+  // labeled null `null_value` (occurrence-index candidates are re-verified).
+  template <typename Fn>
+  void ForEachOccurrence(const Value& null_value, Fn&& fn) const {
+    for (const TupleRef& ref : db_->nulls().Occurrences(null_value)) {
+      const TupleData* data = VisibleData(ref.rel, ref.row);
+      if (data != nullptr && ContainsNull(*data, null_value)) fn(ref, *data);
+    }
+  }
+
+ private:
+  const Database* db_;
+  uint64_t reader_;
+};
+
+// Reader number that sees every committed write (used for "latest" queries
+// and by tests).
+inline constexpr uint64_t kReadLatest = UINT64_MAX;
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_RELATIONAL_DATABASE_H_

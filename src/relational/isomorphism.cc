@@ -1,0 +1,159 @@
+#include "relational/isomorphism.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace youtopia {
+namespace {
+
+// A renaming-invariant signature of a tuple: relation-independent encoding
+// of its constant skeleton and the equality pattern of its nulls.
+// (constant -> its id; null -> index of first occurrence within the tuple.)
+uint64_t Signature(RelationId rel, const TupleData& data) {
+  size_t seed = rel;
+  std::unordered_map<uint64_t, size_t> first_seen;
+  for (const Value& v : data) {
+    if (v.is_constant()) {
+      HashCombine(seed, 0x517cc1b7u);
+      HashCombine(seed, static_cast<size_t>(v.id()));
+    } else {
+      auto [it, inserted] = first_seen.emplace(v.id(), first_seen.size());
+      HashCombine(seed, 0x9e3779b9u);
+      HashCombine(seed, it->second);
+    }
+  }
+  return seed;
+}
+
+// The partial bijection over nulls, in both directions.
+struct NullBijection {
+  std::unordered_map<uint64_t, uint64_t> fwd;
+  std::unordered_map<uint64_t, uint64_t> rev;
+
+  // Tries to extend with a |-> b; returns false on clash.
+  bool Extend(uint64_t a, uint64_t b, std::vector<uint64_t>* trail) {
+    auto f = fwd.find(a);
+    if (f != fwd.end()) return f->second == b;
+    auto r = rev.find(b);
+    if (r != rev.end()) return false;  // b already the image of another null
+    fwd.emplace(a, b);
+    rev.emplace(b, a);
+    trail->push_back(a);
+    return true;
+  }
+
+  void Rollback(std::vector<uint64_t>* trail, size_t mark) {
+    while (trail->size() > mark) {
+      const uint64_t a = trail->back();
+      trail->pop_back();
+      auto f = fwd.find(a);
+      rev.erase(f->second);
+      fwd.erase(f);
+    }
+  }
+};
+
+// Tries to map tuple `a` onto tuple `b` under the current bijection.
+bool MatchTuple(const TupleData& a, const TupleData& b, NullBijection* bij,
+                std::vector<uint64_t>* trail) {
+  if (a.size() != b.size()) return false;
+  const size_t mark = trail->size();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_constant() != b[i].is_constant()) {
+      bij->Rollback(trail, mark);
+      return false;
+    }
+    if (a[i].is_constant()) {
+      if (a[i] != b[i]) {
+        bij->Rollback(trail, mark);
+        return false;
+      }
+    } else if (!bij->Extend(a[i].id(), b[i].id(), trail)) {
+      bij->Rollback(trail, mark);
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Item {
+  RelationId rel;
+  const TupleData* a;                      // tuple of instance A
+  std::vector<const TupleData*> b_cands;  // same-signature tuples of B
+};
+
+bool Search(std::vector<Item>& items, size_t idx,
+            std::vector<const TupleData*>& used, NullBijection* bij,
+            std::vector<uint64_t>* trail) {
+  if (idx == items.size()) return true;
+  Item& item = items[idx];
+  for (const TupleData* cand : item.b_cands) {
+    if (std::find(used.begin(), used.end(), cand) != used.end()) continue;
+    const size_t mark = trail->size();
+    if (MatchTuple(*item.a, *cand, bij, trail)) {
+      used.push_back(cand);
+      if (Search(items, idx + 1, used, bij, trail)) return true;
+      used.pop_back();
+      bij->Rollback(trail, mark);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+InstanceContents CollectContents(const Database& db, uint64_t reader) {
+  InstanceContents out(db.num_relations());
+  for (RelationId r = 0; r < db.num_relations(); ++r) {
+    db.relation(r).ForEachVisible(reader, [&](RowId, const TupleData& data) {
+      out[r].push_back(data);
+    });
+    std::sort(out[r].begin(), out[r].end());
+  }
+  return out;
+}
+
+bool Isomorphic(const InstanceContents& a, const InstanceContents& b) {
+  if (a.size() != b.size()) return false;
+  // Quick pruning: per-relation cardinalities and signature multisets must
+  // agree; also bucket B's tuples by signature for the search.
+  std::vector<Item> items;
+  std::unordered_map<uint64_t, std::vector<const TupleData*>> b_by_sig;
+  for (RelationId r = 0; r < a.size(); ++r) {
+    if (a[r].size() != b[r].size()) return false;
+    for (const TupleData& t : b[r]) {
+      b_by_sig[Signature(r, t)].push_back(&t);
+    }
+  }
+  std::unordered_map<uint64_t, size_t> a_sig_counts;
+  for (RelationId r = 0; r < a.size(); ++r) {
+    for (const TupleData& t : a[r]) {
+      const uint64_t sig = Signature(r, t);
+      ++a_sig_counts[sig];
+      auto it = b_by_sig.find(sig);
+      if (it == b_by_sig.end()) return false;
+      items.push_back(Item{r, &t, it->second});
+    }
+  }
+  for (const auto& [sig, count] : a_sig_counts) {
+    if (b_by_sig[sig].size() != count) return false;
+  }
+  // Match the most constrained tuples first (fewest candidates).
+  std::sort(items.begin(), items.end(), [](const Item& x, const Item& y) {
+    return x.b_cands.size() < y.b_cands.size();
+  });
+  NullBijection bij;
+  std::vector<const TupleData*> used;
+  std::vector<uint64_t> trail;
+  return Search(items, 0, used, &bij, &trail);
+}
+
+bool DatabasesIsomorphic(const Database& a, uint64_t reader_a,
+                         const Database& b, uint64_t reader_b) {
+  return Isomorphic(CollectContents(a, reader_a),
+                    CollectContents(b, reader_b));
+}
+
+}  // namespace youtopia

@@ -1,0 +1,44 @@
+#ifndef YOUTOPIA_RELATIONAL_ISOMORPHISM_H_
+#define YOUTOPIA_RELATIONAL_ISOMORPHISM_H_
+
+#include <map>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/tuple.h"
+
+namespace youtopia {
+
+// Instance equivalence modulo labeled-null renaming.
+//
+// Two database instances over the same schema are *isomorphic* iff there is
+// a bijection over their labeled nulls (identity on constants) mapping the
+// visible tuples of one onto the visible tuples of the other, relation by
+// relation. This is the right notion of "the same final state" for chase
+// results: fresh nulls allocated in different orders (e.g. by a concurrent
+// versus a serial execution of the same updates) yield literally different
+// but isomorphic instances.
+//
+// The search is backtracking over per-relation tuple matchings, with two
+// prunings that make it fast on chase-produced instances: tuples are
+// bucketed by an invariant signature (constant skeleton + null-equality
+// pattern), and the null bijection is threaded through the search so
+// matches fail early.
+
+// A snapshot's visible tuples, per relation (input to the checker).
+using InstanceContents = std::vector<std::vector<TupleData>>;
+
+// Collects the visible tuples of every relation at `reader`.
+InstanceContents CollectContents(const Database& db, uint64_t reader);
+
+// True iff `a` and `b` are isomorphic modulo null renaming. Instances must
+// have the same number of relations (same schema).
+bool Isomorphic(const InstanceContents& a, const InstanceContents& b);
+
+// Convenience: compares two databases' visible states.
+bool DatabasesIsomorphic(const Database& a, uint64_t reader_a,
+                         const Database& b, uint64_t reader_b);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_RELATIONAL_ISOMORPHISM_H_

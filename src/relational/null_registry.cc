@@ -1,0 +1,25 @@
+#include "relational/null_registry.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+void NullRegistry::AddOccurrence(const Value& null_value,
+                                 const TupleRef& ref) {
+  CHECK(null_value.is_null());
+  std::vector<TupleRef>& refs = occurrences_[null_value.id()];
+  // Tuples often contain the same null several times; keep entries unique.
+  if (std::find(refs.begin(), refs.end(), ref) == refs.end()) {
+    refs.push_back(ref);
+  }
+}
+
+const std::vector<TupleRef>& NullRegistry::Occurrences(
+    const Value& null_value) const {
+  CHECK(null_value.is_null());
+  auto it = occurrences_.find(null_value.id());
+  if (it == occurrences_.end()) return empty_;
+  return it->second;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,45 @@
+#ifndef YOUTOPIA_RELATIONAL_NULL_REGISTRY_H_
+#define YOUTOPIA_RELATIONAL_NULL_REGISTRY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace youtopia {
+
+// Allocates fresh labeled nulls and maintains an occurrence index mapping a
+// null to the stored tuples that have (at some version) contained it.
+//
+// The occurrence index is add-only and *stale-tolerant*: entries are never
+// eagerly removed when a tuple version is superseded or an update aborts.
+// Consumers must re-verify against the version visible to their reader; see
+// Snapshot::ForEachOccurrence.
+class NullRegistry {
+ public:
+  NullRegistry() = default;
+  NullRegistry(const NullRegistry&) = delete;
+  NullRegistry& operator=(const NullRegistry&) = delete;
+
+  // Allocates a fresh labeled null, distinct from all previous ones.
+  Value Fresh() { return Value::Null(next_id_++); }
+
+  // Records that the tuple `ref` (at some version) contains `null_value`.
+  void AddOccurrence(const Value& null_value, const TupleRef& ref);
+
+  // All tuples that have ever contained `null_value` (possibly stale).
+  const std::vector<TupleRef>& Occurrences(const Value& null_value) const;
+
+  uint64_t num_allocated() const { return next_id_; }
+
+ private:
+  uint64_t next_id_ = 0;
+  std::unordered_map<uint64_t, std::vector<TupleRef>> occurrences_;
+  std::vector<TupleRef> empty_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_RELATIONAL_NULL_REGISTRY_H_

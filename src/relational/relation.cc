@@ -1,0 +1,121 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace youtopia {
+
+VersionedRelation::VersionedRelation(size_t arity) : arity_(arity) {
+  CHECK_GT(arity, 0u);
+  indexes_.resize(arity);
+}
+
+RowId VersionedRelation::AppendInsertRow(uint64_t update_number, uint64_t seq,
+                                         TupleData data) {
+  CHECK_EQ(data.size(), arity_);
+  const RowId row = static_cast<RowId>(rows_.size());
+  rows_.emplace_back();
+  IndexData(row, data);
+  rows_.back().versions.push_back(
+      TupleVersion{update_number, seq, WriteKind::kInsert, std::move(data)});
+  ++num_versions_;
+  return row;
+}
+
+void VersionedRelation::AppendVersion(RowId row, uint64_t update_number,
+                                      uint64_t seq, WriteKind kind,
+                                      TupleData data) {
+  CHECK_LT(row, rows_.size());
+  CHECK(kind != WriteKind::kInsert);
+  CHECK_EQ(data.size(), arity_);
+  if (kind == WriteKind::kModify) IndexData(row, data);
+  rows_[row].versions.push_back(
+      TupleVersion{update_number, seq, kind, std::move(data)});
+  ++num_versions_;
+}
+
+const TupleVersion* VersionedRelation::VisibleVersion(RowId row,
+                                                      uint64_t reader) const {
+  CHECK_LT(row, rows_.size());
+  const TupleVersion* best = nullptr;
+  for (const TupleVersion& v : rows_[row].versions) {
+    if (v.update_number > reader) continue;
+    if (best == nullptr || v.update_number > best->update_number ||
+        (v.update_number == best->update_number && v.seq > best->seq)) {
+      best = &v;
+    }
+  }
+  return best;
+}
+
+const TupleData* VersionedRelation::VisibleData(RowId row,
+                                                uint64_t reader) const {
+  const TupleVersion* v = VisibleVersion(row, reader);
+  if (v == nullptr || v->kind == WriteKind::kDelete) return nullptr;
+  return &v->data;
+}
+
+void VersionedRelation::CandidateRows(size_t column, const Value& value,
+                                      std::vector<RowId>* out) const {
+  CHECK_LT(column, indexes_.size());
+  auto it = indexes_[column].find(value);
+  if (it == indexes_[column].end()) return;
+  out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+size_t VersionedRelation::IndexEntryCount() const {
+  size_t n = 0;
+  for (const auto& idx : indexes_) {
+    for (const auto& [value, rows] : idx) n += rows.size();
+  }
+  return n;
+}
+
+size_t VersionedRelation::RemoveVersionsOf(uint64_t update_number) {
+  size_t removed = 0;
+  for (Row& row : rows_) {
+    auto new_end = std::remove_if(
+        row.versions.begin(), row.versions.end(),
+        [&](const TupleVersion& v) { return v.update_number == update_number; });
+    removed += static_cast<size_t>(row.versions.end() - new_end);
+    row.versions.erase(new_end, row.versions.end());
+  }
+  num_versions_ -= removed;
+  return removed;
+}
+
+size_t VersionedRelation::RemoveVersionsOfRow(RowId row,
+                                              uint64_t update_number) {
+  CHECK_LT(row, rows_.size());
+  auto& versions = rows_[row].versions;
+  auto new_end = std::remove_if(
+      versions.begin(), versions.end(),
+      [&](const TupleVersion& v) { return v.update_number == update_number; });
+  const size_t removed = static_cast<size_t>(versions.end() - new_end);
+  versions.erase(new_end, versions.end());
+  num_versions_ -= removed;
+  return removed;
+}
+
+size_t VersionedRelation::RemoveVersionsAbove(uint64_t threshold) {
+  size_t removed = 0;
+  for (Row& row : rows_) {
+    auto new_end = std::remove_if(
+        row.versions.begin(), row.versions.end(),
+        [&](const TupleVersion& v) { return v.update_number > threshold; });
+    removed += static_cast<size_t>(row.versions.end() - new_end);
+    row.versions.erase(new_end, row.versions.end());
+  }
+  num_versions_ -= removed;
+  return removed;
+}
+
+void VersionedRelation::IndexData(RowId row, const TupleData& data) {
+  for (size_t c = 0; c < arity_; ++c) {
+    std::vector<RowId>& bucket = indexes_[c][data[c]];
+    // Avoid consecutive duplicates (common when a tuple is re-modified).
+    if (bucket.empty() || bucket.back() != row) bucket.push_back(row);
+  }
+}
+
+}  // namespace youtopia

@@ -1,0 +1,112 @@
+#ifndef YOUTOPIA_RELATIONAL_RELATION_H_
+#define YOUTOPIA_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+#include "relational/write.h"
+
+namespace youtopia {
+
+// One version of a stored tuple. Versions are created by inserts, in-place
+// modifications (null replacement / unification) and deletes (tombstones).
+struct TupleVersion {
+  uint64_t update_number = 0;  // priority number of the creating update
+  uint64_t seq = 0;            // global monotone sequence (database-assigned)
+  WriteKind kind = WriteKind::kInsert;
+  TupleData data;  // tuple content; for kDelete, the content being deleted
+};
+
+// Multiversion storage for one relation (paper Section 4.1).
+//
+// Visibility rule: for a reader with update number j, the visible version of
+// a row is the one maximizing (update_number, seq) lexicographically among
+// versions with update_number <= j. If that version is a tombstone the row is
+// invisible. This implements "the visible version of a tuple t is the one
+// with the largest number among those created by any update with number less
+// than or equal to j", with seq breaking ties for multiple writes by one
+// update.
+//
+// Rows are never physically removed; aborting an update unlinks its versions
+// (RemoveVersionsOf). Per-column hash indexes are append-only and
+// stale-tolerant: a candidate row from the index must be re-verified against
+// the version visible to the reader.
+class VersionedRelation {
+ public:
+  explicit VersionedRelation(size_t arity);
+  VersionedRelation(const VersionedRelation&) = delete;
+  VersionedRelation& operator=(const VersionedRelation&) = delete;
+  VersionedRelation(VersionedRelation&&) = default;
+
+  size_t arity() const { return arity_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  // Creates a new row whose first version is an insert.
+  RowId AppendInsertRow(uint64_t update_number, uint64_t seq, TupleData data);
+
+  // Appends a modify/delete version to an existing row. For kDelete, `data`
+  // should carry the content being deleted (used for undo/diagnostics).
+  void AppendVersion(RowId row, uint64_t update_number, uint64_t seq,
+                     WriteKind kind, TupleData data);
+
+  // Returns the version visible to `reader`, or nullptr if none exists.
+  // A returned tombstone means the row is deleted for this reader.
+  const TupleVersion* VisibleVersion(RowId row, uint64_t reader) const;
+
+  // Returns the visible tuple content, or nullptr if the row is invisible
+  // (no version <= reader, or deleted).
+  const TupleData* VisibleData(RowId row, uint64_t reader) const;
+
+  // Invokes fn(row, data) for every row visible to `reader`.
+  template <typename Fn>
+  void ForEachVisible(uint64_t reader, Fn&& fn) const {
+    for (RowId r = 0; r < rows_.size(); ++r) {
+      const TupleData* data = VisibleData(r, reader);
+      if (data != nullptr) fn(r, *data);
+    }
+  }
+
+  // Appends to `out` the rows that may contain `value` in `column`
+  // (index-based; may contain stale rows and duplicates).
+  void CandidateRows(size_t column, const Value& value,
+                     std::vector<RowId>* out) const;
+
+  // Index size diagnostics (for the storage microbenchmark).
+  size_t IndexEntryCount() const;
+
+  // Removes every version created by `update_number` (abort undo). Returns
+  // the number of versions removed.
+  size_t RemoveVersionsOf(uint64_t update_number);
+
+  // Targeted abort undo: removes `update_number`'s versions of one row.
+  size_t RemoveVersionsOfRow(RowId row, uint64_t update_number);
+
+  // Removes every version created by updates numbered above `threshold`
+  // (experiment reset: rewinds the relation to its pre-run state; rows
+  // created by removed versions remain as invisible orphans).
+  size_t RemoveVersionsAbove(uint64_t threshold);
+
+  // Total number of versions across all rows.
+  size_t num_versions() const { return num_versions_; }
+
+ private:
+  struct Row {
+    std::vector<TupleVersion> versions;
+  };
+
+  void IndexData(RowId row, const TupleData& data);
+
+  size_t arity_;
+  size_t num_versions_ = 0;
+  std::vector<Row> rows_;
+  // One hash index per column: value -> candidate rows.
+  std::vector<std::unordered_map<Value, std::vector<RowId>, ValueHash>>
+      indexes_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_RELATIONAL_RELATION_H_

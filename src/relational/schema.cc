@@ -1,0 +1,33 @@
+#include "relational/schema.h"
+
+#include <utility>
+
+namespace youtopia {
+
+Result<RelationId> Catalog::AddRelation(std::string name,
+                                        std::vector<std::string> attributes) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("relation '" + name +
+                                   "' must have at least one attribute");
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  const RelationId id = static_cast<RelationId>(schemas_.size());
+  by_name_.emplace(name, id);
+  schemas_.push_back(RelationSchema{std::move(name), std::move(attributes)});
+  return id;
+}
+
+Result<RelationId> Catalog::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown relation '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+}  // namespace youtopia

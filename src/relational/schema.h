@@ -1,0 +1,51 @@
+#ifndef YOUTOPIA_RELATIONAL_SCHEMA_H_
+#define YOUTOPIA_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "util/status.h"
+
+namespace youtopia {
+
+// Schema of one logical table: a name plus named attributes.
+struct RelationSchema {
+  std::string name;
+  std::vector<std::string> attributes;
+
+  size_t arity() const { return attributes.size(); }
+};
+
+// The catalog maps relation names to dense RelationIds. Relations are never
+// dropped (the paper's repository only grows schemas).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Registers a relation. Fails if the name exists or arity is zero.
+  Result<RelationId> AddRelation(std::string name,
+                                 std::vector<std::string> attributes);
+
+  // Looks a relation up by name.
+  Result<RelationId> Find(std::string_view name) const;
+
+  const RelationSchema& schema(RelationId id) const {
+    CHECK_LT(id, schemas_.size());
+    return schemas_[id];
+  }
+
+  size_t size() const { return schemas_.size(); }
+
+ private:
+  std::vector<RelationSchema> schemas_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_RELATIONAL_SCHEMA_H_

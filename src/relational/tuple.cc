@@ -1,0 +1,33 @@
+#include "relational/tuple.h"
+
+namespace youtopia {
+
+bool ContainsNull(const TupleData& data, const Value& null_value) {
+  for (const Value& v : data) {
+    if (v == null_value) return true;
+  }
+  return false;
+}
+
+bool ContainsAnyNull(const TupleData& data) {
+  for (const Value& v : data) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+std::string TupleToString(const TupleData& data, const SymbolTable& symbols) {
+  std::string out = "(";
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (data[i].is_null()) {
+      out += "x" + std::to_string(data[i].id());
+    } else {
+      out += std::string(symbols.Text(data[i]));
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,61 @@
+#ifndef YOUTOPIA_RELATIONAL_TUPLE_H_
+#define YOUTOPIA_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/hash.h"
+
+namespace youtopia {
+
+using RelationId = uint32_t;
+using RowId = uint32_t;
+
+// The payload of a tuple: one Value per attribute.
+using TupleData = std::vector<Value>;
+
+struct TupleDataHash {
+  size_t operator()(const TupleData& data) const {
+    size_t seed = data.size();
+    ValueHash vh;
+    for (const Value& v : data) HashCombine(seed, vh(v));
+    return seed;
+  }
+};
+
+// A (relation, row) pair identifying a stored tuple.
+struct TupleRef {
+  RelationId rel = 0;
+  RowId row = 0;
+
+  friend bool operator==(const TupleRef& a, const TupleRef& b) {
+    return a.rel == b.rel && a.row == b.row;
+  }
+  friend bool operator<(const TupleRef& a, const TupleRef& b) {
+    if (a.rel != b.rel) return a.rel < b.rel;
+    return a.row < b.row;
+  }
+};
+
+struct TupleRefHash {
+  size_t operator()(const TupleRef& t) const {
+    size_t seed = t.rel;
+    HashCombine(seed, t.row);
+    return seed;
+  }
+};
+
+// Returns true if `data` contains the labeled null `null_value`.
+bool ContainsNull(const TupleData& data, const Value& null_value);
+
+// Returns true if `data` contains any labeled null.
+bool ContainsAnyNull(const TupleData& data);
+
+// Renders a tuple as e.g. (Ithaca, x3) using `symbols` for constants.
+std::string TupleToString(const TupleData& data, const SymbolTable& symbols);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_RELATIONAL_TUPLE_H_

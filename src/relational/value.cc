@@ -1,0 +1,21 @@
+#include "relational/value.h"
+
+namespace youtopia {
+
+Value SymbolTable::Intern(std::string_view text) {
+  auto it = ids_.find(text);
+  if (it != ids_.end()) return Value::Constant(it->second);
+  const uint64_t id = strings_.size();
+  strings_.emplace_back(text);
+  // The key must view the stored string, not the caller's buffer.
+  ids_.emplace(std::string_view(strings_.back()), id);
+  return Value::Constant(id);
+}
+
+std::string_view SymbolTable::Text(const Value& v) const {
+  CHECK(v.is_constant());
+  CHECK_LT(v.id(), strings_.size());
+  return strings_[v.id()];
+}
+
+}  // namespace youtopia

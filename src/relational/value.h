@@ -1,0 +1,89 @@
+#ifndef YOUTOPIA_RELATIONAL_VALUE_H_
+#define YOUTOPIA_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace youtopia {
+
+// A database value is either a constant or a labeled null (the paper's
+// "variables" x1, x2, ...). Constants are interned symbols; a Value is a
+// small, trivially copyable (kind, id) pair.
+enum class ValueKind : uint8_t { kConstant = 0, kNull = 1 };
+
+class Value {
+ public:
+  // Default-constructed value is the invalid constant; only useful as a
+  // placeholder before assignment.
+  constexpr Value() : id_(0), kind_(ValueKind::kConstant) {}
+
+  static constexpr Value Constant(uint64_t symbol_id) {
+    return Value(ValueKind::kConstant, symbol_id);
+  }
+  static constexpr Value Null(uint64_t null_id) {
+    return Value(ValueKind::kNull, null_id);
+  }
+
+  ValueKind kind() const { return kind_; }
+  bool is_constant() const { return kind_ == ValueKind::kConstant; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+  uint64_t id() const { return id_; }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.kind_ == b.kind_ && a.id_ == b.id_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.id_ < b.id_;
+  }
+
+ private:
+  constexpr Value(ValueKind kind, uint64_t id) : id_(id), kind_(kind) {}
+
+  uint64_t id_;
+  ValueKind kind_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    size_t seed = static_cast<size_t>(v.kind());
+    HashCombine(seed, static_cast<size_t>(v.id()));
+    return seed;
+  }
+};
+
+// Interns constant strings into dense symbol ids. Owned by the Database;
+// lookups are by string_view, stored strings are stable for the table's
+// lifetime.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the constant Value for `text`, interning it if new.
+  Value Intern(std::string_view text);
+
+  // Returns the text of an interned constant. The Value must be a constant
+  // produced by this table.
+  std::string_view Text(const Value& v) const;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  // Deque keeps string objects at stable addresses, so the map's
+  // string_view keys stay valid as the table grows.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, uint64_t> ids_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_RELATIONAL_VALUE_H_

@@ -1,0 +1,67 @@
+#ifndef YOUTOPIA_RELATIONAL_WRITE_H_
+#define YOUTOPIA_RELATIONAL_WRITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace youtopia {
+
+// Kind of a stored tuple version / physical modification.
+enum class WriteKind : uint8_t {
+  kInsert = 0,
+  kModify = 1,  // in-place change, produced by null replacement/unification
+  kDelete = 2,  // tombstone
+};
+
+// A logical write operation, as issued by a user or by a chase step
+// (Algorithm 2's write set). Null replacement is a single logical write that
+// expands to one physical modification per tuple containing the null.
+struct WriteOp {
+  enum class Kind : uint8_t { kInsert, kDelete, kNullReplace };
+
+  static WriteOp Insert(RelationId rel, TupleData data) {
+    WriteOp w;
+    w.kind = Kind::kInsert;
+    w.rel = rel;
+    w.data = std::move(data);
+    return w;
+  }
+  static WriteOp Delete(RelationId rel, RowId row) {
+    WriteOp w;
+    w.kind = Kind::kDelete;
+    w.rel = rel;
+    w.row = row;
+    return w;
+  }
+  static WriteOp NullReplace(Value from_null, Value to_value) {
+    WriteOp w;
+    w.kind = Kind::kNullReplace;
+    w.from = from_null;
+    w.to = to_value;
+    return w;
+  }
+
+  Kind kind = Kind::kInsert;
+  RelationId rel = 0;
+  TupleData data;  // kInsert payload
+  RowId row = 0;   // kDelete target
+  Value from;      // kNullReplace: the null being replaced...
+  Value to;        // ...and its replacement (constant or another null)
+};
+
+// One physical change to one stored tuple, as recorded after applying a
+// WriteOp. This is the unit the concurrency-control layer reasons about.
+struct PhysicalWrite {
+  WriteKind kind = WriteKind::kInsert;
+  RelationId rel = 0;
+  RowId row = 0;
+  TupleData data;      // new content (kInsert/kModify); empty for kDelete
+  TupleData old_data;  // previous content (kModify/kDelete); empty for kInsert
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_RELATIONAL_WRITE_H_

@@ -1,0 +1,127 @@
+#include "tgd/dependency_graph.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+DependencyGraph::DependencyGraph(const Catalog& catalog,
+                                 const std::vector<Tgd>& tgds) {
+  rel_offset_.resize(catalog.size() + 1, 0);
+  for (size_t r = 0; r < catalog.size(); ++r) {
+    rel_offset_[r + 1] =
+        rel_offset_[r] +
+        static_cast<uint32_t>(catalog.schema(static_cast<RelationId>(r)).arity());
+  }
+  num_nodes_ = rel_offset_.back();
+  adj_.resize(num_nodes_);
+
+  for (const Tgd& tgd : tgds) {
+    // Collect, per frontier variable, its LHS positions; and the RHS
+    // positions per variable.
+    for (VarId x : tgd.frontier_vars()) {
+      std::vector<uint32_t> lhs_positions;
+      for (const Atom& atom : tgd.lhs().atoms) {
+        for (size_t i = 0; i < atom.terms.size(); ++i) {
+          const Term& t = atom.terms[i];
+          if (t.is_variable() && t.var() == x) {
+            lhs_positions.push_back(NodeId(atom.rel, i));
+          }
+        }
+      }
+      std::vector<uint32_t> rhs_regular;
+      std::vector<uint32_t> rhs_special;
+      for (const Atom& atom : tgd.rhs().atoms) {
+        for (size_t i = 0; i < atom.terms.size(); ++i) {
+          const Term& t = atom.terms[i];
+          if (!t.is_variable()) continue;
+          if (t.var() == x) {
+            rhs_regular.push_back(NodeId(atom.rel, i));
+          } else if (tgd.IsExistential(t.var())) {
+            rhs_special.push_back(NodeId(atom.rel, i));
+          }
+        }
+      }
+      for (uint32_t p : lhs_positions) {
+        for (uint32_t q : rhs_regular) {
+          adj_[p].push_back(Edge{q, false});
+          ++regular_edges_;
+        }
+        for (uint32_t q : rhs_special) {
+          adj_[p].push_back(Edge{q, true});
+          ++special_edges_;
+        }
+      }
+    }
+  }
+}
+
+uint32_t DependencyGraph::NodeId(RelationId rel, size_t position) const {
+  return rel_offset_[rel] + static_cast<uint32_t>(position);
+}
+
+bool DependencyGraph::IsWeaklyAcyclic() const {
+  // Tarjan SCC; the set is weakly acyclic iff no special edge connects two
+  // nodes of the same strongly connected component.
+  const uint32_t n = static_cast<uint32_t>(num_nodes_);
+  std::vector<int32_t> index(n, -1);
+  std::vector<int32_t> lowlink(n, 0);
+  std::vector<int32_t> component(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  int32_t next_index = 0;
+  int32_t next_component = 0;
+
+  // Iterative Tarjan to avoid deep recursion on large schemas.
+  struct Frame {
+    uint32_t node;
+    size_t edge;
+  };
+  for (uint32_t start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames{{start, 0}};
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj_[f.node].size()) {
+        const uint32_t w = adj_[f.node][f.edge].to;
+        ++f.edge;
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+        }
+      } else {
+        if (lowlink[f.node] == index[f.node]) {
+          while (true) {
+            const uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = next_component;
+            if (w == f.node) break;
+          }
+          ++next_component;
+        }
+        const uint32_t done = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().node] =
+              std::min(lowlink[frames.back().node], lowlink[done]);
+        }
+      }
+    }
+  }
+
+  for (uint32_t v = 0; v < n; ++v) {
+    for (const Edge& e : adj_[v]) {
+      if (e.special && component[v] == component[e.to]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace youtopia

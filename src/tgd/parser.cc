@@ -1,0 +1,264 @@
+#include "tgd/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+namespace youtopia {
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kAmp,
+  kColon,
+  kArrow,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= input_.size()) {
+        out.push_back({TokKind::kEnd, ""});
+        return out;
+      }
+      const char c = input_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back(
+            {TokKind::kIdent, std::string(input_.substr(start, pos_ - start))});
+      } else if (c == '\'' || c == '"') {
+        const char quote = c;
+        ++pos_;
+        size_t start = pos_;
+        while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+        if (pos_ >= input_.size()) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        out.push_back({TokKind::kString,
+                       std::string(input_.substr(start, pos_ - start))});
+        ++pos_;
+      } else if (c == '(') {
+        out.push_back({TokKind::kLParen, "("});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({TokKind::kRParen, ")"});
+        ++pos_;
+      } else if (c == ',') {
+        out.push_back({TokKind::kComma, ","});
+        ++pos_;
+      } else if (c == '&') {
+        out.push_back({TokKind::kAmp, "&"});
+        ++pos_;
+      } else if (c == ':' || c == '.') {
+        out.push_back({TokKind::kColon, ":"});
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < input_.size() &&
+                 input_[pos_ + 1] == '>') {
+        out.push_back({TokKind::kArrow, "->"});
+        pos_ += 2;
+      } else {
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' in mapping text");
+      }
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Catalog* catalog,
+         SymbolTable* symbols)
+      : tokens_(std::move(tokens)), catalog_(catalog), symbols_(symbols) {}
+
+  Result<Tgd> ParseTgd() {
+    ConjunctiveQuery lhs;
+    RETURN_IF_ERROR(ParseConj(&lhs));
+    if (!Accept(TokKind::kArrow)) {
+      return Status::InvalidArgument("expected '->' after tgd LHS");
+    }
+    std::vector<std::string> declared_existentials;
+    if (Peek().kind == TokKind::kIdent && Peek().text == "exists") {
+      ++pos_;
+      while (true) {
+        if (Peek().kind != TokKind::kIdent) {
+          return Status::InvalidArgument("expected variable after 'exists'");
+        }
+        declared_existentials.push_back(Peek().text);
+        ++pos_;
+        if (Accept(TokKind::kComma)) continue;
+        break;
+      }
+      if (!Accept(TokKind::kColon)) {
+        return Status::InvalidArgument("expected ':' after 'exists' list");
+      }
+    }
+    ConjunctiveQuery rhs;
+    RETURN_IF_ERROR(ParseConj(&rhs));
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing input after tgd");
+    }
+    // Declared existentials must not occur on the LHS.
+    for (const std::string& name : declared_existentials) {
+      auto it = var_ids_.find(name);
+      if (it == var_ids_.end()) {
+        return Status::InvalidArgument("existential variable '" + name +
+                                       "' is never used");
+      }
+      if (lhs.UsesVariable(it->second)) {
+        return Status::InvalidArgument("variable '" + name +
+                                       "' declared existential but occurs on "
+                                       "the LHS");
+      }
+    }
+    return Tgd::Create(std::move(lhs), std::move(rhs), var_names_, *catalog_);
+  }
+
+  Result<TgdParser::ParsedQuery> ParseQuery() {
+    ConjunctiveQuery body;
+    RETURN_IF_ERROR(ParseConj(&body));
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing input after query");
+    }
+    TgdParser::ParsedQuery out;
+    out.body = std::move(body);
+    out.var_names = var_names_;
+    return out;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  bool Accept(TokKind kind) {
+    if (tokens_[pos_].kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseConj(ConjunctiveQuery* out) {
+    while (true) {
+      Status st = ParseAtom(out);
+      if (!st.ok()) return st;
+      if (!Accept(TokKind::kAmp)) return Status::Ok();
+    }
+  }
+
+  Status ParseAtom(ConjunctiveQuery* out) {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected relation name");
+    }
+    const std::string rel_name = Peek().text;
+    ++pos_;
+    Result<RelationId> rel = catalog_->Find(rel_name);
+    if (!rel.ok()) return rel.status();
+    if (!Accept(TokKind::kLParen)) {
+      return Status::InvalidArgument("expected '(' after relation name");
+    }
+    Atom atom;
+    atom.rel = *rel;
+    while (true) {
+      if (Peek().kind == TokKind::kIdent) {
+        atom.terms.push_back(Term::Var(VarFor(Peek().text)));
+        ++pos_;
+      } else if (Peek().kind == TokKind::kString) {
+        atom.terms.push_back(Term::Const(symbols_->Intern(Peek().text)));
+        ++pos_;
+      } else {
+        return Status::InvalidArgument("expected term in atom for relation '" +
+                                       rel_name + "'");
+      }
+      if (Accept(TokKind::kComma)) continue;
+      break;
+    }
+    if (!Accept(TokKind::kRParen)) {
+      return Status::InvalidArgument("expected ')' closing atom for '" +
+                                     rel_name + "'");
+    }
+    if (atom.arity() != catalog_->schema(atom.rel).arity()) {
+      return Status::InvalidArgument(
+          "atom for '" + rel_name + "' has arity " +
+          std::to_string(atom.arity()) + ", schema requires " +
+          std::to_string(catalog_->schema(atom.rel).arity()));
+    }
+    out->atoms.push_back(std::move(atom));
+    return Status::Ok();
+  }
+
+  VarId VarFor(const std::string& name) {
+    auto it = var_ids_.find(name);
+    if (it != var_ids_.end()) return it->second;
+    const VarId id = static_cast<VarId>(var_names_.size());
+    var_ids_.emplace(name, id);
+    var_names_.push_back(name);
+    return id;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const Catalog* catalog_;
+  SymbolTable* symbols_;
+  std::unordered_map<std::string, VarId> var_ids_;
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace
+
+Result<Tgd> TgdParser::ParseTgd(std::string_view text) const {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value(), catalog_, symbols_);
+  return parser.ParseTgd();
+}
+
+Result<TgdParser::ParsedQuery> TgdParser::ParseQuery(
+    std::string_view text) const {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value(), catalog_, symbols_);
+  return parser.ParseQuery();
+}
+
+Result<VarId> TgdParser::ParsedQuery::VarByName(std::string_view name) const {
+  for (size_t i = 0; i < var_names.size(); ++i) {
+    if (var_names[i] == name) return static_cast<VarId>(i);
+  }
+  return Status::NotFound("variable '" + std::string(name) +
+                          "' not used in query");
+}
+
+}  // namespace youtopia

@@ -1,0 +1,59 @@
+#ifndef YOUTOPIA_TGD_PARSER_H_
+#define YOUTOPIA_TGD_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/atom.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "tgd/tgd.h"
+#include "util/status.h"
+
+namespace youtopia {
+
+// Text format for mappings and queries.
+//
+//   tgd   :=  conj '->' [ 'exists' var (',' var)* ':' ] conj
+//   conj  :=  atom ( '&' atom )*
+//   atom  :=  RelationName '(' term (',' term)* ')'
+//   term  :=  identifier            -- a variable (scoped to the statement)
+//          |  '\'' text '\''        -- a constant
+//          |  '"'  text '"'         -- a constant
+//
+// Examples (the paper's Figure 2 mappings):
+//   "C(c) -> exists a, l: S(a, l, c)"
+//   "S(a, l, c) -> C(l) & C(c)"
+//   "A(l, n) & T(n, co, s) -> exists r: R(co, n, r)"
+//   "V(c, x) & T(n, co, c) -> E(x, n)"
+//
+// Variables are assigned dense VarIds in order of first occurrence.
+// Constants are interned into the supplied SymbolTable.
+class TgdParser {
+ public:
+  TgdParser(const Catalog* catalog, SymbolTable* symbols)
+      : catalog_(catalog), symbols_(symbols) {}
+
+  // Parses a full tgd.
+  Result<Tgd> ParseTgd(std::string_view text) const;
+
+  struct ParsedQuery {
+    ConjunctiveQuery body;
+    std::vector<std::string> var_names;
+
+    // Resolves a variable name to its VarId, or an error if unused.
+    Result<VarId> VarByName(std::string_view name) const;
+  };
+
+  // Parses a bare conjunction (for ad-hoc queries).
+  Result<ParsedQuery> ParseQuery(std::string_view text) const;
+
+ private:
+  const Catalog* catalog_;
+  SymbolTable* symbols_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TGD_PARSER_H_

@@ -1,0 +1,84 @@
+#include "tgd/tgd.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+Result<Tgd> Tgd::Create(ConjunctiveQuery lhs, ConjunctiveQuery rhs,
+                        std::vector<std::string> var_names,
+                        const Catalog& catalog) {
+  if (lhs.empty()) return Status::InvalidArgument("tgd LHS must be non-empty");
+  if (rhs.empty()) return Status::InvalidArgument("tgd RHS must be non-empty");
+  for (const ConjunctiveQuery* side : {&lhs, &rhs}) {
+    for (const Atom& atom : side->atoms) {
+      if (atom.rel >= catalog.size()) {
+        return Status::InvalidArgument("tgd atom uses unknown relation");
+      }
+      if (atom.arity() != catalog.schema(atom.rel).arity()) {
+        return Status::InvalidArgument(
+            "tgd atom arity mismatch for relation '" +
+            catalog.schema(atom.rel).name + "'");
+      }
+    }
+  }
+
+  Tgd tgd;
+  tgd.lhs_ = std::move(lhs);
+  tgd.rhs_ = std::move(rhs);
+  tgd.var_names_ = std::move(var_names);
+
+  const std::vector<VarId> lhs_vars = tgd.lhs_.Variables();
+  const std::vector<VarId> rhs_vars = tgd.rhs_.Variables();
+  uint32_t max_var = 0;
+  for (VarId v : lhs_vars) max_var = std::max(max_var, v + 1);
+  for (VarId v : rhs_vars) max_var = std::max(max_var, v + 1);
+  tgd.num_vars_ = max_var;
+
+  for (VarId v : lhs_vars) {
+    if (std::find(rhs_vars.begin(), rhs_vars.end(), v) != rhs_vars.end()) {
+      tgd.frontier_vars_.push_back(v);
+    } else {
+      tgd.lhs_only_vars_.push_back(v);
+    }
+  }
+  for (VarId v : rhs_vars) {
+    if (std::find(lhs_vars.begin(), lhs_vars.end(), v) == lhs_vars.end()) {
+      tgd.existential_vars_.push_back(v);
+    }
+  }
+
+  tgd.all_relations_ = tgd.lhs_.Relations();
+  for (RelationId r : tgd.rhs_.Relations()) {
+    if (std::find(tgd.all_relations_.begin(), tgd.all_relations_.end(), r) ==
+        tgd.all_relations_.end()) {
+      tgd.all_relations_.push_back(r);
+    }
+  }
+  return tgd;
+}
+
+bool Tgd::IsExistential(VarId v) const {
+  return std::find(existential_vars_.begin(), existential_vars_.end(), v) !=
+         existential_vars_.end();
+}
+
+std::string Tgd::ToString(const Catalog& catalog,
+                          const SymbolTable& symbols) const {
+  std::string out = QueryToString(lhs_, catalog, symbols, var_names_);
+  out += " -> ";
+  if (!existential_vars_.empty()) {
+    out += "exists ";
+    for (size_t i = 0; i < existential_vars_.size(); ++i) {
+      if (i > 0) out += ", ";
+      const VarId v = existential_vars_[i];
+      out += (v < var_names_.size() && !var_names_[v].empty())
+                 ? var_names_[v]
+                 : "v" + std::to_string(v);
+    }
+    out += ": ";
+  }
+  out += QueryToString(rhs_, catalog, symbols, var_names_);
+  return out;
+}
+
+}  // namespace youtopia

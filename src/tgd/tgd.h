@@ -1,0 +1,73 @@
+#ifndef YOUTOPIA_TGD_TGD_H_
+#define YOUTOPIA_TGD_TGD_H_
+
+#include <string>
+#include <vector>
+
+#include "query/atom.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace youtopia {
+
+// A mapping / tuple-generating dependency (Section 2):
+//
+//     Phi(x, y)  ->  exists z . Psi(x, z)
+//
+// where Phi (the LHS) and Psi (the RHS) are conjunctions of relational atoms.
+//  * frontier variables x  — occur on both sides (universally quantified),
+//  * lhs-only variables y  — occur only on the LHS,
+//  * existential variables z — occur only on the RHS.
+//
+// Tgds may connect arbitrary relations, contain self-joins and constants,
+// and may form cycles over the schema; Youtopia places no acyclicity
+// restriction on them.
+class Tgd {
+ public:
+  // Validates and builds a tgd. Fails if either side is empty, if an atom's
+  // arity disagrees with the catalog, or if the RHS shares no structure with
+  // a well-formed quantifier prefix. `var_names` is indexed by VarId and is
+  // used only for printing; it may name fewer variables than used.
+  static Result<Tgd> Create(ConjunctiveQuery lhs, ConjunctiveQuery rhs,
+                            std::vector<std::string> var_names,
+                            const Catalog& catalog);
+
+  const ConjunctiveQuery& lhs() const { return lhs_; }
+  const ConjunctiveQuery& rhs() const { return rhs_; }
+
+  uint32_t num_vars() const { return num_vars_; }
+  const std::vector<VarId>& frontier_vars() const { return frontier_vars_; }
+  const std::vector<VarId>& lhs_only_vars() const { return lhs_only_vars_; }
+  const std::vector<VarId>& existential_vars() const {
+    return existential_vars_;
+  }
+  bool IsExistential(VarId v) const;
+
+  // Distinct relations mentioned on either side (the COARSE tracker's
+  // dependency granularity).
+  const std::vector<RelationId>& all_relations() const {
+    return all_relations_;
+  }
+
+  const std::vector<std::string>& var_names() const { return var_names_; }
+
+  // Renders e.g. "A(l, n) & T(n, c, s) -> exists r: R(c, n, r)".
+  std::string ToString(const Catalog& catalog,
+                       const SymbolTable& symbols) const;
+
+ private:
+  Tgd() = default;
+
+  ConjunctiveQuery lhs_;
+  ConjunctiveQuery rhs_;
+  uint32_t num_vars_ = 0;
+  std::vector<VarId> frontier_vars_;
+  std::vector<VarId> lhs_only_vars_;
+  std::vector<VarId> existential_vars_;
+  std::vector<RelationId> all_relations_;
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TGD_TGD_H_

@@ -1,0 +1,37 @@
+#ifndef YOUTOPIA_UTIL_CHECK_H_
+#define YOUTOPIA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight invariant checking macros. CHECK is always on; DCHECK compiles
+// away in NDEBUG builds. Both abort the process on failure, printing the
+// failing condition and source location. The project does not use exceptions
+// (Google style); recoverable errors travel through util::Status instead.
+
+#define YOUTOPIA_CHECK_IMPL(cond, kind)                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, #cond,         \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define CHECK(cond) YOUTOPIA_CHECK_IMPL(cond, "CHECK")
+#define CHECK_EQ(a, b) CHECK((a) == (b))
+#define CHECK_NE(a, b) CHECK((a) != (b))
+#define CHECK_LT(a, b) CHECK((a) < (b))
+#define CHECK_LE(a, b) CHECK((a) <= (b))
+#define CHECK_GT(a, b) CHECK((a) > (b))
+#define CHECK_GE(a, b) CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  do {               \
+  } while (0)
+#else
+#define DCHECK(cond) YOUTOPIA_CHECK_IMPL(cond, "DCHECK")
+#endif
+
+#endif  // YOUTOPIA_UTIL_CHECK_H_

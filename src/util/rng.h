@@ -1,0 +1,83 @@
+#ifndef YOUTOPIA_UTIL_RNG_H_
+#define YOUTOPIA_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace youtopia {
+
+// SplitMix64: used to seed Xoshiro and for cheap stateless hashing of seeds.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Deterministic, fast PRNG (xoshiro256**). All randomized components of the
+// library (workload generators, RandomAgent) take an explicit seed so runs
+// are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    CHECK_GT(bound, 0u);
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_UTIL_RNG_H_

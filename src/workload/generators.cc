@@ -1,0 +1,295 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/update.h"
+#include "query/atom.h"
+
+namespace youtopia {
+namespace {
+
+std::string RandomName(Rng* rng, size_t len) {
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + rng->Uniform(26)));
+  }
+  return out;
+}
+
+size_t PickSize(Rng* rng, const double weights[3]) {
+  const double x = rng->UniformDouble();
+  if (x < weights[0]) return 1;
+  if (x < weights[0] + weights[1]) return 2;
+  return 3;
+}
+
+// Chooses `k` distinct relation ids uniformly.
+std::vector<RelationId> PickRelations(const Database& db, Rng* rng, size_t k) {
+  const size_t n = db.num_relations();
+  CHECK_GE(n, k);
+  std::vector<RelationId> out;
+  while (out.size() < k) {
+    const RelationId r = static_cast<RelationId>(rng->Uniform(n));
+    if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status GenerateSchema(Database* db, Rng* rng,
+                      const SchemaGenOptions& options) {
+  for (size_t i = 0; i < options.num_relations; ++i) {
+    const size_t arity = static_cast<size_t>(
+        rng->UniformInt(static_cast<int64_t>(options.min_arity),
+                        static_cast<int64_t>(options.max_arity)));
+    std::vector<std::string> attrs;
+    for (size_t a = 0; a < arity; ++a) attrs.push_back("a" + std::to_string(a));
+    Result<RelationId> id =
+        db->CreateRelation("R" + std::to_string(i), std::move(attrs));
+    if (!id.ok()) return id.status();
+  }
+  return Status::Ok();
+}
+
+std::vector<Value> GenerateConstantPool(Database* db, Rng* rng, size_t count) {
+  std::vector<Value> out;
+  while (out.size() < count) {
+    const Value v = db->InternConstant(RandomName(rng, 8));
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Tgd> GenerateMappings(const Database& db,
+                                  const std::vector<Value>& constants,
+                                  Rng* rng,
+                                  const MappingGenOptions& options) {
+  std::vector<Tgd> out;
+  while (out.size() < options.count) {
+    const std::vector<RelationId> lhs_rels =
+        PickRelations(db, rng, PickSize(rng, options.size_weights));
+    const std::vector<RelationId> rhs_rels =
+        PickRelations(db, rng, PickSize(rng, options.size_weights));
+
+    VarId next_var = 0;
+    std::vector<VarId> lhs_vars;
+
+    // --- LHS: join-connected atoms with occasional constants. -------------
+    ConjunctiveQuery lhs;
+    for (size_t i = 0; i < lhs_rels.size(); ++i) {
+      const size_t arity = db.catalog().schema(lhs_rels[i]).arity();
+      // Variables introduced by *earlier* atoms: joining with one of these
+      // is what makes the LHS connected.
+      const std::vector<VarId> earlier_vars = lhs_vars;
+      Atom atom;
+      atom.rel = lhs_rels[i];
+      bool joined_with_earlier = i == 0;
+      std::vector<size_t> var_positions;
+      std::vector<VarId> used_in_atom;
+      for (size_t p = 0; p < arity; ++p) {
+        if (rng->Chance(options.p_constant_lhs)) {
+          atom.terms.push_back(
+              Term::Const(constants[rng->Uniform(constants.size())]));
+          continue;
+        }
+        var_positions.push_back(p);
+        // Joins connect *different* atoms; a variable repeated within one
+        // atom (like the paper's S(a, c, c)) is a deliberate rarity —
+        // otherwise random tuples would almost never match the atom.
+        std::vector<VarId> candidates;
+        for (VarId v : earlier_vars) {
+          if (rng->Chance(options.p_within_atom_repeat) ||
+              std::find(used_in_atom.begin(), used_in_atom.end(), v) ==
+                  used_in_atom.end()) {
+            candidates.push_back(v);
+          }
+        }
+        if (i > 0 && !candidates.empty() &&
+            rng->Chance(options.p_reuse_var)) {
+          const VarId v = candidates[rng->Uniform(candidates.size())];
+          atom.terms.push_back(Term::Var(v));
+          used_in_atom.push_back(v);
+          joined_with_earlier = true;
+        } else {
+          atom.terms.push_back(Term::Var(next_var));
+          lhs_vars.push_back(next_var);
+          used_in_atom.push_back(next_var);
+          ++next_var;
+        }
+      }
+      // Every LHS atom carries at least one variable (an all-constant atom
+      // would leave nothing for later atoms to join on).
+      if (var_positions.empty()) {
+        atom.terms[0] = Term::Var(next_var);
+        lhs_vars.push_back(next_var);
+        used_in_atom.push_back(next_var);
+        ++next_var;
+        var_positions.push_back(0);
+      }
+      // Guarantee inter-atom join connectivity: overwrite a position with a
+      // variable of an earlier atom if necessary.
+      if (!joined_with_earlier && !earlier_vars.empty()) {
+        const size_t p = var_positions.empty()
+                             ? 0
+                             : var_positions[rng->Uniform(var_positions.size())];
+        atom.terms[p] =
+            Term::Var(earlier_vars[rng->Uniform(earlier_vars.size())]);
+      }
+      lhs.atoms.push_back(std::move(atom));
+    }
+    // Recompute the variables actually used (overwrites may have dropped
+    // some fresh ones).
+    lhs_vars = lhs.Variables();
+    if (lhs_vars.empty()) continue;  // all-constant LHS: uninteresting, retry
+
+    // --- RHS: frontier variables, existentials, occasional constants. -----
+    ConjunctiveQuery rhs;
+    std::vector<VarId> existentials;
+    bool has_frontier = false;
+    std::vector<std::pair<size_t, size_t>> rhs_var_positions;  // (atom, pos)
+    for (size_t i = 0; i < rhs_rels.size(); ++i) {
+      const size_t arity = db.catalog().schema(rhs_rels[i]).arity();
+      Atom atom;
+      atom.rel = rhs_rels[i];
+      std::vector<VarId> used_in_atom;
+      auto pick_distinct = [&](const std::vector<VarId>& pool) -> int {
+        std::vector<VarId> candidates;
+        for (VarId v : pool) {
+          if (rng->Chance(options.p_within_atom_repeat) ||
+              std::find(used_in_atom.begin(), used_in_atom.end(), v) ==
+                  used_in_atom.end()) {
+            candidates.push_back(v);
+          }
+        }
+        if (candidates.empty()) return -1;
+        return static_cast<int>(candidates[rng->Uniform(candidates.size())]);
+      };
+      for (size_t p = 0; p < arity; ++p) {
+        if (rng->Chance(options.p_constant_rhs)) {
+          atom.terms.push_back(
+              Term::Const(constants[rng->Uniform(constants.size())]));
+          continue;
+        }
+        rhs_var_positions.push_back({i, p});
+        int picked = -1;
+        if (rng->Chance(options.p_frontier)) {
+          picked = pick_distinct(lhs_vars);
+          if (picked >= 0) has_frontier = true;
+        } else if (rng->Chance(options.p_reuse_existential)) {
+          picked = pick_distinct(existentials);
+        }
+        if (picked >= 0) {
+          atom.terms.push_back(Term::Var(static_cast<VarId>(picked)));
+          used_in_atom.push_back(static_cast<VarId>(picked));
+        } else {
+          atom.terms.push_back(Term::Var(next_var));
+          existentials.push_back(next_var);
+          used_in_atom.push_back(next_var);
+          ++next_var;
+        }
+      }
+      rhs.atoms.push_back(std::move(atom));
+    }
+    if (!has_frontier) {
+      if (rhs_var_positions.empty()) continue;  // all-constant RHS: retry
+      const auto [ai, p] =
+          rhs_var_positions[rng->Uniform(rhs_var_positions.size())];
+      rhs.atoms[ai].terms[p] =
+          Term::Var(lhs_vars[rng->Uniform(lhs_vars.size())]);
+    }
+
+    std::vector<std::string> names;
+    for (VarId v = 0; v < next_var; ++v) {
+      names.push_back("v" + std::to_string(v));
+    }
+    Result<Tgd> tgd = Tgd::Create(std::move(lhs), std::move(rhs),
+                                  std::move(names), db.catalog());
+    CHECK(tgd.ok());
+    out.push_back(std::move(tgd).value());
+  }
+  return out;
+}
+
+InitialDataReport GenerateInitialData(Database* db,
+                                      const std::vector<Tgd>* tgds,
+                                      const std::vector<Value>& constants,
+                                      Rng* rng, FrontierAgent* agent,
+                                      const InitialDataOptions& options) {
+  InitialDataReport report;
+  UpdateOptions uopts;
+  uopts.max_steps = options.max_steps_per_insert;
+  for (size_t i = 0; i < options.num_tuples; ++i) {
+    const RelationId rel =
+        static_cast<RelationId>(rng->Uniform(db->num_relations()));
+    const size_t arity = db->relation(rel).arity();
+    TupleData data;
+    for (size_t p = 0; p < arity; ++p) {
+      data.push_back(constants[rng->Uniform(constants.size())]);
+    }
+    Update update(/*number=*/0, WriteOp::Insert(rel, std::move(data)), tgds,
+                  uopts);
+    update.RunToCompletion(db, agent);
+    ++report.seed_inserts;
+    report.chase_steps += update.steps_taken();
+    report.frontier_ops += update.frontier_ops_performed();
+    report.capped_chases += update.hit_step_cap() ? 1 : 0;
+  }
+  report.total_tuples = db->CountVisible(kReadLatest);
+  return report;
+}
+
+std::vector<WriteOp> GenerateWorkload(Database* db,
+                                      const std::vector<Value>& constants,
+                                      Rng* rng,
+                                      const WorkloadOptions& options) {
+  const size_t num_deletes = static_cast<size_t>(
+      static_cast<double>(options.num_updates) * options.delete_fraction);
+  std::vector<char> is_delete(options.num_updates, 0);
+  for (size_t i = 0; i < num_deletes; ++i) is_delete[i] = 1;
+  // Randomize the order so runs do not alternate large batches (Section 6).
+  for (size_t i = is_delete.size(); i > 1; --i) {
+    std::swap(is_delete[i - 1], is_delete[rng->Uniform(i)]);
+  }
+
+  std::vector<WriteOp> out;
+  out.reserve(options.num_updates);
+  for (size_t i = 0; i < options.num_updates; ++i) {
+    if (is_delete[i]) {
+      // Uniform relation, then uniform visible tuple; retry on empty
+      // relations (the initial database is dense, so this terminates).
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        const RelationId rel =
+            static_cast<RelationId>(rng->Uniform(db->num_relations()));
+        std::vector<RowId> rows;
+        db->relation(rel).ForEachVisible(
+            kReadLatest, [&](RowId row, const TupleData&) {
+              rows.push_back(row);
+            });
+        if (rows.empty()) continue;
+        out.push_back(
+            WriteOp::Delete(rel, rows[rng->Uniform(rows.size())]));
+        break;
+      }
+      CHECK_EQ(out.size(), i + 1);
+    } else {
+      const RelationId rel =
+          static_cast<RelationId>(rng->Uniform(db->num_relations()));
+      const size_t arity = db->relation(rel).arity();
+      TupleData data;
+      for (size_t p = 0; p < arity; ++p) {
+        if (rng->Chance(options.p_fresh_value)) {
+          data.push_back(db->InternConstant("f_" + RandomName(rng, 8)));
+        } else {
+          data.push_back(constants[rng->Uniform(constants.size())]);
+        }
+      }
+      out.push_back(WriteOp::Insert(rel, std::move(data)));
+    }
+  }
+  return out;
+}
+
+}  // namespace youtopia

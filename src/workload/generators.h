@@ -1,0 +1,104 @@
+#ifndef YOUTOPIA_WORKLOAD_GENERATORS_H_
+#define YOUTOPIA_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/agent.h"
+#include "relational/database.h"
+#include "relational/write.h"
+#include "tgd/tgd.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace youtopia {
+
+// Synthetic schema / mapping / data / workload generators reproducing the
+// paper's experimental setup (Section 6):
+//  * 100 relations with one to six attributes,
+//  * mappings over random subsets of one to three relations per side
+//    (smaller sets more probable), with inter-atom joins and constants from
+//    a fixed pool of 50 random strings,
+//  * a 10,000-tuple initial database produced by the update-exchange
+//    machinery itself (each seed insert sets off a forward chase with a
+//    simulated user), and
+//  * workloads of 500 random inserts / mixed inserts+deletes.
+
+struct SchemaGenOptions {
+  size_t num_relations = 100;
+  size_t min_arity = 1;
+  size_t max_arity = 6;
+};
+
+// Creates `num_relations` relations named R0..Rn-1 with uniform random arity.
+Status GenerateSchema(Database* db, Rng* rng, const SchemaGenOptions& options);
+
+// Interns `count` distinct random strings as the fixed constant pool.
+std::vector<Value> GenerateConstantPool(Database* db, Rng* rng, size_t count);
+
+struct MappingGenOptions {
+  size_t count = 100;
+  // P(1 atom), P(2 atoms), P(3 atoms) per side — "smaller sets have higher
+  // probability, as humans are highly unlikely to create mappings with more
+  // than one or two atoms on either side".
+  double size_weights[3] = {0.55, 0.30, 0.15};
+  double p_constant_lhs = 0.12;   // per-position constant probability
+  double p_constant_rhs = 0.08;
+  double p_reuse_var = 0.6;       // LHS position joins with an earlier atom
+  double p_frontier = 0.6;        // RHS position picks an LHS (frontier) var
+  double p_reuse_existential = 0.4;
+  // Chance a variable repeats *within* one atom (the paper's S(a, c, c) is
+  // such a pattern, but random tuples rarely match highly self-constrained
+  // atoms, so this is kept small).
+  double p_within_atom_repeat = 0.05;
+};
+
+// Generates `options.count` random mappings over the database's schema.
+// Every mapping is validated (Tgd::Create); LHS atoms are join-connected and
+// every mapping has at least one frontier variable.
+std::vector<Tgd> GenerateMappings(const Database& db,
+                                  const std::vector<Value>& constants,
+                                  Rng* rng, const MappingGenOptions& options);
+
+struct InitialDataOptions {
+  size_t num_tuples = 10000;
+  // Per-insert chase step cap (defensive; random agents terminate chases
+  // with probability 1).
+  size_t max_steps_per_insert = 100000;
+};
+
+struct InitialDataReport {
+  size_t seed_inserts = 0;
+  size_t total_tuples = 0;   // visible tuples after generation
+  size_t chase_steps = 0;
+  size_t frontier_ops = 0;
+  size_t capped_chases = 0;  // inserts whose chase hit the step cap
+};
+
+// Seeds the database with `num_tuples` random insertions, each propagated by
+// a full forward chase under `agent`, on behalf of update number 0 (visible
+// to every later reader). The resulting database satisfies all mappings.
+InitialDataReport GenerateInitialData(Database* db,
+                                      const std::vector<Tgd>* tgds,
+                                      const std::vector<Value>& constants,
+                                      Rng* rng, FrontierAgent* agent,
+                                      const InitialDataOptions& options);
+
+struct WorkloadOptions {
+  size_t num_updates = 500;
+  double delete_fraction = 0.0;  // exact share of deletes, order shuffled
+  double p_fresh_value = 0.5;    // insert values: fresh constant vs pool
+};
+
+// Generates the initial operations of one workload run. Insert targets are
+// uniform over relations; values are fresh constants or pool constants with
+// equal probability. Delete targets are uniform over relations and then
+// uniform over the relation's currently visible tuples.
+std::vector<WriteOp> GenerateWorkload(Database* db,
+                                      const std::vector<Value>& constants,
+                                      Rng* rng,
+                                      const WorkloadOptions& options);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_WORKLOAD_GENERATORS_H_

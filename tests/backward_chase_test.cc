@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/update.h"
+#include "test_util.h"
+#include "tgd/parser.h"
+
+namespace youtopia {
+namespace {
+
+using testing_util::Figure2;
+
+TEST(BackwardChaseTest, Example23UserChoosesDeletionVictim) {
+  // Example 2.3: deleting the review leaves a choice between deleting the
+  // attraction or the tour; the user picks the tour.
+  Figure2 fig;
+  ScriptedAgent agent;
+  agent.PushNegative({1});  // candidates: [A tuple, T tuple] -> delete T
+
+  const RowId review_row = *fig.db.FindRowWithData(
+      fig.R, fig.Row({"XYZ", "Geneva Winery", "Great!"}), 0);
+  Update update(1, WriteOp::Delete(fig.R, review_row), &fig.tgds);
+  update.RunToCompletion(&fig.db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_EQ(update.frontier_ops_performed(), 1u);
+
+  EXPECT_FALSE(fig.Contains(fig.R, {"XYZ", "Geneva Winery", "Great!"}));
+  EXPECT_FALSE(fig.Contains(fig.T, {"Geneva Winery", "XYZ", "Syracuse"}));
+  EXPECT_TRUE(fig.Contains(fig.A, {"Geneva", "Geneva Winery"}));
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(BackwardChaseTest, DeletingAttractionInstead) {
+  Figure2 fig;
+  ScriptedAgent agent;
+  agent.PushNegative({0});  // delete the A tuple instead
+
+  const RowId review_row = *fig.db.FindRowWithData(
+      fig.R, fig.Row({"XYZ", "Geneva Winery", "Great!"}), 0);
+  Update update(1, WriteOp::Delete(fig.R, review_row), &fig.tgds);
+  update.RunToCompletion(&fig.db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_FALSE(fig.Contains(fig.A, {"Geneva", "Geneva Winery"}));
+  EXPECT_TRUE(fig.Contains(fig.T, {"Geneva Winery", "XYZ", "Syracuse"}));
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(BackwardChaseTest, SingleWitnessTupleIsDeterministic) {
+  // P(x) -> Q(x): deleting Q(a) forces deleting P(a), no user involved.
+  Database db;
+  const RelationId p = *db.CreateRelation("P", {"x"});
+  const RelationId q = *db.CreateRelation("Q", {"x"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  auto tgd = parser.ParseTgd("P(x) -> Q(x)");
+  ASSERT_TRUE(tgd.ok());
+  tgds.push_back(std::move(tgd).value());
+  const Value a = db.InternConstant("a");
+  db.Apply(WriteOp::Insert(p, {a}), 0);
+  auto w = db.Apply(WriteOp::Insert(q, {a}), 0);
+
+  ScriptedAgent agent;  // never consulted
+  Update update(1, WriteOp::Delete(q, w[0].row), &tgds);
+  update.RunToCompletion(&db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_EQ(update.frontier_ops_performed(), 0u);
+  EXPECT_EQ(db.CountVisible(p, 1), 0u);
+  EXPECT_EQ(db.CountVisible(q, 1), 0u);
+}
+
+TEST(BackwardChaseTest, CascadingDeletesAcrossMappings) {
+  // Chain P -> Q -> W; deleting from W cascades back to P.
+  Database db;
+  const RelationId p = *db.CreateRelation("P", {"x"});
+  const RelationId q = *db.CreateRelation("Q", {"x"});
+  const RelationId w_rel = *db.CreateRelation("W", {"x"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  for (const char* text : {"P(x) -> Q(x)", "Q(x) -> W(x)"}) {
+    auto tgd = parser.ParseTgd(text);
+    ASSERT_TRUE(tgd.ok());
+    tgds.push_back(std::move(tgd).value());
+  }
+  const Value a = db.InternConstant("a");
+  db.Apply(WriteOp::Insert(p, {a}), 0);
+  db.Apply(WriteOp::Insert(q, {a}), 0);
+  auto w = db.Apply(WriteOp::Insert(w_rel, {a}), 0);
+
+  ScriptedAgent agent;
+  Update update(1, WriteOp::Delete(w_rel, w[0].row), &tgds);
+  update.RunToCompletion(&db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_EQ(db.CountVisible(1), 0u);  // everything cascaded away
+  ViolationDetector detector(&tgds);
+  Snapshot snap(&db, 1);
+  EXPECT_TRUE(detector.SatisfiesAll(snap));
+}
+
+TEST(BackwardChaseTest, AlternativeRhsMatchMeansNoViolation) {
+  // Two reviews for the same tour: deleting one leaves the mapping
+  // satisfied, so nothing cascades.
+  Figure2 fig;
+  Update setup(0,
+               WriteOp::Insert(fig.R, fig.Row({"XYZ", "Geneva Winery",
+                                               "Lovely"})),
+               &fig.tgds);
+  ScriptedAgent agent;
+  setup.RunToCompletion(&fig.db, &agent);
+
+  const RowId review_row = *fig.db.FindRowWithData(
+      fig.R, fig.Row({"XYZ", "Geneva Winery", "Great!"}), 0);
+  Update update(1, WriteOp::Delete(fig.R, review_row), &fig.tgds);
+  update.RunToCompletion(&fig.db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_EQ(update.frontier_ops_performed(), 0u);
+  EXPECT_TRUE(fig.Contains(fig.T, {"Geneva Winery", "XYZ", "Syracuse"}));
+  EXPECT_TRUE(fig.Contains(fig.A, {"Geneva", "Geneva Winery"}));
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(BackwardChaseTest, DeleteSubsetOfNegativeFrontier) {
+  // The negative frontier operation may delete any (non-empty) subset.
+  Figure2 fig;
+  ScriptedAgent agent;
+  agent.PushNegative({0, 1});  // delete both A and T
+
+  const RowId review_row = *fig.db.FindRowWithData(
+      fig.R, fig.Row({"XYZ", "Geneva Winery", "Great!"}), 0);
+  Update update(1, WriteOp::Delete(fig.R, review_row), &fig.tgds);
+  update.RunToCompletion(&fig.db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_FALSE(fig.Contains(fig.A, {"Geneva", "Geneva Winery"}));
+  EXPECT_FALSE(fig.Contains(fig.T, {"Geneva Winery", "XYZ", "Syracuse"}));
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(BackwardChaseTest, BackwardThenForwardInterleave) {
+  // Deleting T(Niagara Falls, x1, Toronto) violates sigma3's RHS? No —
+  // T is on the LHS of sigma3, so deleting it *fixes* obligations; but R
+  // still contains (x1, Niagara Falls, x2), which no mapping requires to
+  // leave. Verify deletion terminates without touching R.
+  Figure2 fig;
+  const RowId t_row = *fig.db.FindRowWithData(
+      fig.T, {fig.Const("Niagara Falls"), fig.x1, fig.Const("Toronto")}, 0);
+  ScriptedAgent agent;
+  Update update(1, WriteOp::Delete(fig.T, t_row), &fig.tgds);
+  update.RunToCompletion(&fig.db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_EQ(fig.db.CountVisible(fig.R, 1), 2u);
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(BackwardChaseTest, TerminatesEvenWithManyWitnesses) {
+  // Many LHS witnesses relying on one RHS tuple: each yields a negative
+  // frontier resolved by deleting one candidate; always terminates.
+  Database db;
+  const RelationId p = *db.CreateRelation("P", {"x", "y"});
+  const RelationId q = *db.CreateRelation("Q", {"y"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  auto tgd = parser.ParseTgd("P(x, y) -> Q(y)");
+  ASSERT_TRUE(tgd.ok());
+  tgds.push_back(std::move(tgd).value());
+  const Value b = db.InternConstant("b");
+  for (int i = 0; i < 10; ++i) {
+    db.Apply(WriteOp::Insert(
+                 p, {db.InternConstant("p" + std::to_string(i)), b}),
+             0);
+  }
+  auto w = db.Apply(WriteOp::Insert(q, {b}), 0);
+
+  RandomAgent agent(7);
+  Update update(1, WriteOp::Delete(q, w[0].row), &tgds);
+  update.RunToCompletion(&db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_EQ(db.CountVisible(p, 1), 0u);  // every witness had to go
+  ViolationDetector detector(&tgds);
+  Snapshot snap(&db, 1);
+  EXPECT_TRUE(detector.SatisfiesAll(snap));
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,115 @@
+#include "query/binding.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace youtopia {
+namespace {
+
+const Value kA = Value::Constant(1);
+const Value kB = Value::Constant(2);
+const Value kN = Value::Null(7);
+
+TEST(BindingTest, SetGetUnset) {
+  Binding b;
+  EXPECT_FALSE(b.IsBound(3));
+  b.Set(3, kA);
+  EXPECT_TRUE(b.IsBound(3));
+  EXPECT_EQ(b.Get(3), kA);
+  b.Unset(3);
+  EXPECT_FALSE(b.IsBound(3));
+}
+
+TEST(BindingTest, UnifyConsistency) {
+  Binding b;
+  EXPECT_TRUE(b.Unify(0, kA));
+  EXPECT_TRUE(b.Unify(0, kA));   // same value: fine
+  EXPECT_FALSE(b.Unify(0, kB));  // clash
+  EXPECT_TRUE(b.Unify(1, kN));   // nulls bind like any value
+}
+
+TEST(BindingTest, EqualityIgnoresTrailingUnbound) {
+  Binding a(2);
+  Binding b(8);
+  a.Set(0, kA);
+  b.Set(0, kA);
+  EXPECT_TRUE(a == b);
+  b.Set(5, kB);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MatchAtomTest, ConstantTermsRequireExactValue) {
+  Atom atom;
+  atom.rel = 0;
+  atom.terms = {Term::Const(kA), Term::Var(0)};
+  Binding b;
+  EXPECT_TRUE(MatchAtom(atom, {kA, kB}, &b));
+  EXPECT_EQ(b.Get(0), kB);
+  Binding b2;
+  EXPECT_FALSE(MatchAtom(atom, {kB, kB}, &b2));
+  // Constants do not match labeled nulls (naive-table semantics).
+  Binding b3;
+  EXPECT_FALSE(MatchAtom(atom, {kN, kB}, &b3));
+}
+
+TEST(MatchAtomTest, RepeatedVariableRequiresEqualValues) {
+  Atom atom;
+  atom.rel = 0;
+  atom.terms = {Term::Var(0), Term::Var(0)};
+  Binding b1;
+  EXPECT_TRUE(MatchAtom(atom, {kA, kA}, &b1));
+  Binding b2;
+  EXPECT_FALSE(MatchAtom(atom, {kA, kB}, &b2));
+  // Two occurrences of the same null are equal values.
+  Binding b3;
+  EXPECT_TRUE(MatchAtom(atom, {kN, kN}, &b3));
+}
+
+TEST(MatchAtomTest, ArityMismatchFails) {
+  Atom atom;
+  atom.rel = 0;
+  atom.terms = {Term::Var(0)};
+  Binding b;
+  EXPECT_FALSE(MatchAtom(atom, {kA, kB}, &b));
+}
+
+TEST(MatchAtomTest, PreBoundVariableConstrains) {
+  Atom atom;
+  atom.rel = 0;
+  atom.terms = {Term::Var(0), Term::Var(1)};
+  Binding b;
+  b.Set(0, kA);
+  EXPECT_FALSE(MatchAtom(atom, {kB, kB}, &b));
+  Binding b2;
+  b2.Set(0, kA);
+  EXPECT_TRUE(MatchAtom(atom, {kA, kN}, &b2));
+  EXPECT_EQ(b2.Get(1), kN);
+}
+
+TEST(InstantiateAtomTest, MixesConstantsAndBindings) {
+  Atom atom;
+  atom.rel = 0;
+  atom.terms = {Term::Const(kA), Term::Var(2), Term::Var(2)};
+  Binding b;
+  b.Set(2, kN);
+  const TupleData out = InstantiateAtom(atom, b);
+  EXPECT_EQ(out, (TupleData{kA, kN, kN}));
+}
+
+TEST(ConjunctiveQueryTest, VariableAndRelationIntrospection) {
+  testing_util::Figure2 fig;
+  TgdParser parser(&fig.db.catalog(), &fig.db.symbols());
+  auto q = parser.ParseQuery("A(l, n) & T(n, co, s) & A(l2, n)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->body.Variables().size(), 5u);
+  EXPECT_EQ(q->body.Relations().size(), 2u);  // A, T (deduplicated)
+  EXPECT_TRUE(q->body.UsesRelation(fig.A));
+  EXPECT_TRUE(q->body.UsesRelation(fig.T));
+  EXPECT_FALSE(q->body.UsesRelation(fig.R));
+  EXPECT_TRUE(q->body.UsesVariable(*q->VarByName("co")));
+  EXPECT_FALSE(q->body.UsesVariable(99));
+}
+
+}  // namespace
+}  // namespace youtopia

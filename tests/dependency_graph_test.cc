@@ -1,0 +1,104 @@
+#include "tgd/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tgd/parser.h"
+
+namespace youtopia {
+namespace {
+
+using testing_util::Figure2;
+
+TEST(DependencyGraphTest, Figure2MappingsAreNotWeaklyAcyclic) {
+  // sigma1 and sigma2 form a cycle through C and S with existentials —
+  // exactly the situation classical update exchange forbids and Youtopia
+  // permits (Section 1.3).
+  Figure2 fig;
+  DependencyGraph graph(fig.db.catalog(), fig.tgds);
+  EXPECT_FALSE(graph.IsWeaklyAcyclic());
+  EXPECT_GT(graph.num_special_edges(), 0u);
+}
+
+TEST(DependencyGraphTest, Sigma3and4AloneAreWeaklyAcyclic) {
+  Figure2 fig;
+  const std::vector<Tgd> acyclic{fig.tgds[2], fig.tgds[3]};
+  DependencyGraph graph(fig.db.catalog(), acyclic);
+  EXPECT_TRUE(graph.IsWeaklyAcyclic());
+}
+
+TEST(DependencyGraphTest, GenealogyTgdIsCyclic) {
+  Database db;
+  (void)*db.CreateRelation("Person", {"name"});
+  (void)*db.CreateRelation("Father", {"child", "father"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  auto tgd =
+      parser.ParseTgd("Person(x) -> exists y: Father(x, y) & Person(y)");
+  ASSERT_TRUE(tgd.ok());
+  tgds.push_back(std::move(tgd).value());
+  DependencyGraph graph(db.catalog(), tgds);
+  EXPECT_FALSE(graph.IsWeaklyAcyclic());
+}
+
+TEST(DependencyGraphTest, FullTgdsAreAlwaysWeaklyAcyclic) {
+  // No existentials => no special edges => weakly acyclic, even with
+  // regular-edge cycles.
+  Database db;
+  (void)*db.CreateRelation("P", {"x"});
+  (void)*db.CreateRelation("Q", {"x"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  for (const char* text : {"P(x) -> Q(x)", "Q(x) -> P(x)"}) {
+    auto tgd = parser.ParseTgd(text);
+    ASSERT_TRUE(tgd.ok());
+    tgds.push_back(std::move(tgd).value());
+  }
+  DependencyGraph graph(db.catalog(), tgds);
+  EXPECT_TRUE(graph.IsWeaklyAcyclic());
+  EXPECT_EQ(graph.num_special_edges(), 0u);
+  EXPECT_GT(graph.num_regular_edges(), 0u);
+}
+
+TEST(DependencyGraphTest, ExistentialCycleThroughTwoTgds) {
+  Database db;
+  (void)*db.CreateRelation("P", {"x", "y"});
+  (void)*db.CreateRelation("Q", {"x", "y"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  // P's second column feeds Q with an existential, and back.
+  for (const char* text : {"P(x, y) -> exists z: Q(y, z)",
+                           "Q(x, y) -> exists z: P(y, z)"}) {
+    auto tgd = parser.ParseTgd(text);
+    ASSERT_TRUE(tgd.ok());
+    tgds.push_back(std::move(tgd).value());
+  }
+  DependencyGraph graph(db.catalog(), tgds);
+  EXPECT_FALSE(graph.IsWeaklyAcyclic());
+}
+
+TEST(DependencyGraphTest, AcyclicChainWithExistentials) {
+  Database db;
+  (void)*db.CreateRelation("P", {"x"});
+  (void)*db.CreateRelation("Q", {"x", "y"});
+  (void)*db.CreateRelation("W", {"x"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  for (const char* text : {"P(x) -> exists y: Q(x, y)", "Q(x, y) -> W(y)"}) {
+    auto tgd = parser.ParseTgd(text);
+    ASSERT_TRUE(tgd.ok());
+    tgds.push_back(std::move(tgd).value());
+  }
+  DependencyGraph graph(db.catalog(), tgds);
+  EXPECT_TRUE(graph.IsWeaklyAcyclic());
+}
+
+TEST(DependencyGraphTest, EmptyTgdSetIsWeaklyAcyclic) {
+  Database db;
+  (void)*db.CreateRelation("P", {"x"});
+  DependencyGraph graph(db.catalog(), {});
+  EXPECT_TRUE(graph.IsWeaklyAcyclic());
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,115 @@
+#include "relational/isomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "core/update.h"
+#include "test_util.h"
+#include "tgd/parser.h"
+
+namespace youtopia {
+namespace {
+
+const Value kA = Value::Constant(1);
+const Value kB = Value::Constant(2);
+
+TEST(IsomorphismTest, IdenticalInstances) {
+  InstanceContents a{{{kA, kB}, {kB, kA}}};
+  EXPECT_TRUE(Isomorphic(a, a));
+}
+
+TEST(IsomorphismTest, NullRenamingIsIsomorphic) {
+  InstanceContents a{{{kA, Value::Null(1)}, {Value::Null(1), Value::Null(2)}}};
+  InstanceContents b{{{kA, Value::Null(7)}, {Value::Null(7), Value::Null(9)}}};
+  EXPECT_TRUE(Isomorphic(a, b));
+}
+
+TEST(IsomorphismTest, NullEqualityPatternMatters) {
+  // (n1, n1) is not isomorphic to (n1, n2): the bijection cannot identify
+  // two distinct nulls.
+  InstanceContents a{{{Value::Null(1), Value::Null(1)}}};
+  InstanceContents b{{{Value::Null(1), Value::Null(2)}}};
+  EXPECT_FALSE(Isomorphic(a, b));
+  EXPECT_FALSE(Isomorphic(b, a));
+}
+
+TEST(IsomorphismTest, BijectionIsGlobalAcrossTuples) {
+  // A: n1 links the two tuples; B: different nulls — not isomorphic even
+  // though tuples match pairwise.
+  InstanceContents a{{{kA, Value::Null(1)}}, {{Value::Null(1), kB}}};
+  InstanceContents b{{{kA, Value::Null(5)}}, {{Value::Null(6), kB}}};
+  EXPECT_FALSE(Isomorphic(a, b));
+  InstanceContents c{{{kA, Value::Null(5)}}, {{Value::Null(5), kB}}};
+  EXPECT_TRUE(Isomorphic(a, c));
+}
+
+TEST(IsomorphismTest, ConstantsMustMatchExactly) {
+  InstanceContents a{{{kA}}};
+  InstanceContents b{{{kB}}};
+  EXPECT_FALSE(Isomorphic(a, b));
+}
+
+TEST(IsomorphismTest, CardinalityMismatch) {
+  InstanceContents a{{{kA}, {kB}}};
+  InstanceContents b{{{kA}}};
+  EXPECT_FALSE(Isomorphic(a, b));
+}
+
+TEST(IsomorphismTest, CrossRelationNullSharing) {
+  // Null shared across relations must be preserved by the bijection.
+  InstanceContents a{{{Value::Null(1)}}, {{Value::Null(1)}}};
+  InstanceContents b{{{Value::Null(3)}}, {{Value::Null(4)}}};
+  EXPECT_FALSE(Isomorphic(a, b));
+  InstanceContents c{{{Value::Null(3)}}, {{Value::Null(3)}}};
+  EXPECT_TRUE(Isomorphic(a, c));
+}
+
+TEST(IsomorphismTest, PermutedTuplesWithinRelation) {
+  InstanceContents a{{{kA, Value::Null(1)}, {kB, Value::Null(2)}}};
+  InstanceContents b{{{kB, Value::Null(1)}, {kA, Value::Null(2)}}};
+  EXPECT_TRUE(Isomorphic(a, b));
+}
+
+TEST(IsomorphismTest, NeedsBacktracking) {
+  // Two all-null unary tuples in R0 and constraints from R1 force a
+  // specific pairing; a greedy first-match can pick wrong and must revise.
+  InstanceContents a{
+      {{Value::Null(1)}, {Value::Null(2)}},
+      {{Value::Null(2), kA}},
+  };
+  InstanceContents b{
+      {{Value::Null(8)}, {Value::Null(9)}},
+      {{Value::Null(8), kA}},
+  };
+  EXPECT_TRUE(Isomorphic(a, b));
+}
+
+TEST(IsomorphismTest, ChaseRunsWithDifferentNullIdsAreIsomorphic) {
+  // The same update sequence executed on two repositories whose null
+  // counters start at different offsets yields isomorphic states.
+  auto run = [](size_t null_offset) {
+    auto fig = std::make_unique<testing_util::Figure2>();
+    for (size_t i = 0; i < null_offset; ++i) fig->db.FreshNull();
+    ScriptedAgent agent;
+    Update u1(1,
+              WriteOp::Insert(fig->T, fig->Row({"Niagara Falls", "ABC",
+                                                "Toronto"})),
+              &fig->tgds);
+    u1.RunToCompletion(&fig->db, &agent);
+    Update u2(2, WriteOp::Insert(fig->C, fig->Row({"NYC"})), &fig->tgds);
+    // u2 hits a frontier (cyclic sigma1/sigma2); unify deterministically.
+    UnifyFirstAgent unify;
+    u2.RunToCompletion(&fig->db, &unify);
+    return fig;
+  };
+  auto fig1 = run(0);
+  auto fig2 = run(40);
+  EXPECT_TRUE(
+      DatabasesIsomorphic(fig1->db, kReadLatest, fig2->db, kReadLatest));
+  // Sanity: a further change breaks the isomorphism.
+  fig1->db.Apply(WriteOp::Insert(fig1->C, fig1->Row({"Boston"})), 5);
+  EXPECT_FALSE(
+      DatabasesIsomorphic(fig1->db, kReadLatest, fig2->db, kReadLatest));
+}
+
+}  // namespace
+}  // namespace youtopia

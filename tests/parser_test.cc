@@ -1,0 +1,118 @@
+#include "tgd/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace youtopia {
+namespace {
+
+using testing_util::Figure2;
+
+TEST(ParserTest, ParsesFigure2Mappings) {
+  Figure2 fig;
+  ASSERT_EQ(fig.tgds.size(), 4u);
+  const Tgd& sigma1 = fig.tgds[0];
+  EXPECT_EQ(sigma1.lhs().atoms.size(), 1u);
+  EXPECT_EQ(sigma1.rhs().atoms.size(), 1u);
+  EXPECT_EQ(sigma1.frontier_vars().size(), 1u);
+  EXPECT_EQ(sigma1.existential_vars().size(), 2u);
+
+  const Tgd& sigma2 = fig.tgds[1];
+  EXPECT_EQ(sigma2.rhs().atoms.size(), 2u);
+  EXPECT_TRUE(sigma2.existential_vars().empty());
+  EXPECT_EQ(sigma2.frontier_vars().size(), 2u);  // l and c
+  EXPECT_EQ(sigma2.lhs_only_vars().size(), 1u);  // a
+
+  const Tgd& sigma3 = fig.tgds[2];
+  EXPECT_EQ(sigma3.lhs().atoms.size(), 2u);
+  EXPECT_EQ(sigma3.existential_vars().size(), 1u);  // r
+  EXPECT_EQ(sigma3.lhs_only_vars().size(), 2u);     // l, s
+}
+
+TEST(ParserTest, ConstantsInAtoms) {
+  Figure2 fig;
+  TgdParser parser(&fig.db.catalog(), &fig.db.symbols());
+  auto tgd = parser.ParseTgd("T(n, co, 'Syracuse') -> exists r: R(co, n, r)");
+  ASSERT_TRUE(tgd.ok());
+  const Term& t = tgd->lhs().atoms[0].terms[2];
+  ASSERT_TRUE(t.is_constant());
+  EXPECT_EQ(fig.db.symbols().Text(t.constant()), "Syracuse");
+  // Double quotes work too.
+  EXPECT_TRUE(parser.ParseTgd("C(\"Ithaca\") -> exists a, l: S(a, l, \"Ithaca\")")
+                  .ok());
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  Figure2 fig;
+  TgdParser parser(&fig.db.catalog(), &fig.db.symbols());
+  for (const Tgd& tgd : fig.tgds) {
+    const std::string text = tgd.ToString(fig.db.catalog(), fig.db.symbols());
+    Result<Tgd> reparsed = parser.ParseTgd(text);
+    ASSERT_TRUE(reparsed.ok()) << text << ": " << reparsed.status().ToString();
+    EXPECT_EQ(reparsed->lhs().atoms.size(), tgd.lhs().atoms.size());
+    EXPECT_EQ(reparsed->rhs().atoms.size(), tgd.rhs().atoms.size());
+    EXPECT_EQ(reparsed->existential_vars().size(),
+              tgd.existential_vars().size());
+  }
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  Figure2 fig;
+  TgdParser parser(&fig.db.catalog(), &fig.db.symbols());
+  EXPECT_FALSE(parser.ParseTgd("C(c)").ok());                 // no arrow
+  EXPECT_FALSE(parser.ParseTgd("C(c) -> ").ok());             // empty RHS
+  EXPECT_FALSE(parser.ParseTgd("-> C(c)").ok());              // empty LHS
+  EXPECT_FALSE(parser.ParseTgd("Z(c) -> C(c)").ok());         // unknown rel
+  EXPECT_FALSE(parser.ParseTgd("C(c, d) -> C(c)").ok());      // arity
+  EXPECT_FALSE(parser.ParseTgd("C(c) -> C(c) extra").ok());   // trailing
+  EXPECT_FALSE(parser.ParseTgd("C('x) -> C('x)").ok());       // bad string
+  EXPECT_FALSE(parser.ParseTgd("C(c) -> exists : C(c)").ok());
+  EXPECT_FALSE(parser.ParseTgd("C(c) @ C(c)").ok());          // bad char
+}
+
+TEST(ParserTest, RejectsExistentialUsedOnLhs) {
+  Figure2 fig;
+  TgdParser parser(&fig.db.catalog(), &fig.db.symbols());
+  auto r = parser.ParseTgd("C(c) -> exists c: S(c, c, c)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, RejectsUnusedExistential) {
+  Figure2 fig;
+  TgdParser parser(&fig.db.catalog(), &fig.db.symbols());
+  EXPECT_FALSE(parser.ParseTgd("C(c) -> exists zz: C(c)").ok());
+}
+
+TEST(ParserTest, UndeclaredRhsOnlyVarsAreExistential) {
+  Figure2 fig;
+  TgdParser parser(&fig.db.catalog(), &fig.db.symbols());
+  // "exists" clause omitted entirely: a and l are inferred existential.
+  auto tgd = parser.ParseTgd("C(c) -> S(a, l, c)");
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_EQ(tgd->existential_vars().size(), 2u);
+}
+
+TEST(ParserTest, ParseQueryExposesVarNames) {
+  Figure2 fig;
+  TgdParser parser(&fig.db.catalog(), &fig.db.symbols());
+  auto q = parser.ParseQuery("A(l, n) & T(n, co, s)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->var_names.size(), 4u);
+  EXPECT_TRUE(q->VarByName("co").ok());
+  EXPECT_FALSE(q->VarByName("zz").ok());
+}
+
+TEST(TgdTest, CreateValidatesAgainstCatalog) {
+  Figure2 fig;
+  ConjunctiveQuery lhs;
+  Atom bad;
+  bad.rel = 999;
+  bad.terms.push_back(Term::Var(0));
+  lhs.atoms.push_back(bad);
+  ConjunctiveQuery rhs = lhs;
+  EXPECT_FALSE(Tgd::Create(lhs, rhs, {}, fig.db.catalog()).ok());
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,101 @@
+#include "query/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tgd/parser.h"
+
+namespace youtopia {
+namespace {
+
+using testing_util::Figure2;
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  std::vector<TupleData> Run(const char* body, std::vector<const char*> head,
+                             QuerySemantics semantics) {
+    TgdParser parser(&fig_.db.catalog(), &fig_.db.symbols());
+    auto q = parser.ParseQuery(body);
+    CHECK(q.ok());
+    std::vector<VarId> head_vars;
+    for (const char* name : head) head_vars.push_back(*q->VarByName(name));
+    Snapshot snap(&fig_.db, kReadLatest);
+    QueryEngine engine(snap);
+    return engine.Evaluate(q->body, head_vars, semantics);
+  }
+
+  Figure2 fig_;
+};
+
+TEST_F(QueryEngineTest, CertainAnswersExcludeNulls) {
+  // Tours joined with reviews: the Niagara Falls tour's company is the
+  // labeled null x1, so only the Geneva Winery row is certain.
+  const auto certain =
+      Run("T(n, co, s) & R(co, n2, r)", {"n", "co"}, QuerySemantics::kCertain);
+  ASSERT_EQ(certain.size(), 1u);
+  EXPECT_EQ(certain[0][0], fig_.Const("Geneva Winery"));
+}
+
+TEST_F(QueryEngineTest, BestEffortIncludesNullAnswers) {
+  const auto best = Run("T(n, co, s) & R(co, n2, r)", {"n", "co"},
+                        QuerySemantics::kBestEffort);
+  EXPECT_EQ(best.size(), 2u);
+}
+
+TEST_F(QueryEngineTest, ProjectionDeduplicates) {
+  // Both S tuples share the airport code SYR.
+  const auto rows = Run("S(a, l, c)", {"a"}, QuerySemantics::kCertain);
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST_F(QueryEngineTest, ConstantsInQueryBody) {
+  const auto rows =
+      Run("S(a, l, 'Ithaca')", {"l"}, QuerySemantics::kCertain);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], fig_.Const("Syracuse"));
+}
+
+TEST_F(QueryEngineTest, EmptyResultWhenNoMatch) {
+  EXPECT_TRUE(
+      Run("S(a, l, 'Toronto')", {"a"}, QuerySemantics::kBestEffort).empty());
+}
+
+TEST_F(QueryEngineTest, AskBooleanSemantics) {
+  TgdParser parser(&fig_.db.catalog(), &fig_.db.symbols());
+  Snapshot snap(&fig_.db, kReadLatest);
+  QueryEngine engine(snap);
+  // "Is there a review by x1?" — only via a null binding: best-effort yes,
+  // certain no.
+  auto q1 = parser.ParseQuery("T(n, co, 'Toronto') & R(co, n, r)");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_TRUE(engine.Ask(q1->body, QuerySemantics::kBestEffort));
+  EXPECT_FALSE(engine.Ask(q1->body, QuerySemantics::kCertain));
+  // A fully ground match is certain.
+  auto q2 = parser.ParseQuery("R('XYZ', n, r)");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(engine.Ask(q2->body, QuerySemantics::kCertain));
+}
+
+TEST_F(QueryEngineTest, CertainAnswersAreSubsetOfBestEffort) {
+  for (const char* body :
+       {"C(c)", "S(a, l, c)", "A(l, n) & T(n, co, s)",
+        "T(n, co, s) & R(co, n2, r)"}) {
+    TgdParser parser(&fig_.db.catalog(), &fig_.db.symbols());
+    auto q = parser.ParseQuery(body);
+    ASSERT_TRUE(q.ok());
+    std::vector<VarId> head = q->body.Variables();
+    Snapshot snap(&fig_.db, kReadLatest);
+    QueryEngine engine(snap);
+    const auto certain =
+        engine.Evaluate(q->body, head, QuerySemantics::kCertain);
+    const auto best =
+        engine.Evaluate(q->body, head, QuerySemantics::kBestEffort);
+    EXPECT_LE(certain.size(), best.size());
+    for (const TupleData& row : certain) {
+      EXPECT_NE(std::find(best.begin(), best.end(), row), best.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,128 @@
+#include "ccontrol/read_log.h"
+
+#include <gtest/gtest.h>
+
+#include "ccontrol/write_log.h"
+#include "test_util.h"
+
+namespace youtopia {
+namespace {
+
+using testing_util::Figure2;
+
+class ReadLogTest : public ::testing::Test {
+ protected:
+  ReadLogTest() : log_(&fig_.tgds) {}
+
+  PhysicalWrite Insert(RelationId rel, TupleData data) {
+    PhysicalWrite w;
+    w.kind = WriteKind::kInsert;
+    w.rel = rel;
+    w.data = std::move(data);
+    return w;
+  }
+
+  size_t CountCandidates(const PhysicalWrite& w, uint64_t writer) {
+    size_t n = 0;
+    log_.ForEachCandidate(w, writer,
+                          [&](uint64_t, const ReadQueryRecord&) { ++n; });
+    return n;
+  }
+
+  Figure2 fig_;
+  ReadLog log_;
+};
+
+TEST_F(ReadLogTest, DeduplicatesIdenticalQueries) {
+  const ReadQueryRecord q = ReadQueryRecord::Violation(
+      2, true, 0, fig_.Row({"Geneva", "Geneva Winery"}));
+  log_.Record(5, q);
+  log_.Record(5, q);
+  log_.Record(5, q);
+  EXPECT_EQ(log_.total_queries(), 1u);
+  // A different update may log the same query.
+  log_.Record(6, q);
+  EXPECT_EQ(log_.total_queries(), 2u);
+}
+
+TEST_F(ReadLogTest, CandidatesFilteredByWriterNumber) {
+  const ReadQueryRecord q = ReadQueryRecord::Violation(
+      2, true, 0, fig_.Row({"Geneva", "Geneva Winery"}));
+  log_.Record(5, q);
+  const PhysicalWrite w = Insert(fig_.T, fig_.Row({"Z", "Q", "S"}));
+  EXPECT_EQ(CountCandidates(w, 3), 1u);  // writer 3 < reader 5
+  EXPECT_EQ(CountCandidates(w, 5), 0u);  // own writes never conflict
+  EXPECT_EQ(CountCandidates(w, 7), 0u);  // writer after reader: reader sees it
+}
+
+TEST_F(ReadLogTest, CandidatesFilteredByRelation) {
+  // sigma3 touches A, T, R; a write to V yields no candidates.
+  log_.Record(5, ReadQueryRecord::Violation(
+                     2, true, 0, fig_.Row({"Geneva", "Geneva Winery"})));
+  EXPECT_EQ(CountCandidates(Insert(fig_.V, fig_.Row({"X", "Y"})), 1), 0u);
+  EXPECT_EQ(CountCandidates(Insert(fig_.R, fig_.Row({"X", "Y", "Z"})), 1), 1u);
+}
+
+TEST_F(ReadLogTest, NullOccurrenceIndexedByNull) {
+  log_.Record(5, ReadQueryRecord::NullOccurrence(fig_.x1));
+  PhysicalWrite with_null =
+      Insert(fig_.T, {fig_.Const("Z"), fig_.x1, fig_.Const("S")});
+  PhysicalWrite without_null = Insert(fig_.T, fig_.Row({"Z", "Q", "S"}));
+  EXPECT_EQ(CountCandidates(with_null, 1), 1u);
+  EXPECT_EQ(CountCandidates(without_null, 1), 0u);
+}
+
+TEST_F(ReadLogTest, MoreSpecificIndexedByRelation) {
+  log_.Record(5, ReadQueryRecord::MoreSpecific(fig_.C, {fig_.db.FreshNull()}));
+  EXPECT_EQ(CountCandidates(Insert(fig_.C, fig_.Row({"NYC"})), 1), 1u);
+  EXPECT_EQ(CountCandidates(Insert(fig_.A, fig_.Row({"X", "Y"})), 1), 0u);
+}
+
+TEST_F(ReadLogTest, EraseUpdateDropsEverything) {
+  log_.Record(5, ReadQueryRecord::MoreSpecific(fig_.C, {fig_.db.FreshNull()}));
+  log_.Record(5, ReadQueryRecord::NullOccurrence(fig_.x1));
+  log_.Record(6, ReadQueryRecord::MoreSpecific(fig_.C, {fig_.db.FreshNull()}));
+  EXPECT_EQ(log_.total_queries(), 3u);
+  log_.EraseUpdate(5);
+  EXPECT_EQ(log_.total_queries(), 1u);
+  EXPECT_EQ(CountCandidates(Insert(fig_.C, fig_.Row({"NYC"})), 1), 1u);
+  EXPECT_EQ(log_.QueriesOf(5), nullptr);
+  ASSERT_NE(log_.QueriesOf(6), nullptr);
+  EXPECT_EQ(log_.QueriesOf(6)->size(), 1u);
+}
+
+TEST_F(ReadLogTest, MultipleReadersSameRelation) {
+  for (uint64_t u = 5; u < 10; ++u) {
+    log_.Record(u, ReadQueryRecord::MoreSpecific(fig_.C,
+                                                 {fig_.db.FreshNull()}));
+  }
+  EXPECT_EQ(CountCandidates(Insert(fig_.C, fig_.Row({"NYC"})), 1), 5u);
+  EXPECT_EQ(CountCandidates(Insert(fig_.C, fig_.Row({"NYC"})), 7), 2u);
+}
+
+TEST(WriteLogTest, RecordAndEraseMaintainWriterSets) {
+  Figure2 fig;
+  WriteLog wlog;
+  PhysicalWrite w;
+  w.kind = WriteKind::kInsert;
+  w.rel = fig.T;
+  w.data = fig.Row({"Z", "Q", "S"});
+  wlog.Record(1, w);
+  wlog.Record(1, w);
+  wlog.Record(2, w);
+  EXPECT_EQ(wlog.size(), 3u);
+  std::unordered_set<uint64_t> writers;
+  wlog.WritersOf(fig.T, &writers);
+  EXPECT_EQ(writers.size(), 2u);
+  wlog.EraseUpdate(1);
+  EXPECT_EQ(wlog.size(), 1u);
+  writers.clear();
+  wlog.WritersOf(fig.T, &writers);
+  EXPECT_EQ(writers.size(), 1u);
+  size_t entries_of_2 = 0;
+  wlog.ForEachEntryOf(2, [&](const PhysicalWrite&) { ++entries_of_2; });
+  EXPECT_EQ(entries_of_2, 1u);
+}
+
+}  // namespace
+}  // namespace youtopia

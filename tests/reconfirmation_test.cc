@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/update.h"
+#include "test_util.h"
+
+namespace youtopia {
+namespace {
+
+using testing_util::Figure2;
+
+// The Section 2.3 extension: a user may *reconfirm* a proper subset of a
+// negative frontier (protect it from deletion) instead of choosing victims.
+
+class ReconfirmingAgent : public FrontierAgent {
+ public:
+  explicit ReconfirmingAgent(std::vector<NegativeDecision> script)
+      : script_(std::move(script)) {}
+
+  PositiveDecision DecidePositive(const Snapshot&, const FrontierTuple& t,
+                                  const Provenance&) override {
+    return PositiveDecision::Unify(t.more_specific.front());
+  }
+  std::vector<size_t> DecideNegative(const Snapshot&,
+                                     const NegativeFrontier&) override {
+    CHECK(false);  // the extended entry point must be used
+    return {};
+  }
+  NegativeDecision DecideNegativeExtended(const Snapshot&,
+                                          const NegativeFrontier& nf) override {
+    CHECK(!script_.empty());
+    last_candidate_count = nf.candidates.size();
+    NegativeDecision d = std::move(script_.front());
+    script_.erase(script_.begin());
+    return d;
+  }
+
+  size_t last_candidate_count = 0;
+  std::vector<NegativeDecision> script_;
+};
+
+TEST(ReconfirmationTest, ReconfirmNarrowsToDeterministicDelete) {
+  // Example 2.3 with reconfirmation: the user protects the attraction; the
+  // tour is then the only candidate left and is deleted without a second
+  // question.
+  Figure2 fig;
+  ReconfirmingAgent agent({NegativeDecision::Reconfirm({0})});
+  const RowId review_row = *fig.db.FindRowWithData(
+      fig.R, fig.Row({"XYZ", "Geneva Winery", "Great!"}), 0);
+  Update update(1, WriteOp::Delete(fig.R, review_row), &fig.tgds);
+  update.RunToCompletion(&fig.db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_TRUE(agent.script_.empty());
+  EXPECT_TRUE(fig.Contains(fig.A, {"Geneva", "Geneva Winery"}));
+  EXPECT_FALSE(fig.Contains(fig.T, {"Geneva Winery", "XYZ", "Syracuse"}));
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(ReconfirmationTest, RepeatedReconfirmationNarrowsStepwise) {
+  // Three witnesses: reconfirm one, then another; the third is deleted
+  // deterministically.
+  Database db;
+  const RelationId p = *db.CreateRelation("P", {"x"});
+  const RelationId q = *db.CreateRelation("Q", {"x"});
+  const RelationId r = *db.CreateRelation("Rr", {"x"});
+  const RelationId w = *db.CreateRelation("W", {"x"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  tgds.push_back(*parser.ParseTgd("P(x) & Q(x) & Rr(x) -> W(x)"));
+  const Value a = db.InternConstant("a");
+  db.Apply(WriteOp::Insert(p, {a}), 0);
+  db.Apply(WriteOp::Insert(q, {a}), 0);
+  db.Apply(WriteOp::Insert(r, {a}), 0);
+  auto ww = db.Apply(WriteOp::Insert(w, {a}), 0);
+
+  ReconfirmingAgent agent({NegativeDecision::Reconfirm({0}),
+                           NegativeDecision::Reconfirm({0})});
+  Update update(1, WriteOp::Delete(w, ww[0].row), &tgds);
+  update.RunToCompletion(&db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_TRUE(agent.script_.empty());
+  // P and Q survive (reconfirmed in candidate order), Rr was deleted.
+  EXPECT_EQ(db.CountVisible(p, 1), 1u);
+  EXPECT_EQ(db.CountVisible(q, 1), 1u);
+  EXPECT_EQ(db.CountVisible(r, 1), 0u);
+  ViolationDetector detector(&tgds);
+  Snapshot snap(&db, 1);
+  EXPECT_TRUE(detector.SatisfiesAll(snap));
+}
+
+TEST(ReconfirmationTest, MixedScriptDeleteAfterReconfirm) {
+  // Reconfirm one of three, then delete one of the remaining two.
+  Database db;
+  const RelationId p = *db.CreateRelation("P", {"x"});
+  const RelationId q = *db.CreateRelation("Q", {"x"});
+  const RelationId r = *db.CreateRelation("Rr", {"x"});
+  const RelationId w = *db.CreateRelation("W", {"x"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  tgds.push_back(*parser.ParseTgd("P(x) & Q(x) & Rr(x) -> W(x)"));
+  const Value a = db.InternConstant("a");
+  db.Apply(WriteOp::Insert(p, {a}), 0);
+  db.Apply(WriteOp::Insert(q, {a}), 0);
+  db.Apply(WriteOp::Insert(r, {a}), 0);
+  auto ww = db.Apply(WriteOp::Insert(w, {a}), 0);
+
+  ReconfirmingAgent agent({NegativeDecision::Reconfirm({1}),
+                           NegativeDecision::Delete({1})});
+  Update update(1, WriteOp::Delete(w, ww[0].row), &tgds);
+  update.RunToCompletion(&db, &agent);
+  EXPECT_TRUE(update.finished());
+  // Candidates [P,Q,Rr]: Q reconfirmed; remaining [P,Rr]; delete index 1
+  // -> Rr gone.
+  EXPECT_EQ(db.CountVisible(p, 1), 1u);
+  EXPECT_EQ(db.CountVisible(q, 1), 1u);
+  EXPECT_EQ(db.CountVisible(r, 1), 0u);
+  EXPECT_EQ(agent.last_candidate_count, 2u);
+}
+
+TEST(ReconfirmationTest, DefaultAgentsUnaffected) {
+  // Agents implementing only the base operation keep working through the
+  // extended entry point's default.
+  Figure2 fig;
+  ScriptedAgent agent;
+  agent.PushNegative({1});
+  const RowId review_row = *fig.db.FindRowWithData(
+      fig.R, fig.Row({"XYZ", "Geneva Winery", "Great!"}), 0);
+  Update update(1, WriteOp::Delete(fig.R, review_row), &fig.tgds);
+  update.RunToCompletion(&fig.db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_FALSE(fig.Contains(fig.T, {"Geneva Winery", "XYZ", "Syracuse"}));
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,188 @@
+#include "ccontrol/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace youtopia {
+namespace {
+
+using testing_util::Figure2;
+
+TEST(SchedulerTest, SingleUpdateRunsLikeSerialChase) {
+  Figure2 fig;
+  ScriptedAgent agent;
+  SchedulerOptions opts;
+  Scheduler sched(&fig.db, &fig.tgds, &agent, opts);
+  sched.Submit(WriteOp::Insert(
+      fig.T, fig.Row({"Niagara Falls", "ABC Tours", "Toronto"})));
+  sched.RunToCompletion();
+  EXPECT_EQ(sched.stats().updates_completed, 1u);
+  EXPECT_EQ(sched.stats().aborts, 0u);
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(SchedulerTest, Example31InterferencePreventedByAbort) {
+  // The paper's Example 3.1: u1 deletes the review and eventually deletes
+  // the tour; u2 concurrently inserts a convention and prematurely derives
+  // an excursion idea from the doomed tour. Algorithm 4 must abort u2, and
+  // its redo must NOT insert E(Math Conf, Geneva Winery).
+  Figure2 fig;
+  ScriptedAgent agent;
+  agent.PushNegative({1});  // u1's frontier op: delete the T tuple
+
+  SchedulerOptions opts;
+  opts.tracker = TrackerKind::kCoarse;
+  Scheduler sched(&fig.db, &fig.tgds, &agent, opts);
+  const RowId review_row = *fig.db.FindRowWithData(
+      fig.R, fig.Row({"XYZ", "Geneva Winery", "Great!"}), 0);
+  const uint64_t u1 = sched.Submit(WriteOp::Delete(fig.R, review_row));
+  const uint64_t u2 =
+      sched.Submit(WriteOp::Insert(fig.V, fig.Row({"Syracuse", "Math Conf"})));
+  EXPECT_EQ(u1, 1u);
+  EXPECT_EQ(u2, 2u);
+  sched.RunToCompletion();
+
+  EXPECT_GE(sched.stats().aborts, 1u);
+  EXPECT_GE(sched.stats().direct_conflict_aborts, 1u);
+  EXPECT_EQ(sched.stats().updates_completed, 2u);
+
+  // Serializable outcome: the tour is gone, so no excursion idea exists.
+  EXPECT_FALSE(fig.Contains(fig.T, {"Geneva Winery", "XYZ", "Syracuse"}));
+  EXPECT_FALSE(fig.Contains(fig.E, {"Math Conf", "Geneva Winery"}));
+  EXPECT_TRUE(fig.Contains(fig.V, {"Syracuse", "Math Conf"}));
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(SchedulerTest, Example31SerialOrderMatchesConcurrentOutcome) {
+  // Reference: running u1 to completion, then u2, yields the same database.
+  Figure2 fig;
+  ScriptedAgent agent;
+  agent.PushNegative({1});
+  const RowId review_row = *fig.db.FindRowWithData(
+      fig.R, fig.Row({"XYZ", "Geneva Winery", "Great!"}), 0);
+  Update u1(1, WriteOp::Delete(fig.R, review_row), &fig.tgds);
+  u1.RunToCompletion(&fig.db, &agent);
+  Update u2(2, WriteOp::Insert(fig.V, fig.Row({"Syracuse", "Math Conf"})),
+            &fig.tgds);
+  u2.RunToCompletion(&fig.db, &agent);
+
+  EXPECT_FALSE(fig.Contains(fig.E, {"Math Conf", "Geneva Winery"}));
+  EXPECT_TRUE(fig.Contains(fig.V, {"Syracuse", "Math Conf"}));
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(SchedulerTest, NonConflictingUpdatesDoNotAbort) {
+  Figure2 fig;
+  ScriptedAgent agent;
+  SchedulerOptions opts;
+  Scheduler sched(&fig.db, &fig.tgds, &agent, opts);
+  // Touch disjoint parts of the repository.
+  sched.Submit(WriteOp::Insert(fig.A, fig.Row({"Ithaca", "Gorges"})));
+  sched.Submit(WriteOp::Insert(fig.V, fig.Row({"Ithaca", "DB Conf"})));
+  sched.RunToCompletion();
+  EXPECT_EQ(sched.stats().aborts, 0u);
+  EXPECT_EQ(sched.stats().updates_completed, 2u);
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(SchedulerTest, NaiveCascadesAbortEverythingYounger) {
+  Figure2 fig;
+  ScriptedAgent agent;
+  agent.PushNegative({1});
+  SchedulerOptions opts;
+  opts.tracker = TrackerKind::kNaive;
+  Scheduler sched(&fig.db, &fig.tgds, &agent, opts);
+  const RowId review_row = *fig.db.FindRowWithData(
+      fig.R, fig.Row({"XYZ", "Geneva Winery", "Great!"}), 0);
+  sched.Submit(WriteOp::Delete(fig.R, review_row));
+  sched.Submit(WriteOp::Insert(fig.V, fig.Row({"Syracuse", "Math Conf"})));
+  // A bystander with nothing to do with the conflict.
+  sched.Submit(WriteOp::Insert(fig.A, fig.Row({"Ithaca", "Gorges"})));
+  sched.RunToCompletion();
+  // NAIVE requests cascading aborts for innocent bystanders too.
+  EXPECT_GE(sched.stats().cascading_abort_requests, 1u);
+  EXPECT_GE(sched.stats().aborts, 2u);
+  EXPECT_EQ(sched.stats().updates_completed, 3u);
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(SchedulerTest, CoarseSparesUnrelatedBystander) {
+  Figure2 fig;
+  ScriptedAgent agent;
+  agent.PushNegative({1});
+  SchedulerOptions opts;
+  opts.tracker = TrackerKind::kCoarse;
+  Scheduler sched(&fig.db, &fig.tgds, &agent, opts);
+  const RowId review_row = *fig.db.FindRowWithData(
+      fig.R, fig.Row({"XYZ", "Geneva Winery", "Great!"}), 0);
+  sched.Submit(WriteOp::Delete(fig.R, review_row));
+  sched.Submit(WriteOp::Insert(fig.V, fig.Row({"Syracuse", "Math Conf"})));
+  sched.Submit(WriteOp::Insert(fig.V, fig.Row({"Ithaca", "DB Conf"})));
+  sched.RunToCompletion();
+  // Only the truly conflicting u2 aborts; the bystander V insert does not
+  // read from u2 (no tours start in Ithaca) — but COARSE may still cascade
+  // it if u2 wrote V... u2's first write is V, and the bystander's
+  // violation query touches V and T. Accept either, but require
+  // substantially fewer aborts than submitted updates.
+  EXPECT_LE(sched.stats().aborts, 2u);
+  EXPECT_EQ(sched.stats().updates_completed, 3u);
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(SchedulerTest, AbortedUpdateRestartsWithHigherNumber) {
+  Figure2 fig;
+  ScriptedAgent agent;
+  agent.PushNegative({1});
+  SchedulerOptions opts;
+  Scheduler sched(&fig.db, &fig.tgds, &agent, opts);
+  const RowId review_row = *fig.db.FindRowWithData(
+      fig.R, fig.Row({"XYZ", "Geneva Winery", "Great!"}), 0);
+  sched.Submit(WriteOp::Delete(fig.R, review_row));
+  const uint64_t u2 =
+      sched.Submit(WriteOp::Insert(fig.V, fig.Row({"Syracuse", "Math Conf"})));
+  sched.RunToCompletion();
+  // u2's slot is now registered under a fresh number > u2.
+  EXPECT_EQ(sched.FindUpdate(u2), nullptr);
+  const Update* redone = sched.FindUpdate(3);
+  ASSERT_NE(redone, nullptr);
+  EXPECT_GE(redone->attempts(), 2u);
+}
+
+TEST(SchedulerTest, ManyIndependentInsertsAllComplete) {
+  Figure2 fig;
+  RandomAgent agent(3);
+  SchedulerOptions opts;
+  Scheduler sched(&fig.db, &fig.tgds, &agent, opts);
+  for (int i = 0; i < 20; ++i) {
+    sched.Submit(WriteOp::Insert(
+        fig.A, fig.Row({"Place" + std::to_string(i), "Attraction"})));
+  }
+  sched.RunToCompletion();
+  EXPECT_EQ(sched.stats().updates_completed, 20u);
+  EXPECT_EQ(sched.num_failed(), 0u);
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(SchedulerTest, FinalDatabaseSatisfiesMappingsUnderContention) {
+  // Many updates over the same relations; whatever aborts happen, the final
+  // state must satisfy every mapping (Theorem 4.4's practical corollary).
+  Figure2 fig;
+  RandomAgent agent(11);
+  SchedulerOptions opts;
+  opts.tracker = TrackerKind::kPrecise;
+  Scheduler sched(&fig.db, &fig.tgds, &agent, opts);
+  for (int i = 0; i < 10; ++i) {
+    sched.Submit(WriteOp::Insert(
+        fig.T, fig.Row({"Niagara Falls", "Op" + std::to_string(i),
+                        "Syracuse"})));
+    sched.Submit(WriteOp::Insert(
+        fig.V, fig.Row({"Syracuse", "Conf" + std::to_string(i)})));
+  }
+  sched.RunToCompletion();
+  EXPECT_EQ(sched.stats().updates_completed, 20u);
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,125 @@
+#include "query/specificity.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace youtopia {
+namespace {
+
+const Value kA = Value::Constant(1);
+const Value kB = Value::Constant(2);
+const Value kN1 = Value::Null(1);
+const Value kN2 = Value::Null(2);
+const Value kN3 = Value::Null(3);
+
+TEST(SpecificityTest, PaperExampleCityTuple) {
+  // C(NYC) is more specific than C(x4), not vice versa.
+  EXPECT_TRUE(IsMoreSpecific({kA}, {kN1}));
+  EXPECT_FALSE(IsMoreSpecific({kN1}, {kA}));
+}
+
+TEST(SpecificityTest, Reflexive) {
+  EXPECT_TRUE(IsMoreSpecific({kA, kN1}, {kA, kN1}));
+}
+
+TEST(SpecificityTest, ConstantsMustMatchExactly) {
+  EXPECT_FALSE(IsMoreSpecific({kB}, {kA}));
+  EXPECT_TRUE(IsMoreSpecific({kA, kB}, {kA, kN1}));
+  EXPECT_FALSE(IsMoreSpecific({kA, kB}, {kB, kN1}));
+}
+
+TEST(SpecificityTest, MapMustBeAFunction) {
+  // (n1, n1) can map to (a, a) but not to (a, b).
+  EXPECT_TRUE(IsMoreSpecific({kA, kA}, {kN1, kN1}));
+  EXPECT_FALSE(IsMoreSpecific({kA, kB}, {kN1, kN1}));
+}
+
+TEST(SpecificityTest, NullToNullRenamingCounts) {
+  // Definition 2.4 allows f to map nulls to nulls.
+  EXPECT_TRUE(IsMoreSpecific({kN2}, {kN1}));
+  EXPECT_TRUE(IsMoreSpecific({kN2, kN2}, {kN1, kN1}));
+  EXPECT_FALSE(IsMoreSpecific({kN2, kN3}, {kN1, kN1}));
+}
+
+TEST(SpecificityTest, DifferentArityNeverComparable) {
+  EXPECT_FALSE(IsMoreSpecific({kA}, {kA, kB}));
+}
+
+TEST(SpecificityTest, TransitivityOnRandomTuples) {
+  // Property sweep: specificity is transitive.
+  Rng rng(7);
+  auto random_tuple = [&](size_t arity) {
+    TupleData t;
+    for (size_t i = 0; i < arity; ++i) {
+      if (rng.Chance(0.5)) {
+        t.push_back(Value::Constant(rng.Uniform(3)));
+      } else {
+        t.push_back(Value::Null(rng.Uniform(3)));
+      }
+    }
+    return t;
+  };
+  size_t checked = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    const TupleData a = random_tuple(3);
+    const TupleData b = random_tuple(3);
+    const TupleData c = random_tuple(3);
+    if (IsMoreSpecific(c, b) && IsMoreSpecific(b, a)) {
+      ++checked;
+      EXPECT_TRUE(IsMoreSpecific(c, a))
+          << "transitivity violated at iter " << iter;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(FindMoreSpecificTest, UsesConstantColumnIndex) {
+  testing_util::Figure2 fig;
+  Snapshot snap(&fig.db, kReadLatest);
+  // Generated tuple R(ABC, Niagara Falls, z): nothing more specific (the x1
+  // row has a different company pattern... x1 is a null, so R(x1, Niagara
+  // Falls, x2) is NOT more specific than a tuple with constant ABC).
+  const TupleData probe{fig.Const("ABC"), fig.Const("Niagara Falls"),
+                        fig.db.FreshNull()};
+  std::vector<RowId> rows;
+  FindMoreSpecificRows(snap, fig.R, probe, /*exclude_equal=*/false, &rows);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(FindMoreSpecificTest, FindsCandidatesForGeneralTuple) {
+  testing_util::Figure2 fig;
+  Snapshot snap(&fig.db, kReadLatest);
+  // C(x) is generalized by every city.
+  const TupleData probe{fig.db.FreshNull()};
+  std::vector<RowId> rows;
+  FindMoreSpecificRows(snap, fig.C, probe, /*exclude_equal=*/false, &rows);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(FindMoreSpecificTest, ExcludeEqualSkipsExactCopy) {
+  testing_util::Figure2 fig;
+  Snapshot snap(&fig.db, kReadLatest);
+  const TupleData probe = fig.Row({"Ithaca"});
+  std::vector<RowId> with_equal;
+  std::vector<RowId> without_equal;
+  FindMoreSpecificRows(snap, fig.C, probe, false, &with_equal);
+  FindMoreSpecificRows(snap, fig.C, probe, true, &without_equal);
+  EXPECT_EQ(with_equal.size(), 1u);
+  EXPECT_TRUE(without_equal.empty());
+}
+
+TEST(FindMoreSpecificTest, RespectsVisibility) {
+  testing_util::Figure2 fig;
+  const RowId row = *fig.db.FindRowWithData(fig.C, fig.Row({"Ithaca"}), 0);
+  fig.db.Apply(WriteOp::Delete(fig.C, row), 5);
+  const TupleData probe{fig.db.FreshNull()};
+  std::vector<RowId> rows;
+  Snapshot snap(&fig.db, 5);
+  FindMoreSpecificRows(snap, fig.C, probe, false, &rows);
+  EXPECT_EQ(rows.size(), 1u);  // only Syracuse remains
+}
+
+}  // namespace
+}  // namespace youtopia

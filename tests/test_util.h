@@ -1,0 +1,93 @@
+#ifndef YOUTOPIA_TESTS_TEST_UTIL_H_
+#define YOUTOPIA_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/violation_detector.h"
+#include "relational/database.h"
+#include "tgd/parser.h"
+#include "tgd/tgd.h"
+#include "util/check.h"
+
+namespace youtopia {
+namespace testing_util {
+
+// Builds the paper's Figure 2 travel repository: relations C, S, A, T, R, V,
+// E with mappings sigma1..sigma4 (cyclic through C and S) and the example
+// tuples. Nulls x1 and x2 are exposed for tests.
+struct Figure2 {
+  Database db;
+  std::vector<Tgd> tgds;
+  RelationId C, S, A, T, R, V, E;
+  Value x1, x2;
+
+  Figure2() {
+    C = *db.CreateRelation("C", {"city"});
+    S = *db.CreateRelation("S", {"code", "location", "city_served"});
+    A = *db.CreateRelation("A", {"location", "name"});
+    T = *db.CreateRelation("T", {"attraction", "company", "tour_start"});
+    R = *db.CreateRelation("R", {"company", "attraction", "review"});
+    V = *db.CreateRelation("V", {"city", "convention"});
+    E = *db.CreateRelation("E", {"convention", "attraction"});
+
+    TgdParser parser(&db.catalog(), &db.symbols());
+    auto add = [&](const char* text) {
+      Result<Tgd> tgd = parser.ParseTgd(text);
+      CHECK(tgd.ok());
+      tgds.push_back(std::move(tgd).value());
+    };
+    add("C(c) -> exists a, l: S(a, l, c)");
+    add("S(a, l, c) -> C(l) & C(c)");
+    add("A(l, n) & T(n, co, s) -> exists r: R(co, n, r)");
+    add("V(c, x) & T(n, co, c) -> E(x, n)");
+
+    x1 = db.FreshNull();
+    x2 = db.FreshNull();
+
+    Seed(C, {{"Ithaca"}, {"Syracuse"}});
+    Seed(S, {{"SYR", "Syracuse", "Syracuse"}, {"SYR", "Syracuse", "Ithaca"}});
+    Seed(A, {{"Geneva", "Geneva Winery"},
+             {"Niagara Falls", "Niagara Falls"}});
+    SeedRow(T, {Const("Geneva Winery"), Const("XYZ"), Const("Syracuse")});
+    SeedRow(T, {Const("Niagara Falls"), x1, Const("Toronto")});
+    SeedRow(R, {Const("XYZ"), Const("Geneva Winery"), Const("Great!")});
+    SeedRow(R, {x1, Const("Niagara Falls"), x2});
+    Seed(V, {{"Syracuse", "Science Conf"}});
+    Seed(E, {{"Science Conf", "Geneva Winery"}});
+  }
+
+  Value Const(const std::string& text) { return db.InternConstant(text); }
+
+  TupleData Row(const std::vector<std::string>& values) {
+    TupleData data;
+    for (const std::string& v : values) data.push_back(Const(v));
+    return data;
+  }
+
+  void SeedRow(RelationId rel, TupleData data) {
+    const auto writes = db.Apply(WriteOp::Insert(rel, std::move(data)),
+                                 /*update_number=*/0);
+    CHECK_EQ(writes.size(), 1u);
+  }
+
+  void Seed(RelationId rel,
+            const std::vector<std::vector<std::string>>& rows) {
+    for (const auto& r : rows) SeedRow(rel, Row(r));
+  }
+
+  bool Satisfied() const {
+    ViolationDetector detector(&tgds);
+    Snapshot snap(&db, kReadLatest);
+    return detector.SatisfiesAll(snap);
+  }
+
+  bool Contains(RelationId rel, const std::vector<std::string>& values) {
+    return db.FindRowWithData(rel, Row(values), kReadLatest).has_value();
+  }
+};
+
+}  // namespace testing_util
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/update.h"
+#include "test_util.h"
+#include "tgd/parser.h"
+
+namespace youtopia {
+namespace {
+
+using testing_util::Figure2;
+
+// Tests for the unification frontier operation: global null substitution,
+// shared fresh nulls within a frontier group, and the follow-on violations
+// unification may create.
+
+TEST(UnificationTest, UnifyReplacesNullEverywhere) {
+  // JFK scenario: unifying C(x4) with C(NYC) rewrites the S tuple that
+  // contains x4 as well.
+  Figure2 fig;
+  ScriptedAgent agent;
+  agent.PushPositive(PositiveDecision::Unify(2));  // C row 2 = NYC
+  Update update(1, WriteOp::Insert(fig.S, fig.Row({"JFK", "NYC", "Ithaca"})),
+                &fig.tgds);
+  update.RunToCompletion(&fig.db, &agent);
+
+  // No tuple in the database mentions the unified null anymore: every S
+  // location is now a constant except the chase-created airport code.
+  Snapshot snap(&fig.db, 1);
+  snap.ForEachVisible(fig.S, [&](RowId, const TupleData& data) {
+    EXPECT_FALSE(data[1].is_null()) << "location should have been unified";
+  });
+}
+
+TEST(UnificationTest, UnificationTriggersFollowOnChase) {
+  // Unifying a null with a constant can create new LHS matches: we unify a
+  // null city with Syracuse, which suddenly matches sigma4's join with the
+  // Science Conf convention.
+  Figure2 fig;
+  // A tour starting at an unknown city.
+  const Value unknown_city = fig.db.FreshNull();
+  Update setup(1,
+               WriteOp::Insert(fig.T, {fig.Const("Niagara Falls"),
+                                       fig.Const("NF Tours"), unknown_city}),
+               &fig.tgds);
+  ScriptedAgent setup_agent;
+  setup.RunToCompletion(&fig.db, &setup_agent);
+  ASSERT_TRUE(fig.Satisfied());
+  EXPECT_FALSE(fig.Contains(fig.E, {"Science Conf", "Niagara Falls"}));
+
+  // A user completes the unknown city with Syracuse.
+  Update complete(2, WriteOp::NullReplace(unknown_city,
+                                          fig.Const("Syracuse")),
+                  &fig.tgds);
+  complete.RunToCompletion(&fig.db, &setup_agent);
+  EXPECT_TRUE(complete.finished());
+  // sigma4 fired: the convention gained an excursion idea.
+  EXPECT_TRUE(fig.Contains(fig.E, {"Science Conf", "Niagara Falls"}));
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(UnificationTest, GroupSharesFreshNullsAcrossDecisions) {
+  // RHS with two atoms sharing an existential: expanding the first tuple
+  // writes the fresh null; unifying the second must then issue a real
+  // NullReplace that also rewrites the first.
+  Database db;
+  const RelationId p = *db.CreateRelation("P", {"x"});
+  const RelationId q = *db.CreateRelation("Q", {"x", "y"});
+  const RelationId r = *db.CreateRelation("Rr", {"y"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  tgds.push_back(*parser.ParseTgd("P(x) -> exists y: Q(x, y) & Rr(y)"));
+
+  // Pre-existing data making the frontier appear: a Q row with a null y
+  // candidate and an Rr row.
+  const Value a = db.InternConstant("a");
+  const Value old_null = db.FreshNull();
+  db.Apply(WriteOp::Insert(q, {a, old_null}), 0);
+  // Now Q(a, y') generated will find Q(a, old_null) more specific.
+  // Note: P(a) insert fires the tgd; RHS already satisfiable? Rr must lack
+  // a matching row for old_null, so the violation is real.
+  ScriptedAgent agent;
+  // Decision 1 for Q(a, y_fresh): unify with Q(a, old_null) => y := old_null.
+  agent.PushPositive(PositiveDecision::Unify(0));
+  // After unification, Rr(y) became Rr(old_null); no Rr row exists, and no
+  // more specific candidate either -> forced expand (no agent consult).
+  Update update(1, WriteOp::Insert(p, {a}), &tgds);
+  update.RunToCompletion(&db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_TRUE(agent.exhausted());
+
+  // Rr contains exactly the unified null.
+  Snapshot snap(&db, 1);
+  size_t rows = 0;
+  snap.ForEachVisible(r, [&](RowId, const TupleData& data) {
+    ++rows;
+    EXPECT_EQ(data[0], old_null);
+  });
+  EXPECT_EQ(rows, 1u);
+  ViolationDetector detector(&tgds);
+  EXPECT_TRUE(detector.SatisfiesAll(snap));
+}
+
+TEST(UnificationTest, ExpandThenUnifyWritesNullReplace) {
+  // Same schema, but the user expands Q(a, y) first and then unifies Rr(y)
+  // with an existing more specific Rr row: y was already written to the
+  // database, so the unification must rewrite the stored Q tuple.
+  Database db;
+  const RelationId p = *db.CreateRelation("P", {"x"});
+  const RelationId q = *db.CreateRelation("Q", {"x", "y"});
+  const RelationId r = *db.CreateRelation("Rr", {"y"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  tgds.push_back(*parser.ParseTgd("P(x) -> exists y: Q(x, y) & Rr(y)"));
+
+  const Value a = db.InternConstant("a");
+  const Value b = db.InternConstant("b");
+  db.Apply(WriteOp::Insert(r, {b}), 0);  // existing Rr(b)
+
+  ScriptedAgent agent;
+  // Q(a, y): no more-specific candidate -> forced expand, y written.
+  // Rr(y): Rr(b) is more specific -> user unifies, y := b globally.
+  agent.PushPositive(PositiveDecision::Unify(0));
+  Update update(1, WriteOp::Insert(p, {a}), &tgds);
+  update.RunToCompletion(&db, &agent);
+  EXPECT_TRUE(update.finished());
+
+  // The stored Q tuple was rewritten to (a, b) by the NullReplace.
+  Snapshot snap(&db, 1);
+  EXPECT_TRUE(snap.Contains(q, {a, b}));
+  EXPECT_EQ(db.CountVisible(r, 1), 1u);
+  ViolationDetector detector(&tgds);
+  EXPECT_TRUE(detector.SatisfiesAll(snap));
+}
+
+TEST(UnificationTest, NullReplacementByUserIsGlobal) {
+  Figure2 fig;
+  ScriptedAgent agent;
+  Update update(1, WriteOp::NullReplace(fig.x1, fig.Const("ABC Tours")),
+                &fig.tgds);
+  update.RunToCompletion(&fig.db, &agent);
+  EXPECT_TRUE(update.finished());
+  EXPECT_TRUE(fig.Contains(fig.T, {"Niagara Falls", "ABC Tours", "Toronto"}));
+  // The R tuple still holds x2 in the review column but ABC Tours in the
+  // company column.
+  Snapshot snap(&fig.db, 1);
+  bool found = false;
+  snap.ForEachVisible(fig.R, [&](RowId, const TupleData& data) {
+    if (data[0] == fig.Const("ABC Tours")) {
+      found = true;
+      EXPECT_EQ(data[2], fig.x2);
+    }
+  });
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace youtopia {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status err = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.message(), "bad input");
+  EXPECT_EQ(err.ToString(), "bad input");
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+}
+
+TEST(ResultTest, ValueAndStatusAccess) {
+  Result<int> ok_result(42);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 42);
+  Result<int> err_result(Status::NotFound("nope"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> r(std::string(1000, 'x'));
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(RngTest, DeterministicInSeed) {
+  Rng a(123);
+  Rng b(123);
+  Rng c(124);
+  bool diverged_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) diverged_from_c = true;
+  }
+  EXPECT_TRUE(diverged_from_c);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversDomain) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Chance(0.3) ? 1 : 0;
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace youtopia

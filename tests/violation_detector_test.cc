@@ -1,0 +1,168 @@
+#include "core/violation_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace youtopia {
+namespace {
+
+using testing_util::Figure2;
+
+TEST(ViolationDetectorTest, Figure2InitiallySatisfied) {
+  Figure2 fig;
+  EXPECT_TRUE(fig.Satisfied());
+}
+
+TEST(ViolationDetectorTest, InsertCausesLhsViolation) {
+  // Example 1.1: a new tour with no review violates sigma3.
+  Figure2 fig;
+  const WriteOp op = WriteOp::Insert(
+      fig.T, fig.Row({"Niagara Falls", "ABC Tours", "Toronto"}));
+  auto writes = fig.db.Apply(op, 1);
+  ASSERT_EQ(writes.size(), 1u);
+
+  ViolationDetector detector(&fig.tgds);
+  Snapshot snap(&fig.db, 1);
+  std::vector<Violation> viols;
+  std::vector<ReadQueryRecord> reads;
+  detector.AfterWrite(snap, writes[0], &viols, &reads);
+  ASSERT_EQ(viols.size(), 1u);
+  EXPECT_EQ(viols[0].tgd_id, 2);  // sigma3
+  EXPECT_EQ(viols[0].kind, Violation::Kind::kLhs);
+  EXPECT_EQ(viols[0].witness.size(), 2u);  // A and T tuples
+  EXPECT_FALSE(reads.empty());
+}
+
+TEST(ViolationDetectorTest, DeleteCausesRhsViolation) {
+  // Example 2.3: deleting the review violates sigma3 from the RHS.
+  Figure2 fig;
+  const RowId row = *fig.db.FindRowWithData(
+      fig.R, fig.Row({"XYZ", "Geneva Winery", "Great!"}), 0);
+  auto writes = fig.db.Apply(WriteOp::Delete(fig.R, row), 1);
+  ASSERT_EQ(writes.size(), 1u);
+
+  ViolationDetector detector(&fig.tgds);
+  Snapshot snap(&fig.db, 1);
+  std::vector<Violation> viols;
+  std::vector<ReadQueryRecord> reads;
+  detector.AfterWrite(snap, writes[0], &viols, &reads);
+  ASSERT_EQ(viols.size(), 1u);
+  EXPECT_EQ(viols[0].tgd_id, 2);
+  EXPECT_EQ(viols[0].kind, Violation::Kind::kRhs);
+  ASSERT_EQ(viols[0].witness.size(), 2u);
+  EXPECT_EQ(viols[0].witness[0].rel, fig.A);
+  EXPECT_EQ(viols[0].witness[1].rel, fig.T);
+}
+
+TEST(ViolationDetectorTest, InsertSatisfyingRhsCausesNothing) {
+  Figure2 fig;
+  auto writes = fig.db.Apply(
+      WriteOp::Insert(fig.E, fig.Row({"Science Conf", "Niagara Falls"})), 1);
+  ASSERT_EQ(writes.size(), 1u);
+  ViolationDetector detector(&fig.tgds);
+  Snapshot snap(&fig.db, 1);
+  std::vector<Violation> viols;
+  detector.AfterWrite(snap, writes[0], &viols, nullptr);
+  EXPECT_TRUE(viols.empty());
+}
+
+TEST(ViolationDetectorTest, NullReplacementCausesOnlyLhsViolations) {
+  // Replacing x1 by "ABC Tours" changes T and R consistently, so sigma3
+  // stays satisfied (Section 2's argument for null replacements).
+  Figure2 fig;
+  auto writes = fig.db.Apply(
+      WriteOp::NullReplace(fig.x1, fig.Const("ABC Tours")), 1);
+  ASSERT_EQ(writes.size(), 2u);  // one T row, one R row
+  ViolationDetector detector(&fig.tgds);
+  Snapshot snap(&fig.db, 1);
+  std::vector<Violation> viols;
+  for (const PhysicalWrite& w : writes) {
+    detector.AfterWrite(snap, w, &viols, nullptr);
+  }
+  EXPECT_TRUE(viols.empty());
+  EXPECT_TRUE(detector.SatisfiesAll(snap));
+}
+
+TEST(ViolationDetectorTest, MultipleWitnessesFromOneWrite) {
+  Figure2 fig;
+  // A second convention in Syracuse requires excursion ideas for every
+  // Syracuse-starting tour (there is exactly one such tour).
+  auto writes = fig.db.Apply(
+      WriteOp::Insert(fig.V, fig.Row({"Syracuse", "Math Conf"})), 1);
+  ViolationDetector detector(&fig.tgds);
+  Snapshot snap(&fig.db, 1);
+  std::vector<Violation> viols;
+  detector.AfterWrite(snap, writes[0], &viols, nullptr);
+  ASSERT_EQ(viols.size(), 1u);
+  EXPECT_EQ(viols[0].tgd_id, 3);  // sigma4
+}
+
+TEST(ViolationDetectorTest, IsStillViolatedDetectsRepair) {
+  Figure2 fig;
+  auto writes = fig.db.Apply(
+      WriteOp::Insert(fig.V, fig.Row({"Syracuse", "Math Conf"})), 1);
+  ViolationDetector detector(&fig.tgds);
+  Snapshot snap(&fig.db, 1);
+  std::vector<Violation> viols;
+  detector.AfterWrite(snap, writes[0], &viols, nullptr);
+  ASSERT_EQ(viols.size(), 1u);
+  EXPECT_TRUE(detector.IsStillViolated(snap, viols[0], nullptr));
+  // Supplying the RHS repairs it.
+  fig.db.Apply(
+      WriteOp::Insert(fig.E, fig.Row({"Math Conf", "Geneva Winery"})), 1);
+  EXPECT_FALSE(detector.IsStillViolated(snap, viols[0], nullptr));
+}
+
+TEST(ViolationDetectorTest, IsStillViolatedDetectsWitnessRemoval) {
+  Figure2 fig;
+  auto writes = fig.db.Apply(
+      WriteOp::Insert(fig.V, fig.Row({"Syracuse", "Math Conf"})), 1);
+  ViolationDetector detector(&fig.tgds);
+  Snapshot snap(&fig.db, 1);
+  std::vector<Violation> viols;
+  detector.AfterWrite(snap, writes[0], &viols, nullptr);
+  ASSERT_EQ(viols.size(), 1u);
+  // Deleting the tour tuple invalidates the witness.
+  const RowId t_row = *fig.db.FindRowWithData(
+      fig.T, fig.Row({"Geneva Winery", "XYZ", "Syracuse"}), 0);
+  fig.db.Apply(WriteOp::Delete(fig.T, t_row), 1);
+  EXPECT_FALSE(detector.IsStillViolated(snap, viols[0], nullptr));
+}
+
+TEST(ViolationDetectorTest, FindAllAgreesWithDeltaDetection) {
+  Figure2 fig;
+  auto writes = fig.db.Apply(
+      WriteOp::Insert(fig.T, fig.Row({"Niagara Falls", "ABC", "Ithaca"})), 1);
+  ViolationDetector detector(&fig.tgds);
+  Snapshot snap(&fig.db, 1);
+  std::vector<Violation> delta;
+  detector.AfterWrite(snap, writes[0], &delta, nullptr);
+  std::vector<Violation> full_scan;
+  detector.FindAll(snap, &full_scan);
+  EXPECT_EQ(delta.size(), full_scan.size());
+}
+
+TEST(ViolationDetectorTest, SelfJoinWitness) {
+  Database db;
+  const RelationId edge = *db.CreateRelation("Edge", {"src", "dst"});
+  const RelationId path = *db.CreateRelation("Path", {"src", "dst"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  auto tgd = parser.ParseTgd("Edge(x, y) & Edge(y, z) -> Path(x, z)");
+  ASSERT_TRUE(tgd.ok());
+  tgds.push_back(std::move(tgd).value());
+  // A self-loop matches both atoms with the same tuple.
+  const Value a = db.InternConstant("a");
+  auto writes = db.Apply(WriteOp::Insert(edge, {a, a}), 1);
+  ViolationDetector detector(&tgds);
+  Snapshot snap(&db, 1);
+  std::vector<Violation> viols;
+  detector.AfterWrite(snap, writes[0], &viols, nullptr);
+  ASSERT_EQ(viols.size(), 1u);
+  EXPECT_EQ(viols[0].witness[0], viols[0].witness[1]);
+  (void)path;
+}
+
+}  // namespace
+}  // namespace youtopia

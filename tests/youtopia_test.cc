@@ -1,0 +1,127 @@
+#include "core/youtopia.h"
+
+#include <gtest/gtest.h>
+
+namespace youtopia {
+namespace {
+
+class YoutopiaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(repo_.CreateRelation("A", {"location", "name"}).ok());
+    ASSERT_TRUE(
+        repo_.CreateRelation("T", {"attraction", "company", "start"}).ok());
+    ASSERT_TRUE(
+        repo_.CreateRelation("R", {"company", "attraction", "review"}).ok());
+    ASSERT_TRUE(
+        repo_.AddMapping("A(l, n) & T(n, co, s) -> exists r: R(co, n, r)")
+            .ok());
+  }
+
+  Youtopia repo_;
+};
+
+TEST_F(YoutopiaTest, InsertPropagates) {
+  ASSERT_TRUE(repo_.Insert("A", {"Geneva", "Winery"}).ok());
+  auto report = repo_.Insert("T", {"Winery", "XYZ", "Syracuse"});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->completed);
+  EXPECT_EQ(*repo_.Count("R"), 1u);
+  EXPECT_TRUE(repo_.AllMappingsSatisfied());
+}
+
+TEST_F(YoutopiaTest, SchemaErrorsSurface) {
+  EXPECT_FALSE(repo_.CreateRelation("A", {"dup"}).ok());
+  EXPECT_FALSE(repo_.Insert("Nope", {"x"}).ok());
+  EXPECT_FALSE(repo_.Insert("A", {"too", "many", "values"}).ok());
+  EXPECT_FALSE(repo_.AddMapping("A(l) -> R(l, l, l)").ok());  // arity
+  EXPECT_FALSE(repo_.Delete("A", {"absent", "tuple"}).ok());
+}
+
+TEST_F(YoutopiaTest, NamedNullsRoundTrip) {
+  ASSERT_TRUE(repo_.Insert("A", {"Geneva", "Winery"}).ok());
+  ASSERT_TRUE(repo_.Insert("T", {"Winery", "?who", "Syracuse"}).ok());
+  // The same name refers to the same null.
+  ASSERT_TRUE(repo_.Insert("R", {"?who", "Winery", "ok"}).ok());
+  ASSERT_TRUE(repo_.ReplaceNull("?who", "XYZ").ok());
+  auto q = repo_.Query("T('Winery', co, s)", {"co"},
+                       QuerySemantics::kCertain);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->tuples.size(), 1u);
+  EXPECT_EQ(q->rendered[0], "(XYZ)");
+  EXPECT_FALSE(repo_.ReplaceNull("?unknown", "x").ok());
+}
+
+TEST_F(YoutopiaTest, AnonymousNullsAreFresh) {
+  ASSERT_TRUE(repo_.Insert("R", {"_", "Winery", "_"}).ok());
+  auto q = repo_.Query("R(co, n, r)", {"co", "r"},
+                       QuerySemantics::kBestEffort);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->tuples.size(), 1u);
+  EXPECT_NE(q->tuples[0][0], q->tuples[0][1]);  // two distinct nulls
+  // "_" cannot address an existing tuple for deletion.
+  EXPECT_FALSE(repo_.Delete("R", {"_", "Winery", "_"}).ok());
+}
+
+TEST_F(YoutopiaTest, AddMappingRepairsExistingData) {
+  ASSERT_TRUE(repo_.Insert("A", {"Geneva", "Winery"}).ok());
+  ASSERT_TRUE(repo_.Insert("T", {"Winery", "XYZ", "Syracuse"}).ok());
+  // A second mapping arrives later; the backlog is chased immediately.
+  ASSERT_TRUE(repo_.CreateRelation("Seen", {"name"}).ok());
+  ASSERT_TRUE(repo_.AddMapping("A(l, n) -> Seen(n)").ok());
+  EXPECT_EQ(*repo_.Count("Seen"), 1u);
+  EXPECT_TRUE(repo_.AllMappingsSatisfied());
+}
+
+TEST_F(YoutopiaTest, DeleteCascadesThroughAgent) {
+  ASSERT_TRUE(repo_.Insert("A", {"Geneva", "Winery"}).ok());
+  ASSERT_TRUE(repo_.Insert("T", {"Winery", "XYZ", "Syracuse"}).ok());
+  ASSERT_TRUE(repo_.ReplaceNull("?r", "ignored").ok() == false);
+  // Delete the review; the default RandomAgent picks a victim; mappings
+  // hold afterwards either way.
+  auto q = repo_.Query("R(co, n, r)", {"co", "n", "r"},
+                       QuerySemantics::kBestEffort);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->tuples.size(), 1u);
+  // Address the tuple through its null via a named handle is not possible
+  // here (chase-created), so delete via the tour instead.
+  ASSERT_TRUE(repo_.Delete("T", {"Winery", "XYZ", "Syracuse"}).ok());
+  EXPECT_TRUE(repo_.AllMappingsSatisfied());
+}
+
+TEST_F(YoutopiaTest, QueuedBatchRunsConcurrently) {
+  ASSERT_TRUE(repo_.Insert("A", {"Geneva", "Winery"}).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(repo_
+                    .QueueInsert("T", {"Winery", "Co" + std::to_string(i),
+                                       "Syracuse"})
+                    .ok());
+  }
+  auto stats = repo_.RunQueued(TrackerKind::kPrecise);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->updates_completed, 8u);
+  EXPECT_EQ(*repo_.Count("R"), 8u);
+  EXPECT_TRUE(repo_.AllMappingsSatisfied());
+}
+
+TEST_F(YoutopiaTest, WeakAcyclicityReporting) {
+  EXPECT_TRUE(repo_.MappingsWeaklyAcyclic());
+  ASSERT_TRUE(repo_.CreateRelation("Person", {"name"}).ok());
+  ASSERT_TRUE(repo_.CreateRelation("Father", {"child", "father"}).ok());
+  ASSERT_TRUE(
+      repo_.AddMapping("Person(x) -> exists y: Father(x, y) & Person(y)")
+          .ok());
+  EXPECT_FALSE(repo_.MappingsWeaklyAcyclic());
+}
+
+TEST_F(YoutopiaTest, DumpIsSortedAndStable) {
+  ASSERT_TRUE(repo_.Insert("A", {"B", "Beta"}).ok());
+  ASSERT_TRUE(repo_.Insert("A", {"A", "Alpha"}).ok());
+  auto dump = repo_.Dump("A");
+  ASSERT_TRUE(dump.ok());
+  const std::string expected = "  (A, Alpha)\n  (B, Beta)\n";
+  EXPECT_EQ(*dump, expected);
+}
+
+}  // namespace
+}  // namespace youtopia
