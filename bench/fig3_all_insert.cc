@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
   config.delete_fraction = 0.0;
   youtopia::ExperimentDriver driver(config);
   const youtopia::ExperimentResult result = driver.Run(verbose);
-  youtopia::bench::PrintResult("Figure 3", "all-insert", config, result);
-  return 0;
+  return youtopia::bench::Report("fig3_all_insert", "Figure 3", "all-insert",
+                                 config, result, driver.db())
+             ? 0
+             : 1;
 }

@@ -10,7 +10,9 @@ int main(int argc, char** argv) {
   config.delete_fraction = 0.2;
   youtopia::ExperimentDriver driver(config);
   const youtopia::ExperimentResult result = driver.Run(verbose);
-  youtopia::bench::PrintResult("Figure 4", "mixed insert/delete", config,
-                               result);
-  return 0;
+  return youtopia::bench::Report("fig4_mixed", "Figure 4",
+                                 "mixed insert/delete", config, result,
+                                 driver.db())
+             ? 0
+             : 1;
 }

@@ -1,17 +1,21 @@
 #ifndef YOUTOPIA_BENCH_FIG_COMMON_H_
 #define YOUTOPIA_BENCH_FIG_COMMON_H_
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
+#include "bench/report.h"
 #include "workload/experiment.h"
 
 namespace youtopia {
 namespace bench {
 
-// Shared command-line handling and table printing for the figure harnesses.
+// Shared command-line handling, table printing and JSON reporting for the
+// figure harnesses.
 //
 // Flags:
 //   --paper             full paper scale (100 relations, 10k initial tuples,
@@ -37,31 +41,60 @@ inline ExperimentConfig ParseFlags(int argc, char** argv, bool* verbose) {
   config.runs = 5;
   config.seed = 1;
 
+  // Shared validated integer parsing: consumes one number from *p (advancing
+  // it), rejecting junk, overflow and out-of-range values with exit(2).
+  // Count-like flags use min_value 1 — a 0 would crash or hang deep in the
+  // workload generator instead of failing here; --seed alone admits 0.
+  auto parse_int = [](const std::string& arg, const char** p, long min_value,
+                      long max_value) -> long {
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(*p, &end, 10);
+    if (end == *p || errno == ERANGE || v < min_value || v > max_value) {
+      std::fprintf(stderr, "bad value: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    *p = end;
+    return v;
+  };
+  constexpr long kMaxCount = 1L << 30;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto intval = [&](const char* prefix) -> long {
-      return std::atol(arg.c_str() + std::strlen(prefix));
+    auto intval = [&](const char* prefix, long min_value,
+                      long max_value) -> long {
+      const char* p = arg.c_str() + std::strlen(prefix);
+      const long v = parse_int(arg, &p, min_value, max_value);
+      if (*p != '\0') {
+        std::fprintf(stderr, "bad value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return v;
     };
     if (arg == "--paper") {
       config.initial_tuples = 10000;
       config.updates_per_run = 500;
       config.runs = 100;
     } else if (arg.rfind("--runs=", 0) == 0) {
-      config.runs = static_cast<size_t>(intval("--runs="));
+      config.runs = static_cast<size_t>(intval("--runs=", 1, kMaxCount));
     } else if (arg.rfind("--initial=", 0) == 0) {
-      config.initial_tuples = static_cast<size_t>(intval("--initial="));
+      config.initial_tuples =
+          static_cast<size_t>(intval("--initial=", 0, kMaxCount));
     } else if (arg.rfind("--updates=", 0) == 0) {
-      config.updates_per_run = static_cast<size_t>(intval("--updates="));
+      config.updates_per_run =
+          static_cast<size_t>(intval("--updates=", 1, kMaxCount));
     } else if (arg.rfind("--relations=", 0) == 0) {
-      config.num_relations = static_cast<size_t>(intval("--relations="));
+      config.num_relations =
+          static_cast<size_t>(intval("--relations=", 1, kMaxCount));
     } else if (arg.rfind("--seed=", 0) == 0) {
-      config.seed = static_cast<uint64_t>(intval("--seed="));
+      config.seed = static_cast<uint64_t>(
+          intval("--seed=", 0, std::numeric_limits<long>::max()));
     } else if (arg.rfind("--mappings=", 0) == 0) {
       config.mapping_counts.clear();
       const char* p = arg.c_str() + std::strlen("--mappings=");
       while (*p != '\0') {
         config.mapping_counts.push_back(
-            static_cast<size_t>(std::strtol(p, const_cast<char**>(&p), 10)));
+            static_cast<size_t>(parse_int(arg, &p, 1, 1L << 20)));
         if (*p == ',') ++p;
       }
     } else if (arg == "--verbose") {
@@ -71,10 +104,17 @@ inline ExperimentConfig ParseFlags(int argc, char** argv, bool* verbose) {
       std::exit(2);
     }
   }
+  if (config.mapping_counts.empty()) {
+    std::fprintf(stderr, "--mappings needs at least one count\n");
+    std::exit(2);
+  }
+  // Generate exactly as many mappings as the largest sweep point needs:
+  // the initial-data chase runs under the full generated set, so leaving
+  // num_mappings_total at the paper's 100 while sweeping --mappings=10,20
+  // over a small --relations count makes seeding intractably dense.
   size_t max_count = 0;
   for (size_t c : config.mapping_counts) max_count = std::max(max_count, c);
-  config.num_mappings_total = std::max<size_t>(config.num_mappings_total,
-                                               max_count);
+  config.num_mappings_total = max_count;
   return config;
 }
 
@@ -131,6 +171,16 @@ inline void PrintResult(const char* figure, const char* workload,
                 result.cells[i][2].per_update_seconds);
   }
   std::printf("\n");
+}
+
+// Human-readable table to stdout plus machine-readable BENCH_<name>.json
+// (see bench/report.h) for baseline tracking across PRs. Returns false if
+// the JSON could not be written, so harness mains can exit nonzero.
+inline bool Report(const char* name, const char* figure, const char* workload,
+                   const ExperimentConfig& config,
+                   const ExperimentResult& result, const Database& db) {
+  PrintResult(figure, workload, config, result);
+  return WriteExperimentJson(name, workload, config, result, db);
 }
 
 }  // namespace bench

@@ -115,4 +115,4 @@ BENCHMARK(BM_DependencyComputation)
 }  // namespace
 }  // namespace youtopia
 
-BENCHMARK_MAIN();
+// main() lives in bench/micro_main.cc, which also emits BENCH_<name>.json.

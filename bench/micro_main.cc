@@ -1,0 +1,36 @@
+// Shared main for the micro_* benchmarks: identical to BENCHMARK_MAIN()
+// except that, unless the caller passes --benchmark_out themselves, results
+// are also written to BENCH_<binary>.json (Google Benchmark's JSON format,
+// placed per bench::BenchJsonPath) so every run leaves a machine-readable
+// record comparable against the checked-in baseline.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    std::string name = argv[0];
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    out_flag = "--benchmark_out=" + youtopia::bench::BenchJsonPath(name);
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -118,4 +118,4 @@ BENCHMARK(BM_FullSatisfactionScan)->Range(64, 4096);
 }  // namespace
 }  // namespace youtopia
 
-BENCHMARK_MAIN();
+// main() lives in bench/micro_main.cc, which also emits BENCH_<name>.json.

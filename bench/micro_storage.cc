@@ -99,4 +99,4 @@ BENCHMARK(BM_AbortUndoTargeted)->Range(1024, 65536);
 }  // namespace
 }  // namespace youtopia
 
-BENCHMARK_MAIN();
+// main() lives in bench/micro_main.cc, which also emits BENCH_<name>.json.

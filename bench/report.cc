@@ -1,0 +1,96 @@
+#include "bench/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "ccontrol/dependency_tracker.h"
+
+namespace youtopia {
+namespace bench {
+
+std::string BenchJsonPath(const std::string& name) {
+  std::string dir;
+  if (const char* env = std::getenv("YOUTOPIA_BENCH_DIR")) dir = env;
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir + "BENCH_" + name + ".json";
+}
+
+bool WriteExperimentJson(const std::string& name, const std::string& workload,
+                         const ExperimentConfig& config,
+                         const ExperimentResult& result, const Database& db) {
+  const std::string path = BenchJsonPath(name);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+
+  out << "{\n";
+  out << "  \"name\": \"" << name << "\",\n";
+  out << "  \"workload\": \"" << workload << "\",\n";
+  out << "  \"config\": {\n";
+  out << "    \"relations\": " << config.num_relations << ",\n";
+  out << "    \"constants\": " << config.num_constants << ",\n";
+  out << "    \"initial_tuples\": " << config.initial_tuples << ",\n";
+  out << "    \"updates_per_run\": " << config.updates_per_run << ",\n";
+  out << "    \"delete_fraction\": " << config.delete_fraction << ",\n";
+  out << "    \"runs\": " << config.runs << ",\n";
+  out << "    \"seed\": " << config.seed << "\n";
+  out << "  },\n";
+  out << "  \"initial\": {\n";
+  out << "    \"seed_inserts\": " << result.initial.seed_inserts << ",\n";
+  out << "    \"visible_tuples\": " << result.initial.total_tuples << ",\n";
+  out << "    \"chase_steps\": " << result.initial.chase_steps << "\n";
+  out << "  },\n";
+
+  out << "  \"cells\": [\n";
+  bool first = true;
+  for (size_t i = 0; i < result.mapping_counts.size(); ++i) {
+    for (size_t t = 0; t < 3; ++t) {
+      const CellStats& cell = result.cells[i][t];
+      if (cell.runs == 0) continue;
+      if (!first) out << ",\n";
+      first = false;
+      const double updates_per_second =
+          cell.per_update_seconds > 0 ? 1.0 / cell.per_update_seconds : 0.0;
+      out << "    {\"mappings\": " << result.mapping_counts[i]
+          << ", \"tracker\": \""
+          << TrackerKindName(static_cast<TrackerKind>(t)) << "\""
+          << ", \"runs\": " << cell.runs << ", \"aborts\": " << cell.aborts
+          << ", \"cascading_abort_requests\": "
+          << cell.cascading_abort_requests
+          << ", \"per_update_seconds\": " << cell.per_update_seconds
+          << ", \"updates_per_second\": " << updates_per_second
+          << ", \"steps\": " << cell.steps << ", \"failed\": " << cell.failed
+          << "}";
+    }
+  }
+  out << "\n  ],\n";
+
+  // Final storage footprint: the multiversion rows and append-only index
+  // entries accumulated across the whole sweep.
+  size_t rows = 0, versions = 0, index_entries = 0;
+  for (RelationId r = 0; r < db.num_relations(); ++r) {
+    rows += db.relation(r).num_rows();
+    versions += db.relation(r).num_versions();
+    index_entries += db.relation(r).IndexEntryCount();
+  }
+  out << "  \"storage\": {\n";
+  out << "    \"relations\": " << db.num_relations() << ",\n";
+  out << "    \"rows\": " << rows << ",\n";
+  out << "    \"versions\": " << versions << ",\n";
+  out << "    \"index_entries\": " << index_entries << "\n";
+  out << "  }\n";
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench: failed writing %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace bench
+}  // namespace youtopia

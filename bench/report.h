@@ -1,0 +1,33 @@
+#ifndef YOUTOPIA_BENCH_REPORT_H_
+#define YOUTOPIA_BENCH_REPORT_H_
+
+#include <string>
+
+#include "workload/experiment.h"
+
+namespace youtopia {
+namespace bench {
+
+// Machine-readable benchmark output. Every harness in bench/ drops a
+// `BENCH_<name>.json` next to where it runs (or into $YOUTOPIA_BENCH_DIR)
+// so successive PRs can diff throughput, rows examined and storage growth
+// against a recorded baseline instead of eyeballing printf tables.
+
+// Resolves "<dir>/BENCH_<name>.json" where dir is $YOUTOPIA_BENCH_DIR when
+// set, else the current working directory.
+std::string BenchJsonPath(const std::string& name);
+
+// Writes BENCH_<name>.json for a figure harness run: the experiment config,
+// initial-database report, one record per (mapping count, tracker) cell
+// (aborts, cascading abort requests, per-update seconds plus the derived
+// updates/sec throughput) and the final storage footprint (row, version and
+// index-entry counts — the append-only index cost). Returns false and
+// prints to stderr if the file cannot be written.
+bool WriteExperimentJson(const std::string& name, const std::string& workload,
+                         const ExperimentConfig& config,
+                         const ExperimentResult& result, const Database& db);
+
+}  // namespace bench
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_BENCH_REPORT_H_

@@ -74,7 +74,6 @@ bool Evaluator::Recurse(const ConjunctiveQuery& cq, std::vector<bool>& done,
   }
   bool keep_going = true;
   auto try_row = [&](RowId row, const TupleData& data) -> bool {
-    ++rows_examined_;
     Binding saved = binding;
     if (MatchAtom(atom, data, &binding)) {
       rows[idx] = TupleRef{atom.rel, row};
@@ -94,15 +93,24 @@ bool Evaluator::Recurse(const ConjunctiveQuery& cq, std::vector<bool>& done,
     for (RowId row : candidates) {
       const TupleData* data = snap_.VisibleData(atom.rel, row);
       if (data == nullptr) continue;  // stale index entry
+      ++rows_examined_;
       if (!try_row(row, *data)) {
         keep_going = false;
         break;
       }
     }
   } else {
-    snap_.ForEachVisible(atom.rel, [&](RowId row, const TupleData& data) {
-      if (keep_going && !try_row(row, data)) keep_going = false;
-    });
+    // Bool-returning callback: a stopped enumeration (e.g. Exists) ends the
+    // scan instead of resolving visibility for every remaining row.
+    snap_.ForEachVisible(atom.rel,
+                         [&](RowId row, const TupleData& data) -> bool {
+                           ++rows_examined_;
+                           if (!try_row(row, data)) {
+                             keep_going = false;
+                             return false;
+                           }
+                           return true;
+                         });
   }
 
   done[idx] = false;

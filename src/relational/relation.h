@@ -2,6 +2,7 @@
 #define YOUTOPIA_RELATIONAL_RELATION_H_
 
 #include <cstdint>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -60,12 +61,25 @@ class VersionedRelation {
   // (no version <= reader, or deleted).
   const TupleData* VisibleData(RowId row, uint64_t reader) const;
 
-  // Invokes fn(row, data) for every row visible to `reader`.
+  // Invokes fn(row, data) for every row visible to `reader`. A callback
+  // returning bool stops the scan by returning false (existence checks must
+  // not pay for a full visibility resolution of every remaining row); a
+  // void callback always sees every visible row.
   template <typename Fn>
   void ForEachVisible(uint64_t reader, Fn&& fn) const {
+    using FnResult = std::invoke_result_t<Fn&, RowId, const TupleData&>;
+    static_assert(std::is_void_v<FnResult> || std::is_same_v<FnResult, bool>,
+                  "ForEachVisible callback must return void or bool; a "
+                  "merely bool-convertible result would silently lose the "
+                  "early-exit contract");
     for (RowId r = 0; r < rows_.size(); ++r) {
       const TupleData* data = VisibleData(r, reader);
-      if (data != nullptr) fn(r, *data);
+      if (data == nullptr) continue;
+      if constexpr (std::is_same_v<FnResult, bool>) {
+        if (!fn(r, *data)) return;
+      } else {
+        fn(r, *data);
+      }
     }
   }
 

@@ -183,5 +183,69 @@ TEST_P(EvaluatorRandomTest, AgreesWithBruteForceOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorRandomTest,
                          ::testing::Range<uint64_t>(1, 21));
 
+TEST(EvaluatorTest, ExistsStopsScanningAfterFirstMatch) {
+  // Regression: the no-index fallback used to keep resolving visibility for
+  // every remaining row after the callback stopped the enumeration, so an
+  // existence check paid for a full scan. rows_examined() must reflect the
+  // early exit.
+  Database db;
+  const RelationId r = *db.CreateRelation("R", {"a"});
+  for (uint64_t i = 0; i < 100; ++i) {
+    db.Apply(WriteOp::Insert(r, {Value::Constant(i)}), 0);
+  }
+  TgdParser parser(&db.catalog(), &db.symbols());
+  auto q = parser.ParseQuery("R(x)");  // no bound term: forces the scan path
+  ASSERT_TRUE(q.ok());
+  Snapshot snap(&db, kReadLatest);
+  Evaluator eval(snap);
+  EXPECT_TRUE(eval.Exists(q->body, Binding()));
+  EXPECT_EQ(eval.rows_examined(), 1u);
+  // A full enumeration still visits every row.
+  size_t n = 0;
+  eval.ForEachMatch(q->body, Binding(), nullptr,
+                    [&](const Binding&, const std::vector<TupleRef>&) {
+                      ++n;
+                      return true;
+                    });
+  EXPECT_EQ(n, 100u);
+  EXPECT_EQ(eval.rows_examined(), 100u);
+}
+
+TEST(EvaluatorTest, DuplicateAndStaleIndexCandidatesYieldOneMatch) {
+  // A null replacement re-indexes a row's full content, so a row re-written
+  // with the same value in one column shows up twice in that column's
+  // bucket; a deleted row leaves stale entries behind. Recurse must dedupe
+  // and re-verify so each surviving row matches exactly once.
+  Database db;
+  const RelationId r = *db.CreateRelation("R", {"a", "b"});
+  const Value a = db.InternConstant("A");
+  const Value b = db.InternConstant("B");
+  const Value x = db.FreshNull();
+  db.Apply(WriteOp::Insert(r, {a, x}), 0);                       // row 0
+  const auto w1 =
+      db.Apply(WriteOp::Insert(r, {a, db.InternConstant("C")}), 0);  // row 1
+  ASSERT_EQ(w1.size(), 1u);
+  db.Apply(WriteOp::NullReplace(x, b), 1);  // row 0 -> (A, B), re-indexed
+  db.Apply(WriteOp::Delete(r, w1[0].row), 2);  // row 1 -> stale entries
+
+  std::vector<RowId> candidates;
+  db.relation(r).CandidateRows(0, a, &candidates);
+  EXPECT_EQ(candidates.size(), 3u);  // row0, row1, row0 again
+
+  TgdParser parser(&db.catalog(), &db.symbols());
+  auto q = parser.ParseQuery("R('A', y)");
+  ASSERT_TRUE(q.ok());
+  Snapshot snap(&db, kReadLatest);
+  Evaluator eval(snap);
+  size_t n = 0;
+  eval.ForEachMatch(q->body, Binding(), nullptr,
+                    [&](const Binding& bind, const std::vector<TupleRef>&) {
+                      ++n;
+                      EXPECT_EQ(bind.Get(*q->VarByName("y")), b);
+                      return true;
+                    });
+  EXPECT_EQ(n, 1u);
+}
+
 }  // namespace
 }  // namespace youtopia

@@ -114,5 +114,55 @@ TEST(VersionedRelationTest, ForEachVisibleRespectsReader) {
   EXPECT_EQ(count, 2u);
 }
 
+TEST(VersionedRelationTest, ForEachVisibleStopsWhenCallbackReturnsFalse) {
+  VersionedRelation rel(1);
+  for (uint64_t i = 0; i < 100; ++i) rel.AppendInsertRow(0, i + 1, Row({i}));
+  size_t visited = 0;
+  rel.ForEachVisible(100, [&](RowId, const TupleData&) -> bool {
+    ++visited;
+    return visited < 3;
+  });
+  EXPECT_EQ(visited, 3u);
+}
+
+TEST(VersionedRelationTest, RewritingSameValueGrowsDuplicateIndexEntries) {
+  // Re-writing the same value into one column duplicates index entries when
+  // another row was indexed under that value in between (the consecutive-
+  // duplicate guard in IndexData only sees the bucket tail). CandidateRows
+  // surfaces the duplicates; callers are expected to dedupe and re-verify.
+  VersionedRelation rel(2);
+  const RowId r0 = rel.AppendInsertRow(0, 1, Row({7, 100}));
+  const RowId r1 = rel.AppendInsertRow(0, 2, Row({7, 200}));
+  uint64_t seq = 3;
+  for (uint64_t u = 1; u <= 4; ++u) {
+    rel.AppendVersion(r0, u, seq++, WriteKind::kModify, Row({7, 100 + u}));
+    rel.AppendVersion(r1, u, seq++, WriteKind::kModify, Row({7, 200 + u}));
+  }
+  std::vector<RowId> rows;
+  rel.CandidateRows(0, Value::Constant(7), &rows);
+  EXPECT_GT(rows.size(), 2u);  // duplicates of r0/r1, not just one each
+  size_t r0_hits = 0;
+  for (RowId r : rows) r0_hits += (r == r0);
+  EXPECT_GT(r0_hits, 1u);
+}
+
+TEST(VersionedRelationTest, IndexEntryCountGrowsMonotonicallyOnRewrites) {
+  // Documents the append-only index cost: every modify re-indexes the row's
+  // full content, and entries are never reclaimed, so IndexEntryCount is
+  // monotone in the number of writes even when content repeats.
+  VersionedRelation rel(2);
+  const RowId r0 = rel.AppendInsertRow(0, 1, Row({7, 0}));
+  const RowId r1 = rel.AppendInsertRow(0, 2, Row({7, 1}));
+  size_t last = rel.IndexEntryCount();
+  uint64_t seq = 3;
+  for (uint64_t u = 1; u <= 8; ++u) {
+    rel.AppendVersion(u % 2 == 0 ? r0 : r1, u, seq++, WriteKind::kModify,
+                      Row({7, 2 + u}));
+    const size_t now = rel.IndexEntryCount();
+    EXPECT_GT(now, last) << "after rewrite by update " << u;
+    last = now;
+  }
+}
+
 }  // namespace
 }  // namespace youtopia

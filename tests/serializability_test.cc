@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "ccontrol/scheduler.h"
@@ -115,6 +116,17 @@ TEST_P(SerializabilityTest, ConcurrentEqualsSerialInFinalOrder) {
   }
 }
 
+// Stable, human-readable ctest names (Seed3_PRECISE_Del0 instead of gtest's
+// raw byte dump of the param struct). Each case is registered as its own
+// ctest entry by gtest_discover_tests, so `ctest -j` runs the sweep's cases
+// in parallel instead of serializing them inside one binary.
+std::string CaseName(
+    const ::testing::TestParamInfo<SerializabilityCase>& info) {
+  return "Seed" + std::to_string(info.param.seed) + "_" +
+         TrackerKindName(info.param.tracker) + "_Del" +
+         std::to_string(static_cast<int>(info.param.delete_fraction * 100));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, SerializabilityTest,
     ::testing::Values(
@@ -127,7 +139,8 @@ INSTANTIATE_TEST_SUITE_P(
         SerializabilityCase{7, TrackerKind::kPrecise, 0.3},
         SerializabilityCase{8, TrackerKind::kPrecise, 0.1},
         SerializabilityCase{9, TrackerKind::kCoarse, 0.1},
-        SerializabilityCase{10, TrackerKind::kNaive, 0.0}));
+        SerializabilityCase{10, TrackerKind::kNaive, 0.0}),
+    CaseName);
 
 // With existentials the concurrent and serial runs are not tuple-identical
 // (fresh null identities differ), but every committed run must leave a

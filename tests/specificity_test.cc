@@ -47,6 +47,35 @@ TEST(SpecificityTest, DifferentArityNeverComparable) {
   EXPECT_FALSE(IsMoreSpecific({kA}, {kA, kB}));
 }
 
+TEST(SpecificityTest, DuplicateAndStaleIndexCandidatesReportRowOnce) {
+  // FindMoreSpecificRows fetches candidates through the append-only column
+  // index, which can hand back the same row twice (re-written same value)
+  // and rows that are no longer visible (deleted). Each surviving row must
+  // be reported exactly once.
+  Database db;
+  const RelationId r = *db.CreateRelation("R", {"a", "b"});
+  const Value a = db.InternConstant("A");
+  const Value b = db.InternConstant("B");
+  const Value x = db.FreshNull();
+  const auto w0 = db.Apply(WriteOp::Insert(r, {a, x}), 0);  // row 0
+  ASSERT_EQ(w0.size(), 1u);
+  const auto w1 =
+      db.Apply(WriteOp::Insert(r, {a, db.InternConstant("C")}), 0);  // row 1
+  ASSERT_EQ(w1.size(), 1u);
+  db.Apply(WriteOp::NullReplace(x, b), 1);  // row 0 -> (A, B), re-indexed
+  db.Apply(WriteOp::Delete(r, w1[0].row), 2);  // row 1 -> stale entries
+
+  std::vector<RowId> candidates;
+  db.relation(r).CandidateRows(0, a, &candidates);
+  ASSERT_EQ(candidates.size(), 3u);  // row0, row1, row0 again
+
+  Snapshot snap(&db, kReadLatest);
+  std::vector<RowId> out;
+  FindMoreSpecificRows(snap, r, {a, b}, /*exclude_equal=*/false, &out);
+  ASSERT_EQ(out.size(), 1u);  // row 0 exactly once, row 1 filtered as stale
+  EXPECT_EQ(out[0], w0[0].row);
+}
+
 TEST(SpecificityTest, TransitivityOnRandomTuples) {
   // Property sweep: specificity is transitive.
   Rng rng(7);
