@@ -70,6 +70,74 @@ void BM_VisibilityWithDeepVersionChains(benchmark::State& state) {
 }
 BENCHMARK(BM_VisibilityWithDeepVersionChains)->Range(8, 512);
 
+void BM_CompositeIndexLookup(benchmark::State& state) {
+  // Composite-key probe vs the single-column buckets it replaces: column 0
+  // has 256 distinct values, column 1 has 64, the pair is far more
+  // selective than either.
+  Database db;
+  const RelationId rel = *db.CreateRelation("R", {"a", "b"});
+  Rng rng(1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < n; ++i) {
+    db.Apply(WriteOp::Insert(rel, {Value::Constant(i % 256),
+                                   Value::Constant(i % 64)}),
+             0);
+  }
+  db.mutable_relation(rel).EnsureCompositeIndex({0, 1});
+  size_t hits = 0;
+  for (auto _ : state) {
+    std::vector<RowId> rows;
+    db.relation(rel).CandidateRowsComposite(
+        {0, 1},
+        {Value::Constant(rng.Uniform(256)), Value::Constant(rng.Uniform(64))},
+        &rows);
+    hits += rows.size();
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_CompositeIndexLookup)->Range(1024, 65536);
+
+void BM_IndexEntryDriftUnderAborts(benchmark::State& state) {
+  // The append-only indexes strand entries whenever an update's versions
+  // are removed (abort undo). Measures the removal + threshold-compaction
+  // cost and reports the drift the compaction pass reclaims.
+  const size_t base_rows = static_cast<size_t>(state.range(0));
+  double drift_before = 0;
+  double drift_after = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    const RelationId rel = *db.CreateRelation("R", {"a", "b"});
+    for (size_t i = 0; i < base_rows; ++i) {
+      db.Apply(WriteOp::Insert(rel, {Value::Constant(i % 97),
+                                     Value::Constant(i)}),
+               0);
+    }
+    const size_t entries_live = db.relation(rel).IndexEntryCount();
+    // An aborting update writes half the base volume — enough strand to
+    // cross the threshold that triggers compaction on removal.
+    for (size_t i = 0; i < base_rows / 2; ++i) {
+      db.Apply(WriteOp::Insert(rel, {Value::Constant(i % 97),
+                                     Value::Constant(base_rows + i)}),
+               9);
+    }
+    drift_before +=
+        static_cast<double>(db.relation(rel).IndexEntryCount() - entries_live);
+    state.ResumeTiming();
+    db.RemoveVersionsOf(9);  // triggers threshold compaction
+    state.PauseTiming();
+    drift_after +=
+        static_cast<double>(db.relation(rel).IndexEntryCount()) -
+        static_cast<double>(entries_live);
+    state.ResumeTiming();
+  }
+  state.counters["drift_entries_before_compact"] =
+      benchmark::Counter(drift_before, benchmark::Counter::kAvgIterations);
+  state.counters["drift_entries_after_compact"] =
+      benchmark::Counter(drift_after, benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_IndexEntryDriftUnderAborts)->Range(1024, 16384);
+
 void BM_AbortUndoTargeted(benchmark::State& state) {
   // Cost of undoing one update's writes via targeted row removal.
   for (auto _ : state) {

@@ -7,19 +7,6 @@
 #include "query/specificity.h"
 
 namespace youtopia {
-namespace {
-
-bool RhsSatisfied(const Snapshot& snap, const Tgd& tgd,
-                  const Binding& binding) {
-  Binding seed(tgd.num_vars());
-  for (VarId x : tgd.frontier_vars()) {
-    if (binding.IsBound(x)) seed.Set(x, binding.Get(x));
-  }
-  Evaluator eval(snap);
-  return eval.Exists(tgd.rhs(), seed);
-}
-
-}  // namespace
 
 bool ConflictChecker::Conflicts(const Snapshot& snap, const PhysicalWrite& w,
                                 const ReadQueryRecord& q) const {
@@ -128,7 +115,10 @@ bool ConflictChecker::JoinsWithPin(const Snapshot& snap, const Tgd& tgd,
     residual_lhs.atoms.push_back(tgd.lhs().atoms[a]);
   }
 
-  Evaluator eval(snap);
+  lhs_eval_.Reset(snap);
+  rhs_eval_.Reset(snap);
+  Evaluator& eval = lhs_eval_;
+  Evaluator& rhs_eval = rhs_eval_;
   if (on_lhs) {
     for (size_t a = 0; a < residual_lhs.atoms.size(); ++a) {
       const Atom& atom = residual_lhs.atoms[a];
@@ -137,15 +127,18 @@ bool ConflictChecker::JoinsWithPin(const Snapshot& snap, const Tgd& tgd,
       bool found = false;
       if (residual_lhs.atoms.size() == 1) {
         // Only the written atom remains: match it directly.
-        found = MatchAtom(atom, content, &binding) &&
-                (!require_rhs_unsatisfied || !RhsSatisfied(snap, tgd, binding));
+        found =
+            MatchAtom(atom, content, &binding) &&
+            (!require_rhs_unsatisfied || !tgd.RhsSatisfiedUnder(binding, rhs_eval));
       } else {
         AtomPin pin{a, /*row=*/0, &content};
-        eval.ForEachMatch(residual_lhs, seed, &pin,
+        const QueryPlan& plan =
+            residual_plans_.Get(residual_lhs, Planner::MaskOf(seed), a);
+        eval.ForEachMatch(plan, seed, &pin,
                           [&](const Binding& match,
                               const std::vector<TupleRef>&) {
                             if (!require_rhs_unsatisfied ||
-                                !RhsSatisfied(snap, tgd, match)) {
+                                !tgd.RhsSatisfiedUnder(match, rhs_eval)) {
                               found = true;
                               return false;
                             }
@@ -158,13 +151,15 @@ bool ConflictChecker::JoinsWithPin(const Snapshot& snap, const Tgd& tgd,
     if (q.pinned_on_lhs && tgd.lhs().atoms[q.atom_index].rel == rel &&
         content == q.pinned) {
       if (residual_lhs.empty()) {
-        return !require_rhs_unsatisfied || !RhsSatisfied(snap, tgd, seed);
+        return !require_rhs_unsatisfied || !tgd.RhsSatisfiedUnder(seed, rhs_eval);
       }
       bool found = false;
-      eval.ForEachMatch(residual_lhs, seed, nullptr,
+      const QueryPlan& plan =
+          residual_plans_.Get(residual_lhs, Planner::MaskOf(seed), std::nullopt);
+      eval.ForEachMatch(plan, seed, nullptr,
                         [&](const Binding& match, const std::vector<TupleRef>&) {
                           if (!require_rhs_unsatisfied ||
-                              !RhsSatisfied(snap, tgd, match)) {
+                              !tgd.RhsSatisfiedUnder(match, rhs_eval)) {
                             found = true;
                             return false;
                           }
@@ -192,7 +187,10 @@ bool ConflictChecker::JoinsWithPin(const Snapshot& snap, const Tgd& tgd,
       }
     }
     if (!consistent) continue;
-    if (residual_lhs.empty() || eval.Exists(residual_lhs, combined)) {
+    if (residual_lhs.empty() ||
+        eval.Exists(residual_plans_.Get(residual_lhs, Planner::MaskOf(combined),
+                                        std::nullopt),
+                    combined)) {
       return true;
     }
   }

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "ccontrol/read_query.h"
+#include "query/evaluator.h"
+#include "query/plan_cache.h"
 #include "relational/database.h"
 #include "relational/write.h"
 #include "tgd/tgd.h"
@@ -28,7 +30,10 @@ namespace youtopia {
 // (Section 5).
 class ConflictChecker {
  public:
-  explicit ConflictChecker(const std::vector<Tgd>* tgds) : tgds_(tgds) {}
+  explicit ConflictChecker(const std::vector<Tgd>* tgds)
+      : tgds_(tgds),
+        lhs_eval_(Snapshot(nullptr, 0)),
+        rhs_eval_(Snapshot(nullptr, 0)) {}
 
   // True if `w` changes the answer to `q`. `snap` must carry the *reader's*
   // visibility (the update that posed `q`).
@@ -49,6 +54,16 @@ class ConflictChecker {
                     bool require_rhs_unsatisfied) const;
 
   const std::vector<Tgd>* tgds_;
+  // The residual LHS queries (a tgd's premise minus the recorded query's
+  // pinned atom) are not known until a check runs; their handful of shapes
+  // recur for every retroactive check, so they are compiled once and cached.
+  mutable PlanCache residual_plans_;
+  // Long-lived evaluators, reset per check (two: the NOT EXISTS probe runs
+  // inside the LHS enumeration's callback, and evaluators are not
+  // reentrant). Their scratch amortizes across the many checks the
+  // read-log reconfirmation and the PRECISE tracker perform.
+  mutable Evaluator lhs_eval_;
+  mutable Evaluator rhs_eval_;
 };
 
 }  // namespace youtopia

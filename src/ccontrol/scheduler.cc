@@ -13,7 +13,12 @@ Scheduler::Scheduler(Database* db, const std::vector<Tgd>* tgds,
       checker_(tgds),
       read_log_(tgds),
       tracker_(options.tracker, tgds),
-      next_number_(options.first_number) {}
+      next_number_(options.first_number) {
+  // Build the composite indexes the tgds' compiled plans probe, so every
+  // chase step and retroactive conflict check in this run executes its
+  // planned access paths instead of falling back to single-column probes.
+  for (const Tgd& tgd : *tgds_) EnsureTgdPlanIndexes(db_, tgd.plans());
+}
 
 uint64_t Scheduler::Submit(WriteOp initial_op) {
   const uint64_t number = next_number_++;

@@ -26,7 +26,8 @@ void ViolationDetector::AfterWrite(const Snapshot& snap,
 void ViolationDetector::DetectInsertSide(
     const Snapshot& snap, RelationId rel, RowId row, const TupleData& data,
     std::vector<Violation>* out, std::vector<ReadQueryRecord>* reads) const {
-  Evaluator eval(snap);
+  lhs_eval_.Reset(snap);
+  rhs_eval_.Reset(snap);
   const size_t first_new = out->size();
   // Self-joins surface the same violating assignment once per pinned atom;
   // keep each (tgd, assignment) once.
@@ -47,11 +48,11 @@ void ViolationDetector::DetectInsertSide(
             static_cast<int>(t), /*pinned_on_lhs=*/true, a, data));
       }
       AtomPin pin{a, row, &data};
-      eval.ForEachMatch(
-          tgd.lhs(), Binding(tgd.num_vars()), &pin,
+      lhs_eval_.ForEachMatch(
+          tgd.plans().lhs_pinned[a], Binding(tgd.num_vars()), &pin,
           [&](const Binding& binding, const std::vector<TupleRef>& rows) {
             if (!is_duplicate(static_cast<int>(t), binding) &&
-                !RhsSatisfied(snap, tgd, binding)) {
+                !tgd.RhsSatisfiedUnder(binding, rhs_eval_)) {
               Violation v;
               v.tgd_id = static_cast<int>(t);
               v.kind = Violation::Kind::kLhs;
@@ -68,7 +69,8 @@ void ViolationDetector::DetectInsertSide(
 void ViolationDetector::DetectDeleteSide(
     const Snapshot& snap, RelationId rel, const TupleData& old_data,
     std::vector<Violation>* out, std::vector<ReadQueryRecord>* reads) const {
-  Evaluator eval(snap);
+  lhs_eval_.Reset(snap);
+  rhs_eval_.Reset(snap);
   for (size_t t = 0; t < tgds_->size(); ++t) {
     const Tgd& tgd = (*tgds_)[t];
     for (size_t a = 0; a < tgd.rhs().atoms.size(); ++a) {
@@ -87,10 +89,10 @@ void ViolationDetector::DetectDeleteSide(
       for (VarId x : tgd.frontier_vars()) {
         if (atom_binding.IsBound(x)) lhs_seed.Set(x, atom_binding.Get(x));
       }
-      eval.ForEachMatch(
-          tgd.lhs(), lhs_seed, nullptr,
+      lhs_eval_.ForEachMatch(
+          tgd.plans().lhs_delete[a], lhs_seed, nullptr,
           [&](const Binding& binding, const std::vector<TupleRef>& rows) {
-            if (!RhsSatisfied(snap, tgd, binding)) {
+            if (!tgd.RhsSatisfiedUnder(binding, rhs_eval_)) {
               Violation v;
               v.tgd_id = static_cast<int>(t);
               v.kind = Violation::Kind::kRhs;
@@ -124,18 +126,20 @@ bool ViolationDetector::IsStillViolated(
     reads->push_back(ReadQueryRecord::Violation(v.tgd_id, /*pinned_on_lhs=*/true,
                                                 0, *data));
   }
-  return !RhsSatisfied(snap, tgd, v.binding);
+  rhs_eval_.Reset(snap);
+  return !tgd.RhsSatisfiedUnder(v.binding, rhs_eval_);
 }
 
 void ViolationDetector::FindAll(const Snapshot& snap,
                                 std::vector<Violation>* out) const {
-  Evaluator eval(snap);
+  lhs_eval_.Reset(snap);
+  rhs_eval_.Reset(snap);
   for (size_t t = 0; t < tgds_->size(); ++t) {
     const Tgd& tgd = (*tgds_)[t];
-    eval.ForEachMatch(
-        tgd.lhs(), Binding(tgd.num_vars()), nullptr,
+    lhs_eval_.ForEachMatch(
+        tgd.plans().lhs_full, Binding(tgd.num_vars()), nullptr,
         [&](const Binding& binding, const std::vector<TupleRef>& rows) {
-          if (!RhsSatisfied(snap, tgd, binding)) {
+          if (!tgd.RhsSatisfiedUnder(binding, rhs_eval_)) {
             Violation v;
             v.tgd_id = static_cast<int>(t);
             v.kind = Violation::Kind::kLhs;
@@ -152,17 +156,6 @@ bool ViolationDetector::SatisfiesAll(const Snapshot& snap) const {
   std::vector<Violation> found;
   FindAll(snap, &found);
   return found.empty();
-}
-
-bool ViolationDetector::RhsSatisfied(const Snapshot& snap, const Tgd& tgd,
-                                     const Binding& binding) const {
-  Binding rhs_seed(tgd.num_vars());
-  for (VarId x : tgd.frontier_vars()) {
-    CHECK(binding.IsBound(x));
-    rhs_seed.Set(x, binding.Get(x));
-  }
-  Evaluator eval(snap);
-  return eval.Exists(tgd.rhs(), rhs_seed);
 }
 
 }  // namespace youtopia

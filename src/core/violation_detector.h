@@ -19,7 +19,10 @@ namespace youtopia {
 // concurrency-control layer can log it.
 class ViolationDetector {
  public:
-  explicit ViolationDetector(const std::vector<Tgd>* tgds) : tgds_(tgds) {}
+  explicit ViolationDetector(const std::vector<Tgd>* tgds)
+      : tgds_(tgds),
+        lhs_eval_(Snapshot(nullptr, 0)),
+        rhs_eval_(Snapshot(nullptr, 0)) {}
 
   // Appends the violations newly caused by `w`, as seen by `snap`'s reader.
   //
@@ -51,11 +54,6 @@ class ViolationDetector {
   const std::vector<Tgd>& tgds() const { return *tgds_; }
 
  private:
-  // True if the RHS of `tgd` has a match under the frontier-variable part
-  // of `binding`.
-  bool RhsSatisfied(const Snapshot& snap, const Tgd& tgd,
-                    const Binding& binding) const;
-
   void DetectInsertSide(const Snapshot& snap, RelationId rel, RowId row,
                         const TupleData& data, std::vector<Violation>* out,
                         std::vector<ReadQueryRecord>* reads) const;
@@ -65,6 +63,12 @@ class ViolationDetector {
                         std::vector<ReadQueryRecord>* reads) const;
 
   const std::vector<Tgd>* tgds_;
+  // Long-lived evaluators, reset to the caller's snapshot per detection
+  // call so their scratch buffers amortize across a whole chase. Two
+  // instances because the NOT EXISTS probe runs inside the LHS
+  // enumeration's callback (evaluators are not reentrant).
+  mutable Evaluator lhs_eval_;
+  mutable Evaluator rhs_eval_;
 };
 
 }  // namespace youtopia

@@ -23,6 +23,12 @@ Result<int> Youtopia::AddMapping(std::string_view tgd_text) {
   tgds_.push_back(std::move(tgd).value());
   const int id = static_cast<int>(tgds_.size()) - 1;
 
+  // A tgd's plans depend only on its own structure and were compiled in
+  // Tgd::Create; registering the new mapping just builds the composite
+  // indexes its probes demand, so the repair chase below (and every later
+  // update) executes its planned access paths.
+  EnsureTgdPlanIndexes(&db_, tgds_.back().plans());
+
   // Cooperatively repair any violations the new mapping has over existing
   // data (Section 1.2: mappings are supplied as the repository grows).
   ViolationDetector detector(&tgds_);
@@ -35,6 +41,13 @@ Result<int> Youtopia::AddMapping(std::string_view tgd_text) {
     repair.RunToCompletion(&db_, agent_.get());
   }
   return id;
+}
+
+void Youtopia::RebuildQueryPlans() {
+  for (Tgd& tgd : tgds_) {
+    tgd.RecompilePlans();
+    EnsureTgdPlanIndexes(&db_, tgd.plans());
+  }
 }
 
 bool Youtopia::MappingsWeaklyAcyclic() const {

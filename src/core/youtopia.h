@@ -59,6 +59,13 @@ class Youtopia {
 
   const std::vector<Tgd>& mappings() const { return tgds_; }
 
+  // Maintenance hook: recompiles every mapping's cached query plans and
+  // (re)builds the composite indexes they probe. AddMapping registers the
+  // new tgd's plans itself (plans depend only on a tgd's own structure);
+  // call this manually after out-of-band mutations of the mapping set or
+  // schema-evolution experiments.
+  void RebuildQueryPlans();
+
   // True iff the registered mappings are weakly acyclic (i.e. the classical
   // chase would be guaranteed to terminate; Youtopia does not require this).
   bool MappingsWeaklyAcyclic() const;

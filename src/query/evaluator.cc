@@ -1,32 +1,70 @@
 #include "query/evaluator.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace youtopia {
+namespace {
 
-bool Evaluator::ForEachMatch(const ConjunctiveQuery& cq, Binding binding,
+// Resolves the value of a probe column, or nullptr if its variable is
+// unbound at runtime (plan compiled for a stronger profile).
+const Value* ProbeValue(const Term& term, const Binding& binding) {
+  if (term.is_constant()) return &term.constant();
+  if (binding.IsBound(term.var())) return &binding.Get(term.var());
+  return nullptr;
+}
+
+}  // namespace
+
+bool Evaluator::ForEachMatch(const QueryPlan& plan, Binding binding,
                              const AtomPin* pin,
                              const MatchCallback& cb) const {
   rows_examined_ = 0;
+  const ConjunctiveQuery& cq = plan.query;
   if (cq.atoms.empty()) {
     std::vector<TupleRef> no_rows;
     return cb(binding, no_rows);
   }
-  std::vector<bool> done(cq.atoms.size(), false);
-  std::vector<TupleRef> rows(cq.atoms.size());
-  size_t remaining = cq.atoms.size();
+  rows_scratch_.assign(cq.atoms.size(), TupleRef{});
+  std::vector<TupleRef>& rows = rows_scratch_;
+  // Pre-size the per-depth scratch so recursion never reallocates the outer
+  // vector while inner frames hold references into it.
+  if (scratch_.size() < plan.steps.size()) scratch_.resize(plan.steps.size());
 
   if (pin != nullptr) {
+    CHECK(plan.pinned_atom.has_value());
+    CHECK_EQ(*plan.pinned_atom, pin->atom_index);
     CHECK_LT(pin->atom_index, cq.atoms.size());
     CHECK(pin->data != nullptr);
     if (!MatchAtom(cq.atoms[pin->atom_index], *pin->data, &binding)) {
       return true;  // pinned tuple cannot match: zero results
     }
-    done[pin->atom_index] = true;
     rows[pin->atom_index] = TupleRef{cq.atoms[pin->atom_index].rel, pin->row};
-    --remaining;
+  } else {
+    // A plan compiled around a pinned atom never enumerates it; executing
+    // such a plan without the pin would silently drop the atom.
+    CHECK(!plan.pinned_atom.has_value());
   }
-  return Recurse(cq, done, remaining, binding, rows, cb);
+  return ExecuteStep(plan, 0, binding, rows, cb);
+}
+
+bool Evaluator::ForEachMatch(const ConjunctiveQuery& cq, Binding binding,
+                             const AtomPin* pin,
+                             const MatchCallback& cb) const {
+  const QueryPlan plan = Planner::Compile(
+      cq, Planner::MaskOf(binding),
+      pin != nullptr ? std::optional<size_t>(pin->atom_index) : std::nullopt);
+  return ForEachMatch(plan, std::move(binding), pin, cb);
+}
+
+bool Evaluator::Exists(const QueryPlan& plan, const Binding& binding) const {
+  bool found = false;
+  ForEachMatch(plan, binding, nullptr,
+               [&](const Binding&, const std::vector<TupleRef>&) {
+                 found = true;
+                 return false;  // stop at first match
+               });
+  return found;
 }
 
 bool Evaluator::Exists(const ConjunctiveQuery& cq,
@@ -40,58 +78,86 @@ bool Evaluator::Exists(const ConjunctiveQuery& cq,
   return found;
 }
 
-bool Evaluator::Recurse(const ConjunctiveQuery& cq, std::vector<bool>& done,
-                        size_t remaining, Binding& binding,
-                        std::vector<TupleRef>& rows,
-                        const MatchCallback& cb) const {
-  if (remaining == 0) return cb(binding, rows);
+bool Evaluator::ExecuteStep(const QueryPlan& plan, size_t step_index,
+                            Binding& binding, std::vector<TupleRef>& rows,
+                            const MatchCallback& cb) const {
+  if (step_index == plan.steps.size()) return cb(binding, rows);
 
-  const size_t idx = PickAtom(cq, done, binding);
-  const Atom& atom = cq.atoms[idx];
-  done[idx] = true;
+  const PlanStep& step = plan.steps[step_index];
+  const Atom& atom = plan.query.atoms[step.atom_index];
+  const VersionedRelation& relation = snap_.db().relation(atom.rel);
+  StepScratch& scratch = scratch_[step_index];
 
-  // Gather candidate rows: via the index on the most selective bound term,
-  // else a full visible scan.
-  std::vector<RowId> candidates;
-  bool have_index_column = false;
-  for (size_t c = 0; c < atom.terms.size(); ++c) {
-    const Term& t = atom.terms[c];
-    Value bound_value;
-    if (t.is_constant()) {
-      bound_value = t.constant();
-    } else if (binding.IsBound(t.var())) {
-      bound_value = binding.Get(t.var());
-    } else {
-      continue;
+  // Record the pre-match bound state of this atom's variables once: each
+  // try_row below restores the binding exactly, so the list is invariant
+  // across the candidate loop.
+  scratch.undo.clear();
+  for (const Term& t : atom.terms) {
+    if (t.is_variable()) {
+      scratch.undo.push_back(VarUndo{t.var(), binding.IsBound(t.var())});
     }
-    std::vector<RowId> col_candidates;
-    snap_.CandidateRows(atom.rel, c, bound_value, &col_candidates);
-    if (!have_index_column || col_candidates.size() < candidates.size()) {
-      candidates = std::move(col_candidates);
-      have_index_column = true;
-    }
-    if (candidates.empty()) break;  // no candidate can match
   }
   bool keep_going = true;
   auto try_row = [&](RowId row, const TupleData& data) -> bool {
-    Binding saved = binding;
+    bool cont = true;
     if (MatchAtom(atom, data, &binding)) {
-      rows[idx] = TupleRef{atom.rel, row};
-      if (!Recurse(cq, done, remaining - 1, binding, rows, cb)) {
-        binding = std::move(saved);
-        return false;
-      }
+      rows[step.atom_index] = TupleRef{atom.rel, row};
+      cont = ExecuteStep(plan, step_index + 1, binding, rows, cb);
     }
-    binding = std::move(saved);
-    return true;
+    // Undo exactly what MatchAtom bound (it may bind partially on failure).
+    for (const VarUndo& u : scratch.undo) {
+      if (!u.was_bound) binding.Unset(u.var);
+    }
+    return cont;
   };
 
-  if (have_index_column) {
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
-    for (RowId row : candidates) {
-      const TupleData* data = snap_.VisibleData(atom.rel, row);
+  // Candidate fetch per the planned access path, degrading gracefully when
+  // a planned probe column is unbound at runtime or an index is missing.
+  bool probed = false;
+  bool any_bound_column = false;
+  scratch.candidates.clear();
+  if (step.access == AccessPath::kCompositeIndex) {
+    scratch.key.clear();
+    for (size_t c : step.probe_columns) {
+      const Value* v = ProbeValue(atom.terms[c], binding);
+      if (v == nullptr) break;
+      scratch.key.push_back(*v);
+    }
+    if (scratch.key.size() == step.probe_columns.size()) {
+      probed = relation.CandidateRowsComposite(step.probe_columns, scratch.key,
+                                               &scratch.candidates);
+      any_bound_column = true;
+    }
+  }
+  if (!probed) {
+    // Single-column path: probe the cheapest bound column, sized without
+    // copying any bucket.
+    size_t best_column = 0;
+    const Value* best_value = nullptr;
+    size_t best_count = 0;
+    for (size_t c : step.probe_columns) {
+      const Value* v = ProbeValue(atom.terms[c], binding);
+      if (v == nullptr) continue;
+      const size_t count = relation.CandidateCount(c, *v);
+      if (best_value == nullptr || count < best_count) {
+        best_column = c;
+        best_value = v;
+        best_count = count;
+      }
+      if (best_count == 0) break;  // no candidate can match
+    }
+    if (best_value != nullptr) {
+      any_bound_column = true;
+      probed = true;
+      if (best_count > 0) {
+        relation.CandidateRows(best_column, *best_value, &scratch.candidates);
+      }
+    }
+  }
+
+  if (any_bound_column) {
+    for (RowId row : scratch.candidates) {
+      const TupleData* data = relation.VisibleData(row, snap_.reader());
       if (data == nullptr) continue;  // stale index entry
       ++rows_examined_;
       if (!try_row(row, *data)) {
@@ -102,41 +168,17 @@ bool Evaluator::Recurse(const ConjunctiveQuery& cq, std::vector<bool>& done,
   } else {
     // Bool-returning callback: a stopped enumeration (e.g. Exists) ends the
     // scan instead of resolving visibility for every remaining row.
-    snap_.ForEachVisible(atom.rel,
-                         [&](RowId row, const TupleData& data) -> bool {
-                           ++rows_examined_;
-                           if (!try_row(row, data)) {
-                             keep_going = false;
-                             return false;
-                           }
-                           return true;
-                         });
+    relation.ForEachVisible(snap_.reader(),
+                            [&](RowId row, const TupleData& data) -> bool {
+                              ++rows_examined_;
+                              if (!try_row(row, data)) {
+                                keep_going = false;
+                                return false;
+                              }
+                              return true;
+                            });
   }
-
-  done[idx] = false;
   return keep_going;
-}
-
-size_t Evaluator::PickAtom(const ConjunctiveQuery& cq,
-                           const std::vector<bool>& done,
-                           const Binding& binding) const {
-  size_t best = cq.atoms.size();
-  int best_score = -1;
-  for (size_t i = 0; i < cq.atoms.size(); ++i) {
-    if (done[i]) continue;
-    int score = 0;
-    for (const Term& t : cq.atoms[i].terms) {
-      if (t.is_constant() || (t.is_variable() && binding.IsBound(t.var()))) {
-        ++score;
-      }
-    }
-    if (score > best_score) {
-      best_score = score;
-      best = i;
-    }
-  }
-  CHECK_LT(best, cq.atoms.size());
-  return best;
 }
 
 }  // namespace youtopia

@@ -6,6 +6,7 @@
 
 #include "query/atom.h"
 #include "query/binding.h"
+#include "query/plan.h"
 #include "relational/database.h"
 
 namespace youtopia {
@@ -28,36 +29,67 @@ using MatchCallback =
 // (naive-table semantics: constants match themselves, variables bind to any
 // value, join variables must bind to literally equal values).
 //
-// Atom ordering is chosen greedily by boundness (most selective first), and
-// candidate rows are fetched through per-column hash indexes when a term is
-// bound, falling back to a visible-rows scan otherwise.
+// Execution is plan-driven: a compiled QueryPlan fixes the atom order and
+// the per-atom access path (composite-index probe, single-column probe, or
+// visible scan). The hot paths — tgd premise, violation and reconfirmation
+// queries — pass plans cached at mapping-registration time; the
+// ConjunctiveQuery overloads compile a one-shot plan for ad-hoc queries
+// (user queries, tests).
+//
+// Not reentrant: per-depth scratch buffers are reused across executions, so
+// a callback must not invoke the same Evaluator instance again (nested
+// queries construct their own, as all call sites do).
 class Evaluator {
  public:
   explicit Evaluator(const Snapshot& snap) : snap_(snap) {}
 
-  // Enumerates matches extending `binding`. If `pin` is non-null, atom
-  // `pin->atom_index` is matched only against the pinned row content.
-  // Returns false iff the callback stopped the enumeration early.
+  // Retargets the evaluator to another snapshot, keeping the scratch
+  // buffers. Long-lived owners (the violation detector, the conflict
+  // checker) reset per call so allocations amortize across a whole run
+  // instead of a single query.
+  void Reset(const Snapshot& snap) { snap_ = snap; }
+
+  // Enumerates matches of `plan` extending `binding`. If the plan was
+  // compiled with a pinned atom, `pin` must pin that same atom (and vice
+  // versa). Returns false iff the callback stopped the enumeration early.
+  bool ForEachMatch(const QueryPlan& plan, Binding binding, const AtomPin* pin,
+                    const MatchCallback& cb) const;
+
+  // Ad-hoc variant: compiles a plan for `cq` under `binding`'s profile,
+  // then executes it. Prefer the QueryPlan overload on repeated queries.
   bool ForEachMatch(const ConjunctiveQuery& cq, Binding binding,
                     const AtomPin* pin, const MatchCallback& cb) const;
 
   // True if at least one match extending `binding` exists.
+  bool Exists(const QueryPlan& plan, const Binding& binding) const;
   bool Exists(const ConjunctiveQuery& cq, const Binding& binding) const;
 
-  // Statistics: rows touched by the last call (for microbenchmarks).
+  // Statistics: rows touched by the last call (for microbenchmarks and the
+  // planner's access-path regression tests).
   size_t rows_examined() const { return rows_examined_; }
 
  private:
-  bool Recurse(const ConjunctiveQuery& cq, std::vector<bool>& done,
-               size_t remaining, Binding& binding,
-               std::vector<TupleRef>& rows, const MatchCallback& cb) const;
+  // Tracks which variables a step's match newly bound, for targeted undo
+  // (cheaper than copying the whole binding per candidate row).
+  struct VarUndo {
+    VarId var;
+    bool was_bound;
+  };
+  // Reused buffers, one set per plan depth (sibling nodes at one depth reuse
+  // the same capacity instead of reallocating).
+  struct StepScratch {
+    std::vector<RowId> candidates;
+    std::vector<Value> key;
+    std::vector<VarUndo> undo;
+  };
 
-  // Picks the next atom to process: the one with the most bound terms.
-  size_t PickAtom(const ConjunctiveQuery& cq, const std::vector<bool>& done,
-                  const Binding& binding) const;
+  bool ExecuteStep(const QueryPlan& plan, size_t step_index, Binding& binding,
+                   std::vector<TupleRef>& rows, const MatchCallback& cb) const;
 
-  const Snapshot& snap_;
+  Snapshot snap_;  // by value: a (database pointer, reader) pair
   mutable size_t rows_examined_ = 0;
+  mutable std::vector<TupleRef> rows_scratch_;
+  mutable std::vector<StepScratch> scratch_;
 };
 
 }  // namespace youtopia

@@ -1,0 +1,169 @@
+#include "query/plan.h"
+
+#include <algorithm>
+
+namespace youtopia {
+namespace {
+
+uint64_t WithVar(uint64_t mask, VarId v) {
+  return v < 64 ? (mask | (uint64_t{1} << v)) : mask;
+}
+
+bool HasVar(uint64_t mask, VarId v) {
+  return v < 64 && (mask & (uint64_t{1} << v)) != 0;
+}
+
+uint64_t WithAtomVars(uint64_t mask, const Atom& atom) {
+  for (const Term& t : atom.terms) {
+    if (t.is_variable()) mask = WithVar(mask, t.var());
+  }
+  return mask;
+}
+
+// Term positions whose value is statically known under `mask`, ascending.
+std::vector<size_t> BoundColumns(const Atom& atom, uint64_t mask) {
+  std::vector<size_t> cols;
+  for (size_t c = 0; c < atom.terms.size(); ++c) {
+    const Term& t = atom.terms[c];
+    if (t.is_constant() || HasVar(mask, t.var())) cols.push_back(c);
+  }
+  return cols;
+}
+
+}  // namespace
+
+uint64_t Planner::MaskOf(const std::vector<VarId>& vars) {
+  uint64_t mask = 0;
+  for (VarId v : vars) mask = WithVar(mask, v);
+  return mask;
+}
+
+uint64_t Planner::MaskOf(const Binding& binding) {
+  uint64_t mask = 0;
+  for (VarId v = 0; v < binding.num_vars() && v < 64; ++v) {
+    if (binding.IsBound(v)) mask = WithVar(mask, v);
+  }
+  return mask;
+}
+
+QueryPlan Planner::Compile(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
+                           std::optional<size_t> pinned_atom) {
+  QueryPlan plan;
+  plan.query = cq;
+  plan.seed_bound_mask = seed_bound_mask;
+  plan.pinned_atom = pinned_atom;
+
+  uint64_t mask = seed_bound_mask;
+  std::vector<bool> done(cq.atoms.size(), false);
+  size_t remaining = cq.atoms.size();
+  if (pinned_atom.has_value()) {
+    CHECK_LT(*pinned_atom, cq.atoms.size());
+    done[*pinned_atom] = true;
+    mask = WithAtomVars(mask, cq.atoms[*pinned_atom]);
+    --remaining;
+  }
+
+  plan.steps.reserve(remaining);
+  while (remaining > 0) {
+    // Greedy: the atom with the most statically bound term positions next
+    // (ties to the earlier atom, for determinism).
+    size_t best = cq.atoms.size();
+    size_t best_score = 0;
+    for (size_t i = 0; i < cq.atoms.size(); ++i) {
+      if (done[i]) continue;
+      const size_t score = BoundColumns(cq.atoms[i], mask).size();
+      if (best == cq.atoms.size() || score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    CHECK_LT(best, cq.atoms.size());
+    done[best] = true;
+    --remaining;
+
+    PlanStep step;
+    step.atom_index = best;
+    step.probe_columns = BoundColumns(cq.atoms[best], mask);
+    if (step.probe_columns.size() >= 2) {
+      step.access = AccessPath::kCompositeIndex;
+    } else if (step.probe_columns.size() == 1) {
+      step.access = AccessPath::kSingleColumn;
+    } else {
+      step.access = AccessPath::kScan;
+    }
+    plan.steps.push_back(std::move(step));
+    mask = WithAtomVars(mask, cq.atoms[best]);
+  }
+  return plan;
+}
+
+std::string QueryPlan::ToString(const Catalog& catalog) const {
+  std::string out = "[";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += " -> ";
+    const PlanStep& step = steps[i];
+    out += std::to_string(step.atom_index) + ":" +
+           catalog.schema(query.atoms[step.atom_index].rel).name + " ";
+    switch (step.access) {
+      case AccessPath::kCompositeIndex:
+        out += "idx(";
+        break;
+      case AccessPath::kSingleColumn:
+        out += "col(";
+        break;
+      case AccessPath::kScan:
+        out += "scan(";
+        break;
+    }
+    for (size_t c = 0; c < step.probe_columns.size(); ++c) {
+      if (c > 0) out += ",";
+      out += std::to_string(step.probe_columns[c]);
+    }
+    out += ")";
+  }
+  out += "]";
+  return out;
+}
+
+TgdPlans CompileTgdPlans(const ConjunctiveQuery& lhs,
+                         const ConjunctiveQuery& rhs,
+                         const std::vector<VarId>& frontier_vars) {
+  TgdPlans plans;
+  const uint64_t frontier_mask = Planner::MaskOf(frontier_vars);
+  plans.lhs_pinned.reserve(lhs.atoms.size());
+  for (size_t a = 0; a < lhs.atoms.size(); ++a) {
+    plans.lhs_pinned.push_back(Planner::Compile(lhs, 0, a));
+  }
+  plans.lhs_delete.reserve(rhs.atoms.size());
+  for (const Atom& atom : rhs.atoms) {
+    uint64_t mask = 0;
+    for (const Term& t : atom.terms) {
+      if (t.is_variable() && HasVar(frontier_mask, t.var())) {
+        mask = WithVar(mask, t.var());
+      }
+    }
+    plans.lhs_delete.push_back(Planner::Compile(lhs, mask, std::nullopt));
+  }
+  plans.lhs_full = Planner::Compile(lhs, 0, std::nullopt);
+  plans.rhs_frontier = Planner::Compile(rhs, frontier_mask, std::nullopt);
+  return plans;
+}
+
+void EnsurePlanIndexes(Database* db, const QueryPlan& plan) {
+  for (const PlanStep& step : plan.steps) {
+    if (step.access != AccessPath::kCompositeIndex) continue;
+    // Deferred: tiny relations keep zero maintenance cost; the index
+    // materializes once the relation is large enough for probes to win.
+    db->mutable_relation(plan.query.atoms[step.atom_index].rel)
+        .RequestCompositeIndex(step.probe_columns);
+  }
+}
+
+void EnsureTgdPlanIndexes(Database* db, const TgdPlans& plans) {
+  for (const QueryPlan& plan : plans.lhs_pinned) EnsurePlanIndexes(db, plan);
+  for (const QueryPlan& plan : plans.lhs_delete) EnsurePlanIndexes(db, plan);
+  EnsurePlanIndexes(db, plans.lhs_full);
+  EnsurePlanIndexes(db, plans.rhs_frontier);
+}
+
+}  // namespace youtopia

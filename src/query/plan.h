@@ -1,0 +1,104 @@
+#ifndef YOUTOPIA_QUERY_PLAN_H_
+#define YOUTOPIA_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/atom.h"
+#include "query/binding.h"
+#include "relational/database.h"
+
+namespace youtopia {
+
+// How a plan step fetches candidate rows for its atom.
+enum class AccessPath : uint8_t {
+  kCompositeIndex = 0,  // probe one multi-column hash index
+  kSingleColumn = 1,    // probe the cheapest single-column hash index
+  kScan = 2,            // full visible scan
+};
+
+// One atom of a compiled plan: which atom to match next and how to fetch its
+// candidates, decided once at compile time from the statically known
+// boundness (seed profile, pinned atom, and variables bound by earlier
+// steps).
+struct PlanStep {
+  size_t atom_index = 0;
+  AccessPath access = AccessPath::kScan;
+  // Columns whose values are known when the step executes (constant terms
+  // and bound variables), ascending. kCompositeIndex probes the composite
+  // index over exactly these columns; kSingleColumn probes the cheapest of
+  // them per call.
+  std::vector<size_t> probe_columns;
+};
+
+// A compiled physical plan for one conjunctive query under one boundness
+// profile (plan-once/execute-many: the workload's queries are a small fixed
+// set derived from the registered tgds, executed millions of times).
+// Compilation fixes the atom order and per-atom access path; execution is a
+// pure walk of `steps` with no per-call planning.
+//
+// A plan compiled for a weaker profile than the runtime binding is still
+// correct (the extra bound columns are verified by the match); a planned
+// probe column that happens to be unbound at runtime is skipped, degrading
+// the access path for that call but never the result.
+struct QueryPlan {
+  ConjunctiveQuery query;
+  uint64_t seed_bound_mask = 0;  // vars (< 64) assumed bound at entry
+  // Atom matched externally (delta evaluation: the freshly written tuple);
+  // excluded from `steps`, its variables count as bound.
+  std::optional<size_t> pinned_atom;
+  std::vector<PlanStep> steps;
+
+  // Stable rendering for golden tests and diagnostics, e.g.
+  //   "[1:T col(0) -> 0:A col(1)]".
+  std::string ToString(const Catalog& catalog) const;
+};
+
+// Compiles conjunctive queries into QueryPlans. Atom order is greedy by
+// static boundness (most bound term positions first, ties to the earlier
+// atom — the same heuristic the evaluator used to re-run per call); the
+// access path per atom is composite-index for two or more bound columns,
+// single-column for one, scan for none.
+class Planner {
+ public:
+  static QueryPlan Compile(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
+                           std::optional<size_t> pinned_atom);
+
+  // Bound-profile mask helpers (variables >= 64 are conservatively treated
+  // as unbound; plans stay correct, only the access path degrades).
+  static uint64_t MaskOf(const std::vector<VarId>& vars);
+  static uint64_t MaskOf(const Binding& binding);
+};
+
+// The full plan complement for one tgd, compiled at tgd creation and cached
+// for the lifetime of the mapping. Covers every query shape the chase,
+// violation detection and read-log reconfirmation execute:
+struct TgdPlans {
+  // LHS with atom `a` pinned to a written tuple (insert/modify-side delta
+  // violation queries), one per LHS atom.
+  std::vector<QueryPlan> lhs_pinned;
+  // LHS for delete-side violation queries, one per RHS atom `a`: exactly
+  // the frontier variables occurring in that atom are bound (the deleted
+  // tuple was matched into it).
+  std::vector<QueryPlan> lhs_delete;
+  // LHS with nothing bound (full satisfaction scans).
+  QueryPlan lhs_full;
+  // RHS with the frontier variables bound (the NOT EXISTS probe).
+  QueryPlan rhs_frontier;
+};
+
+TgdPlans CompileTgdPlans(const ConjunctiveQuery& lhs,
+                         const ConjunctiveQuery& rhs,
+                         const std::vector<VarId>& frontier_vars);
+
+// Builds, on `db`, the composite indexes the plan's steps probe. Idempotent;
+// called when plans are registered (AddMapping, scheduler construction) so
+// the executor's composite probes hit instead of falling back.
+void EnsurePlanIndexes(Database* db, const QueryPlan& plan);
+void EnsureTgdPlanIndexes(Database* db, const TgdPlans& plans);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_QUERY_PLAN_H_

@@ -1,0 +1,58 @@
+#include "query/plan_cache.h"
+
+#include "util/hash.h"
+
+namespace youtopia {
+namespace {
+
+bool SameQuery(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  if (a.atoms.size() != b.atoms.size()) return false;
+  for (size_t i = 0; i < a.atoms.size(); ++i) {
+    if (a.atoms[i].rel != b.atoms[i].rel ||
+        !(a.atoms[i].terms == b.atoms[i].terms)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t PlanCache::ShapeHash(const ConjunctiveQuery& cq,
+                              uint64_t seed_bound_mask,
+                              std::optional<size_t> pinned_atom) {
+  size_t seed = cq.atoms.size();
+  HashCombine(seed, static_cast<size_t>(seed_bound_mask));
+  HashCombine(seed, pinned_atom.has_value() ? *pinned_atom + 1 : 0);
+  ValueHash vh;
+  for (const Atom& atom : cq.atoms) {
+    HashCombine(seed, static_cast<size_t>(atom.rel));
+    for (const Term& t : atom.terms) {
+      if (t.is_variable()) {
+        HashCombine(seed, static_cast<size_t>(t.var()) * 2 + 1);
+      } else {
+        HashCombine(seed, vh(t.constant()) * 2);
+      }
+    }
+  }
+  return seed;
+}
+
+const QueryPlan& PlanCache::Get(const ConjunctiveQuery& cq,
+                                uint64_t seed_bound_mask,
+                                std::optional<size_t> pinned_atom) {
+  std::vector<std::unique_ptr<QueryPlan>>& bucket =
+      buckets_[ShapeHash(cq, seed_bound_mask, pinned_atom)];
+  for (const std::unique_ptr<QueryPlan>& plan : bucket) {
+    if (plan->seed_bound_mask == seed_bound_mask &&
+        plan->pinned_atom == pinned_atom && SameQuery(plan->query, cq)) {
+      return *plan;
+    }
+  }
+  bucket.push_back(std::make_unique<QueryPlan>(
+      Planner::Compile(cq, seed_bound_mask, pinned_atom)));
+  ++size_;
+  return *bucket.back();
+}
+
+}  // namespace youtopia

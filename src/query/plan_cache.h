@@ -1,0 +1,50 @@
+#ifndef YOUTOPIA_QUERY_PLAN_CACHE_H_
+#define YOUTOPIA_QUERY_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "query/plan.h"
+
+namespace youtopia {
+
+// Caches compiled plans for query shapes that are not known until runtime
+// (e.g. the conflict checker's residual LHS queries: a tgd's premise minus
+// the pinned atom, under the recorded read query's bound profile). The same
+// handful of shapes recur for every retroactive check of a workload, so
+// compile-once amortizes exactly like the per-tgd plans.
+//
+// Keyed by the full query structure (relations and terms), the seed bound
+// mask and the pinned atom. A cache hit allocates nothing: the key material
+// lives inside the cached QueryPlan itself and the probe compares against
+// the caller's query in place. Returned plans live as long as the cache.
+class PlanCache {
+ public:
+  PlanCache() = default;
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Returns the cached plan for the shape, compiling it on first use.
+  const QueryPlan& Get(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
+                       std::optional<size_t> pinned_atom);
+
+  size_t size() const { return size_; }
+
+ private:
+  static uint64_t ShapeHash(const ConjunctiveQuery& cq,
+                            uint64_t seed_bound_mask,
+                            std::optional<size_t> pinned_atom);
+
+  // Hash -> plans with that shape hash (collisions resolved by comparing
+  // the stored plan's own query/mask/pin against the probe).
+  std::unordered_map<uint64_t, std::vector<std::unique_ptr<QueryPlan>>>
+      buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_QUERY_PLAN_CACHE_H_

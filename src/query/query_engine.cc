@@ -32,6 +32,7 @@ std::vector<TupleData> QueryEngine::Evaluate(const ConjunctiveQuery& body,
 bool QueryEngine::Ask(const ConjunctiveQuery& body,
                       QuerySemantics semantics) const {
   Evaluator eval(snap_);
+  const std::vector<VarId> vars = body.Variables();
   bool yes = false;
   eval.ForEachMatch(body, Binding(), nullptr,
                     [&](const Binding& binding, const std::vector<TupleRef>&) {
@@ -39,7 +40,7 @@ bool QueryEngine::Ask(const ConjunctiveQuery& body,
                         yes = true;
                         return false;
                       }
-                      for (VarId v : body.Variables()) {
+                      for (VarId v : vars) {
                         if (binding.Get(v).is_null()) return true;  // keep looking
                       }
                       yes = true;

@@ -39,12 +39,9 @@ void FindMoreSpecificRows(const Snapshot& snap, RelationId rel,
     if (IsMoreSpecific(stored, data)) out->push_back(row);
   };
   if (const_col >= 0) {
-    std::vector<RowId> candidates;
+    std::vector<RowId> candidates;  // deduped by CandidateRows
     snap.CandidateRows(rel, static_cast<size_t>(const_col),
                        data[static_cast<size_t>(const_col)], &candidates);
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
     for (RowId row : candidates) {
       const TupleData* stored = snap.VisibleData(rel, row);
       if (stored != nullptr) consider(row, *stored);

@@ -105,13 +105,19 @@ std::optional<RowId> Database::FindRowWithData(RelationId rel,
                                                uint64_t reader) const {
   CHECK_LT(rel, relations_.size());
   CHECK(!data.empty());
-  std::vector<RowId> candidates;
-  relations_[rel].CandidateRows(0, data[0], &candidates);
-  for (RowId row : candidates) {
+  // Raw bucket walk: stops at the first verified hit, so duplicates are
+  // cheaper to re-verify than to dedup (this runs on every set-semantics
+  // insert).
+  std::optional<RowId> found;
+  relations_[rel].ForEachCandidate(0, data[0], [&](RowId row) {
     const TupleData* visible = relations_[rel].VisibleData(row, reader);
-    if (visible != nullptr && *visible == data) return row;
-  }
-  return std::nullopt;
+    if (visible != nullptr && *visible == data) {
+      found = row;
+      return false;
+    }
+    return true;
+  });
+  return found;
 }
 
 size_t Database::CountVisible(uint64_t reader) const {

@@ -43,6 +43,13 @@ class Database {
     return relations_[id];
   }
 
+  // Mutable access for index maintenance (plan registration builds the
+  // composite indexes its probes demand; compaction is also reachable here).
+  VersionedRelation& mutable_relation(RelationId id) {
+    CHECK_LT(id, relations_.size());
+    return relations_[id];
+  }
+
   // --- Values -------------------------------------------------------------
 
   SymbolTable& symbols() { return symbols_; }
@@ -124,6 +131,19 @@ class Snapshot {
   void CandidateRows(RelationId rel, size_t column, const Value& value,
                      std::vector<RowId>* out) const {
     db_->relation(rel).CandidateRows(column, value, out);
+  }
+
+  size_t CandidateCount(RelationId rel, size_t column,
+                        const Value& value) const {
+    return db_->relation(rel).CandidateCount(column, value);
+  }
+
+  // False if the composite index over `columns` has not been built.
+  bool CandidateRowsComposite(RelationId rel,
+                              const std::vector<size_t>& columns,
+                              const std::vector<Value>& values,
+                              std::vector<RowId>* out) const {
+    return db_->relation(rel).CandidateRowsComposite(columns, values, out);
   }
 
   bool Contains(RelationId rel, const TupleData& data) const {

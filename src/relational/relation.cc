@@ -4,6 +4,27 @@
 #include <utility>
 
 namespace youtopia {
+namespace {
+
+// Auto-compaction threshold: rebuild once removals strand more entries than
+// a quarter of the live versions (plus slack so small relations never churn).
+bool ShouldCompact(size_t stale_removals, size_t live_versions) {
+  return stale_removals > 32 && stale_removals * 4 > live_versions;
+}
+
+// A requested (deferred) composite index materializes once the relation has
+// this many rows; below it, single-column probes on the fallback path are
+// cheap and the per-write maintenance would outweigh the probe savings.
+constexpr size_t kCompositeBuildMinRows = 256;
+
+void SortUniqueSuffix(std::vector<RowId>* out, size_t start) {
+  std::sort(out->begin() + static_cast<ptrdiff_t>(start), out->end());
+  out->erase(std::unique(out->begin() + static_cast<ptrdiff_t>(start),
+                         out->end()),
+             out->end());
+}
+
+}  // namespace
 
 VersionedRelation::VersionedRelation(size_t arity) : arity_(arity) {
   CHECK_GT(arity, 0u);
@@ -18,6 +39,7 @@ RowId VersionedRelation::AppendInsertRow(uint64_t update_number, uint64_t seq,
   IndexData(row, data);
   rows_.back().versions.push_back(
       TupleVersion{update_number, seq, WriteKind::kInsert, std::move(data)});
+  rows_.back().newest = 0;
   ++num_versions_;
   return row;
 }
@@ -29,16 +51,34 @@ void VersionedRelation::AppendVersion(RowId row, uint64_t update_number,
   CHECK(kind != WriteKind::kInsert);
   CHECK_EQ(data.size(), arity_);
   if (kind == WriteKind::kModify) IndexData(row, data);
-  rows_[row].versions.push_back(
+  Row& r = rows_[row];
+  r.versions.push_back(
       TupleVersion{update_number, seq, kind, std::move(data)});
+  const TupleVersion& added = r.versions.back();
+  if (r.newest < 0) {
+    r.newest = static_cast<int32_t>(r.versions.size()) - 1;
+  } else {
+    const TupleVersion& top = r.versions[static_cast<size_t>(r.newest)];
+    if (added.update_number > top.update_number ||
+        (added.update_number == top.update_number && added.seq > top.seq)) {
+      r.newest = static_cast<int32_t>(r.versions.size()) - 1;
+    }
+  }
   ++num_versions_;
 }
 
 const TupleVersion* VersionedRelation::VisibleVersion(RowId row,
                                                       uint64_t reader) const {
   CHECK_LT(row, rows_.size());
+  const Row& r = rows_[row];
+  // Fast path: the globally newest version is visible to this reader, so it
+  // is the maximum over the eligible subset too (no chain walk).
+  if (r.newest >= 0) {
+    const TupleVersion& top = r.versions[static_cast<size_t>(r.newest)];
+    if (top.update_number <= reader) return &top;
+  }
   const TupleVersion* best = nullptr;
-  for (const TupleVersion& v : rows_[row].versions) {
+  for (const TupleVersion& v : r.versions) {
     if (v.update_number > reader) continue;
     if (best == nullptr || v.update_number > best->update_number ||
         (v.update_number == best->update_number && v.seq > best->seq)) {
@@ -60,7 +100,86 @@ void VersionedRelation::CandidateRows(size_t column, const Value& value,
   CHECK_LT(column, indexes_.size());
   auto it = indexes_[column].find(value);
   if (it == indexes_[column].end()) return;
+  const size_t start = out->size();
   out->insert(out->end(), it->second.begin(), it->second.end());
+  // A row re-modified with a repeated value appears multiple times in its
+  // bucket; dedup here so callers resolve each row's visibility once.
+  SortUniqueSuffix(out, start);
+}
+
+size_t VersionedRelation::CandidateCount(size_t column,
+                                         const Value& value) const {
+  CHECK_LT(column, indexes_.size());
+  auto it = indexes_[column].find(value);
+  return it == indexes_[column].end() ? 0 : it->second.size();
+}
+
+VersionedRelation::CompositeIndex* VersionedRelation::FindOrRegisterComposite(
+    const std::vector<size_t>& columns) {
+  CHECK_GE(columns.size(), 2u);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    CHECK_LT(columns[i], arity_);
+    if (i > 0) CHECK_LT(columns[i - 1], columns[i]);  // distinct, ascending
+  }
+  for (CompositeIndex& index : composites_) {
+    if (index.columns == columns) return &index;
+  }
+  composites_.emplace_back();
+  composites_.back().columns = columns;
+  return &composites_.back();
+}
+
+void VersionedRelation::BuildCompositeIndex(CompositeIndex& index) {
+  // Build from every stored content version (insert and modify data), the
+  // same coverage the per-column indexes have: any reader-visible content
+  // must be reachable through the index.
+  index.built = true;
+  for (RowId row = 0; row < rows_.size(); ++row) {
+    for (const TupleVersion& v : rows_[row].versions) {
+      if (v.kind == WriteKind::kDelete) continue;
+      IndexDataComposite(index, row, v.data);
+    }
+  }
+}
+
+void VersionedRelation::EnsureCompositeIndex(
+    const std::vector<size_t>& columns) {
+  CompositeIndex* index = FindOrRegisterComposite(columns);
+  if (!index->built) BuildCompositeIndex(*index);
+}
+
+void VersionedRelation::RequestCompositeIndex(
+    const std::vector<size_t>& columns) {
+  CompositeIndex* index = FindOrRegisterComposite(columns);
+  if (!index->built && rows_.size() >= kCompositeBuildMinRows) {
+    BuildCompositeIndex(*index);
+  }
+}
+
+bool VersionedRelation::HasCompositeIndex(
+    const std::vector<size_t>& columns) const {
+  for (const CompositeIndex& index : composites_) {
+    if (index.columns == columns) return true;
+  }
+  return false;
+}
+
+bool VersionedRelation::CandidateRowsComposite(
+    const std::vector<size_t>& columns, const std::vector<Value>& values,
+    std::vector<RowId>* out) const {
+  CHECK_EQ(columns.size(), values.size());
+  for (const CompositeIndex& index : composites_) {
+    if (index.columns != columns) continue;
+    if (!index.built) return false;  // deferred: caller falls back
+    auto it = index.buckets.find(values);
+    if (it != index.buckets.end()) {
+      const size_t start = out->size();
+      out->insert(out->end(), it->second.begin(), it->second.end());
+      SortUniqueSuffix(out, start);
+    }
+    return true;
+  }
+  return false;
 }
 
 size_t VersionedRelation::IndexEntryCount() const {
@@ -68,7 +187,36 @@ size_t VersionedRelation::IndexEntryCount() const {
   for (const auto& idx : indexes_) {
     for (const auto& [value, rows] : idx) n += rows.size();
   }
+  for (const CompositeIndex& index : composites_) {
+    for (const auto& [key, rows] : index.buckets) n += rows.size();
+  }
   return n;
+}
+
+void VersionedRelation::CompactIndexes() {
+  for (auto& idx : indexes_) idx.clear();
+  for (CompositeIndex& index : composites_) index.buckets.clear();
+  for (RowId row = 0; row < rows_.size(); ++row) {
+    for (const TupleVersion& v : rows_[row].versions) {
+      if (v.kind == WriteKind::kDelete) continue;
+      for (size_t c = 0; c < arity_; ++c) {
+        std::vector<RowId>& bucket = indexes_[c][v.data[c]];
+        if (bucket.empty() || bucket.back() != row) bucket.push_back(row);
+      }
+      for (CompositeIndex& index : composites_) {
+        if (index.built) IndexDataComposite(index, row, v.data);
+      }
+    }
+  }
+  // IndexData only guards against consecutive duplicates; a full rebuild can
+  // afford exact buckets.
+  for (auto& idx : indexes_) {
+    for (auto& [value, rows] : idx) SortUniqueSuffix(&rows, 0);
+  }
+  for (CompositeIndex& index : composites_) {
+    for (auto& [key, rows] : index.buckets) SortUniqueSuffix(&rows, 0);
+  }
+  stale_removals_ = 0;
 }
 
 size_t VersionedRelation::RemoveVersionsOf(uint64_t update_number) {
@@ -77,10 +225,15 @@ size_t VersionedRelation::RemoveVersionsOf(uint64_t update_number) {
     auto new_end = std::remove_if(
         row.versions.begin(), row.versions.end(),
         [&](const TupleVersion& v) { return v.update_number == update_number; });
-    removed += static_cast<size_t>(row.versions.end() - new_end);
-    row.versions.erase(new_end, row.versions.end());
+    const size_t here = static_cast<size_t>(row.versions.end() - new_end);
+    if (here > 0) {
+      row.versions.erase(new_end, row.versions.end());
+      RecomputeNewest(row);
+      removed += here;
+    }
   }
   num_versions_ -= removed;
+  NoteRemovals(removed);
   return removed;
 }
 
@@ -92,8 +245,12 @@ size_t VersionedRelation::RemoveVersionsOfRow(RowId row,
       versions.begin(), versions.end(),
       [&](const TupleVersion& v) { return v.update_number == update_number; });
   const size_t removed = static_cast<size_t>(versions.end() - new_end);
-  versions.erase(new_end, versions.end());
+  if (removed > 0) {
+    versions.erase(new_end, versions.end());
+    RecomputeNewest(rows_[row]);
+  }
   num_versions_ -= removed;
+  NoteRemovals(removed);
   return removed;
 }
 
@@ -103,10 +260,15 @@ size_t VersionedRelation::RemoveVersionsAbove(uint64_t threshold) {
     auto new_end = std::remove_if(
         row.versions.begin(), row.versions.end(),
         [&](const TupleVersion& v) { return v.update_number > threshold; });
-    removed += static_cast<size_t>(row.versions.end() - new_end);
-    row.versions.erase(new_end, row.versions.end());
+    const size_t here = static_cast<size_t>(row.versions.end() - new_end);
+    if (here > 0) {
+      row.versions.erase(new_end, row.versions.end());
+      RecomputeNewest(row);
+      removed += here;
+    }
   }
   num_versions_ -= removed;
+  NoteRemovals(removed);
   return removed;
 }
 
@@ -116,6 +278,47 @@ void VersionedRelation::IndexData(RowId row, const TupleData& data) {
     // Avoid consecutive duplicates (common when a tuple is re-modified).
     if (bucket.empty() || bucket.back() != row) bucket.push_back(row);
   }
+  for (CompositeIndex& index : composites_) {
+    if (!index.built) {
+      if (rows_.size() < kCompositeBuildMinRows) continue;
+      // Deferred build: materialize now that the relation crossed the size
+      // threshold. The catch-up scan cannot see this write's version (it is
+      // appended after indexing), so fall through and index it explicitly.
+      BuildCompositeIndex(index);
+    }
+    IndexDataComposite(index, row, data);
+  }
+}
+
+void VersionedRelation::IndexDataComposite(CompositeIndex& index, RowId row,
+                                           const TupleData& data) {
+  std::vector<Value> key;
+  key.reserve(index.columns.size());
+  for (size_t c : index.columns) key.push_back(data[c]);
+  std::vector<RowId>& bucket = index.buckets[std::move(key)];
+  if (bucket.empty() || bucket.back() != row) bucket.push_back(row);
+}
+
+void VersionedRelation::RecomputeNewest(Row& row) {
+  row.newest = -1;
+  for (size_t i = 0; i < row.versions.size(); ++i) {
+    if (row.newest < 0) {
+      row.newest = static_cast<int32_t>(i);
+      continue;
+    }
+    const TupleVersion& top = row.versions[static_cast<size_t>(row.newest)];
+    const TupleVersion& v = row.versions[i];
+    if (v.update_number > top.update_number ||
+        (v.update_number == top.update_number && v.seq > top.seq)) {
+      row.newest = static_cast<int32_t>(i);
+    }
+  }
+}
+
+void VersionedRelation::NoteRemovals(size_t removed) {
+  if (removed == 0) return;
+  stale_removals_ += removed;
+  if (ShouldCompact(stale_removals_, num_versions_)) CompactIndexes();
 }
 
 }  // namespace youtopia

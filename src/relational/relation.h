@@ -21,6 +21,16 @@ struct TupleVersion {
   TupleData data;  // tuple content; for kDelete, the content being deleted
 };
 
+// Hashes the value list of a composite-index key.
+struct CompositeKeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t seed = key.size();
+    ValueHash vh;
+    for (const Value& v : key) HashCombine(seed, vh(v));
+    return seed;
+  }
+};
+
 // Multiversion storage for one relation (paper Section 4.1).
 //
 // Visibility rule: for a reader with update number j, the visible version of
@@ -29,12 +39,19 @@ struct TupleVersion {
 // invisible. This implements "the visible version of a tuple t is the one
 // with the largest number among those created by any update with number less
 // than or equal to j", with seq breaking ties for multiple writes by one
-// update.
+// update. Each row caches the position of its globally newest version; a
+// reader at or above that version's number (the common no-conflict case)
+// resolves visibility without walking the chain.
 //
 // Rows are never physically removed; aborting an update unlinks its versions
-// (RemoveVersionsOf). Per-column hash indexes are append-only and
-// stale-tolerant: a candidate row from the index must be re-verified against
-// the version visible to the reader.
+// (RemoveVersionsOf). Indexes come in two forms, both hash-based,
+// append-only and stale-tolerant (a candidate row must be re-verified
+// against the version visible to the reader):
+//   * one per-column index, always present;
+//   * composite indexes over column sets, built lazily on demand
+//     (EnsureCompositeIndex) for the probes compiled query plans ask for.
+// Removals (abort undo, experiment rewind) count the entries they strand;
+// past a threshold the indexes are rebuilt from the surviving versions.
 class VersionedRelation {
  public:
   explicit VersionedRelation(size_t arity);
@@ -83,13 +100,72 @@ class VersionedRelation {
     }
   }
 
-  // Appends to `out` the rows that may contain `value` in `column`
-  // (index-based; may contain stale rows and duplicates).
+  // Appends to `out` the rows that may contain `value` in `column`. The
+  // result may contain stale rows (content no longer visible) but each row
+  // at most once per call, in ascending order.
   void CandidateRows(size_t column, const Value& value,
                      std::vector<RowId>* out) const;
 
-  // Index size diagnostics (for the storage microbenchmark).
+  // Size of the `column` index bucket for `value` (an upper bound on the
+  // candidates a probe yields; lets an executor pick the cheapest probe
+  // without copying buckets).
+  size_t CandidateCount(size_t column, const Value& value) const;
+
+  // Copy-free bucket iteration: invokes fn(row) for each candidate (may
+  // repeat a row and include stale ones; return false to stop). For probes
+  // that stop at the first verified hit, where CandidateRows' dedup pass
+  // would cost more than re-verifying a duplicate.
+  template <typename Fn>
+  void ForEachCandidate(size_t column, const Value& value, Fn&& fn) const {
+    CHECK_LT(column, indexes_.size());
+    auto it = indexes_[column].find(value);
+    if (it == indexes_[column].end()) return;
+    for (RowId row : it->second) {
+      if (!fn(row)) return;
+    }
+  }
+
+  // --- Composite indexes ----------------------------------------------------
+
+  // Registers a composite hash index over `columns` (distinct, ascending,
+  // at least two) and builds it from the already-stored versions.
+  // Idempotent; subsequent writes maintain it.
+  void EnsureCompositeIndex(const std::vector<size_t>& columns);
+
+  // Like EnsureCompositeIndex, but defers the build until the relation is
+  // large enough for composite probes to beat single-column fallbacks
+  // (plan registration calls this: small write-heavy relations then pay no
+  // maintenance, and the index materializes when the relation grows).
+  void RequestCompositeIndex(const std::vector<size_t>& columns);
+
+  // True if the column set has been registered (built or still deferred).
+  bool HasCompositeIndex(const std::vector<size_t>& columns) const;
+
+  // Probes the composite index over `columns` with `values` (parallel to
+  // `columns`). Returns false if no such index has been built; otherwise
+  // appends the candidate rows (stale-tolerant, deduplicated, ascending)
+  // and returns true.
+  bool CandidateRowsComposite(const std::vector<size_t>& columns,
+                              const std::vector<Value>& values,
+                              std::vector<RowId>* out) const;
+
+  size_t num_composite_indexes() const { return composites_.size(); }
+
+  // --- Diagnostics and maintenance -----------------------------------------
+
+  // Total entries across the per-column and composite indexes (for the
+  // storage microbenchmark's drift measurement).
   size_t IndexEntryCount() const;
+
+  // Rebuilds every index from the surviving versions, dropping entries
+  // stranded by removed versions and duplicates within buckets. Cheap to
+  // call when nothing was removed; also triggered automatically once enough
+  // versions have been removed (see stale_removals_since_compaction()).
+  void CompactIndexes();
+
+  // Versions removed (abort undo / rewind) since the last compaction; their
+  // index entries are stale until CompactIndexes runs.
+  size_t stale_removals_since_compaction() const { return stale_removals_; }
 
   // Removes every version created by `update_number` (abort undo). Returns
   // the number of versions removed.
@@ -109,16 +185,36 @@ class VersionedRelation {
  private:
   struct Row {
     std::vector<TupleVersion> versions;
+    // Position of the version maximizing (update_number, seq), or -1 when
+    // the row has no versions. Readers at or above its number short-circuit
+    // visibility resolution.
+    int32_t newest = -1;
   };
 
+  struct CompositeIndex {
+    std::vector<size_t> columns;  // distinct, ascending
+    bool built = false;           // deferred-build indexes probe as misses
+    std::unordered_map<std::vector<Value>, std::vector<RowId>,
+                       CompositeKeyHash>
+        buckets;
+  };
+
+  CompositeIndex* FindOrRegisterComposite(const std::vector<size_t>& columns);
+  void BuildCompositeIndex(CompositeIndex& index);
   void IndexData(RowId row, const TupleData& data);
+  void IndexDataComposite(CompositeIndex& index, RowId row,
+                          const TupleData& data);
+  void RecomputeNewest(Row& row);
+  void NoteRemovals(size_t removed);
 
   size_t arity_;
   size_t num_versions_ = 0;
+  size_t stale_removals_ = 0;
   std::vector<Row> rows_;
   // One hash index per column: value -> candidate rows.
   std::vector<std::unordered_map<Value, std::vector<RowId>, ValueHash>>
       indexes_;
+  std::vector<CompositeIndex> composites_;
 };
 
 }  // namespace youtopia

@@ -54,7 +54,22 @@ Result<Tgd> Tgd::Create(ConjunctiveQuery lhs, ConjunctiveQuery rhs,
       tgd.all_relations_.push_back(r);
     }
   }
+  tgd.RecompilePlans();
   return tgd;
+}
+
+void Tgd::RecompilePlans() {
+  plans_ = std::make_shared<const TgdPlans>(
+      CompileTgdPlans(lhs_, rhs_, frontier_vars_));
+}
+
+bool Tgd::RhsSatisfiedUnder(const Binding& lhs_binding,
+                            Evaluator& rhs_eval) const {
+  Binding seed(num_vars_);
+  for (VarId x : frontier_vars_) {
+    if (lhs_binding.IsBound(x)) seed.Set(x, lhs_binding.Get(x));
+  }
+  return rhs_eval.Exists(plans().rhs_frontier, seed);
 }
 
 bool Tgd::IsExistential(VarId v) const {

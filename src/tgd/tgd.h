@@ -1,10 +1,13 @@
 #ifndef YOUTOPIA_TGD_TGD_H_
 #define YOUTOPIA_TGD_TGD_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "query/atom.h"
+#include "query/evaluator.h"
+#include "query/plan.h"
 #include "relational/schema.h"
 #include "util/status.h"
 
@@ -51,6 +54,28 @@ class Tgd {
 
   const std::vector<std::string>& var_names() const { return var_names_; }
 
+  // The physical plans for every query shape this tgd gives rise to
+  // (premise evaluation, delta violation queries, the NOT EXISTS probe),
+  // compiled once in Create and shared by all copies of the mapping. The
+  // chase, violation detection and read-log reconfirmation execute through
+  // these instead of re-planning per call.
+  const TgdPlans& plans() const {
+    DCHECK(plans_ != nullptr);
+    return *plans_;
+  }
+
+  // Recompiles the cached plans (mapping/schema maintenance hook; existing
+  // copies of this Tgd keep the old plans).
+  void RecompilePlans();
+
+  // The NOT EXISTS probe shared by violation detection and retroactive
+  // conflict checking: true if the RHS has a match under the
+  // frontier-variable part of `lhs_binding`, probed against the snapshot
+  // `rhs_eval` was last reset to. `rhs_eval` must not be the evaluator
+  // currently enumerating the LHS (evaluators are not reentrant).
+  bool RhsSatisfiedUnder(const Binding& lhs_binding,
+                         Evaluator& rhs_eval) const;
+
   // Renders e.g. "A(l, n) & T(n, c, s) -> exists r: R(c, n, r)".
   std::string ToString(const Catalog& catalog,
                        const SymbolTable& symbols) const;
@@ -66,6 +91,7 @@ class Tgd {
   std::vector<VarId> existential_vars_;
   std::vector<RelationId> all_relations_;
   std::vector<std::string> var_names_;
+  std::shared_ptr<const TgdPlans> plans_;
 };
 
 }  // namespace youtopia

@@ -1,0 +1,238 @@
+#include "query/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/youtopia.h"
+#include "query/evaluator.h"
+#include "query/plan_cache.h"
+#include "tgd/parser.h"
+#include "test_util.h"
+
+namespace youtopia {
+namespace {
+
+// --- Plan-shape golden tests -------------------------------------------------
+// The paper's sigma3-style mapping: A(l, n) & T(n, co, s) -> exists rv:
+// R(co, n, rv). The compiled plan complement must pick the expected atom
+// orders and access paths; these shapes are what every chase step executes.
+
+struct Sigma3 {
+  Database db;
+  RelationId a, t, r;
+  Tgd tgd;
+
+  Sigma3()
+      : a(*db.CreateRelation("A", {"location", "name"})),
+        t(*db.CreateRelation("T", {"attraction", "company", "start"})),
+        r(*db.CreateRelation("R", {"company", "attraction", "review"})),
+        tgd(*TgdParser(&db.catalog(), &db.symbols())
+                 .ParseTgd("A(l, n) & T(n, co, s) -> exists rv: R(co, n, rv)")) {
+  }
+};
+
+TEST(PlannerTest, PinnedPremisePlansProbeTheJoinColumn) {
+  Sigma3 fix;
+  const TgdPlans& plans = fix.tgd.plans();
+  ASSERT_EQ(plans.lhs_pinned.size(), 2u);
+  // Pin A(l, n): n is bound, so T(n, co, s) probes its column 0.
+  EXPECT_EQ(plans.lhs_pinned[0].ToString(fix.db.catalog()), "[1:T col(0)]");
+  // Pin T(n, co, s): n is bound, so A(l, n) probes its column 1.
+  EXPECT_EQ(plans.lhs_pinned[1].ToString(fix.db.catalog()), "[0:A col(1)]");
+}
+
+TEST(PlannerTest, FullPremisePlanScansOnceThenProbes) {
+  Sigma3 fix;
+  EXPECT_EQ(fix.tgd.plans().lhs_full.ToString(fix.db.catalog()),
+            "[0:A scan() -> 1:T col(0)]");
+}
+
+TEST(PlannerTest, NotExistsProbeUsesCompositeIndex) {
+  Sigma3 fix;
+  // Frontier variables n and co are bound when the NOT EXISTS probe runs;
+  // R(co, n, rv) has two bound columns -> a composite-index probe.
+  EXPECT_EQ(fix.tgd.plans().rhs_frontier.ToString(fix.db.catalog()),
+            "[0:R idx(0,1)]");
+  // Registering the plan's indexes creates exactly that composite index.
+  EnsureTgdPlanIndexes(&fix.db, fix.tgd.plans());
+  EXPECT_TRUE(fix.db.relation(fix.r).HasCompositeIndex({0, 1}));
+  EXPECT_EQ(fix.db.relation(fix.a).num_composite_indexes(), 0u);
+}
+
+TEST(PlannerTest, ConstantsCountAsBoundColumns) {
+  Sigma3 fix;
+  TgdParser parser(&fix.db.catalog(), &fix.db.symbols());
+  auto q = parser.ParseQuery("T(n, 'ACME', 'May')");
+  ASSERT_TRUE(q.ok());
+  const QueryPlan plan = Planner::Compile(q->body, 0, std::nullopt);
+  EXPECT_EQ(plan.ToString(fix.db.catalog()), "[0:T idx(1,2)]");
+}
+
+TEST(PlannerTest, SeedProfileUpgradesAccessPath) {
+  Sigma3 fix;
+  TgdParser parser(&fix.db.catalog(), &fix.db.symbols());
+  auto q = parser.ParseQuery("A(l, n) & T(n, co, s)");
+  ASSERT_TRUE(q.ok());
+  // With l and n pre-bound, A leads with a composite probe and T follows
+  // on the join column.
+  const uint64_t mask =
+      Planner::MaskOf({*q->VarByName("l"), *q->VarByName("n")});
+  const QueryPlan plan = Planner::Compile(q->body, mask, std::nullopt);
+  EXPECT_EQ(plan.ToString(fix.db.catalog()), "[0:A idx(0,1) -> 1:T col(0)]");
+}
+
+TEST(PlannerTest, PlanCacheCompilesEachShapeOnce) {
+  Sigma3 fix;
+  TgdParser parser(&fix.db.catalog(), &fix.db.symbols());
+  auto q = parser.ParseQuery("A(l, n) & T(n, co, s)");
+  ASSERT_TRUE(q.ok());
+  PlanCache cache;
+  const QueryPlan& p1 = cache.Get(q->body, 0, std::nullopt);
+  const QueryPlan& p2 = cache.Get(q->body, 0, std::nullopt);
+  EXPECT_EQ(&p1, &p2);  // same object: no recompilation
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Get(q->body, 0, 0);      // pinned shape is a distinct entry
+  cache.Get(q->body, 1, std::nullopt);  // profile is part of the key
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+// --- Access-path regression bounds -------------------------------------------
+// A 3-atom join where the last atom has two bound columns whose single-column
+// buckets are both large but whose combination is unique. The composite probe
+// must examine a constant number of rows where the seed's single-column path
+// examined O(N).
+
+class CompositeRegressionTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kN = 200;
+
+  CompositeRegressionTest() {
+    a_ = *db_.CreateRelation("A", {"k"});
+    b_ = *db_.CreateRelation("B", {"k", "m"});
+    c_ = *db_.CreateRelation("C", {"x", "y", "z"});
+    const Value zero = Value::Constant(0);
+    db_.Apply(WriteOp::Insert(a_, {zero}), 0);
+    db_.Apply(WriteOp::Insert(b_, {zero, zero}), 0);
+    // kN rows matching on x only, kN rows matching on y only, one row
+    // matching on both.
+    for (size_t i = 1; i <= kN; ++i) {
+      db_.Apply(WriteOp::Insert(
+                    c_, {zero, Value::Constant(i), Value::Constant(i)}),
+                0);
+      db_.Apply(WriteOp::Insert(
+                    c_, {Value::Constant(i), zero, Value::Constant(i)}),
+                0);
+    }
+    db_.Apply(WriteOp::Insert(c_, {zero, zero, Value::Constant(7)}), 0);
+
+    TgdParser parser(&db_.catalog(), &db_.symbols());
+    auto q = parser.ParseQuery("A(x) & B(x, y) & C(x, y, z)");
+    CHECK(q.ok());
+    query_ = q->body;
+  }
+
+  size_t RowsExamined(const QueryPlan& plan) {
+    Snapshot snap(&db_, kReadLatest);
+    Evaluator eval(snap);
+    size_t matches = 0;
+    eval.ForEachMatch(plan, Binding(), nullptr,
+                      [&](const Binding&, const std::vector<TupleRef>&) {
+                        ++matches;
+                        return true;
+                      });
+    EXPECT_EQ(matches, 1u);  // exactly the (0, 0, 7) row joins
+    return eval.rows_examined();
+  }
+
+  Database db_;
+  RelationId a_, b_, c_;
+  ConjunctiveQuery query_;
+};
+
+TEST_F(CompositeRegressionTest, CompositeProbeBeatsSingleColumnPath) {
+  const QueryPlan plan = Planner::Compile(query_, 0, std::nullopt);
+  // Golden shape: scan the singleton relations, composite-probe C on (x, y).
+  EXPECT_EQ(plan.ToString(db_.catalog()),
+            "[0:A scan() -> 1:B col(0) -> 2:C idx(0,1)]");
+
+  // Without the composite index the executor falls back to the cheaper of
+  // the two single-column buckets: kN + 1 candidates to resolve.
+  const size_t fallback_rows = RowsExamined(plan);
+  EXPECT_GE(fallback_rows, kN);
+
+  // With the index registered (what AddMapping / the scheduler do), the
+  // probe touches just the joining row.
+  EnsurePlanIndexes(&db_, plan);
+  const size_t composite_rows = RowsExamined(plan);
+  EXPECT_LE(composite_rows, 3u);  // A row + B row + the unique C row
+  EXPECT_LT(composite_rows * 10, fallback_rows);
+}
+
+TEST_F(CompositeRegressionTest, CompositeIndexMaintainedAcrossInserts) {
+  const QueryPlan plan = Planner::Compile(query_, 0, std::nullopt);
+  EnsurePlanIndexes(&db_, plan);
+  // A row inserted after the index was built must be reachable through it.
+  db_.Apply(WriteOp::Insert(c_, {Value::Constant(0), Value::Constant(0),
+                                 Value::Constant(8)}),
+            0);
+  Snapshot snap(&db_, kReadLatest);
+  Evaluator eval(snap);
+  size_t matches = 0;
+  eval.ForEachMatch(plan, Binding(), nullptr,
+                    [&](const Binding&, const std::vector<TupleRef>&) {
+                      ++matches;
+                      return true;
+                    });
+  EXPECT_EQ(matches, 2u);
+  EXPECT_LE(eval.rows_examined(), 4u);
+}
+
+TEST(PlannerTest, FacadeRebuildQueryPlansKeepsMappingsWorking) {
+  // The maintenance hook recompiles every mapping's plan complement and
+  // re-registers its index demands; behavior must be unchanged after it.
+  Youtopia yt;
+  ASSERT_TRUE(yt.CreateRelation("A", {"l", "n"}).ok());
+  ASSERT_TRUE(yt.CreateRelation("R", {"n", "r"}).ok());
+  ASSERT_TRUE(yt.AddMapping("A(l, n) -> exists r: R(n, r)").ok());
+  ASSERT_TRUE(yt.Insert("A", {"Ithaca", "Gorges"}).ok());
+  EXPECT_TRUE(yt.AllMappingsSatisfied());
+  yt.RebuildQueryPlans();
+  EXPECT_TRUE(yt.AllMappingsSatisfied());
+  ASSERT_TRUE(yt.Insert("A", {"Geneva", "Winery"}).ok());
+  EXPECT_TRUE(yt.AllMappingsSatisfied());
+  EXPECT_EQ(*yt.Count("R"), 2u);
+}
+
+// The executor must stay correct when the runtime binding is weaker than
+// the plan's compiled profile (a planned probe column can be unbound).
+TEST(PlannerExecutorTest, WeakerRuntimeBindingDegradesGracefully) {
+  Database db;
+  const RelationId r = *db.CreateRelation("R", {"a", "b"});
+  for (uint64_t i = 0; i < 8; ++i) {
+    db.Apply(WriteOp::Insert(r, {Value::Constant(i % 2), Value::Constant(i)}),
+             0);
+  }
+  TgdParser parser(&db.catalog(), &db.symbols());
+  auto q = parser.ParseQuery("R(a, b)");
+  ASSERT_TRUE(q.ok());
+  // Compile as if both variables were bound; execute with only `a` bound.
+  const uint64_t strong_mask =
+      Planner::MaskOf({*q->VarByName("a"), *q->VarByName("b")});
+  const QueryPlan plan = Planner::Compile(q->body, strong_mask, std::nullopt);
+  EXPECT_EQ(plan.steps[0].access, AccessPath::kCompositeIndex);
+  EnsurePlanIndexes(&db, plan);
+
+  Snapshot snap(&db, kReadLatest);
+  Evaluator eval(snap);
+  Binding seed;
+  seed.Set(*q->VarByName("a"), Value::Constant(1));
+  size_t matches = 0;
+  eval.ForEachMatch(plan, seed, nullptr,
+                    [&](const Binding&, const std::vector<TupleRef>&) {
+                      ++matches;
+                      return true;
+                    });
+  EXPECT_EQ(matches, 4u);  // all odd-i rows, via the single-column fallback
+}
+
+}  // namespace
+}  // namespace youtopia

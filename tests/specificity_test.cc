@@ -67,7 +67,7 @@ TEST(SpecificityTest, DuplicateAndStaleIndexCandidatesReportRowOnce) {
 
   std::vector<RowId> candidates;
   db.relation(r).CandidateRows(0, a, &candidates);
-  ASSERT_EQ(candidates.size(), 3u);  // row0, row1, row0 again
+  ASSERT_EQ(candidates.size(), 2u);  // row0 (deduped per call), row1 (stale)
 
   Snapshot snap(&db, kReadLatest);
   std::vector<RowId> out;
