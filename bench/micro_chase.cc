@@ -6,6 +6,7 @@
 
 #include "core/standard_chase.h"
 #include "core/update.h"
+#include "core/violation_detector.h"
 #include "relational/database.h"
 #include "tgd/parser.h"
 #include "workload/generators.h"
@@ -46,6 +47,56 @@ void BM_ForwardChaseInsertPropagation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForwardChaseInsertPropagation)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_AfterWriteBatch(benchmark::State& state) {
+  // Cost of the batched violation-detection pass over one chase step's
+  // writes (state.range(0) inserts, half of them duplicate content so the
+  // fingerprint dedup engages), against the Figure-2-shaped sigma3 schema.
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  Database db;
+  const RelationId a = *db.CreateRelation("A", {"location", "name"});
+  const RelationId t = *db.CreateRelation("T", {"attraction", "company",
+                                                "start"});
+  (void)*db.CreateRelation("R", {"company", "attraction", "review"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  tgds.push_back(*parser.ParseTgd(
+      "A(l, n) & T(n, co, s) -> exists rv: R(co, n, rv)"));
+  Rng rng(7);
+  auto constant = [&](const char* p, size_t i) {
+    return db.InternConstant(std::string(p) + std::to_string(i));
+  };
+  for (size_t i = 0; i < 512; ++i) {
+    db.Apply(WriteOp::Insert(a, {constant("loc", rng.Uniform(64)),
+                                 constant("name", rng.Uniform(64))}),
+             0);
+  }
+  std::vector<PhysicalWrite> batch;
+  for (size_t i = 0; i < batch_size; ++i) {
+    PhysicalWrite w;
+    w.kind = WriteKind::kInsert;
+    w.rel = t;
+    w.row = static_cast<RowId>(i);
+    // Every other write repeats the previous tuple's content.
+    const size_t key = (i / 2) * 2;
+    w.data = {constant("name", key % 64), constant("co", key % 64),
+              constant("city", key % 64)};
+    batch.push_back(std::move(w));
+  }
+  ViolationDetector detector(&tgds);
+  Snapshot snap(&db, 1);
+  std::vector<Violation> out;
+  std::vector<ReadQueryRecord> reads;
+  for (auto _ : state) {
+    out.clear();
+    reads.clear();
+    detector.AfterWrites(snap, batch, &out, &reads);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch_size));
+}
+BENCHMARK(BM_AfterWriteBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_BackwardChaseCascade(benchmark::State& state) {
   // Deleting the root of a chain P0 -> P1 -> ... -> Pk cascades k deletes.

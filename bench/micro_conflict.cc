@@ -7,6 +7,7 @@
 
 #include "ccontrol/conflict.h"
 #include "ccontrol/dependency_tracker.h"
+#include "ccontrol/read_log.h"
 #include "ccontrol/write_log.h"
 #include "relational/database.h"
 #include "tgd/parser.h"
@@ -93,6 +94,26 @@ void BM_ConflictCheckCorrectionQueries(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConflictCheckCorrectionQueries)->Range(256, 16384);
+
+void BM_ReadLogRecordFingerprint(benchmark::State& state) {
+  // Cost of the chase's hottest read-log operation: re-recording a
+  // violation query the update already logged (every revalidation re-poses
+  // it; Record dedups by fingerprint). state.range(0)==1 measures the
+  // plan-carried fingerprint path; 0 strips the fingerprint to force the
+  // full per-field rehash the carried hash replaces.
+  const bool carried = state.range(0) != 0;
+  Fixture fix(256, 4);
+  ReadLog log(&fix.tgds);
+  ReadQueryRecord q = fix.ViolationRead();
+  if (!carried) q.fingerprint = 0;
+  log.Record(5, q);  // first pose: stored
+  for (auto _ : state) {
+    log.Record(5, q);  // steady state: fingerprint + dedup hit
+  }
+  benchmark::DoNotOptimize(log.total_queries());
+  state.SetLabel(carried ? "plan-carried" : "rehash");
+}
+BENCHMARK(BM_ReadLogRecordFingerprint)->Arg(0)->Arg(1);
 
 void BM_DependencyComputation(benchmark::State& state) {
   // COARSE vs PRECISE cost of computing read dependencies for one violation

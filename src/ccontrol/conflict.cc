@@ -108,12 +108,10 @@ bool ConflictChecker::JoinsWithPin(const Snapshot& snap, const Tgd& tgd,
   // the tuple the reader had just written); it participates in the join
   // through the seed binding but is not required to be stored. When the
   // query is pinned on an LHS atom, that atom is therefore excluded from
-  // evaluation against the database.
-  ConjunctiveQuery residual_lhs;
-  for (size_t a = 0; a < tgd.lhs().atoms.size(); ++a) {
-    if (q.pinned_on_lhs && a == q.atom_index) continue;
-    residual_lhs.atoms.push_back(tgd.lhs().atoms[a]);
-  }
+  // evaluation against the database. The residual query and its plans are
+  // fixed by (tgd, side, atom) and come from the memo.
+  const ResidualPlans& rp = ResidualFor(tgd, q);
+  const ConjunctiveQuery& residual_lhs = rp.residual;
 
   lhs_eval_.Reset(snap);
   rhs_eval_.Reset(snap);
@@ -132,9 +130,7 @@ bool ConflictChecker::JoinsWithPin(const Snapshot& snap, const Tgd& tgd,
             (!require_rhs_unsatisfied || !tgd.RhsSatisfiedUnder(binding, rhs_eval));
       } else {
         AtomPin pin{a, /*row=*/0, &content};
-        const QueryPlan& plan =
-            residual_plans_.Get(residual_lhs, Planner::MaskOf(seed), a);
-        eval.ForEachMatch(plan, seed, &pin,
+        eval.ForEachMatch(*rp.pinned_at[a], seed, &pin,
                           [&](const Binding& match,
                               const std::vector<TupleRef>&) {
                             if (!require_rhs_unsatisfied ||
@@ -154,9 +150,7 @@ bool ConflictChecker::JoinsWithPin(const Snapshot& snap, const Tgd& tgd,
         return !require_rhs_unsatisfied || !tgd.RhsSatisfiedUnder(seed, rhs_eval);
       }
       bool found = false;
-      const QueryPlan& plan =
-          residual_plans_.Get(residual_lhs, Planner::MaskOf(seed), std::nullopt);
-      eval.ForEachMatch(plan, seed, nullptr,
+      eval.ForEachMatch(*rp.full, seed, nullptr,
                         [&](const Binding& match, const std::vector<TupleRef>&) {
                           if (!require_rhs_unsatisfied ||
                               !tgd.RhsSatisfiedUnder(match, rhs_eval)) {
@@ -188,13 +182,58 @@ bool ConflictChecker::JoinsWithPin(const Snapshot& snap, const Tgd& tgd,
     }
     if (!consistent) continue;
     if (residual_lhs.empty() ||
-        eval.Exists(residual_plans_.Get(residual_lhs, Planner::MaskOf(combined),
-                                        std::nullopt),
-                    combined)) {
+        eval.Exists(*rp.rhs_combined[a], combined)) {
       return true;
     }
   }
   return false;
+}
+
+const ConflictChecker::ResidualPlans& ConflictChecker::ResidualFor(
+    const Tgd& tgd, const ReadQueryRecord& q) const {
+  // Key layout: tgd_id:23 | atom_index:8 | side:1. The guards turn a
+  // schema large enough to collide (and silently reuse the wrong residual
+  // plans) into a crash.
+  CHECK_LT(q.atom_index, 256u);
+  CHECK_LT(static_cast<uint32_t>(q.tgd_id), 1u << 23);
+  const uint32_t key = (static_cast<uint32_t>(q.tgd_id) << 9) |
+                       (static_cast<uint32_t>(q.atom_index) << 1) |
+                       (q.pinned_on_lhs ? 1u : 0u);
+  auto it = residual_memo_.find(key);
+  if (it != residual_memo_.end()) return it->second;
+
+  const uint64_t frontier_mask = Planner::MaskOf(tgd.frontier_vars());
+
+  ResidualPlans rp;
+  if (q.pinned_on_lhs) {
+    // MatchAtom on the pinned atom binds exactly that atom's variables.
+    for (size_t a = 0; a < tgd.lhs().atoms.size(); ++a) {
+      if (a == q.atom_index) continue;
+      rp.residual.atoms.push_back(tgd.lhs().atoms[a]);
+    }
+    rp.seed_mask = Planner::MaskOfAtom(tgd.lhs().atoms[q.atom_index]);
+  } else {
+    // RHS pins seed only the frontier variables the pinned atom mentions.
+    rp.residual = tgd.lhs();
+    rp.seed_mask =
+        Planner::MaskOfAtom(tgd.rhs().atoms[q.atom_index]) & frontier_mask;
+  }
+  if (!rp.residual.atoms.empty()) {
+    rp.pinned_at.reserve(rp.residual.atoms.size());
+    for (size_t a = 0; a < rp.residual.atoms.size(); ++a) {
+      rp.pinned_at.push_back(
+          &residual_plans_.Get(rp.residual, rp.seed_mask, a));
+    }
+    rp.full = &residual_plans_.Get(rp.residual, rp.seed_mask, std::nullopt);
+    rp.rhs_combined.reserve(tgd.rhs().atoms.size());
+    for (const Atom& atom : tgd.rhs().atoms) {
+      rp.rhs_combined.push_back(&residual_plans_.Get(
+          rp.residual,
+          rp.seed_mask | (Planner::MaskOfAtom(atom) & frontier_mask),
+          std::nullopt));
+    }
+  }
+  return residual_memo_.emplace(key, std::move(rp)).first->second;
 }
 
 }  // namespace youtopia

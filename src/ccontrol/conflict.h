@@ -1,6 +1,9 @@
 #ifndef YOUTOPIA_CCONTROL_CONFLICT_H_
 #define YOUTOPIA_CCONTROL_CONFLICT_H_
 
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "ccontrol/read_query.h"
@@ -9,6 +12,7 @@
 #include "relational/database.h"
 #include "relational/write.h"
 #include "tgd/tgd.h"
+#include "util/arena.h"
 
 namespace youtopia {
 
@@ -30,10 +34,16 @@ namespace youtopia {
 // (Section 5).
 class ConflictChecker {
  public:
-  explicit ConflictChecker(const std::vector<Tgd>* tgds)
+  // `arena` backs the evaluators' per-check scratch; the scheduler injects
+  // the arena it resets once per scheduling step. Null means the checker
+  // owns a private, never-reset arena (standalone checks, tests).
+  explicit ConflictChecker(const std::vector<Tgd>* tgds,
+                           Arena* arena = nullptr)
       : tgds_(tgds),
-        lhs_eval_(Snapshot(nullptr, 0)),
-        rhs_eval_(Snapshot(nullptr, 0)) {}
+        owned_arena_(arena == nullptr ? std::make_unique<Arena>() : nullptr),
+        arena_(arena != nullptr ? arena : owned_arena_.get()),
+        lhs_eval_(Snapshot(nullptr, 0), arena_),
+        rhs_eval_(Snapshot(nullptr, 0), arena_) {}
 
   // True if `w` changes the answer to `q`. `snap` must carry the *reader's*
   // visibility (the update that posed `q`).
@@ -41,6 +51,23 @@ class ConflictChecker {
                  const ReadQueryRecord& q) const;
 
  private:
+  // Everything about a recorded violation query's residual premise that is
+  // fixed by (tgd, pinned side, pinned atom): the residual query (the LHS
+  // minus the pinned atom for LHS pins, the whole LHS for RHS pins), the
+  // statically known seed profile, and the compiled plans for every way
+  // JoinsWithPin executes it. Memoized under an integer key so a check
+  // neither copies atoms nor rehashes query shapes.
+  struct ResidualPlans {
+    ConjunctiveQuery residual;
+    uint64_t seed_mask = 0;
+    // Per residual atom: residual pinned there (empty residual -> empty).
+    std::vector<const QueryPlan*> pinned_at;
+    // Residual under the seed profile alone (null iff residual is empty).
+    const QueryPlan* full = nullptr;
+    // Per RHS atom a: residual under seed + atom a's frontier variables.
+    std::vector<const QueryPlan*> rhs_combined;
+  };
+
   bool ViolationQueryConflicts(const Snapshot& snap, const PhysicalWrite& w,
                                const ReadQueryRecord& q) const;
 
@@ -53,11 +80,19 @@ class ConflictChecker {
                     const TupleData& content, bool on_lhs,
                     bool require_rhs_unsatisfied) const;
 
+  const ResidualPlans& ResidualFor(const Tgd& tgd,
+                                   const ReadQueryRecord& q) const;
+
   const std::vector<Tgd>* tgds_;
+  std::unique_ptr<Arena> owned_arena_;
+  Arena* arena_;
   // The residual LHS queries (a tgd's premise minus the recorded query's
   // pinned atom) are not known until a check runs; their handful of shapes
   // recur for every retroactive check, so they are compiled once and cached.
   mutable PlanCache residual_plans_;
+  // (tgd, side, atom) -> prebuilt residual + plan pointers into
+  // residual_plans_ (whose entries are stable for the cache's lifetime).
+  mutable std::unordered_map<uint32_t, ResidualPlans> residual_memo_;
   // Long-lived evaluators, reset per check (two: the NOT EXISTS probe runs
   // inside the LHS enumeration's callback, and evaluators are not
   // reentrant). Their scratch amortizes across the many checks the

@@ -27,11 +27,11 @@ void DependencyTracker::OnReads(const Snapshot& snap, uint64_t reader,
         if (kind_ == TrackerKind::kCoarse) {
           // Relation granularity: any writer of any relation of the tgd.
           const Tgd& tgd = (*tgds_)[static_cast<size_t>(q.tgd_id)];
-          std::unordered_set<uint64_t> writers;
+          writers_scratch_.clear();
           for (RelationId rel : tgd.all_relations()) {
-            wlog.WritersOf(rel, &writers);
+            wlog.WritersOf(rel, &writers_scratch_);
           }
-          for (uint64_t writer : writers) {
+          for (uint64_t writer : writers_scratch_) {
             if (writer < reader) AddEdge(writer, reader);
           }
         } else {

@@ -33,8 +33,10 @@ const char* TrackerKindName(TrackerKind kind);
 
 class DependencyTracker {
  public:
-  DependencyTracker(TrackerKind kind, const std::vector<Tgd>* tgds)
-      : kind_(kind), tgds_(tgds), checker_(tgds) {}
+  // `arena` is forwarded to the internal ConflictChecker (see there).
+  DependencyTracker(TrackerKind kind, const std::vector<Tgd>* tgds,
+                    Arena* arena = nullptr)
+      : kind_(kind), tgds_(tgds), checker_(tgds, arena) {}
 
   TrackerKind kind() const { return kind_; }
 
@@ -59,6 +61,9 @@ class DependencyTracker {
   TrackerKind kind_;
   const std::vector<Tgd>* tgds_;
   ConflictChecker checker_;
+  // COARSE per-query writer set (a member so OnReads allocates nothing in
+  // steady state).
+  std::unordered_set<uint64_t> writers_scratch_;
   std::unordered_map<uint64_t, std::unordered_set<uint64_t>> readers_of_;
   std::unordered_map<uint64_t, std::unordered_set<uint64_t>> writers_of_;
   std::unordered_set<uint64_t> empty_;

@@ -6,24 +6,32 @@
 
 namespace youtopia {
 
-void ReadLog::Record(uint64_t update_number, const ReadQueryRecord& q) {
-  const uint64_t fp = Fingerprint(q);
+void ReadLog::Record(uint64_t update_number, ReadQueryRecord q) {
+  // The factories stamp fingerprints at construction (violation queries
+  // from their plan's precompiled shape hash); only hand-rolled records
+  // pay the full rehash here.
+  const uint64_t fp =
+      q.fingerprint != 0 ? q.fingerprint : ReadQueryFingerprint(q);
   if (!seen_[update_number].insert(fp).second) return;  // duplicate query
-  logs_[update_number].push_back(q);
+  const ReadQueryKind kind = q.kind;
+  const RelationId rel = q.rel;
+  const Value null_value = q.null_value;
+  const int tgd_id = q.tgd_id;
+  logs_[update_number].push_back(std::move(q));
   ++total_queries_;
-  switch (q.kind) {
+  switch (kind) {
     case ReadQueryKind::kViolation: {
-      const Tgd& tgd = (*tgds_)[static_cast<size_t>(q.tgd_id)];
-      for (RelationId rel : tgd.all_relations()) {
-        readers_by_relation_[rel].insert(update_number);
+      const Tgd& tgd = (*tgds_)[static_cast<size_t>(tgd_id)];
+      for (RelationId r : tgd.all_relations()) {
+        readers_by_relation_[r].insert(update_number);
       }
       break;
     }
     case ReadQueryKind::kMoreSpecific:
-      readers_by_relation_[q.rel].insert(update_number);
+      readers_by_relation_[rel].insert(update_number);
       break;
     case ReadQueryKind::kNullOccurrence:
-      readers_by_null_[q.null_value.id()].insert(update_number);
+      readers_by_null_[null_value.id()].insert(update_number);
       break;
   }
 }
@@ -57,20 +65,6 @@ bool ReadLog::MayTouch(const ReadQueryRecord& q, const PhysicalWrite& w) const {
              (!w.old_data.empty() && ContainsNull(w.old_data, q.null_value));
   }
   return false;
-}
-
-uint64_t ReadLog::Fingerprint(const ReadQueryRecord& q) {
-  size_t seed = static_cast<size_t>(q.kind);
-  HashCombine(seed, static_cast<size_t>(q.tgd_id + 1));
-  HashCombine(seed, q.pinned_on_lhs ? 1u : 2u);
-  HashCombine(seed, q.atom_index);
-  HashCombine(seed, q.rel);
-  ValueHash vh;
-  HashCombine(seed, vh(q.null_value));
-  TupleDataHash th;
-  HashCombine(seed, th(q.pinned));
-  HashCombine(seed, th(q.tuple));
-  return seed;
 }
 
 }  // namespace youtopia

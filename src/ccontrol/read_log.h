@@ -1,6 +1,7 @@
 #ifndef YOUTOPIA_CCONTROL_READ_LOG_H_
 #define YOUTOPIA_CCONTROL_READ_LOG_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -24,16 +25,28 @@ class ReadLog {
  public:
   explicit ReadLog(const std::vector<Tgd>* tgds) : tgds_(tgds) {}
 
-  void Record(uint64_t update_number, const ReadQueryRecord& q);
+  // By value: the scheduler moves each step's records in (their TupleData
+  // payloads change hands without copying); lvalue callers copy at the call.
+  void Record(uint64_t update_number, ReadQueryRecord q);
 
   // Invokes fn(reader_number, query) for every logged query of an update
   // with number > `writer` that might be affected by `w` (callers run the
-  // precise ConflictChecker on these candidates).
+  // precise ConflictChecker on these candidates). Each logged query is
+  // visited exactly once per call. A null-occurrence query is reachable
+  // both through the relation index (when its reader also logged a
+  // relation-indexed query over w.rel) and through the null index — and
+  // through several occurrences of its null across w.data/w.old_data — but
+  // the conflict check must not run twice for one candidate. Dedup is
+  // structural, not tracked per query: the null pass walks each distinct
+  // null once and skips readers the relation pass covered, because for
+  // those readers MayTouch already admitted every null-occurrence query
+  // the null pass would find.
   template <typename Fn>
   void ForEachCandidate(const PhysicalWrite& w, uint64_t writer,
                         Fn&& fn) const {
-    auto visit_updates = [&](const std::unordered_set<uint64_t>& readers) {
-      for (uint64_t reader : readers) {
+    auto rel_it = readers_by_relation_.find(w.rel);
+    if (rel_it != readers_by_relation_.end()) {
+      for (uint64_t reader : rel_it->second) {
         if (reader <= writer) continue;
         auto it = logs_.find(reader);
         if (it == logs_.end()) continue;
@@ -41,30 +54,42 @@ class ReadLog {
           if (MayTouch(q, w)) fn(reader, q);
         }
       }
-    };
-    auto rel_it = readers_by_relation_.find(w.rel);
-    if (rel_it != readers_by_relation_.end()) visit_updates(rel_it->second);
+    }
     // Null-occurrence queries are not relation-indexed; look up by null.
-    auto visit_nulls = [&](const TupleData& data) {
+    // Distinct nulls only: the same null may occur several times in one
+    // tuple, and in both the old and new content of a modify.
+    nulls_scratch_.clear();
+    auto gather_nulls = [&](const TupleData& data) {
       for (const Value& v : data) {
         if (!v.is_null()) continue;
-        auto it = readers_by_null_.find(v.id());
-        if (it == readers_by_null_.end()) continue;
-        for (uint64_t reader : it->second) {
-          if (reader <= writer) continue;
-          auto lit = logs_.find(reader);
-          if (lit == logs_.end()) continue;
-          for (const ReadQueryRecord& q : lit->second) {
-            if (q.kind == ReadQueryKind::kNullOccurrence &&
-                q.null_value == v) {
-              fn(reader, q);
-            }
-          }
+        if (std::find(nulls_scratch_.begin(), nulls_scratch_.end(), v) ==
+            nulls_scratch_.end()) {
+          nulls_scratch_.push_back(v);
         }
       }
     };
-    visit_nulls(w.data);
-    visit_nulls(w.old_data);
+    gather_nulls(w.data);
+    gather_nulls(w.old_data);
+    for (const Value& v : nulls_scratch_) {
+      auto it = readers_by_null_.find(v.id());
+      if (it == readers_by_null_.end()) continue;
+      for (uint64_t reader : it->second) {
+        if (reader <= writer) continue;
+        // Covered by the relation pass above: its MayTouch admits every
+        // null-occurrence query over a null of w's tuples.
+        if (rel_it != readers_by_relation_.end() &&
+            rel_it->second.count(reader) > 0) {
+          continue;
+        }
+        auto lit = logs_.find(reader);
+        if (lit == logs_.end()) continue;
+        for (const ReadQueryRecord& q : lit->second) {
+          if (q.kind == ReadQueryKind::kNullOccurrence && q.null_value == v) {
+            fn(reader, q);
+          }
+        }
+      }
+    }
   }
 
   const std::vector<ReadQueryRecord>* QueriesOf(uint64_t update_number) const {
@@ -80,9 +105,10 @@ class ReadLog {
   // Fast pre-filter: can `w` possibly affect `q`?
   bool MayTouch(const ReadQueryRecord& q, const PhysicalWrite& w) const;
 
-  static uint64_t Fingerprint(const ReadQueryRecord& q);
-
   const std::vector<Tgd>* tgds_;
+  // Distinct nulls of one write's tuples (ForEachCandidate scratch); a
+  // member so the hot per-write path allocates nothing in steady state.
+  mutable std::vector<Value> nulls_scratch_;
   std::unordered_map<uint64_t, std::vector<ReadQueryRecord>> logs_;
   std::unordered_map<uint64_t, std::unordered_set<uint64_t>> seen_;
   std::unordered_map<RelationId, std::unordered_set<uint64_t>>

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "query/plan.h"
 #include "relational/tuple.h"
 #include "relational/value.h"
+#include "util/hash.h"
 
 namespace youtopia {
 
@@ -28,6 +30,14 @@ enum class ReadQueryKind : uint8_t {
   kNullOccurrence = 2,
 };
 
+struct ReadQueryRecord;
+
+// Canonical fingerprint of a read query, the single definition both the
+// factories below and the read log's fallback use (defined after the
+// struct). Violation queries assemble the same value faster from their
+// plan's precompiled shape half — see FinishViolationFingerprint.
+inline uint64_t ReadQueryFingerprint(const ReadQueryRecord& q);
+
 struct ReadQueryRecord {
   ReadQueryKind kind = ReadQueryKind::kViolation;
 
@@ -44,30 +54,71 @@ struct ReadQueryRecord {
   // kNullOccurrence
   Value null_value;
 
+  // Identity hash used by the read log for per-update deduplication and by
+  // the violation detector to dedup re-posed queries within a batch. Filled
+  // by the factories (violation queries carry the shape half precompiled
+  // into their plan — see query/plan.h); 0 means "not computed" and makes
+  // consumers fall back to ReadQueryFingerprint below.
+  uint64_t fingerprint = 0;
+
+  // Violation-query factory for callers holding a compiled plan: `fp` is
+  // FinishViolationFingerprint(plan.shape_hash, tgd_id, pinned), computed
+  // once where the content hash is unavoidable anyway.
   static ReadQueryRecord Violation(int tgd_id, bool pinned_on_lhs,
-                                   size_t atom_index, TupleData pinned) {
+                                   size_t atom_index, TupleData pinned,
+                                   uint64_t fp) {
     ReadQueryRecord r;
     r.kind = ReadQueryKind::kViolation;
     r.tgd_id = tgd_id;
     r.pinned_on_lhs = pinned_on_lhs;
     r.atom_index = atom_index;
     r.pinned = std::move(pinned);
+    r.fingerprint = fp;
     return r;
+  }
+  static ReadQueryRecord Violation(int tgd_id, bool pinned_on_lhs,
+                                   size_t atom_index, TupleData pinned) {
+    const uint64_t fp = FinishViolationFingerprint(
+        ViolationQueryShapeHash(pinned_on_lhs, atom_index), tgd_id, pinned);
+    return Violation(tgd_id, pinned_on_lhs, atom_index, std::move(pinned), fp);
   }
   static ReadQueryRecord MoreSpecific(RelationId rel, TupleData tuple) {
     ReadQueryRecord r;
     r.kind = ReadQueryKind::kMoreSpecific;
     r.rel = rel;
     r.tuple = std::move(tuple);
+    r.fingerprint = ReadQueryFingerprint(r);
     return r;
   }
   static ReadQueryRecord NullOccurrence(Value null_value) {
     ReadQueryRecord r;
     r.kind = ReadQueryKind::kNullOccurrence;
     r.null_value = null_value;
+    r.fingerprint = ReadQueryFingerprint(r);
     return r;
   }
 };
+
+inline uint64_t ReadQueryFingerprint(const ReadQueryRecord& q) {
+  switch (q.kind) {
+    case ReadQueryKind::kViolation:
+      return FinishViolationFingerprint(
+          ViolationQueryShapeHash(q.pinned_on_lhs, q.atom_index), q.tgd_id,
+          q.pinned);
+    case ReadQueryKind::kMoreSpecific: {
+      size_t seed = static_cast<size_t>(q.kind);
+      HashCombine(seed, q.rel);
+      HashCombine(seed, TupleDataHash{}(q.tuple));
+      return seed;
+    }
+    case ReadQueryKind::kNullOccurrence: {
+      size_t seed = static_cast<size_t>(q.kind);
+      HashCombine(seed, ValueHash{}(q.null_value));
+      return seed;
+    }
+  }
+  return 0;
+}
 
 }  // namespace youtopia
 

@@ -10,9 +10,9 @@ Scheduler::Scheduler(Database* db, const std::vector<Tgd>* tgds,
       tgds_(tgds),
       agent_(agent),
       options_(options),
-      checker_(tgds),
+      checker_(tgds, &arena_),
       read_log_(tgds),
-      tracker_(options.tracker, tgds),
+      tracker_(options.tracker, tgds, &arena_),
       next_number_(options.first_number) {
   // Build the composite indexes the tgds' compiled plans probe, so every
   // chase step and retroactive conflict check in this run executes its
@@ -24,6 +24,10 @@ uint64_t Scheduler::Submit(WriteOp initial_op) {
   const uint64_t number = next_number_++;
   UpdateOptions uopts;
   uopts.max_steps = options_.max_steps_per_update;
+  // All updates chase out of the scheduler's arena (their steps are
+  // round-robined, never nested), so detection scratch warms up once per
+  // run instead of once per update.
+  uopts.scratch_arena = &arena_;
   Slot slot;
   slot.update =
       std::make_unique<Update>(number, std::move(initial_op), tgds_, uopts);
@@ -61,6 +65,12 @@ void Scheduler::RunToCompletion() {
 }
 
 void Scheduler::StepOne(size_t slot_idx) {
+  // One scheduling step = one scratch generation for the conflict checks
+  // below (the update itself chases out of its own per-step arena). The
+  // rewind fires only after a step that spiked: steady-state steps allocate
+  // nothing, and an unconditional reset would rebuild the checkers' scratch
+  // every step for no reclaim.
+  arena_.ResetIfAbove(64 * 1024);
   Update* u = slots_[slot_idx].update.get();
   const uint64_t number = u->number();
   StepResult res = u->Step(db_, agent_);
@@ -83,7 +93,8 @@ void Scheduler::StepOne(size_t slot_idx) {
 
   // Algorithm 4: each write is checked against the stored read queries of
   // higher-numbered updates; invalidated readers abort.
-  std::unordered_set<uint64_t> direct;
+  std::unordered_set<uint64_t>& direct = direct_scratch_;
+  direct.clear();
   for (const PhysicalWrite& w : res.writes) {
     write_log_.Record(number, w);
     read_log_.ForEachCandidate(
@@ -94,10 +105,11 @@ void Scheduler::StepOne(size_t slot_idx) {
         });
   }
 
-  // Store this step's reads and register read dependencies for cascades.
+  // Register read dependencies for cascades, then move this step's records
+  // into the read log (their tuple payloads change hands without copying).
   Snapshot own_snap(db_, number);
-  for (const ReadQueryRecord& q : res.reads) read_log_.Record(number, q);
   tracker_.OnReads(own_snap, number, res.reads, write_log_);
+  for (ReadQueryRecord& q : res.reads) read_log_.Record(number, std::move(q));
 
   if (!direct.empty()) PerformAborts(direct);
 }

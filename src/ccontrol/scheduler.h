@@ -17,6 +17,7 @@
 #include "core/update.h"
 #include "relational/database.h"
 #include "tgd/tgd.h"
+#include "util/arena.h"
 
 namespace youtopia {
 
@@ -114,10 +115,17 @@ class Scheduler {
   FrontierAgent* agent_;
   SchedulerOptions options_;
 
+  // Scratch arena for the retroactive conflict checks (the checker's and
+  // tracker's evaluators allocate from it); reset once per scheduling step.
+  // Declared before its users.
+  Arena arena_;
   ConflictChecker checker_;
   ReadLog read_log_;
   WriteLog write_log_;
   DependencyTracker tracker_;
+  // Per-step direct-conflict set, a member so StepOne allocates nothing in
+  // steady state.
+  std::unordered_set<uint64_t> direct_scratch_;
 
   std::vector<Slot> slots_;
   std::unordered_map<uint64_t, size_t> slot_by_number_;

@@ -26,8 +26,11 @@ Result<StandardChase::Report> StandardChase::Run(uint64_t update_number,
     for (Violation& v : initial) queue.push_back(std::move(v));
   }
 
+  std::vector<PhysicalWrite> step_writes;
+  std::vector<Violation> found;
   while (!queue.empty()) {
     if (report.firings >= options.max_steps) return report;  // cap hit
+    arena_.ResetIfAbove(64 * 1024);  // reclaim only after a spiked firing
     Violation v = std::move(queue.front());
     queue.pop_front();
     if (!detector_.IsStillViolated(snap, v, nullptr)) continue;
@@ -37,15 +40,19 @@ Result<StandardChase::Report> StandardChase::Run(uint64_t update_number,
     Binding full = v.binding;
     full.EnsureSize(tgd.num_vars());
     for (VarId z : tgd.existential_vars()) full.Set(z, db_->FreshNull());
+    // Apply the whole instantiated RHS, then detect over the firing's writes
+    // in one batched pass (the detector dedups identical pinned queries).
+    step_writes.clear();
     for (const Atom& atom : tgd.rhs().atoms) {
       const WriteOp op = WriteOp::Insert(atom.rel, InstantiateAtom(atom, full));
-      for (const PhysicalWrite& w : db_->Apply(op, update_number)) {
+      for (PhysicalWrite& w : db_->Apply(op, update_number)) {
         ++report.tuples_added;
-        std::vector<Violation> found;
-        detector_.AfterWrite(snap, w, &found, nullptr);
-        for (Violation& nv : found) queue.push_back(std::move(nv));
+        step_writes.push_back(std::move(w));
       }
     }
+    found.clear();
+    detector_.AfterWrites(snap, step_writes, &found, nullptr);
+    for (Violation& nv : found) queue.push_back(std::move(nv));
   }
   report.completed = true;
   return report;

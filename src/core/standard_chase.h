@@ -7,6 +7,7 @@
 #include "core/violation_detector.h"
 #include "relational/database.h"
 #include "tgd/tgd.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace youtopia {
@@ -34,7 +35,7 @@ class StandardChase {
   };
 
   StandardChase(Database* db, const std::vector<Tgd>* tgds)
-      : db_(db), tgds_(tgds), detector_(tgds) {}
+      : db_(db), tgds_(tgds), detector_(tgds, &arena_) {}
 
   // Chases all current violations to completion on behalf of
   // `update_number`.
@@ -46,6 +47,9 @@ class StandardChase {
  private:
   Database* db_;
   const std::vector<Tgd>* tgds_;
+  // Per-firing scratch arena for the detector (declared before it; the
+  // detector holds a pointer). Reset once per chase firing in Run().
+  Arena arena_;
   ViolationDetector detector_;
 };
 

@@ -5,13 +5,24 @@
 #include "query/specificity.h"
 
 namespace youtopia {
+namespace {
+
+// Per-step scratch the chase keeps warm across steps; a step that bump-
+// allocates beyond this is a spike whose memory is reclaimed afterwards.
+constexpr size_t kStepArenaRetainBytes = 64 * 1024;
+
+}  // namespace
 
 Update::Update(uint64_t number, WriteOp initial_op,
                const std::vector<Tgd>* tgds, UpdateOptions options)
     : number_(number),
       initial_op_(std::move(initial_op)),
       tgds_(tgds),
-      detector_(tgds),
+      owned_arena_(options.scratch_arena == nullptr ? std::make_unique<Arena>()
+                                                    : nullptr),
+      arena_(options.scratch_arena != nullptr ? options.scratch_arena
+                                              : owned_arena_.get()),
+      detector_(tgds, arena_),
       options_(options) {
   write_set_.push_back(initial_op_);
 }
@@ -32,6 +43,10 @@ StepResult Update::Step(Database* db, FrontierAgent* agent) {
   CHECK(!finished_);
   StepResult res;
   started_ = true;
+  // One chase step = one arena generation. Steady-state steps allocate
+  // nothing new (the detector's scratch retains capacity), so the rewind
+  // only fires after a step that actually spiked.
+  arena_->ResetIfAbove(kStepArenaRetainBytes);
   if (++steps_taken_ > options_.max_steps) {
     // Controlled nontermination: give up on this attempt but leave the
     // database consistent with a valid (incomplete) chase prefix.
@@ -65,13 +80,13 @@ StepResult Update::Step(Database* db, FrontierAgent* agent) {
     for (PhysicalWrite& w : applied) res.writes.push_back(std::move(w));
   }
 
-  // 3. Violation queries for each physical write performed.
+  // 3. Violation queries for the whole step's writes, batched: one
+  // evaluator retarget, duplicate pinned queries posed once, and no
+  // per-write result vector.
   Snapshot snap(db, number_);
-  for (const PhysicalWrite& w : res.writes) {
-    std::vector<Violation> found;
-    detector_.AfterWrite(snap, w, &found, &res.reads);
-    for (Violation& v : found) viol_queue_.push_back(std::move(v));
-  }
+  detect_scratch_.clear();
+  detector_.AfterWrites(snap, res.writes, &detect_scratch_, &res.reads);
+  for (Violation& v : detect_scratch_) viol_queue_.push_back(std::move(v));
 
   // 4. Choose the next violation and generate corrective writes, unless the
   // update is still blocked on an open frontier group.

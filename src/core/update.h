@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "relational/database.h"
 #include "relational/write.h"
 #include "tgd/tgd.h"
+#include "util/arena.h"
 
 namespace youtopia {
 
@@ -31,6 +33,11 @@ struct UpdateOptions {
   // always-expand agent on cyclic mappings never terminates (by design,
   // Section 2.2), so callers driving such chases must bound them.
   size_t max_steps = 1u << 20;
+  // Scratch arena for the update's violation detection. Steps of different
+  // updates never nest, so a scheduler passes one arena to every update it
+  // drives and the scratch warms up once per run instead of once per
+  // update. Null: the update owns a private arena.
+  Arena* scratch_arena = nullptr;
 };
 
 // A Youtopia update (Definition 2.6): the complete propagation of one
@@ -132,8 +139,16 @@ class Update {
   uint64_t number_;
   WriteOp initial_op_;
   const std::vector<Tgd>* tgds_;
+  // Step-scoped scratch arena for the detector's evaluators (shared with
+  // the scheduler when options.scratch_arena is set). The owned fallback is
+  // heap-held so arena_ survives moves of this Update.
+  std::unique_ptr<Arena> owned_arena_;
+  Arena* arena_;
   ViolationDetector detector_;
   UpdateOptions options_;
+  // Step-level staging for the batched violation detection (capacity
+  // amortizes across the chase).
+  std::vector<Violation> detect_scratch_;
 
   std::vector<WriteOp> write_set_;
   std::deque<Violation> viol_queue_;

@@ -2,38 +2,54 @@
 
 namespace youtopia {
 
-void ViolationDetector::AfterWrite(const Snapshot& snap,
-                                   const PhysicalWrite& w,
-                                   std::vector<Violation>* out,
-                                   std::vector<ReadQueryRecord>* reads) const {
-  switch (w.kind) {
-    case WriteKind::kInsert:
-      DetectInsertSide(snap, w.rel, w.row, w.data, out, reads);
-      break;
-    case WriteKind::kDelete:
-      DetectDeleteSide(snap, w.rel, w.old_data, out, reads);
-      break;
-    case WriteKind::kModify:
-      // A null replacement rewrites every occurrence of the null at once,
-      // so RHS matches are preserved under the substitution and only
-      // LHS-violations are possible (Section 2). Detect with the new
-      // content.
-      DetectInsertSide(snap, w.rel, w.row, w.data, out, reads);
-      break;
+void ViolationDetector::AfterWrites(const Snapshot& snap,
+                                    Span<const PhysicalWrite> writes,
+                                    std::vector<Violation>* out,
+                                    std::vector<ReadQueryRecord>* reads) const {
+  if (writes.empty()) return;
+  lhs_eval_.Reset(snap);
+  rhs_eval_.Reset(snap);
+  // Pinned-query dedup only pays off when duplicates are possible: within
+  // one write, every (tgd, atom) poses a distinct query shape, so a
+  // single-write batch — the common chase step — skips the bookkeeping.
+  const bool dedup = writes.size() > 1;
+  if (dedup) posed_.clear();
+  // Batch-wide duplicate base: a (tgd, assignment) surfaced by an earlier
+  // write of the same step is not reported again.
+  const size_t first_new = out->size();
+  for (const PhysicalWrite& w : writes) {
+    switch (w.kind) {
+      case WriteKind::kInsert:
+        DetectInsertSide(w.rel, w.row, w.data, first_new, dedup, out, reads);
+        break;
+      case WriteKind::kDelete:
+        DetectDeleteSide(w.rel, w.old_data, first_new, dedup, out, reads);
+        break;
+      case WriteKind::kModify:
+        // A null replacement rewrites every occurrence of the null at once,
+        // so RHS matches are preserved under the substitution and only
+        // LHS-violations are possible (Section 2). Detect with the new
+        // content.
+        DetectInsertSide(w.rel, w.row, w.data, first_new, dedup, out, reads);
+        break;
+    }
   }
 }
 
 void ViolationDetector::DetectInsertSide(
-    const Snapshot& snap, RelationId rel, RowId row, const TupleData& data,
-    std::vector<Violation>* out, std::vector<ReadQueryRecord>* reads) const {
-  lhs_eval_.Reset(snap);
-  rhs_eval_.Reset(snap);
-  const size_t first_new = out->size();
+    RelationId rel, RowId row, const TupleData& data, size_t first_new,
+    bool dedup, std::vector<Violation>* out,
+    std::vector<ReadQueryRecord>* reads) const {
   // Self-joins surface the same violating assignment once per pinned atom;
-  // keep each (tgd, assignment) once.
-  auto is_duplicate = [&](int tgd_id, const Binding& binding) {
+  // keep each (tgd, assignment, witness) once. The witness rows are part of
+  // the identity: equal-content rows written by different updates can
+  // coexist under multiversion visibility, and repairs that act on rows
+  // (the backward chase) need one queue entry per witness.
+  auto is_duplicate = [&](int tgd_id, const Binding& binding,
+                          const std::vector<TupleRef>& witness) {
     for (size_t i = first_new; i < out->size(); ++i) {
-      if ((*out)[i].tgd_id == tgd_id && (*out)[i].binding == binding) {
+      if ((*out)[i].tgd_id == tgd_id && (*out)[i].witness == witness &&
+          (*out)[i].binding == binding) {
         return true;
       }
     }
@@ -43,15 +59,25 @@ void ViolationDetector::DetectInsertSide(
     const Tgd& tgd = (*tgds_)[t];
     for (size_t a = 0; a < tgd.lhs().atoms.size(); ++a) {
       if (tgd.lhs().atoms[a].rel != rel) continue;
+      const QueryPlan& plan = tgd.plans().lhs_pinned[a];
+      uint64_t fp = 0;
+      if (dedup || reads != nullptr) {
+        fp = FinishViolationFingerprint(plan.shape_hash, static_cast<int>(t),
+                                        data);
+      }
+      // An identical pinned query (same tgd, atom, content) already ran for
+      // an earlier write of this batch; its answer — and its read record —
+      // are the same.
+      if (dedup && !PoseOnce(fp)) continue;
       if (reads != nullptr) {
         reads->push_back(ReadQueryRecord::Violation(
-            static_cast<int>(t), /*pinned_on_lhs=*/true, a, data));
+            static_cast<int>(t), /*pinned_on_lhs=*/true, a, data, fp));
       }
       AtomPin pin{a, row, &data};
       lhs_eval_.ForEachMatch(
-          tgd.plans().lhs_pinned[a], Binding(tgd.num_vars()), &pin,
+          plan, Binding(tgd.num_vars()), &pin,
           [&](const Binding& binding, const std::vector<TupleRef>& rows) {
-            if (!is_duplicate(static_cast<int>(t), binding) &&
+            if (!is_duplicate(static_cast<int>(t), binding, rows) &&
                 !tgd.RhsSatisfiedUnder(binding, rhs_eval_)) {
               Violation v;
               v.tgd_id = static_cast<int>(t);
@@ -67,18 +93,36 @@ void ViolationDetector::DetectInsertSide(
 }
 
 void ViolationDetector::DetectDeleteSide(
-    const Snapshot& snap, RelationId rel, const TupleData& old_data,
+    RelationId rel, const TupleData& old_data, size_t first_new, bool dedup,
     std::vector<Violation>* out, std::vector<ReadQueryRecord>* reads) const {
-  lhs_eval_.Reset(snap);
-  rhs_eval_.Reset(snap);
+  // Same batch-wide (tgd, assignment, witness) dedup as the insert side:
+  // two deletes of alternative RHS witnesses surface the same violated
+  // premise with the same witness rows.
+  auto is_duplicate = [&](int tgd_id, const Binding& binding,
+                          const std::vector<TupleRef>& witness) {
+    for (size_t i = first_new; i < out->size(); ++i) {
+      if ((*out)[i].tgd_id == tgd_id && (*out)[i].witness == witness &&
+          (*out)[i].binding == binding) {
+        return true;
+      }
+    }
+    return false;
+  };
   for (size_t t = 0; t < tgds_->size(); ++t) {
     const Tgd& tgd = (*tgds_)[t];
     for (size_t a = 0; a < tgd.rhs().atoms.size(); ++a) {
       const Atom& atom = tgd.rhs().atoms[a];
       if (atom.rel != rel) continue;
+      const QueryPlan& plan = tgd.plans().lhs_delete[a];
+      uint64_t fp = 0;
+      if (dedup || reads != nullptr) {
+        fp = FinishViolationFingerprint(plan.shape_hash, static_cast<int>(t),
+                                        old_data);
+      }
+      if (dedup && !PoseOnce(fp)) continue;  // duplicate in this batch
       if (reads != nullptr) {
         reads->push_back(ReadQueryRecord::Violation(
-            static_cast<int>(t), /*pinned_on_lhs=*/false, a, old_data));
+            static_cast<int>(t), /*pinned_on_lhs=*/false, a, old_data, fp));
       }
       // Bind the deleted tuple into the RHS atom; keep only frontier-variable
       // bindings when ranging over the LHS (existential bindings constrain
@@ -90,9 +134,10 @@ void ViolationDetector::DetectDeleteSide(
         if (atom_binding.IsBound(x)) lhs_seed.Set(x, atom_binding.Get(x));
       }
       lhs_eval_.ForEachMatch(
-          tgd.plans().lhs_delete[a], lhs_seed, nullptr,
+          plan, lhs_seed, nullptr,
           [&](const Binding& binding, const std::vector<TupleRef>& rows) {
-            if (!tgd.RhsSatisfiedUnder(binding, rhs_eval_)) {
+            if (!is_duplicate(static_cast<int>(t), binding, rows) &&
+                !tgd.RhsSatisfiedUnder(binding, rhs_eval_)) {
               Violation v;
               v.tgd_id = static_cast<int>(t);
               v.kind = Violation::Kind::kRhs;
@@ -123,8 +168,10 @@ bool ViolationDetector::IsStillViolated(
   // witness tuple so later conflicting writes are caught.
   if (reads != nullptr && !v.witness.empty()) {
     const TupleData* data = snap.VisibleData(v.witness[0].rel, v.witness[0].row);
-    reads->push_back(ReadQueryRecord::Violation(v.tgd_id, /*pinned_on_lhs=*/true,
-                                                0, *data));
+    reads->push_back(ReadQueryRecord::Violation(
+        v.tgd_id, /*pinned_on_lhs=*/true, 0, *data,
+        FinishViolationFingerprint(tgd.plans().lhs_pinned[0].shape_hash,
+                                   v.tgd_id, *data)));
   }
   rhs_eval_.Reset(snap);
   return !tgd.RhsSatisfiedUnder(v.binding, rhs_eval_);

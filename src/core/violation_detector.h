@@ -1,6 +1,8 @@
 #ifndef YOUTOPIA_CORE_VIOLATION_DETECTOR_H_
 #define YOUTOPIA_CORE_VIOLATION_DETECTOR_H_
 
+#include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "ccontrol/read_query.h"
@@ -9,22 +11,41 @@
 #include "relational/database.h"
 #include "relational/write.h"
 #include "tgd/tgd.h"
+#include "util/arena.h"
+#include "util/span.h"
 
 namespace youtopia {
 
-// Incremental (delta) violation detection: given one physical write, finds
-// the new violations it causes by evaluating the paper's violation queries
-// (Section 4.2, Example 4.1) with the written tuple pinned into the matching
-// atom. Every query posed is reported through `reads` so the
-// concurrency-control layer can log it.
+// Incremental (delta) violation detection: given the physical writes of a
+// chase step, finds the new violations they cause by evaluating the paper's
+// violation queries (Section 4.2, Example 4.1) with each written tuple
+// pinned into the matching atom. Every query posed is reported through
+// `reads` so the concurrency-control layer can log it.
+//
+// The write path is batched: AfterWrites pins a whole step's writes in one
+// pass, deduplicating identical pinned queries across the batch by their
+// plan-carried fingerprint before any evaluation, and builds each posed
+// query's ReadQueryRecord exactly once (fused with detection). Queries are
+// intensional — identified by (tgd, atom, pinned content), not by row — so
+// two batch writes with equal content pose one query, mirroring the read
+// log's own dedup. Single-write batches skip the dedup bookkeeping
+// entirely: within one write every (tgd, atom) pair poses a distinct
+// query shape, so no duplicate is possible.
 class ViolationDetector {
  public:
-  explicit ViolationDetector(const std::vector<Tgd>* tgds)
+  // When `arena` is null the detector owns a private arena for the
+  // evaluators' scratch; step-shaped owners (Update, StandardChase) inject
+  // the arena they Reset() once per chase step.
+  explicit ViolationDetector(const std::vector<Tgd>* tgds,
+                             Arena* arena = nullptr)
       : tgds_(tgds),
-        lhs_eval_(Snapshot(nullptr, 0)),
-        rhs_eval_(Snapshot(nullptr, 0)) {}
+        owned_arena_(arena == nullptr ? std::make_unique<Arena>() : nullptr),
+        arena_(arena != nullptr ? arena : owned_arena_.get()),
+        lhs_eval_(Snapshot(nullptr, 0), arena_),
+        rhs_eval_(Snapshot(nullptr, 0), arena_) {}
 
-  // Appends the violations newly caused by `w`, as seen by `snap`'s reader.
+  // Appends the violations newly caused by the batch `writes`, as seen by
+  // `snap`'s reader (which must already reflect every write of the batch).
   //
   //  * insert  — LHS-violations only: pin the new tuple into each LHS atom
   //              of each tgd over its relation.
@@ -34,9 +55,23 @@ class ViolationDetector {
   //  * modify  — null replacement changes all occurrences of a null
   //              consistently, so only LHS-violations can arise (Section 2);
   //              detection pins the *new* content into LHS atoms.
+  //
+  // A violation — identified by (tgd, assignment, witness rows) — is
+  // reported once per batch even when several writes (or several pinned
+  // atoms of a self-join) surface it. Witness rows are part of the
+  // identity: equal-content rows from different updates may coexist under
+  // multiversion visibility and need their own queue entries for
+  // row-targeted (backward) repair.
+  void AfterWrites(const Snapshot& snap, Span<const PhysicalWrite> writes,
+                   std::vector<Violation>* out,
+                   std::vector<ReadQueryRecord>* reads) const;
+
+  // Single-write convenience wrapper (a batch of one).
   void AfterWrite(const Snapshot& snap, const PhysicalWrite& w,
                   std::vector<Violation>* out,
-                  std::vector<ReadQueryRecord>* reads) const;
+                  std::vector<ReadQueryRecord>* reads) const {
+    AfterWrites(snap, Span<const PhysicalWrite>(&w, 1), out, reads);
+  }
 
   // Lazy revalidation when a queued violation is popped (implements
   // "violQueue.remove(violations just corrected)"): the witness rows must
@@ -53,22 +88,39 @@ class ViolationDetector {
 
   const std::vector<Tgd>& tgds() const { return *tgds_; }
 
+  // Rows examined by this detector's evaluators across its lifetime
+  // (monotone; diff before/after a call to bound the cost of a batch).
+  uint64_t rows_examined() const {
+    return lhs_eval_.lifetime_rows_examined() +
+           rhs_eval_.lifetime_rows_examined();
+  }
+
  private:
-  void DetectInsertSide(const Snapshot& snap, RelationId rel, RowId row,
-                        const TupleData& data, std::vector<Violation>* out,
+  void DetectInsertSide(RelationId rel, RowId row, const TupleData& data,
+                        size_t first_new, bool dedup,
+                        std::vector<Violation>* out,
                         std::vector<ReadQueryRecord>* reads) const;
-  void DetectDeleteSide(const Snapshot& snap, RelationId rel,
-                        const TupleData& old_data,
+  void DetectDeleteSide(RelationId rel, const TupleData& old_data,
+                        size_t first_new, bool dedup,
                         std::vector<Violation>* out,
                         std::vector<ReadQueryRecord>* reads) const;
 
+  // Batch-level pinned-query dedup: true the first time `fp` is posed in
+  // the current AfterWrites batch.
+  bool PoseOnce(uint64_t fp) const { return posed_.insert(fp).second; }
+
   const std::vector<Tgd>* tgds_;
+  std::unique_ptr<Arena> owned_arena_;
+  Arena* arena_;
   // Long-lived evaluators, reset to the caller's snapshot per detection
   // call so their scratch buffers amortize across a whole chase. Two
   // instances because the NOT EXISTS probe runs inside the LHS
   // enumeration's callback (evaluators are not reentrant).
   mutable Evaluator lhs_eval_;
   mutable Evaluator rhs_eval_;
+  // Fingerprints of the queries posed by the current batch (cleared per
+  // AfterWrites call; buckets amortize across the run).
+  mutable std::unordered_set<uint64_t> posed_;
 };
 
 }  // namespace youtopia

@@ -16,6 +16,22 @@ const Value* ProbeValue(const Term& term, const Binding& binding) {
 
 }  // namespace
 
+void Evaluator::EnsureScratch(size_t depths) const {
+  Arena* arena = ScratchArena();
+  if (scratch_epoch_ != arena->epoch()) {
+    // The owner reset the arena (start of a chase/scheduler step): every
+    // frame's buffer was reclaimed. Element types are trivially
+    // destructible, so dropping the dangling frames touches nothing.
+    static_assert(std::is_trivially_destructible_v<RowId> &&
+                      std::is_trivially_destructible_v<VarUndo>,
+                  "arena-backed scratch must not require destructors");
+    scratch_.clear();
+    scratch_epoch_ = arena->epoch();
+  }
+  while (scratch_.size() < depths) scratch_.emplace_back(arena);
+  if (key_scratch_.size() < depths) key_scratch_.resize(depths);
+}
+
 bool Evaluator::ForEachMatch(const QueryPlan& plan, Binding binding,
                              const AtomPin* pin,
                              const MatchCallback& cb) const {
@@ -29,7 +45,7 @@ bool Evaluator::ForEachMatch(const QueryPlan& plan, Binding binding,
   std::vector<TupleRef>& rows = rows_scratch_;
   // Pre-size the per-depth scratch so recursion never reallocates the outer
   // vector while inner frames hold references into it.
-  if (scratch_.size() < plan.steps.size()) scratch_.resize(plan.steps.size());
+  EnsureScratch(plan.steps.size());
 
   if (pin != nullptr) {
     CHECK(plan.pinned_atom.has_value());
@@ -87,6 +103,7 @@ bool Evaluator::ExecuteStep(const QueryPlan& plan, size_t step_index,
   const Atom& atom = plan.query.atoms[step.atom_index];
   const VersionedRelation& relation = snap_.db().relation(atom.rel);
   StepScratch& scratch = scratch_[step_index];
+  std::vector<Value>& key = key_scratch_[step_index];
 
   // Record the pre-match bound state of this atom's variables once: each
   // try_row below restores the binding exactly, so the list is invariant
@@ -117,14 +134,14 @@ bool Evaluator::ExecuteStep(const QueryPlan& plan, size_t step_index,
   bool any_bound_column = false;
   scratch.candidates.clear();
   if (step.access == AccessPath::kCompositeIndex) {
-    scratch.key.clear();
+    key.clear();
     for (size_t c : step.probe_columns) {
       const Value* v = ProbeValue(atom.terms[c], binding);
       if (v == nullptr) break;
-      scratch.key.push_back(*v);
+      key.push_back(*v);
     }
-    if (scratch.key.size() == step.probe_columns.size()) {
-      probed = relation.CandidateRowsComposite(step.probe_columns, scratch.key,
+    if (key.size() == step.probe_columns.size()) {
+      probed = relation.CandidateRowsComposite(step.probe_columns, key,
                                                &scratch.candidates);
       any_bound_column = true;
     }
@@ -160,6 +177,7 @@ bool Evaluator::ExecuteStep(const QueryPlan& plan, size_t step_index,
       const TupleData* data = relation.VisibleData(row, snap_.reader());
       if (data == nullptr) continue;  // stale index entry
       ++rows_examined_;
+      ++lifetime_rows_examined_;
       if (!try_row(row, *data)) {
         keep_going = false;
         break;
@@ -171,6 +189,7 @@ bool Evaluator::ExecuteStep(const QueryPlan& plan, size_t step_index,
     relation.ForEachVisible(snap_.reader(),
                             [&](RowId row, const TupleData& data) -> bool {
                               ++rows_examined_;
+                              ++lifetime_rows_examined_;
                               if (!try_row(row, data)) {
                                 keep_going = false;
                                 return false;

@@ -2,12 +2,14 @@
 #define YOUTOPIA_QUERY_EVALUATOR_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "query/atom.h"
 #include "query/binding.h"
 #include "query/plan.h"
 #include "relational/database.h"
+#include "util/arena.h"
 
 namespace youtopia {
 
@@ -36,12 +38,22 @@ using MatchCallback =
 // ConjunctiveQuery overloads compile a one-shot plan for ad-hoc queries
 // (user queries, tests).
 //
-// Not reentrant: per-depth scratch buffers are reused across executions, so
-// a callback must not invoke the same Evaluator instance again (nested
-// queries construct their own, as all call sites do).
+// Per-depth scratch (candidate rows, binding-undo logs) lives in a bump
+// Arena. Long-lived owners with a step-shaped lifecycle (the chase, the
+// scheduler) inject a shared arena they Reset() once per step; the epoch
+// check at each execution notices the reset and rebuilds the scratch frames
+// from the rewound memory — a handful of pointer bumps, no malloc.
+// Standalone evaluators (tests, ad-hoc queries) fall back to an internal
+// arena that is never reset and simply retains its high-water capacity.
+//
+// Not reentrant: the scratch frames are reused across executions, so a
+// callback must not invoke the same Evaluator instance again (nested
+// queries construct their own, as all call sites do). Two evaluators may
+// share one arena — allocation only bumps, never rewinds, mid-step.
 class Evaluator {
  public:
-  explicit Evaluator(const Snapshot& snap) : snap_(snap) {}
+  explicit Evaluator(const Snapshot& snap, Arena* arena = nullptr)
+      : snap_(snap), arena_(arena) {}
 
   // Retargets the evaluator to another snapshot, keeping the scratch
   // buffers. Long-lived owners (the violation detector, the conflict
@@ -68,6 +80,11 @@ class Evaluator {
   // planner's access-path regression tests).
   size_t rows_examined() const { return rows_examined_; }
 
+  // Monotone total across the evaluator's lifetime, for callers that need
+  // the cost of a whole multi-query pass (the violation detector's batched
+  // write-path regression bounds) rather than one call.
+  uint64_t lifetime_rows_examined() const { return lifetime_rows_examined_; }
+
  private:
   // Tracks which variables a step's match newly bound, for targeted undo
   // (cheaper than copying the whole binding per candidate row).
@@ -76,20 +93,43 @@ class Evaluator {
     bool was_bound;
   };
   // Reused buffers, one set per plan depth (sibling nodes at one depth reuse
-  // the same capacity instead of reallocating).
+  // the same capacity instead of reallocating). Element buffers are arena
+  // memory; the composite-probe key stays a std::vector because the index
+  // buckets are keyed on std::vector<Value> (kept in key_scratch_, whose
+  // capacity survives arena resets).
   struct StepScratch {
-    std::vector<RowId> candidates;
-    std::vector<Value> key;
-    std::vector<VarUndo> undo;
+    ArenaVector<RowId> candidates;
+    ArenaVector<VarUndo> undo;
+    explicit StepScratch(Arena* arena)
+        : candidates(ArenaAllocator<RowId>(arena)),
+          undo(ArenaAllocator<VarUndo>(arena)) {}
   };
+
+  Arena* ScratchArena() const {
+    if (arena_ == nullptr) {
+      if (owned_arena_ == nullptr) owned_arena_ = std::make_unique<Arena>();
+      arena_ = owned_arena_.get();
+    }
+    return arena_;
+  }
+
+  // Discards frames invalidated by an arena reset and guarantees one frame
+  // per plan depth.
+  void EnsureScratch(size_t depths) const;
 
   bool ExecuteStep(const QueryPlan& plan, size_t step_index, Binding& binding,
                    std::vector<TupleRef>& rows, const MatchCallback& cb) const;
 
   Snapshot snap_;  // by value: a (database pointer, reader) pair
+  mutable Arena* arena_;
+  mutable std::unique_ptr<Arena> owned_arena_;  // fallback; heap-allocated so
+                                                // arena_ survives moves
   mutable size_t rows_examined_ = 0;
+  mutable uint64_t lifetime_rows_examined_ = 0;
   mutable std::vector<TupleRef> rows_scratch_;
   mutable std::vector<StepScratch> scratch_;
+  mutable std::vector<std::vector<Value>> key_scratch_;
+  mutable uint64_t scratch_epoch_ = 0;
 };
 
 }  // namespace youtopia

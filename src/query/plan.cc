@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
+
 namespace youtopia {
 namespace {
 
@@ -44,6 +46,10 @@ uint64_t Planner::MaskOf(const Binding& binding) {
     if (binding.IsBound(v)) mask = WithVar(mask, v);
   }
   return mask;
+}
+
+uint64_t Planner::MaskOfAtom(const Atom& atom) {
+  return WithAtomVars(0, atom);
 }
 
 QueryPlan Planner::Compile(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
@@ -133,9 +139,12 @@ TgdPlans CompileTgdPlans(const ConjunctiveQuery& lhs,
   plans.lhs_pinned.reserve(lhs.atoms.size());
   for (size_t a = 0; a < lhs.atoms.size(); ++a) {
     plans.lhs_pinned.push_back(Planner::Compile(lhs, 0, a));
+    plans.lhs_pinned.back().shape_hash =
+        ViolationQueryShapeHash(/*pinned_on_lhs=*/true, a);
   }
   plans.lhs_delete.reserve(rhs.atoms.size());
-  for (const Atom& atom : rhs.atoms) {
+  for (size_t a = 0; a < rhs.atoms.size(); ++a) {
+    const Atom& atom = rhs.atoms[a];
     uint64_t mask = 0;
     for (const Term& t : atom.terms) {
       if (t.is_variable() && HasVar(frontier_mask, t.var())) {
@@ -143,10 +152,29 @@ TgdPlans CompileTgdPlans(const ConjunctiveQuery& lhs,
       }
     }
     plans.lhs_delete.push_back(Planner::Compile(lhs, mask, std::nullopt));
+    plans.lhs_delete.back().shape_hash =
+        ViolationQueryShapeHash(/*pinned_on_lhs=*/false, a);
   }
   plans.lhs_full = Planner::Compile(lhs, 0, std::nullopt);
   plans.rhs_frontier = Planner::Compile(rhs, frontier_mask, std::nullopt);
   return plans;
+}
+
+uint64_t ViolationQueryShapeHash(bool pinned_on_lhs, size_t atom_index) {
+  // Seeded with ReadQueryKind::kViolation's value so the fingerprint spaces
+  // of the three read-query forms stay disjoint (see ccontrol/read_query.h).
+  size_t seed = 0;
+  HashCombine(seed, pinned_on_lhs ? 1u : 2u);
+  HashCombine(seed, atom_index);
+  return seed;
+}
+
+uint64_t FinishViolationFingerprint(uint64_t shape_hash, int tgd_id,
+                                    const TupleData& pinned) {
+  size_t seed = static_cast<size_t>(shape_hash);
+  HashCombine(seed, static_cast<size_t>(tgd_id + 1));
+  HashCombine(seed, TupleDataHash{}(pinned));
+  return seed;
 }
 
 void EnsurePlanIndexes(Database* db, const QueryPlan& plan) {

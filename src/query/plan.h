@@ -50,6 +50,11 @@ struct QueryPlan {
   // excluded from `steps`, its variables count as bound.
   std::optional<size_t> pinned_atom;
   std::vector<PlanStep> steps;
+  // For violation-query plans: the shape half of the read-log fingerprint
+  // (see ViolationQueryShapeHash below), precomputed at tgd creation so the
+  // write path finishes a fingerprint with one content hash instead of
+  // rehashing every field per posed query. 0 for non-violation plans.
+  uint64_t shape_hash = 0;
 
   // Stable rendering for golden tests and diagnostics, e.g.
   //   "[1:T col(0) -> 0:A col(1)]".
@@ -70,6 +75,10 @@ class Planner {
   // as unbound; plans stay correct, only the access path degrades).
   static uint64_t MaskOf(const std::vector<VarId>& vars);
   static uint64_t MaskOf(const Binding& binding);
+  // Mask of an atom's variables: the profile MatchAtom leaves behind after
+  // binding the atom against a stored tuple (used to precompute seed masks
+  // for pinned queries).
+  static uint64_t MaskOfAtom(const Atom& atom);
 };
 
 // The full plan complement for one tgd, compiled at tgd creation and cached
@@ -92,6 +101,21 @@ struct TgdPlans {
 TgdPlans CompileTgdPlans(const ConjunctiveQuery& lhs,
                          const ConjunctiveQuery& rhs,
                          const std::vector<VarId>& frontier_vars);
+
+// --- Violation-query fingerprints -----------------------------------------
+//
+// The concurrency-control read log identifies a posed violation query by a
+// 64-bit fingerprint with two halves: a *shape* half — which side the
+// written tuple was pinned on and at which atom — fixed when the tgd's
+// plans are compiled, and an *identity* half — the tgd id and the pinned
+// tuple's content — known only when the query is posed. CompileTgdPlans
+// stamps the shape half on every violation plan (lhs_pinned, lhs_delete) so
+// the chase's hot write path pays exactly one tuple-content hash per posed
+// query. ccontrol/read_query.h builds its fallback fingerprints from the
+// same two functions, so both paths agree bit for bit.
+uint64_t ViolationQueryShapeHash(bool pinned_on_lhs, size_t atom_index);
+uint64_t FinishViolationFingerprint(uint64_t shape_hash, int tgd_id,
+                                    const TupleData& pinned);
 
 // Builds, on `db`, the composite indexes the plan's steps probe. Idempotent;
 // called when plans are registered (AddMapping, scheduler construction) so

@@ -95,18 +95,6 @@ const TupleData* VersionedRelation::VisibleData(RowId row,
   return &v->data;
 }
 
-void VersionedRelation::CandidateRows(size_t column, const Value& value,
-                                      std::vector<RowId>* out) const {
-  CHECK_LT(column, indexes_.size());
-  auto it = indexes_[column].find(value);
-  if (it == indexes_[column].end()) return;
-  const size_t start = out->size();
-  out->insert(out->end(), it->second.begin(), it->second.end());
-  // A row re-modified with a repeated value appears multiple times in its
-  // bucket; dedup here so callers resolve each row's visibility once.
-  SortUniqueSuffix(out, start);
-}
-
 size_t VersionedRelation::CandidateCount(size_t column,
                                          const Value& value) const {
   CHECK_LT(column, indexes_.size());
@@ -160,24 +148,6 @@ bool VersionedRelation::HasCompositeIndex(
     const std::vector<size_t>& columns) const {
   for (const CompositeIndex& index : composites_) {
     if (index.columns == columns) return true;
-  }
-  return false;
-}
-
-bool VersionedRelation::CandidateRowsComposite(
-    const std::vector<size_t>& columns, const std::vector<Value>& values,
-    std::vector<RowId>* out) const {
-  CHECK_EQ(columns.size(), values.size());
-  for (const CompositeIndex& index : composites_) {
-    if (index.columns != columns) continue;
-    if (!index.built) return false;  // deferred: caller falls back
-    auto it = index.buckets.find(values);
-    if (it != index.buckets.end()) {
-      const size_t start = out->size();
-      out->insert(out->end(), it->second.begin(), it->second.end());
-      SortUniqueSuffix(out, start);
-    }
-    return true;
   }
   return false;
 }

@@ -1,6 +1,7 @@
 #ifndef YOUTOPIA_RELATIONAL_RELATION_H_
 #define YOUTOPIA_RELATIONAL_RELATION_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <type_traits>
 #include <unordered_map>
@@ -102,9 +103,18 @@ class VersionedRelation {
 
   // Appends to `out` the rows that may contain `value` in `column`. The
   // result may contain stale rows (content no longer visible) but each row
-  // at most once per call, in ascending order.
-  void CandidateRows(size_t column, const Value& value,
-                     std::vector<RowId>* out) const;
+  // at most once per call, in ascending order. Templated over the output
+  // vector so executors can collect candidates into arena-backed scratch
+  // (util/arena.h) as well as plain std::vectors.
+  template <typename RowIdVec>
+  void CandidateRows(size_t column, const Value& value, RowIdVec* out) const {
+    CHECK_LT(column, indexes_.size());
+    auto it = indexes_[column].find(value);
+    if (it == indexes_[column].end()) return;
+    // A row re-modified with a repeated value appears multiple times in its
+    // bucket; dedup here so callers resolve each row's visibility once.
+    AppendDedupedSuffix(it->second, out);
+  }
 
   // Size of the `column` index bucket for `value` (an upper bound on the
   // candidates a probe yields; lets an executor pick the cheapest probe
@@ -144,10 +154,21 @@ class VersionedRelation {
   // Probes the composite index over `columns` with `values` (parallel to
   // `columns`). Returns false if no such index has been built; otherwise
   // appends the candidate rows (stale-tolerant, deduplicated, ascending)
-  // and returns true.
+  // and returns true. Templated like CandidateRows.
+  template <typename RowIdVec>
   bool CandidateRowsComposite(const std::vector<size_t>& columns,
                               const std::vector<Value>& values,
-                              std::vector<RowId>* out) const;
+                              RowIdVec* out) const {
+    CHECK_EQ(columns.size(), values.size());
+    for (const CompositeIndex& index : composites_) {
+      if (index.columns != columns) continue;
+      if (!index.built) return false;  // deferred: caller falls back
+      auto it = index.buckets.find(values);
+      if (it != index.buckets.end()) AppendDedupedSuffix(it->second, out);
+      return true;
+    }
+    return false;
+  }
 
   size_t num_composite_indexes() const { return composites_.size(); }
 
@@ -198,6 +219,18 @@ class VersionedRelation {
                        CompositeKeyHash>
         buckets;
   };
+
+  // Copies `bucket` onto the tail of `out`, then sorts and uniques just that
+  // suffix (buckets may hold a row several times).
+  template <typename RowIdVec>
+  static void AppendDedupedSuffix(const std::vector<RowId>& bucket,
+                                  RowIdVec* out) {
+    const auto start =
+        static_cast<typename RowIdVec::difference_type>(out->size());
+    out->insert(out->end(), bucket.begin(), bucket.end());
+    std::sort(out->begin() + start, out->end());
+    out->erase(std::unique(out->begin() + start, out->end()), out->end());
+  }
 
   CompositeIndex* FindOrRegisterComposite(const std::vector<size_t>& columns);
   void BuildCompositeIndex(CompositeIndex& index);

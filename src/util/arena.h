@@ -1,0 +1,171 @@
+#ifndef YOUTOPIA_UTIL_ARENA_H_
+#define YOUTOPIA_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace youtopia {
+
+// A bump allocator for per-step scratch memory. One chase step (or one
+// scheduler round) allocates freely, then the owner calls Reset() and every
+// allocation is reclaimed at once by rewinding the bump pointers — blocks
+// are retained, so a warmed-up arena never touches malloc again.
+//
+// Reset() bumps an epoch counter; holders of arena-backed containers (the
+// query evaluator's scratch frames) compare epochs to know when their
+// buffers were reclaimed underneath them and must be rebuilt. Allocation is
+// not thread-safe, matching the single-threaded evaluator/scheduler design.
+class Arena {
+ public:
+  explicit Arena(size_t first_block_bytes = 4096)
+      : next_block_bytes_(first_block_bytes) {
+    RewindToInline();
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(size_t bytes, size_t align) {
+    CHECK_GT(align, 0u);
+    CHECK_EQ(align & (align - 1), 0u);  // power of two
+    if (bytes == 0) bytes = 1;
+    uintptr_t p = (cursor_ + align - 1) & ~(uintptr_t{align} - 1);
+    if (p + bytes > limit_) {
+      NewBlock(bytes + align);
+      p = (cursor_ + align - 1) & ~(uintptr_t{align} - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_allocated_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  // Reclaims every allocation at once. Blocks are retained (and the bump
+  // pointer rewound to the inline first block), so steady-state steps
+  // allocate purely by pointer arithmetic.
+  void Reset() {
+    RewindToInline();
+    bytes_allocated_ = 0;
+    ++epoch_;
+  }
+
+  // Reclaim-on-spike policy for step-shaped owners: rewinds only when the
+  // current generation actually absorbed more than `threshold_bytes`. In
+  // steady state a warmed-up arena sees no new allocations between steps
+  // (its containers retain capacity), so there is nothing to rewind and the
+  // holders' scratch survives — resetting unconditionally would force them
+  // to rebuild every step for no reclaim. Returns true if it reset.
+  bool ResetIfAbove(size_t threshold_bytes) {
+    if (bytes_allocated_ <= threshold_bytes) return false;
+    Reset();
+    return true;
+  }
+
+  // Incremented by every Reset(); containers backed by this arena are valid
+  // only while the epoch they were built under is current.
+  uint64_t epoch() const { return epoch_; }
+
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  // The first "block" lives inside the Arena object itself, so a fresh
+  // arena serves small scratch without ever calling malloc (fresh
+  // evaluators in tests and ad-hoc queries stay cheap).
+  static constexpr size_t kInlineBlockBytes = 1024;
+  // blocks_ index meaning "bumping through the inline block".
+  static constexpr size_t kInlineBlock = static_cast<size_t>(-1);
+
+  void RewindToInline() {
+    block_in_use_ = kInlineBlock;
+    cursor_ = reinterpret_cast<uintptr_t>(inline_block_);
+    limit_ = cursor_ + kInlineBlockBytes;
+  }
+
+  void RewindToBlock() {
+    const Block& b = blocks_[block_in_use_];
+    cursor_ = reinterpret_cast<uintptr_t>(b.data.get());
+    limit_ = cursor_ + b.size;
+  }
+
+  void NewBlock(size_t min_bytes) {
+    // Advance into an already-retained block when one exists (post-Reset
+    // warm path); otherwise grow geometrically.
+    size_t next = block_in_use_ == kInlineBlock ? 0 : block_in_use_ + 1;
+    while (next < blocks_.size()) {
+      block_in_use_ = next;
+      RewindToBlock();
+      if (limit_ - cursor_ >= min_bytes) return;
+      ++next;
+    }
+    size_t size = next_block_bytes_;
+    while (size < min_bytes) size *= 2;
+    next_block_bytes_ = size * 2;
+    blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+    block_in_use_ = blocks_.size() - 1;
+    RewindToBlock();
+  }
+
+  char inline_block_[kInlineBlockBytes];
+  std::vector<Block> blocks_;
+  size_t block_in_use_ = kInlineBlock;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t next_block_bytes_;
+  size_t bytes_allocated_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+// Minimal std::allocator-compatible adapter so standard containers can live
+// in an Arena. Deallocation is a no-op: memory comes back via Arena::Reset.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) { DCHECK(arena); }
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_;
+};
+
+// The scratch container of choice: element buffers are arena memory, the
+// vector object itself lives wherever the holder puts it. Restricted to
+// trivially destructible elements — Arena::Reset never runs destructors.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_UTIL_ARENA_H_

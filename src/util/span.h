@@ -1,0 +1,46 @@
+#ifndef YOUTOPIA_UTIL_SPAN_H_
+#define YOUTOPIA_UTIL_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace youtopia {
+
+// A non-owning view over a contiguous range (std::span arrives only with
+// C++20; this is the read-only subset the batched write path needs).
+template <typename T>
+class Span {
+ public:
+  constexpr Span() : data_(nullptr), size_(0) {}
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<std::remove_const_t<T>>& v)
+      : data_(v.data()), size_(v.size()) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const {
+    DCHECK(i < size_);
+    return data_[i];
+  }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  Span subspan(size_t offset, size_t count) const {
+    DCHECK(offset + count <= size_);
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  const T* data_;
+  size_t size_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_UTIL_SPAN_H_

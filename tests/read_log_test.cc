@@ -91,6 +91,25 @@ TEST_F(ReadLogTest, EraseUpdateDropsEverything) {
   EXPECT_EQ(log_.QueriesOf(6)->size(), 1u);
 }
 
+TEST_F(ReadLogTest, CandidateVisitedOncePerWrite) {
+  // Update 5 logs both a violation query (relation-indexed over sigma3's
+  // A, T, R) and a null-occurrence query for x1 (null-indexed). A T-write
+  // whose tuple contains x1 twice reaches the null query through the
+  // relation index AND through both occurrences of x1 — the conflict
+  // checker must still see each (reader, query) candidate exactly once.
+  log_.Record(5, ReadQueryRecord::Violation(
+                     2, true, 0, fig_.Row({"Geneva", "Geneva Winery"})));
+  log_.Record(5, ReadQueryRecord::NullOccurrence(fig_.x1));
+  PhysicalWrite w = Insert(fig_.T, {fig_.x1, fig_.x1, fig_.Const("S")});
+  EXPECT_EQ(CountCandidates(w, 1), 2u);  // one per logged query, not more
+
+  // A modify carrying the null in both old and new content is still one
+  // visit per query.
+  w.kind = WriteKind::kModify;
+  w.old_data = {fig_.x1, fig_.Const("Q"), fig_.Const("S")};
+  EXPECT_EQ(CountCandidates(w, 1), 2u);
+}
+
 TEST_F(ReadLogTest, MultipleReadersSameRelation) {
   for (uint64_t u = 5; u < 10; ++u) {
     log_.Record(u, ReadQueryRecord::MoreSpecific(fig_.C,
