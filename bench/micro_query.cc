@@ -126,6 +126,67 @@ void BM_FullSatisfactionScan(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSatisfactionScan)->Range(64, 4096);
 
+void BM_PlannerStatsOrdering(benchmark::State& state) {
+  // The skewed join where the static boundness order is pathological — the
+  // selective atom comes last. Big(v, u): 8192 rows whose join column v
+  // ranges over a 128-value domain (buckets of 64); Small(v): 16 distinct
+  // rows. Arg 0 executes the static-boundness plan (scan Big, probe Small);
+  // arg 1 the cost-based plan from live statistics (scan Small, probe Big).
+  Database db;
+  const RelationId big = *db.CreateRelation("Big", {"v", "u"});
+  const RelationId small = *db.CreateRelation("Small", {"v"});
+  for (uint64_t i = 0; i < 8192; ++i) {
+    db.Apply(WriteOp::Insert(big, {Value::Constant(i % 128),
+                                   Value::Constant(i)}),
+             0);
+  }
+  for (uint64_t i = 0; i < 16; ++i) {
+    db.Apply(WriteOp::Insert(small, {Value::Constant(i)}), 0);
+  }
+  TgdParser parser(&db.catalog(), &db.symbols());
+  const auto q = *parser.ParseQuery("Big(v, u) & Small(v)");
+  const QueryPlan plan =
+      state.range(0) == 0
+          ? Planner::Compile(q.body, 0, std::nullopt)
+          : Planner::Compile(q.body, 0, std::nullopt, &db);
+  Snapshot snap(&db, kReadLatest);
+  Evaluator eval(snap);
+  size_t results = 0;
+  for (auto _ : state) {
+    eval.ForEachMatch(plan, Binding(), nullptr,
+                      [&](const Binding&, const std::vector<TupleRef>&) {
+                        ++results;
+                        return true;
+                      });
+  }
+  benchmark::DoNotOptimize(results);
+  state.SetLabel(state.range(0) == 0 ? "static" : "stats");
+}
+BENCHMARK(BM_PlannerStatsOrdering)->Arg(0)->Arg(1);
+
+void BM_ReplanTrigger(benchmark::State& state) {
+  // The two prices of adaptive re-planning. Arg 0: the staleness poll the
+  // chase pays every step when nothing drifted (a few integer compares per
+  // mapping). Arg 1: an actual recompilation of the full plan complement
+  // (what a fired trigger costs).
+  JoinFixture fix(1024, 64);
+  const Tgd& tgd = fix.tgds[0];
+  tgd.MaybeReplan(&fix.db);  // settle: stamps match current cardinalities
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(tgd.MaybeReplan(&fix.db));
+    }
+    state.SetLabel("poll-fresh");
+  } else {
+    for (auto _ : state) {
+      fix.tgds[0].RecompilePlans(&fix.db);
+      benchmark::DoNotOptimize(fix.tgds[0].plans().lhs_full.steps.size());
+    }
+    state.SetLabel("recompile");
+  }
+}
+BENCHMARK(BM_ReplanTrigger)->Arg(0)->Arg(1);
+
 void BM_AdHocPlanCompilation(benchmark::State& state) {
   // The cost the plan cache saves per execution: compiling the two-way-join
   // plan from scratch (the seed evaluator effectively paid a comparable

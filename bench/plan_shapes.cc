@@ -1,0 +1,103 @@
+// Prints the compiled plan shapes for a fixed, deterministic set of query
+// workloads — the CI plan-shape golden check. A cost-model change that flips
+// an atom order or an access path changes this output, so it shows up as a
+// reviewable diff against bench/baseline/plan_shapes.txt instead of as a
+// silent perf cliff.
+//
+// Regenerate the golden after an intentional planner change:
+//   build/release/bench/plan_shapes > bench/baseline/plan_shapes.txt
+#include <cstdio>
+#include <string>
+
+#include "query/plan.h"
+#include "relational/database.h"
+#include "tgd/parser.h"
+#include "util/rng.h"
+
+namespace youtopia {
+namespace {
+
+void PrintTgdPlans(const Database& db, const Tgd& tgd, const char* label) {
+  std::printf("[%s] %s\n", label,
+              tgd.ToString(db.catalog(), db.symbols()).c_str());
+  const TgdPlans& plans = tgd.plans();
+  for (size_t a = 0; a < plans.lhs_pinned.size(); ++a) {
+    std::printf("  lhs_pinned[%zu]: %s\n", a,
+                plans.lhs_pinned[a].ToString(db.catalog()).c_str());
+  }
+  for (size_t a = 0; a < plans.lhs_delete.size(); ++a) {
+    std::printf("  lhs_delete[%zu]: %s\n", a,
+                plans.lhs_delete[a].ToString(db.catalog()).c_str());
+  }
+  std::printf("  lhs_full:      %s\n",
+              plans.lhs_full.ToString(db.catalog()).c_str());
+  std::printf("  rhs_frontier:  %s\n",
+              plans.rhs_frontier.ToString(db.catalog()).c_str());
+}
+
+// The paper's sigma3-style mapping over an empty and a seeded repository.
+void Sigma3Shapes() {
+  Database db;
+  const RelationId a = *db.CreateRelation("A", {"location", "name"});
+  const RelationId t = *db.CreateRelation("T", {"attraction", "company",
+                                                "start"});
+  (void)*db.CreateRelation("R", {"company", "attraction", "review"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  Tgd tgd = *parser.ParseTgd(
+      "A(l, n) & T(n, co, s) -> exists rv: R(co, n, rv)");
+  PrintTgdPlans(db, tgd, "sigma3 static (empty repository)");
+
+  // Deterministic seed, mirroring micro_query's JoinFixture.
+  Rng rng(7);
+  auto constant = [&](const char* prefix, size_t i) {
+    return db.InternConstant(std::string(prefix) + std::to_string(i));
+  };
+  for (size_t i = 0; i < 4096; ++i) {
+    const size_t name = rng.Uniform(64);
+    db.Apply(WriteOp::Insert(a, {constant("loc", rng.Uniform(64)),
+                                 constant("name", name)}),
+             0);
+    db.Apply(WriteOp::Insert(t, {constant("name", name),
+                                 constant("co", rng.Uniform(64)),
+                                 constant("city", rng.Uniform(64))}),
+             0);
+  }
+  tgd.RecompilePlans(&db);
+  PrintTgdPlans(db, tgd, "sigma3 stats (rows=4096 domain=64)");
+}
+
+// The skewed join whose static order is pathological (selective atom last).
+void SkewShapes() {
+  Database db;
+  const RelationId big = *db.CreateRelation("Big", {"v", "u"});
+  const RelationId small = *db.CreateRelation("Small", {"v"});
+  for (uint64_t i = 0; i < 8192; ++i) {
+    db.Apply(WriteOp::Insert(big, {Value::Constant(i % 128),
+                                   Value::Constant(i)}),
+             0);
+  }
+  for (uint64_t i = 0; i < 16; ++i) {
+    db.Apply(WriteOp::Insert(small, {Value::Constant(i)}), 0);
+  }
+  TgdParser parser(&db.catalog(), &db.symbols());
+  const auto q = *parser.ParseQuery("Big(v, u) & Small(v)");
+  std::printf("[skew] Big(v, u) & Small(v), big=8192/domain=128 small=16\n");
+  std::printf("  static: %s\n",
+              Planner::Compile(q.body, 0, std::nullopt)
+                  .ToString(db.catalog())
+                  .c_str());
+  std::printf("  stats:  %s\n",
+              Planner::Compile(q.body, 0, std::nullopt, &db)
+                  .ToString(db.catalog())
+                  .c_str());
+}
+
+}  // namespace
+}  // namespace youtopia
+
+int main() {
+  std::printf("# Compiled plan shapes (CI golden; see bench/plan_shapes.cc)\n");
+  youtopia::Sigma3Shapes();
+  youtopia::SkewShapes();
+  return 0;
+}

@@ -110,7 +110,7 @@ bool ConflictChecker::JoinsWithPin(const Snapshot& snap, const Tgd& tgd,
   // query is pinned on an LHS atom, that atom is therefore excluded from
   // evaluation against the database. The residual query and its plans are
   // fixed by (tgd, side, atom) and come from the memo.
-  const ResidualPlans& rp = ResidualFor(tgd, q);
+  const ResidualPlans& rp = ResidualFor(tgd, q, &snap.db());
   const ConjunctiveQuery& residual_lhs = rp.residual;
 
   lhs_eval_.Reset(snap);
@@ -190,7 +190,7 @@ bool ConflictChecker::JoinsWithPin(const Snapshot& snap, const Tgd& tgd,
 }
 
 const ConflictChecker::ResidualPlans& ConflictChecker::ResidualFor(
-    const Tgd& tgd, const ReadQueryRecord& q) const {
+    const Tgd& tgd, const ReadQueryRecord& q, const Database* db) const {
   // Key layout: tgd_id:23 | atom_index:8 | side:1. The guards turn a
   // schema large enough to collide (and silently reuse the wrong residual
   // plans) into a crash.
@@ -222,15 +222,16 @@ const ConflictChecker::ResidualPlans& ConflictChecker::ResidualFor(
     rp.pinned_at.reserve(rp.residual.atoms.size());
     for (size_t a = 0; a < rp.residual.atoms.size(); ++a) {
       rp.pinned_at.push_back(
-          &residual_plans_.Get(rp.residual, rp.seed_mask, a));
+          &residual_plans_.Get(rp.residual, rp.seed_mask, a, db));
     }
-    rp.full = &residual_plans_.Get(rp.residual, rp.seed_mask, std::nullopt);
+    rp.full =
+        &residual_plans_.Get(rp.residual, rp.seed_mask, std::nullopt, db);
     rp.rhs_combined.reserve(tgd.rhs().atoms.size());
     for (const Atom& atom : tgd.rhs().atoms) {
       rp.rhs_combined.push_back(&residual_plans_.Get(
           rp.residual,
           rp.seed_mask | (Planner::MaskOfAtom(atom) & frontier_mask),
-          std::nullopt));
+          std::nullopt, db));
     }
   }
   return residual_memo_.emplace(key, std::move(rp)).first->second;

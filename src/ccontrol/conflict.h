@@ -50,6 +50,13 @@ class ConflictChecker {
   bool Conflicts(const Snapshot& snap, const PhysicalWrite& w,
                  const ReadQueryRecord& q) const;
 
+  // Adaptive re-planning for the memoized residual plans: recompiles, in
+  // place, every cached plan whose input relations drifted ~10x from the
+  // cardinalities it was costed at (addresses memoized in ResidualPlans
+  // stay valid — see PlanCache::Refresh). The scheduler polls this
+  // periodically; cheap when nothing is stale. Returns plans recompiled.
+  size_t MaybeReplan(Database* db) const { return residual_plans_.Refresh(db); }
+
  private:
   // Everything about a recorded violation query's residual premise that is
   // fixed by (tgd, pinned side, pinned atom): the residual query (the LHS
@@ -80,8 +87,8 @@ class ConflictChecker {
                     const TupleData& content, bool on_lhs,
                     bool require_rhs_unsatisfied) const;
 
-  const ResidualPlans& ResidualFor(const Tgd& tgd,
-                                   const ReadQueryRecord& q) const;
+  const ResidualPlans& ResidualFor(const Tgd& tgd, const ReadQueryRecord& q,
+                                   const Database* db) const;
 
   const std::vector<Tgd>* tgds_;
   std::unique_ptr<Arena> owned_arena_;

@@ -14,10 +14,18 @@ Scheduler::Scheduler(Database* db, const std::vector<Tgd>* tgds,
       read_log_(tgds),
       tracker_(options.tracker, tgds, &arena_),
       next_number_(options.first_number) {
-  // Build the composite indexes the tgds' compiled plans probe, so every
-  // chase step and retroactive conflict check in this run executes its
-  // planned access paths instead of falling back to single-column probes.
-  for (const Tgd& tgd : *tgds_) EnsureTgdPlanIndexes(db_, tgd.plans());
+  // Registration: unconditionally re-cost every tgd's plan complement
+  // against the database this scheduler will run over (matching
+  // Youtopia::AddMapping — a recompilation is ~1.5us per mapping, and the
+  // staleness trigger alone would let a small pre-seed keep the creation-
+  // time statistics-free plans), then build the composite indexes the
+  // costed plans probe, so every chase step and retroactive conflict check
+  // in this run executes its planned access paths instead of falling back
+  // to single-column probes.
+  for (const Tgd& tgd : *tgds_) {
+    tgd.RecompilePlans(db_);
+    EnsureTgdPlanIndexes(db_, tgd.plans());
+  }
 }
 
 uint64_t Scheduler::Submit(WriteOp initial_op) {
@@ -91,19 +99,28 @@ void Scheduler::StepOne(size_t slot_idx) {
     }
   }
 
-  // Algorithm 4: each write is checked against the stored read queries of
-  // higher-numbered updates; invalidated readers abort.
+  // The conflict checker's memoized residual plans go stale as the run
+  // grows the database; sweep them on the strided mutation-sequence poll
+  // (ReplanPoller, plan.h — the stride is provably below the smallest
+  // drift).
+  if (replan_poller_.ShouldPoll(*db_)) checker_.MaybeReplan(db_);
+
+  // Algorithm 4: the step's writes are checked against the stored read
+  // queries of higher-numbered updates; invalidated readers abort. The
+  // probe is batched over the whole write set: each candidate reader's log
+  // is walked once per step — not once per write — and a doomed reader's
+  // remaining queries are skipped.
   std::unordered_set<uint64_t>& direct = direct_scratch_;
   direct.clear();
-  for (const PhysicalWrite& w : res.writes) {
-    write_log_.Record(number, w);
-    read_log_.ForEachCandidate(
-        w, number, [&](uint64_t reader, const ReadQueryRecord& q) {
-          if (direct.count(reader) > 0) return;  // already doomed
-          Snapshot reader_snap(db_, reader);
-          if (checker_.Conflicts(reader_snap, w, q)) direct.insert(reader);
-        });
-  }
+  for (const PhysicalWrite& w : res.writes) write_log_.Record(number, w);
+  read_log_.ForEachCandidateBatch(
+      res.writes, number,
+      [&](uint64_t reader, const ReadQueryRecord& q, const PhysicalWrite& w) {
+        Snapshot reader_snap(db_, reader);
+        if (!checker_.Conflicts(reader_snap, w, q)) return false;
+        direct.insert(reader);
+        return true;  // doomed: stop probing this reader
+      });
 
   // Register read dependencies for cascades, then move this step's records
   // into the read log (their tuple payloads change hands without copying).

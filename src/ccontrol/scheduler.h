@@ -136,6 +136,8 @@ class Scheduler {
   std::set<uint64_t> uncommitted_finished_;
 
   uint64_t next_number_;
+  // Strided residual-plan staleness sweep (see StepOne and plan.h).
+  ReplanPoller replan_poller_;
   SchedulerStats stats_;
 };
 

@@ -31,6 +31,13 @@ Result<StandardChase::Report> StandardChase::Run(uint64_t update_number,
   while (!queue.empty()) {
     if (report.firings >= options.max_steps) return report;  // cap hit
     arena_.ResetIfAbove(64 * 1024);  // reclaim only after a spiked firing
+    // The standard chase is the fastest-growing workload in the system
+    // (every violation fires immediately), so the detector's plans must
+    // track the exploding cardinalities. Strided mutation-sequence poll,
+    // matching Update::Step (ReplanPoller, plan.h).
+    if (replan_poller_.ShouldPoll(*db_)) {
+      for (const Tgd& tgd : *tgds_) tgd.MaybeReplan(db_);
+    }
     Violation v = std::move(queue.front());
     queue.pop_front();
     if (!detector_.IsStillViolated(snap, v, nullptr)) continue;

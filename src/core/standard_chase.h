@@ -51,6 +51,8 @@ class StandardChase {
   // detector holds a pointer). Reset once per chase firing in Run().
   Arena arena_;
   ViolationDetector detector_;
+  // Strided adaptive re-planning poll (see Run() and plan.h).
+  ReplanPoller replan_poller_;
 };
 
 }  // namespace youtopia

@@ -56,6 +56,17 @@ StepResult Update::Step(Database* db, FrontierAgent* agent) {
     return res;
   }
 
+  // Adaptive re-planning: a long chase grows the very relations its cached
+  // violation/premise plans join over, so a plan costed at step 0 can be
+  // badly ordered by step N. The poll is strided on the database's mutation
+  // sequence (ReplanPoller, plan.h — many-mapping chases with tiny steps
+  // must not pay a per-mapping poll every step); a fired recompilation is
+  // ~1.5us per mapping, nearly free against one mis-ordered join over a
+  // grown relation.
+  if (replan_poller_.ShouldPoll(*db)) {
+    for (const Tgd& tgd : *tgds_) tgd.MaybeReplan(db);
+  }
+
   // 1. Consume one frontier operation, if one is pending.
   if (pos_frontier_.has_value()) {
     ProcessPositiveFrontier(db, agent, &res);

@@ -161,6 +161,8 @@ class Update {
   bool finished_ = false;
   bool started_ = false;
   bool hit_step_cap_ = false;
+  // Strided adaptive re-planning poll (see Step() and plan.h).
+  ReplanPoller replan_poller_;
 
   size_t steps_taken_ = 0;
   size_t frontier_ops_ = 0;

@@ -23,10 +23,12 @@ Result<int> Youtopia::AddMapping(std::string_view tgd_text) {
   tgds_.push_back(std::move(tgd).value());
   const int id = static_cast<int>(tgds_.size()) - 1;
 
-  // A tgd's plans depend only on its own structure and were compiled in
-  // Tgd::Create; registering the new mapping just builds the composite
-  // indexes its probes demand, so the repair chase below (and every later
+  // Tgd::Create compiled the plans without statistics (it only sees the
+  // catalog); recompile against the repository the mapping now joins over —
+  // which may hold years of data — and build the composite indexes the
+  // costed probes demand, so the repair chase below (and every later
   // update) executes its planned access paths.
+  tgds_.back().RecompilePlans(&db_);
   EnsureTgdPlanIndexes(&db_, tgds_.back().plans());
 
   // Cooperatively repair any violations the new mapping has over existing
@@ -45,7 +47,7 @@ Result<int> Youtopia::AddMapping(std::string_view tgd_text) {
 
 void Youtopia::RebuildQueryPlans() {
   for (Tgd& tgd : tgds_) {
-    tgd.RecompilePlans();
+    tgd.RecompilePlans(&db_);
     EnsureTgdPlanIndexes(&db_, tgd.plans());
   }
 }

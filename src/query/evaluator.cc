@@ -67,9 +67,13 @@ bool Evaluator::ForEachMatch(const QueryPlan& plan, Binding binding,
 bool Evaluator::ForEachMatch(const ConjunctiveQuery& cq, Binding binding,
                              const AtomPin* pin,
                              const MatchCallback& cb) const {
+  // Ad-hoc queries cost their one-shot plan from the target snapshot's live
+  // statistics (user queries over skewed data get the same ordering wins as
+  // the cached tgd plans).
   const QueryPlan plan = Planner::Compile(
       cq, Planner::MaskOf(binding),
-      pin != nullptr ? std::optional<size_t>(pin->atom_index) : std::nullopt);
+      pin != nullptr ? std::optional<size_t>(pin->atom_index) : std::nullopt,
+      snap_.db_or_null());
   return ForEachMatch(plan, std::move(binding), pin, cb);
 }
 

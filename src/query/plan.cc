@@ -32,7 +32,95 @@ std::vector<size_t> BoundColumns(const Atom& atom, uint64_t mask) {
   return cols;
 }
 
+// A composite probe must save at least this many examined rows per call over
+// the cheapest single-column probe before the planner asks for the index
+// (whose materialization and per-write maintenance are not free).
+constexpr double kCompositeProbeBreakEven = 4.0;
+
+// Estimated cost of executing one atom next under the binding prefix `mask`
+// (see the cost model in plan.h).
+struct AtomEstimate {
+  double fetch = 0;    // rows examined by this step
+  double out = 0;      // bindings produced (multiplies later steps)
+  size_t bound = 0;    // statically bound columns (tie-break)
+  AccessPath access = AccessPath::kScan;
+};
+
+AtomEstimate EstimateAtom(const Atom& atom, uint64_t mask,
+                          const Database& db) {
+  const VersionedRelation& rel = db.relation(atom.rel);
+  const double n = static_cast<double>(rel.visible_rows());
+  const std::vector<size_t> bound = BoundColumns(atom, mask);
+  AtomEstimate e;
+  e.bound = bound.size();
+  if (bound.empty()) {
+    e.fetch = e.out = n;
+    e.access = AccessPath::kScan;
+    return e;
+  }
+  double out = n;
+  double best_single = n;
+  for (size_t c : bound) {
+    const double distinct =
+        std::max<double>(1.0, static_cast<double>(rel.distinct_values(c)));
+    out /= distinct;
+    best_single = std::min(best_single, n / distinct);
+  }
+  e.out = out;
+  if (bound.size() >= 2 && best_single - out >= kCompositeProbeBreakEven) {
+    e.access = AccessPath::kCompositeIndex;
+    e.fetch = out;
+  } else {
+    e.access = AccessPath::kSingleColumn;
+    e.fetch = best_single;
+  }
+  return e;
+}
+
+// Cardinality drift test backing PlanIsStale: factor-8 ratio with a +8
+// floor, i.e. fires within a decade of growth or shrinkage but never on
+// noise around near-empty relations.
+constexpr size_t kStaleFloor = 8;
+constexpr size_t kStaleFactor = 8;
+
+// The cheapest drift (0 -> n rows) fires at n >= kStaleFloor*(kStaleFactor-1)
+// writes; the poll stride must stay below that or a trigger could be
+// skipped between polls.
+static_assert(kReplanPollWriteStride <= kStaleFloor * (kStaleFactor - 1),
+              "re-plan poll stride must not outrun the staleness floor");
+
+bool CardinalityDrifted(size_t costed, size_t now) {
+  const size_t a = costed + kStaleFloor;
+  const size_t b = now + kStaleFloor;
+  return a * kStaleFactor <= b || b * kStaleFactor <= a;
+}
+
+// Shared body of the two staleness predicates: drift of any stamped input.
+bool AnyDrifted(const std::vector<CostedCardinality>& costed_at,
+                const Database& db) {
+  for (const CostedCardinality& e : costed_at) {
+    if (CardinalityDrifted(e.visible_rows, db.relation(e.rel).visible_rows())) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
+
+void Planner::StampCardinalities(const ConjunctiveQuery& cq,
+                                 const Database* db,
+                                 std::vector<CostedCardinality>* out) {
+  for (const Atom& atom : cq.atoms) {
+    bool seen = false;
+    for (const CostedCardinality& e : *out) seen |= e.rel == atom.rel;
+    if (!seen) {
+      out->push_back(
+          {atom.rel,
+           db == nullptr ? 0 : db->relation(atom.rel).visible_rows()});
+    }
+  }
+}
 
 uint64_t Planner::MaskOf(const std::vector<VarId>& vars) {
   uint64_t mask = 0;
@@ -54,6 +142,12 @@ uint64_t Planner::MaskOfAtom(const Atom& atom) {
 
 QueryPlan Planner::Compile(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
                            std::optional<size_t> pinned_atom) {
+  return Compile(cq, seed_bound_mask, pinned_atom, nullptr);
+}
+
+QueryPlan Planner::Compile(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
+                           std::optional<size_t> pinned_atom,
+                           const Database* db) {
   QueryPlan plan;
   plan.query = cq;
   plan.seed_bound_mask = seed_bound_mask;
@@ -71,16 +165,38 @@ QueryPlan Planner::Compile(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
 
   plan.steps.reserve(remaining);
   while (remaining > 0) {
-    // Greedy: the atom with the most statically bound term positions next
-    // (ties to the earlier atom, for determinism).
     size_t best = cq.atoms.size();
-    size_t best_score = 0;
-    for (size_t i = 0; i < cq.atoms.size(); ++i) {
-      if (done[i]) continue;
-      const size_t score = BoundColumns(cq.atoms[i], mask).size();
-      if (best == cq.atoms.size() || score > best_score) {
-        best = i;
-        best_score = score;
+    AccessPath best_access = AccessPath::kScan;
+    if (db != nullptr) {
+      // Cost-based: the atom minimizing this step's examined rows plus the
+      // bindings it hands every later step. Ties fall back to the static
+      // heuristic (more bound columns, then the earlier atom) so equal-cost
+      // plans keep the static shapes.
+      double best_score = 0;
+      size_t best_bound = 0;
+      for (size_t i = 0; i < cq.atoms.size(); ++i) {
+        if (done[i]) continue;
+        const AtomEstimate e = EstimateAtom(cq.atoms[i], mask, *db);
+        const double score = e.fetch + e.out;
+        if (best == cq.atoms.size() || score < best_score ||
+            (score == best_score && e.bound > best_bound)) {
+          best = i;
+          best_score = score;
+          best_bound = e.bound;
+          best_access = e.access;
+        }
+      }
+    } else {
+      // Static: the atom with the most statically bound term positions next
+      // (ties to the earlier atom, for determinism).
+      size_t best_score = 0;
+      for (size_t i = 0; i < cq.atoms.size(); ++i) {
+        if (done[i]) continue;
+        const size_t score = BoundColumns(cq.atoms[i], mask).size();
+        if (best == cq.atoms.size() || score > best_score) {
+          best = i;
+          best_score = score;
+        }
       }
     }
     CHECK_LT(best, cq.atoms.size());
@@ -90,7 +206,9 @@ QueryPlan Planner::Compile(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
     PlanStep step;
     step.atom_index = best;
     step.probe_columns = BoundColumns(cq.atoms[best], mask);
-    if (step.probe_columns.size() >= 2) {
+    if (db != nullptr) {
+      step.access = best_access;
+    } else if (step.probe_columns.size() >= 2) {
       step.access = AccessPath::kCompositeIndex;
     } else if (step.probe_columns.size() == 1) {
       step.access = AccessPath::kSingleColumn;
@@ -100,7 +218,16 @@ QueryPlan Planner::Compile(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
     plan.steps.push_back(std::move(step));
     mask = WithAtomVars(mask, cq.atoms[best]);
   }
+  if (db != nullptr) StampCardinalities(cq, db, &plan.costed_at);
   return plan;
+}
+
+bool PlanIsStale(const QueryPlan& plan, const Database& db) {
+  return AnyDrifted(plan.costed_at, db);
+}
+
+bool TgdPlansAreStale(const TgdPlans& plans, const Database& db) {
+  return AnyDrifted(plans.costed_at, db);
 }
 
 std::string QueryPlan::ToString(const Catalog& catalog) const {
@@ -133,12 +260,13 @@ std::string QueryPlan::ToString(const Catalog& catalog) const {
 
 TgdPlans CompileTgdPlans(const ConjunctiveQuery& lhs,
                          const ConjunctiveQuery& rhs,
-                         const std::vector<VarId>& frontier_vars) {
+                         const std::vector<VarId>& frontier_vars,
+                         const Database* db) {
   TgdPlans plans;
   const uint64_t frontier_mask = Planner::MaskOf(frontier_vars);
   plans.lhs_pinned.reserve(lhs.atoms.size());
   for (size_t a = 0; a < lhs.atoms.size(); ++a) {
-    plans.lhs_pinned.push_back(Planner::Compile(lhs, 0, a));
+    plans.lhs_pinned.push_back(Planner::Compile(lhs, 0, a, db));
     plans.lhs_pinned.back().shape_hash =
         ViolationQueryShapeHash(/*pinned_on_lhs=*/true, a);
   }
@@ -151,12 +279,17 @@ TgdPlans CompileTgdPlans(const ConjunctiveQuery& lhs,
         mask = WithVar(mask, t.var());
       }
     }
-    plans.lhs_delete.push_back(Planner::Compile(lhs, mask, std::nullopt));
+    plans.lhs_delete.push_back(Planner::Compile(lhs, mask, std::nullopt, db));
     plans.lhs_delete.back().shape_hash =
         ViolationQueryShapeHash(/*pinned_on_lhs=*/false, a);
   }
-  plans.lhs_full = Planner::Compile(lhs, 0, std::nullopt);
-  plans.rhs_frontier = Planner::Compile(rhs, frontier_mask, std::nullopt);
+  plans.lhs_full = Planner::Compile(lhs, 0, std::nullopt, db);
+  plans.rhs_frontier = Planner::Compile(rhs, frontier_mask, std::nullopt, db);
+  // Stamp the union of both sides' relations, zeros included when db is
+  // null: a complement compiled without statistics must still go stale once
+  // data arrives (see TgdPlans::costed_at).
+  Planner::StampCardinalities(lhs, db, &plans.costed_at);
+  Planner::StampCardinalities(rhs, db, &plans.costed_at);
   return plans;
 }
 

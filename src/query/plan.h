@@ -33,6 +33,14 @@ struct PlanStep {
   std::vector<size_t> probe_columns;
 };
 
+// The live cardinality a cost-based plan was costed at, one entry per
+// distinct relation the query mentions. Compared against the relations'
+// current visible-row counts by the staleness predicate below.
+struct CostedCardinality {
+  RelationId rel = 0;
+  size_t visible_rows = 0;
+};
+
 // A compiled physical plan for one conjunctive query under one boundness
 // profile (plan-once/execute-many: the workload's queries are a small fixed
 // set derived from the registered tgds, executed millions of times).
@@ -55,21 +63,70 @@ struct QueryPlan {
   // write path finishes a fingerprint with one content hash instead of
   // rehashing every field per posed query. 0 for non-violation plans.
   uint64_t shape_hash = 0;
+  // Cardinalities this plan was costed at (empty for plans compiled without
+  // statistics, which are therefore never stale).
+  std::vector<CostedCardinality> costed_at;
 
   // Stable rendering for golden tests and diagnostics, e.g.
   //   "[1:T col(0) -> 0:A col(1)]".
   std::string ToString(const Catalog& catalog) const;
 };
 
-// Compiles conjunctive queries into QueryPlans. Atom order is greedy by
-// static boundness (most bound term positions first, ties to the earlier
-// atom — the same heuristic the evaluator used to re-run per call); the
-// access path per atom is composite-index for two or more bound columns,
-// single-column for one, scan for none.
+// Compiles conjunctive queries into QueryPlans.
+//
+// Without statistics (db == nullptr), atom order is greedy by static
+// boundness (most bound term positions first, ties to the earlier atom) and
+// the access path per atom is composite-index for two or more bound
+// columns, single-column for one, scan for none.
+//
+// With statistics (db != nullptr), ordering and access paths come from a
+// selectivity cost model over the relations' live statistics
+// (VersionedRelation::visible_rows / distinct_values, maintained
+// incrementally by the write path). Per candidate atom under the current
+// binding prefix, with N = visible rows and sel(c) = 1/distinct(c) for each
+// bound column c (attribute-independence assumption):
+//
+//   rows produced  out   = N * prod_c sel(c)
+//   single probe   fetch = min_c N * sel(c)   (executor picks the cheapest
+//                                              actual bucket at runtime)
+//   composite      fetch = out                (probe over all bound columns)
+//   scan           fetch = N                  (no bound column)
+//
+// Greedy order: the atom minimizing fetch + out next (fetch is this step's
+// rows examined; out multiplies every later step), ties to the statically
+// more bound atom, then to the earlier one — so equal-cost plans degrade to
+// exactly the static shapes. A composite probe (and hence a composite-index
+// materialization demand, see EnsurePlanIndexes) is chosen only when it
+// beats the cheapest single-column probe by at least the break-even margin,
+// replacing the old fixed 256-row materialization threshold.
+//
+// Cost-based plans are stamped with the cardinalities they were costed at
+// (QueryPlan::costed_at); PlanIsStale reports when any input relation has
+// since drifted by roughly an order of magnitude (factor-8 ratio test with
+// a +8 floor on both sides so nearly-empty relations do not churn), which
+// is the re-planning trigger the chase layers poll — recompilation is ~200ns
+// (BM_AdHocPlanCompilation), so re-planning is nearly free relative to one
+// mis-ordered join over a grown relation.
 class Planner {
  public:
   static QueryPlan Compile(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
                            std::optional<size_t> pinned_atom);
+
+  // Cost-based variant: orders atoms and picks access paths from `db`'s live
+  // statistics and stamps the plan's costed_at. Falls back to the static
+  // heuristic when `db` is null.
+  static QueryPlan Compile(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
+                           std::optional<size_t> pinned_atom,
+                           const Database* db);
+
+  // Appends one costed_at entry per distinct relation `cq` mentions that
+  // `out` does not already hold, stamped with the live visible-row count
+  // (zero when `db` is null). The single definition of "what a plan's
+  // staleness stamp contains": Compile, CompileTgdPlans and PlanCache all
+  // stamp through here.
+  static void StampCardinalities(const ConjunctiveQuery& cq,
+                                 const Database* db,
+                                 std::vector<CostedCardinality>* out);
 
   // Bound-profile mask helpers (variables >= 64 are conservatively treated
   // as unbound; plans stay correct, only the access path degrades).
@@ -81,9 +138,10 @@ class Planner {
   static uint64_t MaskOfAtom(const Atom& atom);
 };
 
-// The full plan complement for one tgd, compiled at tgd creation and cached
-// for the lifetime of the mapping. Covers every query shape the chase,
-// violation detection and read-log reconfirmation execute:
+// The full plan complement for one tgd, compiled at tgd creation (and
+// recompiled by the adaptive re-planning triggers, see Tgd::MaybeReplan).
+// Covers every query shape the chase, violation detection and read-log
+// reconfirmation execute:
 struct TgdPlans {
   // LHS with atom `a` pinned to a written tuple (insert/modify-side delta
   // violation queries), one per LHS atom.
@@ -96,11 +154,55 @@ struct TgdPlans {
   QueryPlan lhs_full;
   // RHS with the frontier variables bound (the NOT EXISTS probe).
   QueryPlan rhs_frontier;
+  // Cardinalities the complement was costed at, one entry per relation the
+  // tgd mentions. Always stamped — zeros when compiled without a database —
+  // so a complement compiled at registration over an empty repository goes
+  // stale (and gets recompiled with real statistics) as soon as the
+  // relations grow.
+  std::vector<CostedCardinality> costed_at;
 };
 
 TgdPlans CompileTgdPlans(const ConjunctiveQuery& lhs,
                          const ConjunctiveQuery& rhs,
-                         const std::vector<VarId>& frontier_vars);
+                         const std::vector<VarId>& frontier_vars,
+                         const Database* db = nullptr);
+
+// --- Staleness (the adaptive re-planning trigger) --------------------------
+//
+// True when any input relation's live visible-row count has drifted roughly
+// an order of magnitude from what the plan was costed at (factor-8 ratio
+// with a +8 floor on both sides). Cheap enough to poll per chase step: a
+// handful of integer compares against counters the relations maintain
+// anyway. Plans with an empty costed_at stamp are never stale.
+bool PlanIsStale(const QueryPlan& plan, const Database& db);
+bool TgdPlansAreStale(const TgdPlans& plans, const Database& db);
+
+// Poll stride for the re-planning triggers (Update::Step, StandardChase,
+// the scheduler's residual-plan sweep): database mutations (writes and
+// removals, both of which advance Database::next_seq) are the only
+// staleness source, and the predicate's floor+factor mean the smallest
+// possible drift needs more mutations than this stride (static_assert in
+// plan.cc), so strided polling can never skip past a trigger — it only
+// defers it by under one stride of mutations.
+inline constexpr uint64_t kReplanPollWriteStride = 32;
+
+// The strided poll watermark the chase layers share: ShouldPoll returns
+// true — and advances the watermark — once the database's mutation
+// sequence has moved a full stride since the last poll. One instance per
+// polling owner (an Update, a StandardChase, a Scheduler); keeping the
+// stride logic here pins all three to the same rules and to the
+// static_assert tying the stride to the staleness floor.
+class ReplanPoller {
+ public:
+  bool ShouldPoll(const Database& db) {
+    if (db.next_seq() < last_seq_ + kReplanPollWriteStride) return false;
+    last_seq_ = db.next_seq();
+    return true;
+  }
+
+ private:
+  uint64_t last_seq_ = 0;
+};
 
 // --- Violation-query fingerprints -----------------------------------------
 //

@@ -40,7 +40,8 @@ uint64_t PlanCache::ShapeHash(const ConjunctiveQuery& cq,
 
 const QueryPlan& PlanCache::Get(const ConjunctiveQuery& cq,
                                 uint64_t seed_bound_mask,
-                                std::optional<size_t> pinned_atom) {
+                                std::optional<size_t> pinned_atom,
+                                const Database* db) {
   std::vector<std::unique_ptr<QueryPlan>>& bucket =
       buckets_[ShapeHash(cq, seed_bound_mask, pinned_atom)];
   for (const std::unique_ptr<QueryPlan>& plan : bucket) {
@@ -50,9 +51,38 @@ const QueryPlan& PlanCache::Get(const ConjunctiveQuery& cq,
     }
   }
   bucket.push_back(std::make_unique<QueryPlan>(
-      Planner::Compile(cq, seed_bound_mask, pinned_atom)));
+      Planner::Compile(cq, seed_bound_mask, pinned_atom, db)));
+  QueryPlan& plan = *bucket.back();
+  if (db == nullptr) {
+    // Same invariant as TgdPlans::costed_at: a cache entry compiled without
+    // statistics is stamped with zeros so it goes stale — and Refresh
+    // re-costs it — once data arrives, instead of pinning a statistics-free
+    // order for the cache's lifetime.
+    Planner::StampCardinalities(plan.query, nullptr, &plan.costed_at);
+  }
+  insertion_order_.push_back(&plan);
   ++size_;
-  return *bucket.back();
+  return plan;
+}
+
+size_t PlanCache::Refresh(Database* db) {
+  CHECK(db != nullptr);
+  // Entries compiled since the last sweep register their composite-index
+  // demands now (Get is const in the database and could not).
+  for (; indexes_registered_ < insertion_order_.size(); ++indexes_registered_) {
+    EnsurePlanIndexes(db, *insertion_order_[indexes_registered_]);
+  }
+  size_t refreshed = 0;
+  for (QueryPlan* plan : insertion_order_) {
+    if (!PlanIsStale(*plan, *db)) continue;
+    // In place: the entry's address (what callers memoize) is the
+    // unique_ptr target, which assignment preserves.
+    *plan = Planner::Compile(plan->query, plan->seed_bound_mask,
+                             plan->pinned_atom, db);
+    EnsurePlanIndexes(db, *plan);
+    ++refreshed;
+  }
+  return refreshed;
 }
 
 }  // namespace youtopia

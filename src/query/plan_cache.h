@@ -20,16 +20,32 @@ namespace youtopia {
 // Keyed by the full query structure (relations and terms), the seed bound
 // mask and the pinned atom. A cache hit allocates nothing: the key material
 // lives inside the cached QueryPlan itself and the probe compares against
-// the caller's query in place. Returned plans live as long as the cache.
+// the caller's query in place. Returned plans live as long as the cache,
+// at stable addresses: Refresh() recompiles stale entries *in place*, so
+// callers may memoize the returned pointers across refreshes.
 class PlanCache {
  public:
   PlanCache() = default;
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  // Returns the cached plan for the shape, compiling it on first use.
+  // Returns the cached plan for the shape, compiling it on first use —
+  // cost-based from `db`'s live statistics when given (the plan is then
+  // stamped for staleness checks), statically otherwise.
   const QueryPlan& Get(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
-                       std::optional<size_t> pinned_atom);
+                       std::optional<size_t> pinned_atom,
+                       const Database* db = nullptr);
+
+  // Adaptive re-planning sweep: recompiles, in place, every cached plan
+  // whose input relations drifted ~10x from the cardinalities it was costed
+  // at (see PlanIsStale), and registers composite-index demands on `db` —
+  // both for the recompiled plans and for entries compiled since the last
+  // sweep (Get has no Database* to register against, so a fresh plan's
+  // composite probes would otherwise stay fallbacks for as long as its
+  // inputs never drift). Returns the number of plans recompiled. Cheap when
+  // nothing is stale and nothing is new: a few integer compares per cached
+  // plan.
+  size_t Refresh(Database* db);
 
   size_t size() const { return size_; }
 
@@ -42,6 +58,11 @@ class PlanCache {
   // the stored plan's own query/mask/pin against the probe).
   std::unordered_map<uint64_t, std::vector<std::unique_ptr<QueryPlan>>>
       buckets_;
+  // Every cached plan in insertion order (entry addresses are stable), so
+  // Refresh can sweep all plans and register index demands for exactly the
+  // entries added since the last sweep.
+  std::vector<QueryPlan*> insertion_order_;
+  size_t indexes_registered_ = 0;
   size_t size_ = 0;
 };
 

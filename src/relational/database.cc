@@ -89,6 +89,7 @@ size_t Database::RemoveVersionsOf(uint64_t update_number) {
   for (VersionedRelation& rel : relations_) {
     removed += rel.RemoveVersionsOf(update_number);
   }
+  NoteMutation(removed);
   return removed;
 }
 
@@ -97,6 +98,7 @@ size_t Database::RemoveVersionsAbove(uint64_t threshold) {
   for (VersionedRelation& rel : relations_) {
     removed += rel.RemoveVersionsAbove(threshold);
   }
+  NoteMutation(removed);
   return removed;
 }
 

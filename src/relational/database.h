@@ -77,7 +77,9 @@ class Database {
   // the concurrency-control write log, to avoid a full database scan).
   size_t RemoveRowVersions(RelationId rel, RowId row, uint64_t update_number) {
     CHECK_LT(rel, relations_.size());
-    return relations_[rel].RemoveVersionsOfRow(row, update_number);
+    const size_t removed = relations_[rel].RemoveVersionsOfRow(row, update_number);
+    NoteMutation(removed);
+    return removed;
   }
 
   // Removes every version created by updates numbered above `threshold`
@@ -93,11 +95,23 @@ class Database {
   size_t CountVisible(uint64_t reader) const;
   size_t CountVisible(RelationId rel, uint64_t reader) const;
 
+  // Monotone mutation sequence: advanced by every physical write AND by
+  // version removals (abort undo, rewind). The adaptive re-planning polls
+  // stride on it, so "next_seq moved" must mean "cardinalities may have
+  // moved" — removals change visible-row counts just like writes do.
   uint64_t next_seq() const { return next_seq_; }
 
  private:
   void RegisterNullOccurrences(RelationId rel, RowId row,
                                const TupleData& data);
+
+  // Accounts removed versions in the mutation sequence (one tick per
+  // removed version, mirroring one tick per written version) so the
+  // strided staleness polls cannot stay dormant through a bulk abort or
+  // rewind that shifted cardinalities without any new write.
+  void NoteMutation(size_t removed_versions) {
+    next_seq_ += removed_versions;
+  }
 
   Catalog catalog_;
   std::vector<VersionedRelation> relations_;
@@ -113,6 +127,9 @@ class Snapshot {
   Snapshot(const Database* db, uint64_t reader) : db_(db), reader_(reader) {}
 
   const Database& db() const { return *db_; }
+  // Nullable form, for callers that may hold a placeholder snapshot (a
+  // long-lived evaluator before its first Reset).
+  const Database* db_or_null() const { return db_; }
   uint64_t reader() const { return reader_; }
 
   const TupleData* VisibleData(RelationId rel, RowId row) const {

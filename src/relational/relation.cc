@@ -12,10 +12,13 @@ bool ShouldCompact(size_t stale_removals, size_t live_versions) {
   return stale_removals > 32 && stale_removals * 4 > live_versions;
 }
 
-// A requested (deferred) composite index materializes once the relation has
-// this many rows; below it, single-column probes on the fallback path are
-// cheap and the per-write maintenance would outweigh the probe savings.
-constexpr size_t kCompositeBuildMinRows = 256;
+// A requested (deferred) composite index materializes once the cheapest
+// single-column fallback for its column set can yield this many candidates
+// per probe (largest bucket among its columns). Below it, single-column
+// probes are cheap and the per-write maintenance would outweigh the probe
+// savings; above it, the per-column indexes have stopped being selective for
+// this column set — precisely the skew a composite index exists to absorb.
+constexpr size_t kCompositeBuildBreakEven = 16;
 
 void SortUniqueSuffix(std::vector<RowId>* out, size_t start) {
   std::sort(out->begin() + static_cast<ptrdiff_t>(start), out->end());
@@ -29,6 +32,19 @@ void SortUniqueSuffix(std::vector<RowId>* out, size_t start) {
 VersionedRelation::VersionedRelation(size_t arity) : arity_(arity) {
   CHECK_GT(arity, 0u);
   indexes_.resize(arity);
+  max_bucket_.resize(arity, 0);
+}
+
+StatsSnapshot VersionedRelation::Stats() const {
+  StatsSnapshot s;
+  s.visible_rows = visible_rows_;
+  s.num_versions = num_versions_;
+  s.columns.resize(arity_);
+  for (size_t c = 0; c < arity_; ++c) {
+    s.columns[c].distinct_values = indexes_[c].size();
+    s.columns[c].max_bucket = max_bucket_[c];
+  }
+  return s;
 }
 
 RowId VersionedRelation::AppendInsertRow(uint64_t update_number, uint64_t seq,
@@ -41,6 +57,7 @@ RowId VersionedRelation::AppendInsertRow(uint64_t update_number, uint64_t seq,
       TupleVersion{update_number, seq, WriteKind::kInsert, std::move(data)});
   rows_.back().newest = 0;
   ++num_versions_;
+  ++visible_rows_;
   return row;
 }
 
@@ -52,18 +69,20 @@ void VersionedRelation::AppendVersion(RowId row, uint64_t update_number,
   CHECK_EQ(data.size(), arity_);
   if (kind == WriteKind::kModify) IndexData(row, data);
   Row& r = rows_[row];
-  r.versions.push_back(
-      TupleVersion{update_number, seq, kind, std::move(data)});
-  const TupleVersion& added = r.versions.back();
-  if (r.newest < 0) {
-    r.newest = static_cast<int32_t>(r.versions.size()) - 1;
-  } else {
-    const TupleVersion& top = r.versions[static_cast<size_t>(r.newest)];
-    if (added.update_number > top.update_number ||
-        (added.update_number == top.update_number && added.seq > top.seq)) {
+  MutateTrackingLiveness(r, [&] {
+    r.versions.push_back(
+        TupleVersion{update_number, seq, kind, std::move(data)});
+    const TupleVersion& added = r.versions.back();
+    if (r.newest < 0) {
       r.newest = static_cast<int32_t>(r.versions.size()) - 1;
+    } else {
+      const TupleVersion& top = r.versions[static_cast<size_t>(r.newest)];
+      if (added.update_number > top.update_number ||
+          (added.update_number == top.update_number && added.seq > top.seq)) {
+        r.newest = static_cast<int32_t>(r.versions.size()) - 1;
+      }
     }
-  }
+  });
   ++num_versions_;
 }
 
@@ -136,10 +155,21 @@ void VersionedRelation::EnsureCompositeIndex(
   if (!index->built) BuildCompositeIndex(*index);
 }
 
+bool VersionedRelation::ShouldBuildComposite(
+    const CompositeIndex& index) const {
+  // The executor's fallback probes the cheapest single column of the set; a
+  // composite index only pays once even the best of those buckets is large.
+  size_t cheapest_fallback = SIZE_MAX;
+  for (size_t c : index.columns) {
+    cheapest_fallback = std::min(cheapest_fallback, max_bucket_[c]);
+  }
+  return cheapest_fallback >= kCompositeBuildBreakEven;
+}
+
 void VersionedRelation::RequestCompositeIndex(
     const std::vector<size_t>& columns) {
   CompositeIndex* index = FindOrRegisterComposite(columns);
-  if (!index->built && rows_.size() >= kCompositeBuildMinRows) {
+  if (!index->built && ShouldBuildComposite(*index)) {
     BuildCompositeIndex(*index);
   }
 }
@@ -186,6 +216,15 @@ void VersionedRelation::CompactIndexes() {
   for (CompositeIndex& index : composites_) {
     for (auto& [key, rows] : index.buckets) SortUniqueSuffix(&rows, 0);
   }
+  // The rebuild dropped empty buckets and stranded entries, so the bucket
+  // high-water marks are recomputed exactly (CandidateCount-sized pass over
+  // bucket headers, not rows).
+  for (size_t c = 0; c < arity_; ++c) {
+    max_bucket_[c] = 0;
+    for (const auto& [value, rows] : indexes_[c]) {
+      max_bucket_[c] = std::max(max_bucket_[c], rows.size());
+    }
+  }
   stale_removals_ = 0;
 }
 
@@ -197,8 +236,10 @@ size_t VersionedRelation::RemoveVersionsOf(uint64_t update_number) {
         [&](const TupleVersion& v) { return v.update_number == update_number; });
     const size_t here = static_cast<size_t>(row.versions.end() - new_end);
     if (here > 0) {
-      row.versions.erase(new_end, row.versions.end());
-      RecomputeNewest(row);
+      MutateTrackingLiveness(row, [&] {
+        row.versions.erase(new_end, row.versions.end());
+        RecomputeNewest(row);
+      });
       removed += here;
     }
   }
@@ -216,8 +257,10 @@ size_t VersionedRelation::RemoveVersionsOfRow(RowId row,
       [&](const TupleVersion& v) { return v.update_number == update_number; });
   const size_t removed = static_cast<size_t>(versions.end() - new_end);
   if (removed > 0) {
-    versions.erase(new_end, versions.end());
-    RecomputeNewest(rows_[row]);
+    MutateTrackingLiveness(rows_[row], [&] {
+      versions.erase(new_end, versions.end());
+      RecomputeNewest(rows_[row]);
+    });
   }
   num_versions_ -= removed;
   NoteRemovals(removed);
@@ -232,8 +275,10 @@ size_t VersionedRelation::RemoveVersionsAbove(uint64_t threshold) {
         [&](const TupleVersion& v) { return v.update_number > threshold; });
     const size_t here = static_cast<size_t>(row.versions.end() - new_end);
     if (here > 0) {
-      row.versions.erase(new_end, row.versions.end());
-      RecomputeNewest(row);
+      MutateTrackingLiveness(row, [&] {
+        row.versions.erase(new_end, row.versions.end());
+        RecomputeNewest(row);
+      });
       removed += here;
     }
   }
@@ -247,13 +292,15 @@ void VersionedRelation::IndexData(RowId row, const TupleData& data) {
     std::vector<RowId>& bucket = indexes_[c][data[c]];
     // Avoid consecutive duplicates (common when a tuple is re-modified).
     if (bucket.empty() || bucket.back() != row) bucket.push_back(row);
+    if (bucket.size() > max_bucket_[c]) max_bucket_[c] = bucket.size();
   }
   for (CompositeIndex& index : composites_) {
     if (!index.built) {
-      if (rows_.size() < kCompositeBuildMinRows) continue;
-      // Deferred build: materialize now that the relation crossed the size
-      // threshold. The catch-up scan cannot see this write's version (it is
-      // appended after indexing), so fall through and index it explicitly.
+      if (!ShouldBuildComposite(index)) continue;
+      // Deferred build: materialize now that the single-column fallback has
+      // crossed its break-even. The catch-up scan cannot see this write's
+      // version (it is appended after indexing), so fall through and index
+      // it explicitly.
       BuildCompositeIndex(index);
     }
     IndexDataComposite(index, row, data);

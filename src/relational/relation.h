@@ -32,6 +32,22 @@ struct CompositeKeyHash {
   }
 };
 
+// Live planner statistics for one relation, assembled in O(arity) from
+// counters the write path and the hash indexes already maintain — no pass
+// over rows or buckets. The per-column numbers describe the *index* state
+// (stale-tolerant: entries stranded by removals are counted until the next
+// compaction rebuilds the indexes exactly); `visible_rows` is exact under
+// newest-version visibility at all times.
+struct StatsSnapshot {
+  struct Column {
+    size_t distinct_values = 0;  // buckets in the per-column hash index
+    size_t max_bucket = 0;       // largest bucket since the last compaction
+  };
+  size_t visible_rows = 0;  // rows whose newest version is not a tombstone
+  size_t num_versions = 0;
+  std::vector<Column> columns;
+};
+
 // Multiversion storage for one relation (paper Section 4.1).
 //
 // Visibility rule: for a reader with update number j, the visible version of
@@ -62,6 +78,33 @@ class VersionedRelation {
 
   size_t arity() const { return arity_; }
   size_t num_rows() const { return rows_.size(); }
+
+  // --- Statistics -----------------------------------------------------------
+  //
+  // O(1) per call; maintained incrementally by the write path (see
+  // StatsSnapshot for staleness semantics). These feed the planner's cost
+  // model (query/plan.h), so they are on the plan-compilation path but never
+  // on the per-row execution path.
+
+  // Rows whose newest version is not a tombstone (exact; the visibility any
+  // sufficiently high-numbered reader sees).
+  size_t visible_rows() const { return visible_rows_; }
+
+  // Buckets in the per-column hash index (distinct indexed values, counting
+  // values only stale entries still reference until compaction).
+  size_t distinct_values(size_t column) const {
+    CHECK_LT(column, indexes_.size());
+    return indexes_[column].size();
+  }
+
+  // Largest bucket of the column's index since the last compaction (an upper
+  // bound on what a single-column probe can yield).
+  size_t max_bucket(size_t column) const {
+    CHECK_LT(column, max_bucket_.size());
+    return max_bucket_[column];
+  }
+
+  StatsSnapshot Stats() const;
 
   // Creates a new row whose first version is an insert.
   RowId AppendInsertRow(uint64_t update_number, uint64_t seq, TupleData data);
@@ -142,10 +185,15 @@ class VersionedRelation {
   // Idempotent; subsequent writes maintain it.
   void EnsureCompositeIndex(const std::vector<size_t>& columns);
 
-  // Like EnsureCompositeIndex, but defers the build until the relation is
-  // large enough for composite probes to beat single-column fallbacks
-  // (plan registration calls this: small write-heavy relations then pay no
-  // maintenance, and the index materializes when the relation grows).
+  // Like EnsureCompositeIndex, but defers the build until the relation's own
+  // statistics justify it: the index materializes once the cheapest
+  // single-column fallback for its column set stops being selective (largest
+  // bucket >= kCompositeBuildBreakEven candidates per probe). Plan
+  // registration calls this: relations whose single-column buckets stay
+  // small never pay composite maintenance, and skewed ones build the index
+  // exactly when probes start hurting — replacing the old fixed 256-row
+  // threshold, which built useless indexes over all-distinct columns and
+  // left hot skewed buckets unindexed below it.
   void RequestCompositeIndex(const std::vector<size_t>& columns);
 
   // True if the column set has been registered (built or still deferred).
@@ -234,15 +282,42 @@ class VersionedRelation {
 
   CompositeIndex* FindOrRegisterComposite(const std::vector<size_t>& columns);
   void BuildCompositeIndex(CompositeIndex& index);
+  // Stats-driven break-even for deferred composite builds (see
+  // RequestCompositeIndex).
+  bool ShouldBuildComposite(const CompositeIndex& index) const;
   void IndexData(RowId row, const TupleData& data);
   void IndexDataComposite(CompositeIndex& index, RowId row,
                           const TupleData& data);
   void RecomputeNewest(Row& row);
   void NoteRemovals(size_t removed);
 
+  // Newest-version visibility of a row (the quantity visible_rows_ counts).
+  static bool NewestIsLive(const Row& row) {
+    return row.newest >= 0 &&
+           row.versions[static_cast<size_t>(row.newest)].kind !=
+               WriteKind::kDelete;
+  }
+
+  // Runs `mutate` on `row` and reconciles visible_rows_ with the row's
+  // liveness change. Every path that appends or removes versions must go
+  // through this (or AppendInsertRow's unconditional increment): the
+  // counter feeds the planner's cost model and the staleness trigger, so a
+  // silent drift means bad join orders with no test failure.
+  template <typename Mutate>
+  void MutateTrackingLiveness(Row& row, Mutate&& mutate) {
+    const bool was_live = NewestIsLive(row);
+    mutate();
+    if (NewestIsLive(row) != was_live) {
+      was_live ? --visible_rows_ : ++visible_rows_;
+    }
+  }
+
   size_t arity_;
   size_t num_versions_ = 0;
   size_t stale_removals_ = 0;
+  size_t visible_rows_ = 0;
+  // Per column: largest index bucket since the last compaction.
+  std::vector<size_t> max_bucket_;
   std::vector<Row> rows_;
   // One hash index per column: value -> candidate rows.
   std::vector<std::unordered_map<Value, std::vector<RowId>, ValueHash>>

@@ -58,9 +58,19 @@ Result<Tgd> Tgd::Create(ConjunctiveQuery lhs, ConjunctiveQuery rhs,
   return tgd;
 }
 
-void Tgd::RecompilePlans() {
+void Tgd::RecompilePlans(const Database* db) const {
   plans_ = std::make_shared<const TgdPlans>(
-      CompileTgdPlans(lhs_, rhs_, frontier_vars_));
+      CompileTgdPlans(lhs_, rhs_, frontier_vars_, db));
+}
+
+bool Tgd::MaybeReplan(Database* db) const {
+  DCHECK(plans_ != nullptr);
+  if (!TgdPlansAreStale(*plans_, *db)) return false;
+  plans_ = std::make_shared<const TgdPlans>(
+      CompileTgdPlans(lhs_, rhs_, frontier_vars_, db));
+  EnsureTgdPlanIndexes(db, *plans_);
+  ++replans_;
+  return true;
 }
 
 bool Tgd::RhsSatisfiedUnder(const Binding& lhs_binding,

@@ -56,17 +56,34 @@ class Tgd {
 
   // The physical plans for every query shape this tgd gives rise to
   // (premise evaluation, delta violation queries, the NOT EXISTS probe),
-  // compiled once in Create and shared by all copies of the mapping. The
-  // chase, violation detection and read-log reconfirmation execute through
-  // these instead of re-planning per call.
+  // compiled in Create and shared by all copies of the mapping. The chase,
+  // violation detection and read-log reconfirmation execute through these
+  // instead of re-planning per call. The reference is invalidated by
+  // RecompilePlans/MaybeReplan — take it fresh per detection pass, never
+  // across a chase step boundary.
   const TgdPlans& plans() const {
     DCHECK(plans_ != nullptr);
     return *plans_;
   }
 
-  // Recompiles the cached plans (mapping/schema maintenance hook; existing
-  // copies of this Tgd keep the old plans).
-  void RecompilePlans();
+  // Recompiles the cached plans — cost-based from `db`'s live statistics
+  // when given, statically otherwise (registration/maintenance hook;
+  // existing copies of this Tgd keep the old plans). Const for the same
+  // reason as MaybeReplan: the plan complement is a cache over immutable
+  // tgd structure.
+  void RecompilePlans(const Database* db = nullptr) const;
+
+  // The adaptive re-planning trigger: recompiles the plan complement from
+  // live statistics — and registers its composite-index demands — iff any
+  // input relation's cardinality drifted ~10x from what the current plans
+  // were costed at (TgdPlansAreStale). Cheap when not stale (a few integer
+  // compares), so the chase layers poll it every step. Const because the
+  // plan complement is a cache over immutable tgd structure; like the
+  // evaluators that execute the plans, it is single-threaded by design.
+  bool MaybeReplan(Database* db) const;
+
+  // Times MaybeReplan actually recompiled (tests and diagnostics).
+  size_t replan_count() const { return replans_; }
 
   // The NOT EXISTS probe shared by violation detection and retroactive
   // conflict checking: true if the RHS has a match under the
@@ -91,7 +108,10 @@ class Tgd {
   std::vector<VarId> existential_vars_;
   std::vector<RelationId> all_relations_;
   std::vector<std::string> var_names_;
-  std::shared_ptr<const TgdPlans> plans_;
+  // Mutable: the plan complement is a cache over the (immutable) tgd
+  // structure, swapped by the const MaybeReplan trigger.
+  mutable std::shared_ptr<const TgdPlans> plans_;
+  mutable size_t replans_ = 0;
 };
 
 }  // namespace youtopia

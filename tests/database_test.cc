@@ -124,5 +124,29 @@ TEST_F(DatabaseTest, CountVisibleAndRemoveAbove) {
   EXPECT_EQ(db_.CountVisible(kReadLatest), 1u);
 }
 
+TEST_F(DatabaseTest, RemovalsAdvanceTheMutationSequence) {
+  // The adaptive re-planning polls stride on next_seq(), so every path that
+  // can shift cardinalities must advance it — removals (abort undo, rewind)
+  // included, or a bulk abort would leave stale plans undetected until 32
+  // unrelated writes later.
+  db_.Apply(WriteOp::Insert(rel_, Row("a", "b")), 0);
+  auto writes = db_.Apply(WriteOp::Insert(rel_, Row("c", "d")), 5);
+  ASSERT_EQ(writes.size(), 1u);
+
+  uint64_t seq = db_.next_seq();
+  db_.RemoveRowVersions(rel_, writes[0].row, 5);
+  EXPECT_GT(db_.next_seq(), seq);
+
+  db_.Apply(WriteOp::Insert(rel_, Row("e", "f")), 7);
+  seq = db_.next_seq();
+  db_.RemoveVersionsOf(7);
+  EXPECT_GT(db_.next_seq(), seq);
+
+  db_.Apply(WriteOp::Insert(rel_, Row("g", "h")), 9);
+  seq = db_.next_seq();
+  db_.RemoveVersionsAbove(0);
+  EXPECT_GT(db_.next_seq(), seq);
+}
+
 }  // namespace
 }  // namespace youtopia

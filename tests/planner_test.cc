@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/standard_chase.h"
 #include "core/youtopia.h"
 #include "query/evaluator.h"
 #include "query/plan_cache.h"
@@ -200,6 +201,161 @@ TEST(PlannerTest, FacadeRebuildQueryPlansKeepsMappingsWorking) {
   ASSERT_TRUE(yt.Insert("A", {"Geneva", "Winery"}).ok());
   EXPECT_TRUE(yt.AllMappingsSatisfied());
   EXPECT_EQ(*yt.Count("R"), 2u);
+}
+
+// --- Cost-based ordering from live statistics --------------------------------
+
+// Executes `plan` from an empty binding and returns (matches, rows_examined).
+std::pair<size_t, size_t> Execute(const Database& db, const QueryPlan& plan) {
+  Snapshot snap(&db, kReadLatest);
+  Evaluator eval(snap);
+  size_t matches = 0;
+  eval.ForEachMatch(plan, Binding(), nullptr,
+                    [&](const Binding&, const std::vector<TupleRef>&) {
+                      ++matches;
+                      return true;
+                    });
+  return {matches, eval.rows_examined()};
+}
+
+// The acceptance fixture: a skewed join where the static boundness order is
+// pathological. Big(v, u) holds 2000 rows whose join column v ranges over a
+// 100-value domain (buckets of 20); Small(v) holds 10 distinct rows. Both
+// atoms are equally (un)bound, so the static planner ties to the earlier
+// atom and scans Big first; the cost model scans Small first and probes
+// Big's buckets.
+struct SkewFixture {
+  Database db;
+  RelationId big, small;
+  ConjunctiveQuery query;
+
+  SkewFixture() {
+    big = *db.CreateRelation("Big", {"v", "u"});
+    small = *db.CreateRelation("Small", {"v"});
+    for (uint64_t i = 0; i < 2000; ++i) {
+      db.Apply(WriteOp::Insert(
+                   big, {Value::Constant(i % 100), Value::Constant(i)}),
+               0);
+    }
+    for (uint64_t i = 0; i < 10; ++i) {
+      db.Apply(WriteOp::Insert(small, {Value::Constant(i)}), 0);
+    }
+    TgdParser parser(&db.catalog(), &db.symbols());
+    auto q = parser.ParseQuery("Big(v, u) & Small(v)");
+    CHECK(q.ok());
+    query = q->body;
+  }
+};
+
+TEST(PlannerStatsTest, StatsOrderingBeatsStaticOnSkewedJoin) {
+  SkewFixture fix;
+  const QueryPlan static_plan = Planner::Compile(fix.query, 0, std::nullopt);
+  const QueryPlan stats_plan =
+      Planner::Compile(fix.query, 0, std::nullopt, &fix.db);
+  EXPECT_EQ(static_plan.ToString(fix.db.catalog()),
+            "[0:Big scan() -> 1:Small col(0)]");
+  EXPECT_EQ(stats_plan.ToString(fix.db.catalog()),
+            "[1:Small scan() -> 0:Big col(0)]");
+
+  const auto [static_matches, static_rows] = Execute(fix.db, static_plan);
+  const auto [stats_matches, stats_rows] = Execute(fix.db, stats_plan);
+  EXPECT_EQ(static_matches, stats_matches);  // same answer, different cost
+  EXPECT_EQ(stats_matches, 200u);            // 10 values x 20 Big rows
+  // The acceptance bound: the stats order examines >= 5x fewer rows.
+  EXPECT_GE(static_rows, 5 * stats_rows)
+      << "static=" << static_rows << " stats=" << stats_rows;
+}
+
+TEST(PlannerStatsTest, CostedPlansCarryCardinalityStamps) {
+  SkewFixture fix;
+  const QueryPlan stats_plan =
+      Planner::Compile(fix.query, 0, std::nullopt, &fix.db);
+  ASSERT_EQ(stats_plan.costed_at.size(), 2u);
+  EXPECT_FALSE(PlanIsStale(stats_plan, fix.db));
+  // Statically compiled plans carry no stamp and are never stale.
+  const QueryPlan static_plan = Planner::Compile(fix.query, 0, std::nullopt);
+  EXPECT_TRUE(static_plan.costed_at.empty());
+  EXPECT_FALSE(PlanIsStale(static_plan, fix.db));
+  // A ~10x shift of one input flips the costed plan to stale.
+  for (uint64_t i = 0; i < 200; ++i) {
+    fix.db.Apply(WriteOp::Insert(fix.small, {Value::Constant(1000 + i)}), 0);
+  }
+  EXPECT_TRUE(PlanIsStale(stats_plan, fix.db));
+  EXPECT_FALSE(PlanIsStale(static_plan, fix.db));
+}
+
+TEST(PlannerStatsTest, PlanCacheRefreshRecompilesInPlace) {
+  SkewFixture fix;
+  PlanCache cache;
+  const QueryPlan& plan = cache.Get(fix.query, 0, std::nullopt, &fix.db);
+  EXPECT_EQ(plan.ToString(fix.db.catalog()),
+            "[1:Small scan() -> 0:Big col(0)]");
+  // Small grows past Big: the cached plan goes stale; Refresh recompiles it
+  // at the same address (callers memoize the pointer).
+  for (uint64_t i = 0; i < 5000; ++i) {
+    fix.db.Apply(WriteOp::Insert(fix.small, {Value::Constant(1000 + i)}), 0);
+  }
+  EXPECT_EQ(cache.Refresh(&fix.db), 1u);
+  EXPECT_EQ(&cache.Get(fix.query, 0, std::nullopt, &fix.db), &plan);
+  EXPECT_EQ(plan.ToString(fix.db.catalog()),
+            "[0:Big scan() -> 1:Small col(0)]");
+  EXPECT_EQ(cache.Refresh(&fix.db), 0u);  // fresh again: sweep is a no-op
+}
+
+// --- Mid-chase adaptive re-planning ------------------------------------------
+
+TEST(ReplanTest, MidChaseGrowthFiresTriggerAndReplannedOrderWins) {
+  // A long chase over a cyclic mapping grows Chain from 1 tuple to a few
+  // hundred (>= 100x) within one chase run. A second mapping joins the
+  // small, static Probe relation with Chain; its premise plan is costed
+  // while Chain is tiny (Chain-first) and must be re-planned mid-chase once
+  // Chain dwarfs Probe (Probe-first).
+  Database db;
+  const RelationId chain = *db.CreateRelation("Chain", {"a", "b"});
+  const RelationId probe = *db.CreateRelation("Probe", {"p"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  tgds.push_back(*parser.ParseTgd("Chain(x, y) -> exists z: Chain(y, z)"));
+  tgds.push_back(*parser.ParseTgd("Probe(p) & Chain(p, q) -> Chain(q, p)"));
+  for (uint64_t i = 0; i < 40; ++i) {
+    // Constants disjoint from the chase's tuples: tgd 2 never fires, its
+    // plans are only (re)costed.
+    db.Apply(WriteOp::Insert(probe, {Value::Constant(9000 + i)}), 0);
+  }
+  db.Apply(WriteOp::Insert(chain, {Value::Constant(1), Value::Constant(2)}),
+           0);
+
+  // Cost the plans against the pre-chase state (what registration does):
+  // Chain holds 1 row, Probe 40 — Chain leads the join.
+  for (Tgd& tgd : tgds) tgd.RecompilePlans(&db);
+  const QueryPlan plan_before = tgds[1].plans().lhs_full;
+  EXPECT_EQ(plan_before.ToString(db.catalog()),
+            "[1:Chain scan() -> 0:Probe col(0)]");
+  const size_t replans_before = tgds[1].replan_count();
+
+  // The standard chase always expands, so the cyclic mapping grows Chain by
+  // one tuple per firing until the cap.
+  StandardChase chase(&db, &tgds);
+  StandardChase::Options copts;
+  copts.max_steps = 300;
+  const auto report = chase.Run(1, copts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->completed);  // cap hit, by design
+  ASSERT_GE(db.relation(chain).visible_rows(), 100u) << "needs ~100x growth";
+
+  // The trigger fired mid-chase and flipped the join order.
+  EXPECT_GT(tgds[1].replan_count(), replans_before);
+  const QueryPlan& plan_after = tgds[1].plans().lhs_full;
+  EXPECT_EQ(plan_after.ToString(db.catalog()),
+            "[0:Probe scan() -> 1:Chain col(0)]");
+
+  // And the re-planned order wins where it counts: executing the stale
+  // pre-growth plan against the grown database examines >= 5x more rows.
+  const auto [matches_stale, rows_stale] = Execute(db, plan_before);
+  const auto [matches_fresh, rows_fresh] = Execute(db, plan_after);
+  EXPECT_EQ(matches_stale, matches_fresh);
+  EXPECT_GE(rows_stale, 5 * rows_fresh)
+      << "stale=" << rows_stale << " fresh=" << rows_fresh;
 }
 
 // The executor must stay correct when the runtime binding is weaker than

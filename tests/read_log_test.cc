@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "ccontrol/write_log.h"
 #include "test_util.h"
 
@@ -108,6 +110,56 @@ TEST_F(ReadLogTest, CandidateVisitedOncePerWrite) {
   w.kind = WriteKind::kModify;
   w.old_data = {fig_.x1, fig_.Const("Q"), fig_.Const("S")};
   EXPECT_EQ(CountCandidates(w, 1), 2u);
+}
+
+TEST_F(ReadLogTest, BatchWalksEachReaderLogOnce) {
+  // Two T-writes reach the same readers. The batched walk must offer each
+  // (reader, query) pair once per matching write — visiting each reader's
+  // log a single time for the whole batch — and must still discover a
+  // reader reachable only through the null index.
+  log_.Record(5, ReadQueryRecord::Violation(
+                     2, true, 0, fig_.Row({"Geneva", "Geneva Winery"})));
+  log_.Record(5, ReadQueryRecord::Violation(
+                     2, true, 1, fig_.Row({"X", "Y", "Z"})));
+  log_.Record(6, ReadQueryRecord::NullOccurrence(fig_.x1));  // null-only reader
+  std::vector<PhysicalWrite> batch;
+  batch.push_back(Insert(fig_.T, {fig_.x1, fig_.Const("Q"), fig_.Const("S")}));
+  batch.push_back(Insert(fig_.T, fig_.Row({"Z2", "Q2", "S2"})));
+
+  // (reader 5: 2 violation queries) x (2 writes) + (reader 6: the null
+  // query, offered only for the write that carries x1).
+  std::vector<std::tuple<uint64_t, const ReadQueryRecord*, const PhysicalWrite*>>
+      offered;
+  log_.ForEachCandidateBatch(
+      batch, /*writer=*/1,
+      [&](uint64_t reader, const ReadQueryRecord& q, const PhysicalWrite& w) {
+        offered.push_back({reader, &q, &w});
+        return false;  // keep visiting
+      });
+  EXPECT_EQ(offered.size(), 5u);
+  for (size_t i = 0; i < offered.size(); ++i) {
+    for (size_t j = i + 1; j < offered.size(); ++j) {
+      EXPECT_FALSE(std::get<0>(offered[i]) == std::get<0>(offered[j]) &&
+                   std::get<1>(offered[i]) == std::get<1>(offered[j]) &&
+                   std::get<2>(offered[i]) == std::get<2>(offered[j]))
+          << "candidate offered twice in one batch";
+    }
+  }
+
+  // fn returning true stops that reader entirely (but not the others):
+  // reader 5's first offer suppresses its remaining 3 combinations, while
+  // the null-only reader 6 is still visited.
+  size_t calls = 0;
+  std::unordered_set<uint64_t> readers_seen;
+  log_.ForEachCandidateBatch(
+      batch, /*writer=*/1,
+      [&](uint64_t reader, const ReadQueryRecord&, const PhysicalWrite&) {
+        ++calls;
+        readers_seen.insert(reader);
+        return true;  // doom the reader: stop probing it
+      });
+  EXPECT_EQ(calls, 2u);
+  EXPECT_EQ(readers_seen.size(), 2u);
 }
 
 TEST_F(ReadLogTest, MultipleReadersSameRelation) {

@@ -263,5 +263,135 @@ TEST(VersionedRelationTest, NewestVersionFastPathMatchesChainWalk) {
   EXPECT_EQ(*rel.VisibleData(row, 100), Row({10}));
 }
 
+// --- Planner statistics under churn ------------------------------------------
+// The incremental counters behind StatsSnapshot must agree with a from-
+// scratch recount through every mutation the system performs: inserts,
+// tombstones, modifies, aborted-update cleanup (RemoveVersionsOf /
+// RemoveVersionsOfRow), experiment rewind (RemoveVersionsAbove) and the
+// threshold-triggered index compaction those removals can fire.
+
+// Ground truth for visible_rows(): rows whose newest version is live.
+size_t CountVisibleRows(const VersionedRelation& rel) {
+  size_t n = 0;
+  rel.ForEachVisible(UINT64_MAX, [&](RowId, const TupleData&) { ++n; });
+  return n;
+}
+
+TEST(VersionedRelationStatsTest, VisibleRowsExactAcrossChurn) {
+  VersionedRelation rel(2);
+  EXPECT_EQ(rel.visible_rows(), 0u);
+  std::vector<RowId> rows;
+  for (uint64_t i = 0; i < 40; ++i) {
+    rows.push_back(rel.AppendInsertRow(1, 1 + i, Row({i % 4, i})));
+  }
+  EXPECT_EQ(rel.visible_rows(), CountVisibleRows(rel));
+
+  // Tombstones by a later update.
+  for (uint64_t i = 0; i < 10; ++i) {
+    rel.AppendVersion(rows[i], 5, 100 + i, WriteKind::kDelete,
+                      Row({i % 4, i}));
+  }
+  EXPECT_EQ(rel.visible_rows(), 30u);
+  EXPECT_EQ(rel.visible_rows(), CountVisibleRows(rel));
+
+  // Modifies do not change liveness.
+  rel.AppendVersion(rows[20], 6, 200, WriteKind::kModify, Row({9, 9}));
+  EXPECT_EQ(rel.visible_rows(), CountVisibleRows(rel));
+
+  // Aborted-update cleanup: removing update 5's tombstones resurrects the
+  // ten rows; removing update 6's modify changes nothing visible.
+  rel.RemoveVersionsOf(5);
+  EXPECT_EQ(rel.visible_rows(), 40u);
+  EXPECT_EQ(rel.visible_rows(), CountVisibleRows(rel));
+  rel.RemoveVersionsOfRow(rows[20], 6);
+  EXPECT_EQ(rel.visible_rows(), CountVisibleRows(rel));
+
+  // Experiment rewind: every version above update 0 disappears; the rows
+  // remain as invisible orphans and the counter must follow.
+  rel.RemoveVersionsAbove(0);
+  EXPECT_EQ(rel.visible_rows(), 0u);
+  EXPECT_EQ(rel.visible_rows(), CountVisibleRows(rel));
+}
+
+TEST(VersionedRelationStatsTest, DistinctAndMaxBucketExactAfterCompaction) {
+  VersionedRelation rel(2);
+  // Update 1: a skewed column 0 (four values, ten rows each) and an
+  // all-distinct column 1.
+  for (uint64_t i = 0; i < 40; ++i) {
+    rel.AppendInsertRow(1, 1 + i, Row({i % 4, i}));
+  }
+  StatsSnapshot s = rel.Stats();
+  EXPECT_EQ(s.visible_rows, 40u);
+  EXPECT_EQ(s.columns[0].distinct_values, 4u);
+  EXPECT_EQ(s.columns[0].max_bucket, 10u);
+  EXPECT_EQ(s.columns[1].distinct_values, 40u);
+  EXPECT_EQ(s.columns[1].max_bucket, 1u);
+
+  // Update 9 piles 60 more rows onto one value of column 0, then aborts —
+  // enough stranded entries to fire the auto-compaction threshold, after
+  // which the stats must be exact again (no leftovers from the abort).
+  for (uint64_t i = 0; i < 60; ++i) {
+    rel.AppendInsertRow(9, 100 + i, Row({7, 1000 + i}));
+  }
+  EXPECT_EQ(rel.Stats().columns[0].max_bucket, 60u);
+  rel.RemoveVersionsOf(9);
+  EXPECT_EQ(rel.stale_removals_since_compaction(), 0u)
+      << "bulk removal should have auto-compacted";
+  s = rel.Stats();
+  EXPECT_EQ(s.visible_rows, 40u);
+  EXPECT_EQ(s.columns[0].distinct_values, 4u);
+  EXPECT_EQ(s.columns[0].max_bucket, 10u);
+  EXPECT_EQ(s.columns[1].distinct_values, 40u);
+  EXPECT_EQ(s.columns[1].max_bucket, 1u);
+}
+
+TEST(VersionedRelationStatsTest, StatsSurviveRewindPlusExplicitCompaction) {
+  VersionedRelation rel(1);
+  for (uint64_t i = 0; i < 20; ++i) {
+    rel.AppendInsertRow(0, 1 + i, Row({i % 2}));
+  }
+  for (uint64_t i = 0; i < 5; ++i) {
+    rel.AppendInsertRow(3, 100 + i, Row({5}));
+  }
+  EXPECT_EQ(rel.Stats().columns[0].distinct_values, 3u);
+  rel.RemoveVersionsAbove(2);  // rewind: update 3's rows vanish
+  EXPECT_EQ(rel.visible_rows(), 20u);
+  // Below the auto-compaction threshold the index stats are allowed to be
+  // stale upper bounds; an explicit compaction restores exactness.
+  rel.CompactIndexes();
+  StatsSnapshot s = rel.Stats();
+  EXPECT_EQ(s.visible_rows, 20u);
+  EXPECT_EQ(s.columns[0].distinct_values, 2u);
+  EXPECT_EQ(s.columns[0].max_bucket, 10u);
+}
+
+TEST(VersionedRelationStatsTest, CompositeBuildsAtBreakEvenNotAtSize) {
+  // All-distinct columns never justify a composite index no matter how many
+  // rows arrive (the old fixed 256-row threshold would have built one)...
+  VersionedRelation uniform(2);
+  uniform.RequestCompositeIndex({0, 1});
+  std::vector<RowId> rows;
+  for (uint64_t i = 0; i < 600; ++i) {
+    uniform.AppendInsertRow(0, 1 + i, Row({i, i}));
+  }
+  EXPECT_TRUE(uniform.HasCompositeIndex({0, 1}));  // registered, deferred
+  EXPECT_FALSE(uniform.CandidateRowsComposite(
+      {0, 1}, {Value::Constant(3), Value::Constant(3)}, &rows))
+      << "all-distinct columns must not materialize a composite index";
+
+  // ...while a skewed pair crosses the break-even long before 256 rows: the
+  // cheapest single-column fallback stops being selective.
+  VersionedRelation skewed(2);
+  skewed.RequestCompositeIndex({0, 1});
+  for (uint64_t i = 0; i < 40; ++i) {
+    skewed.AppendInsertRow(0, 1 + i, Row({i % 2, i % 2}));
+  }
+  rows.clear();
+  ASSERT_TRUE(skewed.CandidateRowsComposite(
+      {0, 1}, {Value::Constant(1), Value::Constant(1)}, &rows))
+      << "skewed buckets must materialize the requested composite index";
+  EXPECT_EQ(rows.size(), 20u);
+}
+
 }  // namespace
 }  // namespace youtopia
