@@ -26,21 +26,17 @@ namespace bench {
 //   --relations=N       override relation count
 //   --mappings=a,b,c    override the mapping-count sweep
 //   --seed=N            RNG seed
+//   --workers=N         run through the sharded ParallelScheduler with N
+//                       workers (default 1 = the serial Scheduler; real
+//                       parallelism needs --islands > 1, since the paper's
+//                       dense mapping graph is one tgd-closure component)
+//   --islands=N         partition mappings into N disjoint relation islands
 //   --verbose           progress to stderr
-inline ExperimentConfig ParseFlags(int argc, char** argv, bool* verbose) {
-  ExperimentConfig config;
-  // Default: the paper's dimensions (100 relations, 50 constants, 10k-tuple
-  // chase-seeded initial database, 500 updates per run) averaged over 5
-  // runs per point; --paper raises the averaging to the full 100 runs.
-  config.num_relations = 100;
-  config.num_constants = 50;
-  config.num_mappings_total = 100;
-  config.mapping_counts = {20, 40, 60, 80, 100};
-  config.initial_tuples = 10000;
-  config.updates_per_run = 500;
-  config.runs = 5;
-  config.seed = 1;
-
+// Applies the command-line flags on top of `config` — callers seed it with
+// their harness's defaults, so passing one flag overrides one knob instead
+// of discarding the whole default shape.
+inline ExperimentConfig ParseFlagsOver(ExperimentConfig config, int argc,
+                                       char** argv, bool* verbose) {
   // Shared validated integer parsing: consumes one number from *p (advancing
   // it), rejecting junk, overflow and out-of-range values with exit(2).
   // Count-like flags use min_value 1 — a 0 would crash or hang deep in the
@@ -89,6 +85,10 @@ inline ExperimentConfig ParseFlags(int argc, char** argv, bool* verbose) {
     } else if (arg.rfind("--seed=", 0) == 0) {
       config.seed = static_cast<uint64_t>(
           intval("--seed=", 0, std::numeric_limits<long>::max()));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      config.workers = static_cast<size_t>(intval("--workers=", 1, 1024));
+    } else if (arg.rfind("--islands=", 0) == 0) {
+      config.islands = static_cast<size_t>(intval("--islands=", 1, 1024));
     } else if (arg.rfind("--mappings=", 0) == 0) {
       config.mapping_counts.clear();
       const char* p = arg.c_str() + std::strlen("--mappings=");
@@ -118,16 +118,33 @@ inline ExperimentConfig ParseFlags(int argc, char** argv, bool* verbose) {
   return config;
 }
 
+inline ExperimentConfig ParseFlags(int argc, char** argv, bool* verbose) {
+  ExperimentConfig config;
+  // Default: the paper's dimensions (100 relations, 50 constants, 10k-tuple
+  // chase-seeded initial database, 500 updates per run) averaged over 5
+  // runs per point; --paper raises the averaging to the full 100 runs.
+  config.num_relations = 100;
+  config.num_constants = 50;
+  config.num_mappings_total = 100;
+  config.mapping_counts = {20, 40, 60, 80, 100};
+  config.initial_tuples = 10000;
+  config.updates_per_run = 500;
+  config.runs = 5;
+  config.seed = 1;
+  return ParseFlagsOver(std::move(config), argc, argv, verbose);
+}
+
 inline void PrintResult(const char* figure, const char* workload,
                         const ExperimentConfig& config,
                         const ExperimentResult& result) {
   std::printf("=== %s: %s workload ===\n", figure, workload);
   std::printf(
       "config: relations=%zu constants=%zu initial_tuples=%zu "
-      "updates/run=%zu runs=%zu seed=%llu\n",
+      "updates/run=%zu runs=%zu seed=%llu workers=%zu islands=%zu\n",
       config.num_relations, config.num_constants, config.initial_tuples,
       config.updates_per_run, config.runs,
-      static_cast<unsigned long long>(config.seed));
+      static_cast<unsigned long long>(config.seed), config.workers,
+      config.islands);
   std::printf("initial database: %zu visible tuples\n\n",
               result.initial.total_tuples);
 

@@ -1,0 +1,173 @@
+// Scaling curve for the sharded parallel chase (ccontrol/parallel/): the
+// same disjoint-footprint workload replayed through the serial Scheduler and
+// through the ParallelScheduler at 1, 2, 4, ... workers.
+//
+// The workload is fig3-shaped (random inserts plus a delete fraction over a
+// chase-seeded repository) but generated with --islands > 1, so the mapping
+// graph decomposes into disjoint tgd-closure components and every update
+// pins to a shard worker. Two effects add up in the speedup column:
+//   * admission: pinned updates skip the read log, conflict probes and
+//     dependency tracking entirely, and serialized shard queues never waste
+//     work on optimistic abort-redo;
+//   * parallelism: shards chase concurrently (bounded by the host's CPUs —
+//     the JSON records hardware_concurrency for exactly this reason).
+//
+// Flags are fig_common's; the defaults here are scaled to a smoke run.
+// A full curve: parallel_scale --relations=64 --islands=8 --initial=4000
+//                              --updates=800 --workers=8 --runs=3
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/fig_common.h"
+#include "ccontrol/parallel/parallel_scheduler.h"
+
+namespace youtopia {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int Run(int argc, char** argv) {
+  // The scaling curve's default shape: fewer, denser islands beat the
+  // 100-relation fig sweep, and a contended update stream is the
+  // interesting regime — the serial optimistic engine burns thousands of
+  // abort-redo executions there, which sharded admission never performs at
+  // all. Flags override knobs individually (ParseFlagsOver), so e.g.
+  // --verbose or --seed=7 keeps the rest of this shape intact.
+  ExperimentConfig defaults;
+  defaults.num_relations = 40;
+  defaults.num_constants = 50;
+  defaults.num_mappings_total = 56;
+  defaults.mapping_counts = {56};
+  defaults.initial_tuples = 300;
+  defaults.updates_per_run = 1200;
+  defaults.runs = 3;
+  defaults.seed = 1;
+  defaults.islands = 8;
+  defaults.workers = 4;
+  bool verbose = false;
+  ExperimentConfig config =
+      bench::ParseFlagsOver(std::move(defaults), argc, argv, &verbose);
+  config.num_mappings_total = config.mapping_counts.back();
+  config.delete_fraction = 0.0;
+
+  Database db;
+  Rng rng(config.seed);
+  SchemaGenOptions schema_opts;
+  schema_opts.num_relations = config.num_relations;
+  CHECK(GenerateSchema(&db, &rng, schema_opts).ok());
+  const std::vector<Value> constants =
+      GenerateConstantPool(&db, &rng, config.num_constants);
+  MappingGenOptions mapping_opts;
+  mapping_opts.count = config.num_mappings_total;
+  mapping_opts.num_islands = config.islands;
+  const std::vector<Tgd> tgds =
+      GenerateMappings(db, constants, &rng, mapping_opts);
+
+  InitialDataOptions data_opts;
+  data_opts.num_tuples = config.initial_tuples;
+  data_opts.max_steps_per_insert = config.initial_chase_step_cap;
+  RandomAgent seed_agent(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  const InitialDataReport initial = GenerateInitialData(
+      &db, &tgds, constants, &rng, &seed_agent, data_opts);
+  {
+    ShardMap map(db.num_relations(), tgds, config.workers);
+    std::printf(
+        "=== parallel_scale ===\n"
+        "config: relations=%zu mappings=%zu islands=%zu components=%zu "
+        "initial=%zu updates/run=%zu runs=%zu seed=%llu\n",
+        config.num_relations, config.num_mappings_total, config.islands,
+        map.num_components(), initial.total_tuples, config.updates_per_run,
+        config.runs, static_cast<unsigned long long>(config.seed));
+  }
+
+  // Arms: serial, then parallel at 1, 2, 4, ... up to --workers.
+  std::vector<size_t> parallel_arms;
+  for (size_t w = 1; w <= config.workers; w *= 2) parallel_arms.push_back(w);
+  if (parallel_arms.back() != config.workers) {
+    parallel_arms.push_back(config.workers);
+  }
+
+  std::vector<bench::ParallelScalePoint> points(1 + parallel_arms.size());
+  points[0].engine = "serial";
+  points[0].workers = 1;
+  for (size_t i = 0; i < parallel_arms.size(); ++i) {
+    points[1 + i].engine = "parallel";
+    points[1 + i].workers = parallel_arms[i];
+  }
+
+  for (size_t run = 0; run < config.runs; ++run) {
+    Rng wl_rng(config.seed + 1000003 + 7919 * (run + 1));
+    WorkloadOptions wl_opts;
+    wl_opts.num_updates = config.updates_per_run;
+    wl_opts.delete_fraction = config.delete_fraction;
+    const std::vector<WriteOp> ops =
+        GenerateWorkload(&db, constants, &wl_rng, wl_opts);
+
+    for (bench::ParallelScalePoint& p : points) {
+      db.RemoveVersionsAbove(0);  // rewind to the initial repository
+      const double start = Now();
+      if (p.engine == "serial") {
+        RandomAgent agent(config.seed + 31 * run);
+        SchedulerOptions sopts;
+        sopts.max_steps_per_update = config.max_steps_per_update;
+        sopts.max_attempts_per_update = config.max_attempts_per_update;
+        Scheduler scheduler(&db, &tgds, &agent, sopts);
+        for (const WriteOp& op : ops) scheduler.Submit(op);
+        scheduler.RunToCompletion();
+        p.aborts += static_cast<double>(scheduler.stats().aborts);
+      } else {
+        ParallelSchedulerOptions popts;
+        popts.num_workers = p.workers;
+        popts.max_steps_per_update = config.max_steps_per_update;
+        popts.max_attempts_per_update = config.max_attempts_per_update;
+        popts.agent_seed = config.seed + 31 * run;
+        ParallelScheduler scheduler(&db, &tgds, popts);
+        for (const WriteOp& op : ops) scheduler.Submit(op);
+        const ParallelStats stats = scheduler.Drain();
+        p.aborts += static_cast<double>(stats.totals.aborts);
+        p.cross_shard += static_cast<double>(stats.cross_shard_updates);
+        p.escaped += static_cast<double>(stats.escaped_updates);
+      }
+      p.seconds_per_run += Now() - start;
+      if (verbose) {
+        std::fprintf(stderr, "[parallel_scale] run=%zu %s w=%zu done\n", run,
+                     p.engine.c_str(), p.workers);
+      }
+    }
+  }
+  db.RemoveVersionsAbove(0);
+
+  for (bench::ParallelScalePoint& p : points) {
+    p.seconds_per_run /= static_cast<double>(config.runs);
+    p.aborts /= static_cast<double>(config.runs);
+    p.cross_shard /= static_cast<double>(config.runs);
+    p.escaped /= static_cast<double>(config.runs);
+    p.updates_per_second =
+        p.seconds_per_run > 0
+            ? static_cast<double>(config.updates_per_run) / p.seconds_per_run
+            : 0;
+  }
+  const double serial_ups = points[0].updates_per_second;
+  std::printf("%10s %8s %12s %14s %10s %8s\n", "engine", "workers", "s/run",
+              "updates/s", "speedup", "aborts");
+  for (bench::ParallelScalePoint& p : points) {
+    p.speedup_vs_serial =
+        serial_ups > 0 ? p.updates_per_second / serial_ups : 0;
+    std::printf("%10s %8zu %12.4f %14.1f %9.2fx %8.1f\n", p.engine.c_str(),
+                p.workers, p.seconds_per_run, p.updates_per_second,
+                p.speedup_vs_serial, p.aborts);
+  }
+
+  return bench::WriteParallelScaleJson("parallel_scale", config, points) ? 0
+                                                                         : 1;
+}
+
+}  // namespace
+}  // namespace youtopia
+
+int main(int argc, char** argv) { return youtopia::Run(argc, argv); }

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "ccontrol/dependency_tracker.h"
 
@@ -36,7 +37,11 @@ bool WriteExperimentJson(const std::string& name, const std::string& workload,
   out << "    \"updates_per_run\": " << config.updates_per_run << ",\n";
   out << "    \"delete_fraction\": " << config.delete_fraction << ",\n";
   out << "    \"runs\": " << config.runs << ",\n";
-  out << "    \"seed\": " << config.seed << "\n";
+  out << "    \"seed\": " << config.seed << ",\n";
+  // Serial runs record workers = 1, so BENCH_ files from the sharded
+  // parallel scheduler are distinguishable from serial baselines.
+  out << "    \"workers\": " << config.workers << ",\n";
+  out << "    \"islands\": " << config.islands << "\n";
   out << "  },\n";
   out << "  \"initial\": {\n";
   out << "    \"seed_inserts\": " << result.initial.seed_inserts << ",\n";
@@ -82,6 +87,50 @@ bool WriteExperimentJson(const std::string& name, const std::string& workload,
   out << "    \"versions\": " << versions << ",\n";
   out << "    \"index_entries\": " << index_entries << "\n";
   out << "  }\n";
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench: failed writing %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+  return true;
+}
+
+bool WriteParallelScaleJson(const std::string& name,
+                            const ExperimentConfig& config,
+                            const std::vector<ParallelScalePoint>& points) {
+  const std::string path = BenchJsonPath(name);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n";
+  out << "  \"name\": \"" << name << "\",\n";
+  out << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"config\": {\n";
+  out << "    \"relations\": " << config.num_relations << ",\n";
+  out << "    \"mappings\": " << config.num_mappings_total << ",\n";
+  out << "    \"islands\": " << config.islands << ",\n";
+  out << "    \"initial_tuples\": " << config.initial_tuples << ",\n";
+  out << "    \"updates_per_run\": " << config.updates_per_run << ",\n";
+  out << "    \"runs\": " << config.runs << ",\n";
+  out << "    \"seed\": " << config.seed << "\n";
+  out << "  },\n";
+  out << "  \"arms\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ParallelScalePoint& p = points[i];
+    out << "    {\"engine\": \"" << p.engine << "\", \"workers\": "
+        << p.workers << ", \"seconds_per_run\": " << p.seconds_per_run
+        << ", \"updates_per_second\": " << p.updates_per_second
+        << ", \"speedup_vs_serial\": " << p.speedup_vs_serial
+        << ", \"aborts\": " << p.aborts << ", \"cross_shard\": "
+        << p.cross_shard << ", \"escaped\": " << p.escaped << "}"
+        << (i + 1 < points.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n";
   out << "}\n";
   out.flush();
   if (!out) {

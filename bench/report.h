@@ -17,15 +17,36 @@ namespace bench {
 // set, else the current working directory.
 std::string BenchJsonPath(const std::string& name);
 
-// Writes BENCH_<name>.json for a figure harness run: the experiment config,
-// initial-database report, one record per (mapping count, tracker) cell
-// (aborts, cascading abort requests, per-update seconds plus the derived
-// updates/sec throughput) and the final storage footprint (row, version and
-// index-entry counts — the append-only index cost). Returns false and
-// prints to stderr if the file cannot be written.
+// Writes BENCH_<name>.json for a figure harness run: the experiment config
+// (including the workers/islands engine axes), initial-database report, one
+// record per (mapping count, tracker) cell (aborts, cascading abort
+// requests, per-update seconds plus the derived updates/sec throughput) and
+// the final storage footprint (row, version and index-entry counts — the
+// append-only index cost). Returns false and prints to stderr if the file
+// cannot be written.
 bool WriteExperimentJson(const std::string& name, const std::string& workload,
                          const ExperimentConfig& config,
                          const ExperimentResult& result, const Database& db);
+
+// One arm of the bench/parallel_scale scaling curve.
+struct ParallelScalePoint {
+  std::string engine;  // "serial" or "parallel"
+  size_t workers = 1;  // engine threads (1 for the serial scheduler)
+  double seconds_per_run = 0;
+  double updates_per_second = 0;
+  double speedup_vs_serial = 0;
+  double aborts = 0;
+  double cross_shard = 0;
+  double escaped = 0;
+};
+
+// Writes BENCH_<name>.json for the scaling curve: the generator config,
+// the host's hardware concurrency (a 1-CPU container cannot show wall-clock
+// parallel speedup, so readers need this to interpret the curve), and one
+// record per engine arm.
+bool WriteParallelScaleJson(const std::string& name,
+                            const ExperimentConfig& config,
+                            const std::vector<ParallelScalePoint>& points);
 
 }  // namespace bench
 }  // namespace youtopia

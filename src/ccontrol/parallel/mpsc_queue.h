@@ -1,0 +1,81 @@
+#ifndef YOUTOPIA_CCONTROL_PARALLEL_MPSC_QUEUE_H_
+#define YOUTOPIA_CCONTROL_PARALLEL_MPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/check.h"
+
+namespace youtopia {
+
+// A small blocking multi-producer single-consumer inbox. Carries work items
+// to shard workers (submission thread -> worker) and surrendered escape
+// operations back out (workers -> drain thread). Deliberately boring: a
+// mutex-guarded deque with a condition variable. The pinned chase hot path
+// never touches it mid-update — one pop admits one whole update — so queue
+// overhead is per-update, not per-step, and lock-free cleverness would buy
+// nothing measurable.
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() = default;
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  // Any thread. Must not race Close().
+  void Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      CHECK(!closed_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  // Consumer: blocks until an item arrives or the queue is closed and
+  // drained. Returns false only in the latter case (shutdown).
+  bool WaitPop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  // Consumer: non-blocking variant.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  // Wakes blocked consumers; subsequent WaitPops drain the backlog, then
+  // return false.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CCONTROL_PARALLEL_MPSC_QUEUE_H_

@@ -1,0 +1,199 @@
+#include "ccontrol/parallel/parallel_scheduler.h"
+
+#include <algorithm>
+
+#include "query/plan.h"
+
+namespace youtopia {
+
+ParallelScheduler::ParallelScheduler(Database* db,
+                                     const std::vector<Tgd>* tgds,
+                                     ParallelSchedulerOptions options)
+    : db_(db),
+      tgds_(tgds),
+      options_(std::move(options)),
+      shard_map_(db->num_relations(), *tgds,
+                 std::max<size_t>(options_.num_workers, 1)),
+      component_locks_(shard_map_.num_components()),
+      next_number_(options_.first_number) {
+  // Setup-time plan registration, single-threaded: recompile every
+  // mapping's plan complement against the live database and register its
+  // composite-index demands once. The worker plan views and the engine
+  // view copied below share these compiled complements until their own
+  // adaptive re-planning diverges them; no engine recompiles at
+  // construction again (Scheduler runs with register_plans off).
+  for (const Tgd& tgd : *tgds_) {
+    tgd.RecompilePlans(db_);
+    EnsureTgdPlanIndexes(db_, tgd.plans());
+  }
+  engine_tgds_ = *tgds_;
+  engine_agent_ =
+      options_.agent_factory
+          ? options_.agent_factory(options_.num_workers)
+          : std::make_unique<RandomAgent>(options_.agent_seed ^
+                                          0xc2b2ae3d27d4eb4fULL);
+
+  WorkerPoolOptions wopts;
+  wopts.num_workers = options_.num_workers;
+  wopts.max_steps_per_update = options_.max_steps_per_update;
+  wopts.agent_seed = options_.agent_seed;
+  wopts.agent_factory = options_.agent_factory;
+  pool_ = std::make_unique<WorkerPool>(db_, *tgds_, &shard_map_,
+                                       &component_locks_, &next_number_,
+                                       &escaped_, std::move(wopts));
+}
+
+ParallelScheduler::~ParallelScheduler() = default;
+
+void ParallelScheduler::Submit(WriteOp op) {
+  bool cross = op.kind == WriteOp::Kind::kNullReplace;
+  if (!cross && op.kind == WriteOp::Kind::kInsert) {
+    // An insert referencing a pre-existing null that already occurs
+    // outside the op's component would, if pinned, grow that null's
+    // occurrence set under only its own component lock — silently widening
+    // the footprint of any concurrent replacement of the null. Such
+    // inserts are cross-shard: the batch locks the union footprint and the
+    // replacement machinery sees a stable occurrence set. (The registry
+    // read is mutex-protected, so classifying while workers run is safe;
+    // null-free inserts — the common case — skip it entirely.)
+    bool has_null = false;
+    for (const Value& v : op.data) has_null |= v.is_null();
+    if (has_null) {
+      std::vector<uint32_t> fp;
+      shard_map_.FootprintOf(op, *db_, &fp);
+      cross = fp.size() > 1;
+    }
+  }
+  if (cross) {
+    // A replacement's footprint is its null's occurrence set — unknown
+    // until admission and unbounded by any mapping; a multi-component
+    // insert is widened by its nulls as above.
+    std::lock_guard<std::mutex> lock(cross_mu_);
+    cross_queue_.push_back(std::move(op));
+    return;
+  }
+  pool_->Submit(std::move(op));
+}
+
+ParallelStats ParallelScheduler::Drain() {
+  // Phase 1: the pinned backlog completes. The cross-shard batch waits for
+  // it deliberately: a queued replacement (or null-referencing insert) may
+  // depend on occurrences that in-flight pinned inserts are still
+  // registering — running it concurrently could compute its footprint and
+  // admission snapshot before those occurrences exist and silently commit
+  // a partial (or empty) replacement. Draining first makes the occurrence
+  // registry quiescent for the batch AND makes priority-number order equal
+  // execution order globally, not just on overlapping footprints.
+  pool_->WaitIdle();
+
+  // Phase 2: the cross-shard batch under its ordered footprint locks. The
+  // locks are uncontended at this point under the single-drainer contract;
+  // they still fence correctly against any future concurrent submitter,
+  // and the admission guard still catches batch-internal footprint growth.
+  std::vector<WriteOp> cross;
+  {
+    std::lock_guard<std::mutex> lock(cross_mu_);
+    cross.swap(cross_queue_);
+  }
+  cross_count_ += cross.size();
+  if (!cross.empty()) {
+    RunCrossShardBatch(std::move(cross), /*escalated=*/false);
+  }
+
+  // Phase 3: escalation. Escaped attempts — pinned updates that reached a
+  // cross-component null, or batch updates whose chase left the batch
+  // footprint — re-run under every component lock with no admission
+  // restriction, so this terminates after one round.
+  std::vector<WriteOp> escaped;
+  WriteOp op;
+  while (escaped_.TryPop(&op)) escaped.push_back(std::move(op));
+  escape_count_ += escaped.size();
+  if (!escaped.empty()) {
+    RunCrossShardBatch(std::move(escaped), /*escalated=*/true);
+    CHECK_EQ(escaped_.size(), 0u);  // nothing can escape an escalated run
+  }
+
+  ParallelStats stats;
+  stats.totals = pool_->MergedStats();
+  stats.totals.Merge(engine_stats_);
+  stats.workers = pool_->num_workers();
+  stats.components = shard_map_.num_components();
+  stats.shards = shard_map_.num_shards();
+  stats.pinned_updates = pool_->pinned_updates();
+  stats.cross_shard_updates = cross_count_;
+  stats.escaped_updates = escape_count_;
+  return stats;
+}
+
+void ParallelScheduler::RunCrossShardBatch(std::vector<WriteOp> ops,
+                                           bool escalated) {
+  // Footprint: the union of the batch's component closures (escalated
+  // batches take everything). Component ids ascend with their
+  // representative relation ids, so this loop IS the ordered relation-id
+  // acquisition — any two admissions (and any concurrent pinned update,
+  // which holds exactly one of these locks) order their overlap
+  // identically, so no cycle can form.
+  std::vector<uint32_t> components;
+  if (escalated) {
+    for (uint32_t c = 0; c < shard_map_.num_components(); ++c) {
+      components.push_back(c);
+    }
+  } else {
+    for (const WriteOp& op : ops) {
+      shard_map_.FootprintOf(op, *db_, &components);
+    }
+    std::sort(components.begin(), components.end());
+    components.erase(std::unique(components.begin(), components.end()),
+                     components.end());
+  }
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(components.size());
+  for (uint32_t c : components) held.emplace_back(component_locks_[c]);
+
+  const std::vector<bool> allowed =
+      shard_map_.RelationsOfComponents(components);
+
+  SchedulerOptions sopts;
+  sopts.tracker = options_.tracker;
+  sopts.max_steps_per_update = options_.max_steps_per_update;
+  sopts.max_attempts_per_update = options_.max_attempts_per_update;
+  sopts.register_plans = false;
+  if (!escalated) sopts.allowed_relations = &allowed;
+  // Reserve a number block large enough for every submit and every
+  // possible abort-redo, claimed under the held locks: every batch number
+  // then exceeds every finished overlapping pinned update's (their numbers
+  // were claimed before these locks released to us), and every pinned
+  // update admitted to an overlapping component later claims a number
+  // past the block — number order and execution order agree on overlaps.
+  const uint64_t block =
+      ops.size() * (options_.max_attempts_per_update + 2) + 1;
+  sopts.first_number = next_number_.fetch_add(block);
+
+  Scheduler engine(db_, &engine_tgds_, engine_agent_.get(), sopts);
+  for (WriteOp& op : ops) engine.Submit(std::move(op));
+  engine.RunToCompletion();
+  CHECK_LE(engine.next_number(), sopts.first_number + block);
+
+  engine_stats_.Merge(engine.stats());
+  for (auto& numbered : engine.CommittedOpsWithNumbers()) {
+    engine_committed_.push_back(std::move(numbered));
+  }
+  for (WriteOp& escaped_op : engine.TakeEscapedOps()) {
+    escaped_.Push(std::move(escaped_op));
+  }
+}
+
+std::vector<WriteOp> ParallelScheduler::CommittedOpsInOrder() const {
+  std::vector<std::pair<uint64_t, WriteOp>> numbered =
+      pool_->CommittedOpsWithNumbers();
+  numbered.insert(numbered.end(), engine_committed_.begin(),
+                  engine_committed_.end());
+  std::sort(numbered.begin(), numbered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<WriteOp> out;
+  out.reserve(numbered.size());
+  for (auto& [number, op] : numbered) out.push_back(std::move(op));
+  return out;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,158 @@
+#include "ccontrol/parallel/worker_pool.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+WorkerPool::WorkerPool(Database* db, const std::vector<Tgd>& tgds,
+                       const ShardMap* shards,
+                       std::vector<std::mutex>* component_locks,
+                       std::atomic<uint64_t>* next_number,
+                       MpscQueue<WriteOp>* escaped_out,
+                       WorkerPoolOptions options)
+    : db_(db),
+      shards_(shards),
+      component_locks_(component_locks),
+      next_number_(next_number),
+      escaped_out_(escaped_out),
+      options_(std::move(options)) {
+  CHECK_EQ(component_locks_->size(), shards_->num_components());
+  // One worker per shard: the shard map already clamped the shard count to
+  // min(requested workers, components).
+  const size_t n = shards_->num_shards();
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>(tgds);
+    w->agent = options_.agent_factory
+                   ? options_.agent_factory(i)
+                   : std::make_unique<RandomAgent>(
+                         options_.agent_seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+    workers_.push_back(std::move(w));
+  }
+  // Threads start only after the full vector is built: a worker never
+  // touches another worker's state, but the loop does take `this`.
+  for (auto& w : workers_) {
+    w->thread = std::thread(&WorkerPool::WorkerLoop, this, w.get());
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  for (auto& w : workers_) w->inbox.Close();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void WorkerPool::Submit(WriteOp op) {
+  CHECK(op.kind != WriteOp::Kind::kNullReplace);
+  const uint32_t shard = shards_->ShardOfRelation(op.rel);
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  workers_[shard]->inbox.Push(std::move(op));
+}
+
+void WorkerPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void WorkerPool::WorkerLoop(Worker* w) {
+  WriteOp op;
+  while (w->inbox.WaitPop(&op)) {
+    RunPinned(w, std::move(op));
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last in-flight update: wake the drain barrier. The lock pairs with
+      // WaitIdle's predicate check so the notify cannot slip between its
+      // test and its sleep.
+      std::lock_guard<std::mutex> lock(idle_mu_);
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::RunPinned(Worker* w, WriteOp op) {
+  // Footprint lock: an insert/delete chase stays within one component, so
+  // the protocol degenerates to a single uncontended mutex unless a
+  // cross-shard admission currently covers this component. The number is
+  // claimed under the lock: execution order within a component is then
+  // number order, which makes the pinned run serializable with every
+  // overlapping cross-shard batch (MVTO visibility sees exactly the writes
+  // of lower-numbered, already-finished updates).
+  const uint32_t component = shards_->ComponentOf(op.rel);
+  std::lock_guard<std::mutex> lock((*component_locks_)[component]);
+  const uint64_t number = next_number_->fetch_add(1, std::memory_order_relaxed);
+
+  UpdateOptions uopts;
+  uopts.max_steps = options_.max_steps_per_update;
+  uopts.scratch_arena = &w->arena;
+  uopts.detector = &w->detector;
+  // Admission at COMPONENT granularity — exactly what the held lock
+  // covers. A shard-wide bitmap would let a chase write (or replan over) a
+  // sibling component of this shard whose lock a concurrent cross-shard
+  // admission may hold.
+  uopts.allowed_relations = &shards_->ComponentRelations(component);
+  uopts.log_reads = false;  // nothing consumes read records on this path
+  uopts.replan_poller = &w->poller;
+  Update u(number, std::move(op), &w->tgds, uopts);
+
+  ++w->stats.updates_submitted;
+  w->undo_scratch.clear();
+  while (!u.finished()) {
+    StepResult res = u.Step(db_, w->agent.get());
+    ++w->stats.total_steps;
+    w->stats.physical_writes += res.writes.size();
+    for (const PhysicalWrite& pw : res.writes) {
+      w->undo_scratch.push_back({pw.rel, pw.row});
+    }
+  }
+
+  if (u.escaped()) {
+    // The chase reached a null whose occurrences leave this shard. Undo the
+    // attempt's writes (all within the locked component, newest first) and
+    // surrender the initial operation to the cross-shard engine — which
+    // re-counts the submission, so retract this worker's count to keep
+    // merged updates_submitted equal to the ops actually submitted.
+    for (auto it = w->undo_scratch.rbegin(); it != w->undo_scratch.rend();
+         ++it) {
+      db_->RemoveRowVersions(it->first, it->second, number);
+    }
+    --w->stats.updates_submitted;
+    ++w->stats.escaped_updates;
+    escaped_out_->Push(u.initial_op());
+    return;
+  }
+  if (u.hit_step_cap()) {
+    ++w->stats.updates_failed;
+    return;
+  }
+  ++w->stats.updates_completed;
+  ++w->pinned;
+  w->stats.frontier_ops += u.frontier_ops_performed();
+  w->committed.push_back({number, u.initial_op()});
+}
+
+SchedulerStats WorkerPool::MergedStats() const {
+  SchedulerStats out;
+  for (const auto& w : workers_) out.Merge(w->stats);
+  return out;
+}
+
+uint64_t WorkerPool::pinned_updates() const {
+  uint64_t n = 0;
+  for (const auto& w : workers_) n += w->pinned;
+  return n;
+}
+
+std::vector<std::pair<uint64_t, WriteOp>> WorkerPool::CommittedOpsWithNumbers()
+    const {
+  std::vector<std::pair<uint64_t, WriteOp>> out;
+  for (const auto& w : workers_) {
+    out.insert(out.end(), w->committed.begin(), w->committed.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace youtopia

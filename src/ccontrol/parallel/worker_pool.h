@@ -1,0 +1,131 @@
+#ifndef YOUTOPIA_CCONTROL_PARALLEL_WORKER_POOL_H_
+#define YOUTOPIA_CCONTROL_PARALLEL_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ccontrol/parallel/mpsc_queue.h"
+#include "ccontrol/parallel/shard_map.h"
+#include "ccontrol/scheduler.h"
+#include "core/agent.h"
+#include "core/update.h"
+#include "core/violation_detector.h"
+#include "relational/database.h"
+#include "tgd/tgd.h"
+#include "util/arena.h"
+
+namespace youtopia {
+
+struct WorkerPoolOptions {
+  // Upper bound on worker threads; the pool creates one worker per shard
+  // (at most num_components, see ShardMap).
+  size_t num_workers = 2;
+  size_t max_steps_per_update = 1u << 20;
+  // Per-worker simulated user: agent_factory(worker_index) when supplied,
+  // else a RandomAgent derived from agent_seed and the index. Agents with
+  // per-call state (RandomAgent's RNG) must never be shared across workers.
+  uint64_t agent_seed = 42;
+  std::function<std::unique_ptr<FrontierAgent>(size_t)> agent_factory;
+};
+
+// The pinned execution engine of the sharded parallel chase: one thread per
+// shard, each owning everything its hot path touches —
+//   * a private copy of the tgd vector (the worker's *plan view*: adaptive
+//     re-planning swaps plans on the copy, never on a structure another
+//     thread reads),
+//   * a scratch Arena and a ViolationDetector whose non-reentrant evaluator
+//     pair amortizes across every update the worker runs,
+//   * a FrontierAgent, and
+//   * an MPSC inbox the submission thread routes work into.
+//
+// A worker drains its inbox one update at a time: it takes the update's
+// single component lock (uncontended unless a cross-shard admission
+// overlaps), claims a fresh global priority number, and runs the chase to
+// completion with concurrency control switched off — no read logging, no
+// conflict probes, no dependency tracking — because serial execution per
+// component plus disjointness across components makes the run trivially
+// serializable in number order. Admission is scoped to exactly what that
+// lock covers: an update whose chase would leave the op's *component* (a
+// unification replacing a cross-component null — even one whose other
+// occurrences live in a sibling component of the same shard) is undone via
+// its tracked writes and surrendered through `escaped_out` for the
+// cross-shard engine to re-run under the wider lock set.
+class WorkerPool {
+ public:
+  WorkerPool(Database* db, const std::vector<Tgd>& tgds,
+             const ShardMap* shards, std::vector<std::mutex>* component_locks,
+             std::atomic<uint64_t>* next_number,
+             MpscQueue<WriteOp>* escaped_out, WorkerPoolOptions options);
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Closes every inbox and joins the threads.
+  ~WorkerPool();
+
+  size_t num_workers() const { return workers_.size(); }
+
+  // Routes `op` (an insert or delete; null replacements are cross-shard by
+  // definition) to the worker owning its relation's shard. Thread-safe.
+  void Submit(WriteOp op);
+
+  // Blocks until every submitted update has been fully processed and all
+  // workers are parked. Callers must not race further Submits against this.
+  void WaitIdle();
+
+  // The following aggregate across workers; call only while idle.
+  SchedulerStats MergedStats() const;
+  uint64_t pinned_updates() const;
+  // Committed (number, initial op) pairs of every worker, globally sorted
+  // by number — the pinned half of the run's serialization order.
+  std::vector<std::pair<uint64_t, WriteOp>> CommittedOpsWithNumbers() const;
+
+ private:
+  struct Worker {
+    explicit Worker(const std::vector<Tgd>& base_tgds)
+        : tgds(base_tgds), detector(&tgds, &arena) {}
+
+    std::vector<Tgd> tgds;  // private plan view (copies share compiled
+                            // plans until this worker replans)
+    Arena arena;
+    ViolationDetector detector;
+    std::unique_ptr<FrontierAgent> agent;
+    ReplanPoller poller;  // worker-persistent staleness watermark
+    MpscQueue<WriteOp> inbox;
+
+    SchedulerStats stats;
+    uint64_t pinned = 0;
+    std::vector<std::pair<uint64_t, WriteOp>> committed;
+    std::vector<std::pair<RelationId, RowId>> undo_scratch;
+
+    std::thread thread;  // started last, after every field is live
+  };
+
+  void WorkerLoop(Worker* w);
+  void RunPinned(Worker* w, WriteOp op);
+
+  Database* db_;
+  const ShardMap* shards_;
+  std::vector<std::mutex>* component_locks_;
+  std::atomic<uint64_t>* next_number_;
+  MpscQueue<WriteOp>* escaped_out_;
+  WorkerPoolOptions options_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Updates submitted but not yet fully processed; the idle barrier.
+  std::atomic<size_t> pending_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CCONTROL_PARALLEL_WORKER_POOL_H_

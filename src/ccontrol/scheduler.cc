@@ -21,10 +21,14 @@ Scheduler::Scheduler(Database* db, const std::vector<Tgd>* tgds,
   // time statistics-free plans), then build the composite indexes the
   // costed plans probe, so every chase step and retroactive conflict check
   // in this run executes its planned access paths instead of falling back
-  // to single-column probes.
-  for (const Tgd& tgd : *tgds_) {
-    tgd.RecompilePlans(db_);
-    EnsureTgdPlanIndexes(db_, tgd.plans());
+  // to single-column probes. Skipped for embedded cross-shard engines,
+  // whose plan view was compiled at parallel-scheduler setup (registration
+  // would touch relations outside their footprint locks).
+  if (options_.register_plans) {
+    for (const Tgd& tgd : *tgds_) {
+      tgd.RecompilePlans(db_);
+      EnsureTgdPlanIndexes(db_, tgd.plans());
+    }
   }
 }
 
@@ -32,9 +36,16 @@ uint64_t Scheduler::Submit(WriteOp initial_op) {
   const uint64_t number = next_number_++;
   UpdateOptions uopts;
   uopts.max_steps = options_.max_steps_per_update;
+  uopts.allowed_relations = options_.allowed_relations;
   // All updates chase out of the scheduler's arena (their steps are
   // round-robined, never nested), so detection scratch warms up once per
-  // run instead of once per update.
+  // run instead of once per update. They likewise share one re-planning
+  // watermark: with private pollers every update would re-fire the tgd
+  // staleness sweep on its first step. (Separate from replan_poller_,
+  // which paces the conflict checker's residual sweep in StepOne —
+  // sharing one instance would make the two consumers steal each other's
+  // fires.)
+  uopts.replan_poller = &update_replan_poller_;
   uopts.scratch_arena = &arena_;
   Slot slot;
   slot.update =
@@ -86,6 +97,19 @@ void Scheduler::StepOne(size_t slot_idx) {
   stats_.physical_writes += res.writes.size();
   stats_.read_queries += res.reads.size();
 
+  if (u->escaped()) {
+    // The update's chase left the shard-admission footprint. Undo it like
+    // an abort — including cascades to updates that read its now-retracted
+    // writes — but surrender its initial operation for re-routing instead
+    // of restarting it here (a restart would escape again).
+    slots_[slot_idx].escaped = true;
+    ++stats_.escaped_updates;
+    direct_scratch_.clear();
+    direct_scratch_.insert(number);
+    CascadeFrom(direct_scratch_);
+    return;
+  }
+
   if (u->finished()) {
     if (u->hit_step_cap()) {
       // Controlled nontermination: the attempt is abandoned; treat like a
@@ -133,8 +157,11 @@ void Scheduler::StepOne(size_t slot_idx) {
 
 void Scheduler::PerformAborts(const std::unordered_set<uint64_t>& direct) {
   stats_.direct_conflict_aborts += direct.size();
+  CascadeFrom(direct);
+}
 
-  // Consolidate: close the direct set under cascading dependencies. Each
+void Scheduler::CascadeFrom(const std::unordered_set<uint64_t>& direct) {
+  // Consolidate: close the root set under cascading dependencies. Each
   // update requested for abort purely by cascade (not in direct conflict
   // with the just-performed writes) counts once per consolidation — the
   // paper's "cascading abort requests" metric; the scheduler acts only on
@@ -186,6 +213,14 @@ void Scheduler::AbortOne(uint64_t number) {
   slot_by_number_.erase(it);
   active_numbers_.erase(number);
   uncommitted_finished_.erase(number);
+  if (slot.escaped) {
+    // Undone like an abort, but not one: surrender the initial op for
+    // re-routing, leave the abort counters alone, and retract the
+    // submission count — whichever engine re-runs the op counts it again.
+    --stats_.updates_submitted;
+    escaped_ops_.push_back(slot.update->initial_op());
+    return;
+  }
   ++stats_.aborts;
 
   if (slot.failed) return;  // already written off
@@ -245,17 +280,28 @@ const Update* Scheduler::FindUpdate(uint64_t number) const {
 }
 
 std::vector<WriteOp> Scheduler::CommittedOpsInOrder() const {
-  std::vector<std::pair<uint64_t, const WriteOp*>> numbered;
+  std::vector<WriteOp> out;
+  for (auto& [number, op] : CommittedOpsWithNumbers()) {
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, WriteOp>> Scheduler::CommittedOpsWithNumbers()
+    const {
+  std::vector<std::pair<uint64_t, WriteOp>> numbered;
   for (const Slot& slot : slots_) {
     if (slot.committed) {
-      numbered.push_back({slot.update->number(), &slot.update->initial_op()});
+      numbered.push_back({slot.update->number(), slot.update->initial_op()});
     }
   }
-  std::sort(numbered.begin(), numbered.end());
-  std::vector<WriteOp> out;
-  out.reserve(numbered.size());
-  for (const auto& [number, op] : numbered) out.push_back(*op);
-  return out;
+  std::sort(numbered.begin(), numbered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return numbered;
+}
+
+std::vector<WriteOp> Scheduler::TakeEscapedOps() {
+  return std::move(escaped_ops_);
 }
 
 size_t Scheduler::num_failed() const {

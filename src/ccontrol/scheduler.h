@@ -32,6 +32,18 @@ struct SchedulerOptions {
   // First update number to assign (lets a caller continue a numbering
   // sequence started outside this scheduler).
   uint64_t first_number = 1;
+  // Shard-admission guard, forwarded to every update (see UpdateOptions).
+  // An update whose chase would write outside the bitmap is aborted —
+  // cascading to its dependents like any abort — and its initial operation
+  // is surrendered through TakeEscapedOps() instead of being restarted.
+  // Null: no restriction (the default serial behavior).
+  const std::vector<bool>* allowed_relations = nullptr;
+  // Whether construction recompiles every mapping's plans against `db` and
+  // registers their composite-index demands. The parallel scheduler turns
+  // this off for its embedded cross-shard engine: registration touches
+  // every relation, but the engine may only touch the relations its
+  // footprint locks cover (its plan view was compiled at setup instead).
+  bool register_plans = true;
 };
 
 struct SchedulerStats {
@@ -49,7 +61,27 @@ struct SchedulerStats {
   uint64_t direct_conflict_aborts = 0;   // writer invalidated a logged read
   uint64_t cascading_abort_requests = 0; // requests for updates NOT in
                                          // direct conflict (Section 6)
+  // Updates that left their shard-admission footprint (allowed_relations)
+  // and were surrendered for re-routing; disjoint from aborts.
+  uint64_t escaped_updates = 0;
   bool hit_global_step_cap = false;
+
+  // Pool-level merge (the parallel scheduler sums worker-local and
+  // cross-shard engine stats into one report).
+  void Merge(const SchedulerStats& other) {
+    updates_submitted += other.updates_submitted;
+    updates_completed += other.updates_completed;
+    updates_failed += other.updates_failed;
+    total_steps += other.total_steps;
+    physical_writes += other.physical_writes;
+    read_queries += other.read_queries;
+    frontier_ops += other.frontier_ops;
+    aborts += other.aborts;
+    direct_conflict_aborts += other.direct_conflict_aborts;
+    cascading_abort_requests += other.cascading_abort_requests;
+    escaped_updates += other.escaped_updates;
+    hit_global_step_cap = hit_global_step_cap || other.hit_global_step_cap;
+  }
 };
 
 // The optimistic concurrency-control scheduler (Algorithm 4 instantiating
@@ -91,12 +123,27 @@ class Scheduler {
   // — the serialization order Theorem 4.4 guarantees equivalence with.
   std::vector<WriteOp> CommittedOpsInOrder() const;
 
+  // Initial operations, paired with their final committed numbers (the
+  // parallel scheduler interleaves several engines' committed ops by
+  // number to reconstruct the global serialization order).
+  std::vector<std::pair<uint64_t, WriteOp>> CommittedOpsWithNumbers() const;
+
+  // Initial operations of updates that escaped the allowed_relations
+  // footprint (undone and unregistered; the caller re-routes them).
+  // Clears the internal list.
+  std::vector<WriteOp> TakeEscapedOps();
+
+  // One past the highest number this run assigned (callers continuing the
+  // numbering sequence).
+  uint64_t next_number() const { return next_number_; }
+
  private:
   struct Slot {
     std::unique_ptr<Update> update;
     bool failed = false;
     bool committed = false;
     bool queued = false;
+    bool escaped = false;
     // Restart backoff (Section 5.2 scheduling policy): a restarted update
     // skips this many scheduling rounds, giving the conflicting
     // lower-numbered update time to finish instead of killing the redo
@@ -106,6 +153,9 @@ class Scheduler {
 
   void StepOne(size_t slot_idx);
   void PerformAborts(const std::unordered_set<uint64_t>& direct);
+  // Closes `roots` under cascading dependencies and aborts the closure
+  // (shared by direct-conflict aborts and footprint escapes).
+  void CascadeFrom(const std::unordered_set<uint64_t>& roots);
   void AbortOne(uint64_t number);
   void TryCommit();
   void EnqueueSlot(size_t slot_idx);
@@ -138,6 +188,10 @@ class Scheduler {
   uint64_t next_number_;
   // Strided residual-plan staleness sweep (see StepOne and plan.h).
   ReplanPoller replan_poller_;
+  // Shared watermark for the updates' own tgd staleness polls (see Submit).
+  ReplanPoller update_replan_poller_;
+  // Surrendered initial ops of footprint escapes (see TakeEscapedOps).
+  std::vector<WriteOp> escaped_ops_;
   SchedulerStats stats_;
 };
 

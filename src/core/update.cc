@@ -22,7 +22,11 @@ Update::Update(uint64_t number, WriteOp initial_op,
                                                     : nullptr),
       arena_(options.scratch_arena != nullptr ? options.scratch_arena
                                               : owned_arena_.get()),
-      detector_(tgds, arena_),
+      owned_detector_(options.detector == nullptr
+                          ? std::make_unique<ViolationDetector>(tgds, arena_)
+                          : nullptr),
+      detector_(options.detector != nullptr ? options.detector
+                                            : owned_detector_.get()),
       options_(options) {
   write_set_.push_back(initial_op_);
 }
@@ -62,9 +66,29 @@ StepResult Update::Step(Database* db, FrontierAgent* agent) {
   // sequence (ReplanPoller, plan.h — many-mapping chases with tiny steps
   // must not pay a per-mapping poll every step); a fired recompilation is
   // ~1.5us per mapping, nearly free against one mis-ordered join over a
-  // grown relation.
-  if (replan_poller_.ShouldPoll(*db)) {
-    for (const Tgd& tgd : *tgds_) tgd.MaybeReplan(db);
+  // grown relation. The watermark is the facade's persistent one when
+  // shared (options.replan_poller), so back-to-back serial updates skip the
+  // poll until the database actually moved a stride. Under a shard
+  // admission guard, only the shard's own mappings are polled: replanning a
+  // foreign mapping would read (and re-register indexes on) relations this
+  // thread does not own.
+  ReplanPoller* poller = options_.replan_poller != nullptr
+                             ? options_.replan_poller
+                             : &replan_poller_;
+  if (poller->ShouldPoll(*db)) {
+    for (const Tgd& tgd : *tgds_) {
+      if (options_.allowed_relations != nullptr) {
+        // One membership test covers the whole mapping: a tgd's relations
+        // all lie within one shard component by construction. Same
+        // conservative out-of-range rule as WritesStayWithin.
+        const RelationId rel = tgd.all_relations().front();
+        if (rel >= options_.allowed_relations->size() ||
+            !(*options_.allowed_relations)[rel]) {
+          continue;
+        }
+      }
+      tgd.MaybeReplan(db);
+    }
   }
 
   // 1. Consume one frontier operation, if one is pending.
@@ -83,11 +107,31 @@ StepResult Update::Step(Database* db, FrontierAgent* agent) {
   // lower-numbered delete of the duplicate retroactively conflicts.
   std::vector<WriteOp> writes = std::move(write_set_);
   write_set_.clear();
+  // Shard-admission guard: the whole pending write set is checked before
+  // any of it applies, so an escaping attempt leaves no partial step behind
+  // (earlier steps' writes are the caller's to undo). Null replacements
+  // are then applied over the exact occurrence snapshots the check
+  // validated — a re-read could see occurrences registered by another
+  // shard in between.
+  std::vector<std::vector<TupleRef>> replace_occs;
+  if (options_.allowed_relations != nullptr &&
+      !WritesStayWithin(*db, writes, &replace_occs)) {
+    escaped_ = true;
+    finished_ = true;
+    res.finished = true;
+    return res;
+  }
+  size_t replace_idx = 0;
   for (const WriteOp& op : writes) {
-    if (op.kind == WriteOp::Kind::kInsert) {
+    if (op.kind == WriteOp::Kind::kInsert && options_.log_reads) {
       res.reads.push_back(ReadQueryRecord::MoreSpecific(op.rel, op.data));
     }
-    std::vector<PhysicalWrite> applied = db->Apply(op, number_);
+    const std::vector<TupleRef>* occs =
+        op.kind == WriteOp::Kind::kNullReplace &&
+                options_.allowed_relations != nullptr
+            ? &replace_occs[replace_idx++]
+            : nullptr;
+    std::vector<PhysicalWrite> applied = db->Apply(op, number_, occs);
     for (PhysicalWrite& w : applied) res.writes.push_back(std::move(w));
   }
 
@@ -96,7 +140,8 @@ StepResult Update::Step(Database* db, FrontierAgent* agent) {
   // per-write result vector.
   Snapshot snap(db, number_);
   detect_scratch_.clear();
-  detector_.AfterWrites(snap, res.writes, &detect_scratch_, &res.reads);
+  detector_->AfterWrites(snap, res.writes, &detect_scratch_,
+                         options_.log_reads ? &res.reads : nullptr);
   for (Violation& v : detect_scratch_) viol_queue_.push_back(std::move(v));
 
   // 4. Choose the next violation and generate corrective writes, unless the
@@ -128,6 +173,7 @@ void Update::Restart(uint64_t new_number) {
   finished_ = false;
   started_ = false;
   hit_step_cap_ = false;
+  escaped_ = false;
   steps_taken_ = 0;
   frontier_ops_ = 0;
   violations_repaired_ = 0;
@@ -143,7 +189,8 @@ void Update::ChooseNextViolation(Database* db, const Snapshot& snap,
   while (!viol_queue_.empty()) {
     Violation v = std::move(viol_queue_.front());
     viol_queue_.pop_front();
-    if (!detector_.IsStillViolated(snap, v, &res->reads)) {
+    if (!detector_->IsStillViolated(
+            snap, v, options_.log_reads ? &res->reads : nullptr)) {
       continue;  // corrected in the meantime (lazy queue cleanup)
     }
     if (v.kind == Violation::Kind::kLhs) {
@@ -250,7 +297,9 @@ Update::ForwardRepair Update::GenerateForwardRepair(Database* db,
     FrontierTuple ft;
     ft.rel = atom.rel;
     ft.data = std::move(data);
-    res->reads.push_back(ReadQueryRecord::MoreSpecific(atom.rel, ft.data));
+    if (options_.log_reads) {
+      res->reads.push_back(ReadQueryRecord::MoreSpecific(atom.rel, ft.data));
+    }
     FindMoreSpecificRows(snap, atom.rel, ft.data, /*exclude_equal=*/false,
                          &ft.more_specific);
     any_ambiguous |= !ft.more_specific.empty();
@@ -291,7 +340,9 @@ void Update::ProcessPositiveFrontier(Database* db, FrontierAgent* agent,
     // Refresh the correction query: candidates may have changed while the
     // request was waiting for the user.
     ft.more_specific.clear();
-    res->reads.push_back(ReadQueryRecord::MoreSpecific(ft.rel, ft.data));
+    if (options_.log_reads) {
+      res->reads.push_back(ReadQueryRecord::MoreSpecific(ft.rel, ft.data));
+    }
     FindMoreSpecificRows(snap, ft.rel, ft.data, /*exclude_equal=*/false,
                          &ft.more_specific);
 
@@ -346,7 +397,9 @@ void Update::ProcessPositiveFrontier(Database* db, FrontierAgent* agent,
       if (!fresh_unwritten) {
         // The null occurs in stored tuples: a real global replacement, with
         // its correction query ("all tuples containing x") logged.
-        res->reads.push_back(ReadQueryRecord::NullOccurrence(from));
+        if (options_.log_reads) {
+          res->reads.push_back(ReadQueryRecord::NullOccurrence(from));
+        }
         write_set_.push_back(WriteOp::NullReplace(from, to));
       }
       // Keep the rest of the group (and this source tuple) consistent.
@@ -431,6 +484,36 @@ void Update::SubstituteInGroup(PositiveFrontier* pf, const Value& from,
       if (v == from) v = to;
     }
   }
+}
+
+bool Update::WritesStayWithin(
+    const Database& db, const std::vector<WriteOp>& writes,
+    std::vector<std::vector<TupleRef>>* replace_occs) const {
+  const std::vector<bool>& allowed = *options_.allowed_relations;
+  auto in = [&](RelationId rel) {
+    return rel < allowed.size() && allowed[rel];
+  };
+  for (const WriteOp& op : writes) {
+    switch (op.kind) {
+      case WriteOp::Kind::kInsert:
+      case WriteOp::Kind::kDelete:
+        if (!in(op.rel)) return false;
+        break;
+      case WriteOp::Kind::kNullReplace: {
+        // A replacement rewrites every tuple the null occurs in, anywhere
+        // in the repository. The occurrence set may contain stale entries,
+        // so this check is conservative: a spurious occurrence outside the
+        // footprint escapes an update that would in fact have stayed in —
+        // never the other way around. The snapshot is kept for the apply.
+        replace_occs->push_back(db.nulls().Occurrences(op.from));
+        for (const TupleRef& ref : replace_occs->back()) {
+          if (!in(ref.rel)) return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace youtopia

@@ -38,6 +38,30 @@ struct UpdateOptions {
   // drives and the scratch warms up once per run instead of once per
   // update. Null: the update owns a private arena.
   Arena* scratch_arena = nullptr;
+  // Shared violation detector (and with it the non-reentrant evaluator
+  // pair) — a shard worker passes the one it owns so evaluator scratch
+  // amortizes across every update it runs. Must be constructed over the
+  // same tgd vector as the update. Null: the update owns a private one.
+  ViolationDetector* detector = nullptr;
+  // Shard-admission guard (ccontrol/parallel/): when set, a step whose
+  // pending write set would touch a relation outside this per-relation
+  // bitmap applies nothing — the update finishes with escaped() true and
+  // the caller undoes its prior writes and re-routes it to an engine with
+  // a wide-enough footprint. Also filters the adaptive re-planning poll to
+  // mappings inside the bitmap, so a pinned worker never touches a foreign
+  // shard's plan or index state. Null: no restriction (serial behavior).
+  const std::vector<bool>* allowed_relations = nullptr;
+  // Whether to build ReadQueryRecords for the step's reads. A pinned
+  // single-shard execution has no concurrency control consuming them, so
+  // the worker skips the per-query content copies and fingerprint hashes
+  // entirely.
+  bool log_reads = true;
+  // Shared re-planning poll watermark. The facade passes its persistent
+  // poller so back-to-back updates skip the per-step staleness poll
+  // entirely until the database has actually mutated a full stride —
+  // a fresh per-update poller would fire on every update's first step.
+  // Null: the update owns a private watermark (serial behavior).
+  ReplanPoller* replan_poller = nullptr;
 };
 
 // A Youtopia update (Definition 2.6): the complete propagation of one
@@ -90,6 +114,11 @@ class Update {
     return pos_frontier_.has_value() || neg_frontier_.has_value();
   }
   bool hit_step_cap() const { return hit_step_cap_; }
+  // True iff the attempt ended because a pending write would have left
+  // options.allowed_relations (see there). The escaping write set was NOT
+  // applied; writes of earlier steps were, and the caller must undo them
+  // before re-routing the initial operation.
+  bool escaped() const { return escaped_; }
 
   // Executes one chase step against `db` on behalf of this update's number.
   // `agent` is consulted only when the update is at a frontier.
@@ -136,6 +165,18 @@ class Update {
   static void SubstituteInGroup(PositiveFrontier* pf, const Value& from,
                                 const Value& to);
 
+  // Shard-admission check: true iff every op of `writes` stays within
+  // options.allowed_relations (null replacements are checked against the
+  // null's current — possibly stale, hence conservative — occurrence set).
+  // Appends one occurrence snapshot per null-replace op (in op order) to
+  // `replace_occs`; Step applies the replacement over exactly that
+  // snapshot, so an occurrence registered concurrently between check and
+  // apply can never sneak an unvalidated write in.
+  bool WritesStayWithin(const Database& db,
+                        const std::vector<WriteOp>& writes,
+                        std::vector<std::vector<TupleRef>>* replace_occs)
+      const;
+
   uint64_t number_;
   WriteOp initial_op_;
   const std::vector<Tgd>* tgds_;
@@ -144,7 +185,10 @@ class Update {
   // heap-held so arena_ survives moves of this Update.
   std::unique_ptr<Arena> owned_arena_;
   Arena* arena_;
-  ViolationDetector detector_;
+  // Violation detector: worker-shared when options.detector is set, else
+  // owned (heap-held so detector_ survives moves, like the arena).
+  std::unique_ptr<ViolationDetector> owned_detector_;
+  ViolationDetector* detector_;
   UpdateOptions options_;
   // Step-level staging for the batched violation detection (capacity
   // amortizes across the chase).
@@ -161,7 +205,9 @@ class Update {
   bool finished_ = false;
   bool started_ = false;
   bool hit_step_cap_ = false;
-  // Strided adaptive re-planning poll (see Step() and plan.h).
+  bool escaped_ = false;
+  // Strided adaptive re-planning poll (see Step() and plan.h); superseded
+  // by options.replan_poller when the facade shares its own.
   ReplanPoller replan_poller_;
 
   size_t steps_taken_ = 0;

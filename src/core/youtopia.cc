@@ -7,7 +7,7 @@
 namespace youtopia {
 
 Youtopia::Youtopia(uint64_t seed)
-    : agent_(std::make_unique<RandomAgent>(seed)) {}
+    : seed_(seed), agent_(std::make_unique<RandomAgent>(seed)) {}
 
 Status Youtopia::CreateRelation(std::string name,
                                 std::vector<std::string> attributes) {
@@ -97,7 +97,15 @@ Result<TupleData> Youtopia::ResolveValues(
 }
 
 UpdateReport Youtopia::RunSerial(WriteOp op) {
-  Update update(next_number_++, std::move(op), &tgds_);
+  UpdateOptions uopts;
+  // Facade-level generation counter (see ReplanPoller): nothing but chase
+  // writes mutate this repository between serial updates, so sharing one
+  // watermark across them skips the per-step staleness poll entirely until
+  // the database has actually moved a stride. Mapping changes need no
+  // generation bump: AddMapping/RebuildQueryPlans recompile against the
+  // live database at the moment of change.
+  uopts.replan_poller = &replan_poller_;
+  Update update(next_number_++, std::move(op), &tgds_, uopts);
   update.RunToCompletion(&db_, agent_.get());
   UpdateReport report;
   report.number = update.number();
@@ -143,18 +151,20 @@ Result<UpdateReport> Youtopia::ReplaceNull(std::string_view null_name,
       WriteOp::NullReplace(it->second, db_.InternConstant(constant)));
 }
 
-Status Youtopia::QueueInsert(std::string_view relation,
-                             const std::vector<std::string>& values) {
+Status Youtopia::QueueInsertInto(std::vector<WriteOp>* queue,
+                                 std::string_view relation,
+                                 const std::vector<std::string>& values) {
   Result<RelationId> rel = db_.catalog().Find(relation);
   if (!rel.ok()) return rel.status();
   Result<TupleData> data = ResolveValues(*rel, values, /*allow_new_nulls=*/true);
   if (!data.ok()) return data.status();
-  queued_.push_back(WriteOp::Insert(*rel, std::move(data).value()));
+  queue->push_back(WriteOp::Insert(*rel, std::move(data).value()));
   return Status::Ok();
 }
 
-Status Youtopia::QueueDelete(std::string_view relation,
-                             const std::vector<std::string>& values) {
+Status Youtopia::QueueDeleteInto(std::vector<WriteOp>* queue,
+                                 std::string_view relation,
+                                 const std::vector<std::string>& values) {
   Result<RelationId> rel = db_.catalog().Find(relation);
   if (!rel.ok()) return rel.status();
   Result<TupleData> data =
@@ -165,8 +175,18 @@ Status Youtopia::QueueDelete(std::string_view relation,
     return Status::NotFound("no such tuple in '" + std::string(relation) +
                             "'");
   }
-  queued_.push_back(WriteOp::Delete(*rel, *row));
+  queue->push_back(WriteOp::Delete(*rel, *row));
   return Status::Ok();
+}
+
+Status Youtopia::QueueInsert(std::string_view relation,
+                             const std::vector<std::string>& values) {
+  return QueueInsertInto(&queued_, relation, values);
+}
+
+Status Youtopia::QueueDelete(std::string_view relation,
+                             const std::vector<std::string>& values) {
+  return QueueDeleteInto(&queued_, relation, values);
 }
 
 Result<SchedulerStats> Youtopia::RunQueued(TrackerKind tracker) {
@@ -181,6 +201,42 @@ Result<SchedulerStats> Youtopia::RunQueued(TrackerKind tracker) {
                                             options.first_number +
                                             scheduler.stats().aborts);
   return scheduler.stats();
+}
+
+Status Youtopia::InsertAsync(std::string_view relation,
+                             const std::vector<std::string>& values) {
+  return QueueInsertInto(&async_queued_, relation, values);
+}
+
+Status Youtopia::DeleteAsync(std::string_view relation,
+                             const std::vector<std::string>& values) {
+  return QueueDeleteInto(&async_queued_, relation, values);
+}
+
+Status Youtopia::ReplaceNullAsync(std::string_view null_name,
+                                  std::string_view constant) {
+  auto it = named_nulls_.find(std::string(null_name));
+  if (it == named_nulls_.end()) {
+    return Status::NotFound("unknown labeled null '" + std::string(null_name) +
+                            "'");
+  }
+  async_queued_.push_back(
+      WriteOp::NullReplace(it->second, db_.InternConstant(constant)));
+  return Status::Ok();
+}
+
+Result<ParallelStats> Youtopia::Drain(size_t workers, TrackerKind tracker) {
+  ParallelSchedulerOptions options;
+  options.num_workers = std::max<size_t>(workers, 1);
+  options.tracker = tracker;
+  options.first_number = next_number_;
+  options.agent_seed = seed_;
+  ParallelScheduler scheduler(&db_, &tgds_, std::move(options));
+  for (WriteOp& op : async_queued_) scheduler.Submit(std::move(op));
+  async_queued_.clear();
+  const ParallelStats stats = scheduler.Drain();
+  next_number_ = std::max(next_number_, scheduler.next_number());
+  return stats;
 }
 
 Result<Youtopia::QueryAnswer> Youtopia::Query(

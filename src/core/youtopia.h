@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ccontrol/parallel/parallel_scheduler.h"
 #include "ccontrol/scheduler.h"
 #include "core/agent.h"
 #include "core/update.h"
@@ -93,6 +94,27 @@ class Youtopia {
   // the given cascading-abort algorithm and returns the run's statistics.
   Result<SchedulerStats> RunQueued(TrackerKind tracker);
 
+  // --- Parallel batches (the sharded worker-pool scheduler) -----------------
+
+  // Queues operations for the next Drain(). Unlike Queue*/RunQueued — which
+  // interleave everything through one serial engine — Drain partitions the
+  // queued updates by tgd-closure footprint and runs disjoint shards on
+  // concurrent worker threads (see ccontrol/parallel/).
+  Status InsertAsync(std::string_view relation,
+                     const std::vector<std::string>& values);
+  Status DeleteAsync(std::string_view relation,
+                     const std::vector<std::string>& values);
+  // Null replacements are inherently cross-shard; they run through the
+  // drain's footprint-locked serial engine.
+  Status ReplaceNullAsync(std::string_view null_name,
+                          std::string_view constant);
+
+  // Runs every *Async operation queued since the last Drain on `workers`
+  // threads (clamped to the schema's component count) and returns the
+  // merged statistics. The repository is quiescent again when this returns.
+  Result<ParallelStats> Drain(size_t workers = 2,
+                              TrackerKind tracker = TrackerKind::kCoarse);
+
   // --- Queries --------------------------------------------------------------
 
   struct QueryAnswer {
@@ -128,18 +150,34 @@ class Youtopia {
 
   uint64_t next_update_number() const { return next_number_; }
 
+  // The facade's persistent re-planning watermark (see UpdateOptions::
+  // replan_poller): serial updates share it, so an Insert over a database
+  // that has not moved a full mutation stride since the previous update
+  // skips the per-step staleness poll entirely. Exposed for tests.
+  const ReplanPoller& replan_poller() const { return replan_poller_; }
+
  private:
   Result<TupleData> ResolveValues(RelationId rel,
                                   const std::vector<std::string>& values,
                                   bool allow_new_nulls);
+  // Shared bodies of Queue{Insert,Delete} and {Insert,Delete}Async.
+  Status QueueInsertInto(std::vector<WriteOp>* queue,
+                         std::string_view relation,
+                         const std::vector<std::string>& values);
+  Status QueueDeleteInto(std::vector<WriteOp>* queue,
+                         std::string_view relation,
+                         const std::vector<std::string>& values);
   UpdateReport RunSerial(WriteOp op);
 
   Database db_;
   std::vector<Tgd> tgds_;
+  uint64_t seed_;
   std::unique_ptr<FrontierAgent> agent_;
   std::unordered_map<std::string, Value> named_nulls_;
   std::vector<WriteOp> queued_;
+  std::vector<WriteOp> async_queued_;
   uint64_t next_number_ = 1;
+  ReplanPoller replan_poller_;
 };
 
 }  // namespace youtopia

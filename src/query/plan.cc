@@ -37,6 +37,13 @@ std::vector<size_t> BoundColumns(const Atom& atom, uint64_t mask) {
 // (whose materialization and per-write maintenance are not free).
 constexpr double kCompositeProbeBreakEven = 4.0;
 
+// Skew nudge: the uniform-bucket estimate N/distinct understates a probe
+// that lands in a hot value. Once a column's tracked largest bucket exceeds
+// this multiple of the uniform bucket, the cost model charges the probe the
+// hot bucket itself — a pessimistic bound, but the right one for exactly the
+// columns where uniformity has already visibly failed.
+constexpr double kSkewNudgeRatio = 4.0;
+
 // Estimated cost of executing one atom next under the binding prefix `mask`
 // (see the cost model in plan.h).
 struct AtomEstimate {
@@ -64,7 +71,13 @@ AtomEstimate EstimateAtom(const Atom& atom, uint64_t mask,
     const double distinct =
         std::max<double>(1.0, static_cast<double>(rel.distinct_values(c)));
     out /= distinct;
-    best_single = std::min(best_single, n / distinct);
+    double per_probe = n / distinct;
+    // Skew-aware nudge: charge the hot bucket where the column's skew ratio
+    // exceeds kSkewNudgeRatio x uniform (max_bucket is already maintained by
+    // the write path; this read is owner-thread-only like distinct_values).
+    const double hot = static_cast<double>(rel.max_bucket(c));
+    if (hot >= kSkewNudgeRatio * per_probe) per_probe = hot;
+    best_single = std::min(best_single, per_probe);
   }
   e.out = out;
   if (bound.size() >= 2 && best_single - out >= kCompositeProbeBreakEven) {

@@ -87,10 +87,16 @@ struct QueryPlan {
 // bound column c (attribute-independence assumption):
 //
 //   rows produced  out   = N * prod_c sel(c)
-//   single probe   fetch = min_c N * sel(c)   (executor picks the cheapest
+//   single probe   fetch = min_c cost(c)      (executor picks the cheapest
 //                                              actual bucket at runtime)
 //   composite      fetch = out                (probe over all bound columns)
 //   scan           fetch = N                  (no bound column)
+//
+// where cost(c) = N * sel(c) normally, nudged up to the column's tracked
+// max_bucket when that hot bucket exceeds 4x the uniform estimate — a
+// pessimistic bound for columns whose value distribution has already
+// visibly broken the uniformity assumption (skewed probes then lose to
+// alternative orders or to a composite index).
 //
 // Greedy order: the atom minimizing fetch + out next (fetch is this step's
 // rows examined; out multiplies every later step), ties to the statically
@@ -197,11 +203,18 @@ class ReplanPoller {
   bool ShouldPoll(const Database& db) {
     if (db.next_seq() < last_seq_ + kReplanPollWriteStride) return false;
     last_seq_ = db.next_seq();
+    ++fired_;
     return true;
   }
 
+  // Times ShouldPoll returned true (tests: the facade-level shared
+  // watermark must not re-fire for every new update over an unchanged
+  // database).
+  uint64_t fired() const { return fired_; }
+
  private:
   uint64_t last_seq_ = 0;
+  uint64_t fired_ = 0;
 };
 
 // --- Violation-query fingerprints -----------------------------------------

@@ -14,8 +14,9 @@ Result<RelationId> Database::CreateRelation(
   return id;
 }
 
-std::vector<PhysicalWrite> Database::Apply(const WriteOp& op,
-                                           uint64_t update_number) {
+std::vector<PhysicalWrite> Database::Apply(
+    const WriteOp& op, uint64_t update_number,
+    const std::vector<TupleRef>* replace_occurrences) {
   std::vector<PhysicalWrite> out;
   switch (op.kind) {
     case WriteOp::Kind::kInsert: {
@@ -26,7 +27,7 @@ std::vector<PhysicalWrite> Database::Apply(const WriteOp& op,
         return out;
       }
       const RowId row = relations_[op.rel].AppendInsertRow(
-          update_number, next_seq_++, op.data);
+          update_number, TakeSeq(), op.data);
       RegisterNullOccurrences(op.rel, row, op.data);
       PhysicalWrite w;
       w.kind = WriteKind::kInsert;
@@ -42,7 +43,7 @@ std::vector<PhysicalWrite> Database::Apply(const WriteOp& op,
                                                             update_number);
       if (old == nullptr) return out;  // already gone for this writer
       TupleData old_copy = *old;
-      relations_[op.rel].AppendVersion(op.row, update_number, next_seq_++,
+      relations_[op.rel].AppendVersion(op.row, update_number, TakeSeq(),
                                        WriteKind::kDelete, old_copy);
       PhysicalWrite w;
       w.kind = WriteKind::kDelete;
@@ -56,8 +57,14 @@ std::vector<PhysicalWrite> Database::Apply(const WriteOp& op,
       CHECK(op.from.is_null());
       // Snapshot the occurrence list first: modifying rows appends new
       // occurrences (when `to` is itself a null) and must not be re-visited.
-      const std::vector<TupleRef> occurrences =
-          nulls_.Occurrences(op.from);  // copy
+      // A caller-validated snapshot is used in place (it was already
+      // copied once by the admission check).
+      const std::vector<TupleRef> registry_copy =
+          replace_occurrences == nullptr ? nulls_.Occurrences(op.from)
+                                         : std::vector<TupleRef>();
+      const std::vector<TupleRef>& occurrences =
+          replace_occurrences != nullptr ? *replace_occurrences
+                                         : registry_copy;
       for (const TupleRef& ref : occurrences) {
         const TupleData* cur =
             relations_[ref.rel].VisibleData(ref.row, update_number);
@@ -73,7 +80,7 @@ std::vector<PhysicalWrite> Database::Apply(const WriteOp& op,
         w.row = ref.row;
         w.old_data = *cur;
         w.data = next;
-        relations_[ref.rel].AppendVersion(ref.row, update_number, next_seq_++,
+        relations_[ref.rel].AppendVersion(ref.row, update_number, TakeSeq(),
                                           WriteKind::kModify, next);
         RegisterNullOccurrences(ref.rel, ref.row, w.data);
         out.push_back(std::move(w));

@@ -1,6 +1,7 @@
 #ifndef YOUTOPIA_RELATIONAL_DATABASE_H_
 #define YOUTOPIA_RELATIONAL_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string_view>
@@ -24,6 +25,20 @@ namespace youtopia {
 //
 // Update number 0 is reserved for "pre-existing" data: tuples visible to
 // every reader (used when seeding a database directly).
+//
+// Threading model (see also ccontrol/parallel/ and the README's "Threading
+// model" section): the database object itself is not a monitor. Safe
+// concurrent use relies on the shard-ownership discipline the parallel
+// scheduler enforces —
+//   * the catalog and symbol table are frozen before concurrent execution
+//     starts (schema DDL and mapping parsing happen at setup time);
+//   * each VersionedRelation is read and written by at most one thread at a
+//     time (the owning shard worker, or a cross-shard engine holding the
+//     component's footprint lock);
+//   * the labeled-null registry is shared and internally synchronized
+//     (nulls are global identities that may span shards);
+//   * next_seq() is a process-wide atomic so writes from any shard advance
+//     the mutation sequence the strided re-planning polls watch.
 class Database {
  public:
   Database() = default;
@@ -67,7 +82,16 @@ class Database {
   // already visible to the writer performs no physical write. Deleting an
   // invisible row performs no physical write. A null replacement modifies
   // every row whose writer-visible content contains the null.
-  std::vector<PhysicalWrite> Apply(const WriteOp& op, uint64_t update_number);
+  //
+  // `replace_occurrences` (kNullReplace only): the occurrence snapshot to
+  // apply over, instead of re-reading the registry. Callers that validated
+  // the replacement's footprint against a snapshot (the shard-admission
+  // guard, Update::WritesStayWithin) MUST pass that same snapshot —
+  // re-reading here could see occurrences registered after the check and
+  // write to relations the check never saw.
+  std::vector<PhysicalWrite> Apply(
+      const WriteOp& op, uint64_t update_number,
+      const std::vector<TupleRef>* replace_occurrences = nullptr);
 
   // Removes every version created by `update_number` across all relations
   // (abort undo). Returns the number of versions removed.
@@ -99,25 +123,31 @@ class Database {
   // version removals (abort undo, rewind). The adaptive re-planning polls
   // stride on it, so "next_seq moved" must mean "cardinalities may have
   // moved" — removals change visible-row counts just like writes do.
-  uint64_t next_seq() const { return next_seq_; }
+  // Atomic (relaxed): concurrent shard workers bump and poll it; the value
+  // is a heuristic watermark, never a synchronization point.
+  uint64_t next_seq() const { return next_seq_.load(std::memory_order_relaxed); }
 
  private:
   void RegisterNullOccurrences(RelationId rel, RowId row,
                                const TupleData& data);
+
+  // Claims the next mutation-sequence tick (version stamps are assigned
+  // through here).
+  uint64_t TakeSeq() { return next_seq_.fetch_add(1, std::memory_order_relaxed); }
 
   // Accounts removed versions in the mutation sequence (one tick per
   // removed version, mirroring one tick per written version) so the
   // strided staleness polls cannot stay dormant through a bulk abort or
   // rewind that shifted cardinalities without any new write.
   void NoteMutation(size_t removed_versions) {
-    next_seq_ += removed_versions;
+    next_seq_.fetch_add(removed_versions, std::memory_order_relaxed);
   }
 
   Catalog catalog_;
   std::vector<VersionedRelation> relations_;
   SymbolTable symbols_;
   NullRegistry nulls_;
-  uint64_t next_seq_ = 1;
+  std::atomic<uint64_t> next_seq_{1};
 };
 
 // A read view of the database for one reader (update priority number).

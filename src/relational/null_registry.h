@@ -1,7 +1,9 @@
 #ifndef YOUTOPIA_RELATIONAL_NULL_REGISTRY_H_
 #define YOUTOPIA_RELATIONAL_NULL_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +19,14 @@ namespace youtopia {
 // eagerly removed when a tuple version is superseded or an update aborts.
 // Consumers must re-verify against the version visible to their reader; see
 // Snapshot::ForEachOccurrence.
+//
+// Threading: unlike relation storage (owned by exactly one shard worker at a
+// time, see relation.h), the registry is shared by every concurrent chase —
+// labeled nulls are global identities, and a null seeded into two shards'
+// tuples is reachable from both. Fresh() is a lone atomic counter;
+// the occurrence index takes a mutex on both paths. Occurrences() therefore
+// returns a copy: handing out a reference into the map would race with a
+// concurrent AddOccurrence growing the same bucket.
 class NullRegistry {
  public:
   NullRegistry() = default;
@@ -24,20 +34,27 @@ class NullRegistry {
   NullRegistry& operator=(const NullRegistry&) = delete;
 
   // Allocates a fresh labeled null, distinct from all previous ones.
-  Value Fresh() { return Value::Null(next_id_++); }
+  // Thread-safe (lock-free).
+  Value Fresh() {
+    return Value::Null(next_id_.fetch_add(1, std::memory_order_relaxed));
+  }
 
   // Records that the tuple `ref` (at some version) contains `null_value`.
+  // Thread-safe.
   void AddOccurrence(const Value& null_value, const TupleRef& ref);
 
-  // All tuples that have ever contained `null_value` (possibly stale).
-  const std::vector<TupleRef>& Occurrences(const Value& null_value) const;
+  // All tuples that have ever contained `null_value` (possibly stale). By
+  // value: see the threading note above.
+  std::vector<TupleRef> Occurrences(const Value& null_value) const;
 
-  uint64_t num_allocated() const { return next_id_; }
+  uint64_t num_allocated() const {
+    return next_id_.load(std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t next_id_ = 0;
+  std::atomic<uint64_t> next_id_{0};
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::vector<TupleRef>> occurrences_;
-  std::vector<TupleRef> empty_;
 };
 
 }  // namespace youtopia

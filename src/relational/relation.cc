@@ -37,7 +37,7 @@ VersionedRelation::VersionedRelation(size_t arity) : arity_(arity) {
 
 StatsSnapshot VersionedRelation::Stats() const {
   StatsSnapshot s;
-  s.visible_rows = visible_rows_;
+  s.visible_rows = visible_rows();
   s.num_versions = num_versions_;
   s.columns.resize(arity_);
   for (size_t c = 0; c < arity_; ++c) {
@@ -57,7 +57,7 @@ RowId VersionedRelation::AppendInsertRow(uint64_t update_number, uint64_t seq,
       TupleVersion{update_number, seq, WriteKind::kInsert, std::move(data)});
   rows_.back().newest = 0;
   ++num_versions_;
-  ++visible_rows_;
+  visible_rows_.fetch_add(1, std::memory_order_relaxed);
   return row;
 }
 

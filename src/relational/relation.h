@@ -2,6 +2,7 @@
 #define YOUTOPIA_RELATIONAL_RELATION_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <type_traits>
 #include <unordered_map>
@@ -69,12 +70,33 @@ struct StatsSnapshot {
 //     (EnsureCompositeIndex) for the probes compiled query plans ask for.
 // Removals (abort undo, experiment rewind) count the entries they strand;
 // past a threshold the indexes are rebuilt from the surviving versions.
+//
+// Threading — the per-shard write ownership invariant: a relation has at
+// most one owner thread at a time (the shard worker its tgd-closure
+// component is pinned to, or a cross-shard engine holding the component's
+// footprint lock), and every row/index/statistics access except
+// visible_rows() requires ownership. Ownership hand-offs happen only
+// through the footprint mutexes, which provide the happens-before edge.
+// visible_rows() alone is an atomic (relaxed) counter: it feeds the plan
+// staleness predicate, which foreign threads may evaluate without taking
+// ownership; distinct_values()/max_bucket() are container reads and stay
+// owner-only (the planner only ever costs relations its own shard owns).
 class VersionedRelation {
  public:
   explicit VersionedRelation(size_t arity);
   VersionedRelation(const VersionedRelation&) = delete;
   VersionedRelation& operator=(const VersionedRelation&) = delete;
-  VersionedRelation(VersionedRelation&&) = default;
+  // Manual: std::atomic is not movable. Moves happen only during
+  // single-threaded schema creation (catalog growth).
+  VersionedRelation(VersionedRelation&& other) noexcept
+      : arity_(other.arity_),
+        num_versions_(other.num_versions_),
+        stale_removals_(other.stale_removals_),
+        visible_rows_(other.visible_rows_.load(std::memory_order_relaxed)),
+        max_bucket_(std::move(other.max_bucket_)),
+        rows_(std::move(other.rows_)),
+        indexes_(std::move(other.indexes_)),
+        composites_(std::move(other.composites_)) {}
 
   size_t arity() const { return arity_; }
   size_t num_rows() const { return rows_.size(); }
@@ -87,8 +109,11 @@ class VersionedRelation {
   // on the per-row execution path.
 
   // Rows whose newest version is not a tombstone (exact; the visibility any
-  // sufficiently high-numbered reader sees).
-  size_t visible_rows() const { return visible_rows_; }
+  // sufficiently high-numbered reader sees). Safe to read from any thread
+  // (relaxed atomic; see the threading note above).
+  size_t visible_rows() const {
+    return visible_rows_.load(std::memory_order_relaxed);
+  }
 
   // Buckets in the per-column hash index (distinct indexed values, counting
   // values only stale entries still reference until compaction).
@@ -308,14 +333,17 @@ class VersionedRelation {
     const bool was_live = NewestIsLive(row);
     mutate();
     if (NewestIsLive(row) != was_live) {
-      was_live ? --visible_rows_ : ++visible_rows_;
+      // Only the owner thread mutates, so relaxed RMW is enough; atomicity
+      // is for the foreign staleness-poll readers.
+      visible_rows_.fetch_add(was_live ? size_t(-1) : size_t(1),
+                              std::memory_order_relaxed);
     }
   }
 
   size_t arity_;
   size_t num_versions_ = 0;
   size_t stale_removals_ = 0;
-  size_t visible_rows_ = 0;
+  std::atomic<size_t> visible_rows_{0};
   // Per column: largest index bucket since the last compaction.
   std::vector<size_t> max_bucket_;
   std::vector<Row> rows_;

@@ -52,6 +52,7 @@ void ExperimentDriver::BuildRepository(bool verbose,
 
   MappingGenOptions mapping_opts;
   mapping_opts.count = config_.num_mappings_total;
+  mapping_opts.num_islands = config_.islands;
   tgds_ = GenerateMappings(db_, constants_, &rng_, mapping_opts);
 
   if (verbose) {
@@ -111,30 +112,51 @@ ExperimentResult ExperimentDriver::Run(bool verbose) {
         db_.RemoveVersionsAbove(0);  // rewind to the initial database
         // Same agent seed across trackers: all three algorithms replay
         // identical workloads with identical simulated-user behavior.
-        RandomAgent agent(config_.seed + 31 * run);
-        SchedulerOptions sched_opts;
-        sched_opts.tracker = kTrackers[t];
-        sched_opts.max_steps_per_update = config_.max_steps_per_update;
-        sched_opts.max_attempts_per_update = config_.max_attempts_per_update;
-        Scheduler scheduler(&db_, &active, &agent, sched_opts);
-        for (const WriteOp& op : ops) scheduler.Submit(op);
+        SchedulerStats run_stats;
+        double seconds = 0;
+        if (config_.workers <= 1) {
+          RandomAgent agent(config_.seed + 31 * run);
+          SchedulerOptions sched_opts;
+          sched_opts.tracker = kTrackers[t];
+          sched_opts.max_steps_per_update = config_.max_steps_per_update;
+          sched_opts.max_attempts_per_update =
+              config_.max_attempts_per_update;
+          Scheduler scheduler(&db_, &active, &agent, sched_opts);
+          for (const WriteOp& op : ops) scheduler.Submit(op);
 
-        const auto start = std::chrono::steady_clock::now();
-        scheduler.RunToCompletion();
-        const double seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start)
-                .count();
-        result.cells[mi][t].Accumulate(scheduler.stats(), seconds);
+          const auto start = std::chrono::steady_clock::now();
+          scheduler.RunToCompletion();
+          seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+          run_stats = scheduler.stats();
+        } else {
+          ParallelSchedulerOptions popts;
+          popts.num_workers = config_.workers;
+          popts.tracker = kTrackers[t];
+          popts.max_steps_per_update = config_.max_steps_per_update;
+          popts.max_attempts_per_update = config_.max_attempts_per_update;
+          popts.agent_seed = config_.seed + 31 * run;
+          ParallelScheduler scheduler(&db_, &active, popts);
+          // Submission is part of the measured run: workers start chasing
+          // as soon as ops land in their inboxes.
+          const auto start = std::chrono::steady_clock::now();
+          for (const WriteOp& op : ops) scheduler.Submit(op);
+          run_stats = scheduler.Drain().totals;
+          seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        }
+        result.cells[mi][t].Accumulate(run_stats, seconds);
         if (verbose) {
           std::fprintf(
               stderr,
               "[experiment] m=%zu run=%zu %s: aborts=%llu cascading_req=%llu "
               "time=%.3fs\n",
               mapping_count, run, TrackerKindName(kTrackers[t]),
-              static_cast<unsigned long long>(scheduler.stats().aborts),
+              static_cast<unsigned long long>(run_stats.aborts),
               static_cast<unsigned long long>(
-                  scheduler.stats().cascading_abort_requests),
+                  run_stats.cascading_abort_requests),
               seconds);
         }
       }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "ccontrol/parallel/parallel_scheduler.h"
 #include "ccontrol/scheduler.h"
 #include "relational/database.h"
 #include "tgd/tgd.h"
@@ -27,6 +28,17 @@ struct ExperimentConfig {
   double delete_fraction = 0.0;  // 0.2 for the mixed workload (Figure 4)
   size_t runs = 100;             // data points are averages over runs
   uint64_t seed = 1;
+
+  // Execution engine: 1 = the serial Scheduler (the paper's setup); > 1 =
+  // the sharded ParallelScheduler with this many workers (effective
+  // parallelism is bounded by the schema's tgd-closure component count —
+  // see islands below and ccontrol/parallel/).
+  size_t workers = 1;
+  // Partition mappings into this many disjoint relation islands
+  // (MappingGenOptions::num_islands). 1 keeps the paper's dense connected
+  // mapping graph, under which the parallel scheduler degenerates to one
+  // shard.
+  size_t islands = 1;
 
   // NAIVE is only run up to this mapping count (the paper likewise shows
   // only its first points; its abort counts dwarf the others).

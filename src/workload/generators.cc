@@ -25,13 +25,13 @@ size_t PickSize(Rng* rng, const double weights[3]) {
   return 3;
 }
 
-// Chooses `k` distinct relation ids uniformly.
-std::vector<RelationId> PickRelations(const Database& db, Rng* rng, size_t k) {
-  const size_t n = db.num_relations();
-  CHECK_GE(n, k);
+// Chooses `k` distinct relation ids uniformly from [lo, hi).
+std::vector<RelationId> PickRelations(Rng* rng, size_t k, size_t lo,
+                                      size_t hi) {
+  CHECK_GE(hi - lo, k);
   std::vector<RelationId> out;
   while (out.size() < k) {
-    const RelationId r = static_cast<RelationId>(rng->Uniform(n));
+    const RelationId r = static_cast<RelationId>(lo + rng->Uniform(hi - lo));
     if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
   }
   return out;
@@ -68,11 +68,19 @@ std::vector<Tgd> GenerateMappings(const Database& db,
                                   Rng* rng,
                                   const MappingGenOptions& options) {
   std::vector<Tgd> out;
+  const size_t n = db.num_relations();
+  const size_t islands = std::max<size_t>(options.num_islands, 1);
+  CHECK_GE(n, islands * 3);  // an island must fit a 3-atom side
   while (out.size() < options.count) {
+    // Round-robin the mappings across islands; with islands == 1 the range
+    // is the whole schema and this is the paper's unconstrained generator.
+    const size_t island = out.size() % islands;
+    const size_t lo = island * n / islands;
+    const size_t hi = (island + 1) * n / islands;
     const std::vector<RelationId> lhs_rels =
-        PickRelations(db, rng, PickSize(rng, options.size_weights));
+        PickRelations(rng, PickSize(rng, options.size_weights), lo, hi);
     const std::vector<RelationId> rhs_rels =
-        PickRelations(db, rng, PickSize(rng, options.size_weights));
+        PickRelations(rng, PickSize(rng, options.size_weights), lo, hi);
 
     VarId next_var = 0;
     std::vector<VarId> lhs_vars;

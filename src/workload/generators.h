@@ -38,6 +38,14 @@ std::vector<Value> GenerateConstantPool(Database* db, Rng* rng, size_t count);
 
 struct MappingGenOptions {
   size_t count = 100;
+  // Partition the schema into this many disjoint relation islands
+  // (contiguous id blocks) and keep every mapping's relations within one
+  // island, round-robining mappings across islands. With islands > 1 the
+  // tgd-closure components stay disjoint, which is the workload shape the
+  // sharded parallel scheduler pins without cross-shard admission (see
+  // ccontrol/parallel/ and bench/parallel_scale.cc). 1 = the paper's
+  // unconstrained generator.
+  size_t num_islands = 1;
   // P(1 atom), P(2 atoms), P(3 atoms) per side — "smaller sets have higher
   // probability, as humans are highly unlikely to create mappings with more
   // than one or two atoms on either side".

@@ -266,6 +266,88 @@ TEST(PlannerStatsTest, StatsOrderingBeatsStaticOnSkewedJoin) {
       << "static=" << static_rows << " stats=" << stats_rows;
 }
 
+// --- Skew-aware estimate nudge -----------------------------------------------
+
+// Sk(a, b, n): 1000 rows whose column a has 500 distinct values but one hot
+// value 'h' covering 501 rows — max bucket 501 >> 4x the uniform estimate of
+// 2 — while column b holds two values of 500 rows each (dense but exactly
+// uniform: a 500-row bucket the uniform model already predicts). Uni is the
+// unskewed control with the same distinct counts; Mid is a 20-row side
+// relation for the ordering golden. Column n makes every tuple distinct
+// (set-semantics inserts would otherwise collapse the hot bucket).
+struct SkewNudgeFixture {
+  Database db;
+  RelationId sk, uni, mid;
+
+  SkewNudgeFixture() {
+    sk = *db.CreateRelation("Sk", {"a", "b", "n"});
+    uni = *db.CreateRelation("Uni", {"a", "b", "n"});
+    mid = *db.CreateRelation("Mid", {"u"});
+    const Value h = db.InternConstant("h");
+    const Value x = db.InternConstant("x");
+    const Value y = db.InternConstant("y");
+    size_t row = 0;
+    auto insert3 = [&](RelationId rel, Value a) {
+      const Value b = (row % 2 == 0) ? x : y;
+      db.Apply(WriteOp::Insert(
+                   rel, {a, b, db.InternConstant("n" + std::to_string(row))}),
+               0);
+      ++row;
+    };
+    for (size_t i = 0; i < 501; ++i) insert3(sk, h);
+    for (size_t i = 0; i < 499; ++i) {
+      insert3(sk, db.InternConstant("u" + std::to_string(i)));
+    }
+    for (size_t i = 0; i < 500; ++i) {
+      const Value a = db.InternConstant("c" + std::to_string(i));
+      insert3(uni, a);
+      insert3(uni, a);
+    }
+    for (size_t i = 0; i < 20; ++i) {
+      db.Apply(WriteOp::Insert(
+                   mid, {db.InternConstant("m" + std::to_string(i))}),
+               0);
+    }
+  }
+
+  QueryPlan CompileStats(const char* text) {
+    TgdParser parser(&db.catalog(), &db.symbols());
+    auto q = parser.ParseQuery(text);
+    CHECK(q.ok());
+    return Planner::Compile(q->body, 0, std::nullopt, &db);
+  }
+};
+
+TEST(PlannerSkewTest, HotBucketPushesProbeToCompositeIndex) {
+  SkewNudgeFixture fix;
+  ASSERT_EQ(fix.db.relation(fix.sk).max_bucket(0), 501u);
+  // Uniform cost alone keeps the cheap-looking a-probe (estimate 2 rows);
+  // the nudge charges the 501-row hot bucket, making the composite worth
+  // its maintenance.
+  EXPECT_EQ(fix.CompileStats("Sk('h', 'x', w)").ToString(fix.db.catalog()),
+            "[0:Sk idx(0,1)]");
+  // The unskewed control with identical distinct counts keeps the single-
+  // column probe: its largest a-bucket is the uniform estimate itself.
+  EXPECT_EQ(fix.CompileStats("Uni('c0', 'x', w)").ToString(fix.db.catalog()),
+            "[0:Uni col(0,1)]");
+}
+
+TEST(PlannerSkewTest, HotBucketReordersJoinAroundTheSkewedProbe) {
+  SkewNudgeFixture fix;
+  // Statically Sk leads (one bound column beats Mid's zero)...
+  TgdParser parser(&fix.db.catalog(), &fix.db.symbols());
+  auto q = parser.ParseQuery("Sk('h', u, w) & Mid(u)");
+  ASSERT_TRUE(q.ok());
+  const QueryPlan static_plan = Planner::Compile(q->body, 0, std::nullopt);
+  EXPECT_EQ(static_plan.steps[0].atom_index, 0u);
+  // ...but the nudged cost model sees the probe landing in the hot bucket,
+  // scans 20-row Mid first and enters Sk with both columns bound through
+  // the composite index.
+  EXPECT_EQ(fix.CompileStats("Sk('h', u, w) & Mid(u)")
+                .ToString(fix.db.catalog()),
+            "[1:Mid scan() -> 0:Sk idx(0,1)]");
+}
+
 TEST(PlannerStatsTest, CostedPlansCarryCardinalityStamps) {
   SkewFixture fix;
   const QueryPlan stats_plan =

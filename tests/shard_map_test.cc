@@ -1,0 +1,88 @@
+#include "ccontrol/parallel/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace youtopia {
+namespace {
+
+using testing_util::Figure2;
+
+TEST(ShardMapTest, Figure2SplitsIntoTwoComponents) {
+  Figure2 fig;
+  ShardMap map(fig.db.num_relations(), fig.tgds, 4);
+  // sigma1/sigma2 tie {C, S}; sigma3 ties {A, T, R}; sigma4 ties {V, T, E}
+  // into the same component through T.
+  ASSERT_EQ(map.num_components(), 2u);
+  EXPECT_EQ(map.num_shards(), 2u);  // clamped: 4 workers, 2 components
+  EXPECT_EQ(map.ComponentOf(fig.C), map.ComponentOf(fig.S));
+  EXPECT_EQ(map.ComponentOf(fig.A), map.ComponentOf(fig.T));
+  EXPECT_EQ(map.ComponentOf(fig.A), map.ComponentOf(fig.R));
+  EXPECT_EQ(map.ComponentOf(fig.A), map.ComponentOf(fig.V));
+  EXPECT_EQ(map.ComponentOf(fig.A), map.ComponentOf(fig.E));
+  EXPECT_NE(map.ComponentOf(fig.C), map.ComponentOf(fig.A));
+  // Component ids ascend with their representative (minimum) relation ids —
+  // the lock-order key.
+  EXPECT_LT(map.RepresentativeOf(0), map.RepresentativeOf(1));
+  EXPECT_EQ(map.RepresentativeOf(map.ComponentOf(fig.C)), fig.C);
+  // Different components land on different shards here (2 and 2).
+  EXPECT_NE(map.ShardOfRelation(fig.C), map.ShardOfRelation(fig.T));
+  // Shard membership bitmaps partition the relations.
+  size_t owned = 0;
+  for (uint32_t s = 0; s < map.num_shards(); ++s) {
+    for (bool b : map.ShardRelations(s)) owned += b ? 1 : 0;
+  }
+  EXPECT_EQ(owned, fig.db.num_relations());
+}
+
+TEST(ShardMapTest, InsertAndDeleteFootprintsAreTheirComponent) {
+  Figure2 fig;
+  ShardMap map(fig.db.num_relations(), fig.tgds, 2);
+  std::vector<uint32_t> fp;
+  map.FootprintOf(WriteOp::Insert(fig.A, fig.Row({"Geneva", "Winery"})),
+                  fig.db, &fp);
+  ASSERT_EQ(fp.size(), 1u);
+  EXPECT_EQ(fp[0], map.ComponentOf(fig.A));
+  fp.clear();
+  map.FootprintOf(WriteOp::Delete(fig.V, 0), fig.db, &fp);
+  ASSERT_EQ(fp.size(), 1u);
+  EXPECT_EQ(fp[0], map.ComponentOf(fig.V));
+}
+
+TEST(ShardMapTest, NullReplaceFootprintFollowsOccurrences) {
+  Figure2 fig;
+  ShardMap map(fig.db.num_relations(), fig.tgds, 2);
+  // x1 was seeded into T and R tuples — both in the big component.
+  std::vector<uint32_t> fp;
+  map.FootprintOf(WriteOp::NullReplace(fig.x1, fig.Const("ACME")), fig.db,
+                  &fp);
+  ASSERT_EQ(fp.size(), 1u);
+  EXPECT_EQ(fp[0], map.ComponentOf(fig.T));
+  // Seed the same null into a C tuple: the footprint now spans both
+  // components, ascending.
+  fig.SeedRow(fig.C, {fig.x1});
+  fp.clear();
+  map.FootprintOf(WriteOp::NullReplace(fig.x1, fig.Const("ACME")), fig.db,
+                  &fp);
+  ASSERT_EQ(fp.size(), 2u);
+  EXPECT_LT(fp[0], fp[1]);
+}
+
+TEST(ShardMapTest, UnmappedRelationsAreSingletonComponents) {
+  Database db;
+  (void)*db.CreateRelation("R0", {"a"});
+  (void)*db.CreateRelation("R1", {"a"});
+  (void)*db.CreateRelation("R2", {"a"});
+  std::vector<Tgd> no_tgds;
+  ShardMap map(db.num_relations(), no_tgds, 2);
+  EXPECT_EQ(map.num_components(), 3u);
+  EXPECT_EQ(map.num_shards(), 2u);
+  // Greedy balance: three unit components over two shards -> loads 2 and 1.
+  size_t shard0 = 0;
+  for (bool b : map.ShardRelations(0)) shard0 += b ? 1 : 0;
+  EXPECT_TRUE(shard0 == 1 || shard0 == 2);
+}
+
+}  // namespace
+}  // namespace youtopia
