@@ -31,6 +31,8 @@ namespace bench {
 //                       parallelism needs --islands > 1, since the paper's
 //                       dense mapping graph is one tgd-closure component)
 //   --islands=N         partition mappings into N disjoint relation islands
+//   --zipf=T            Zipfian theta in [0, 1) for constant-pool draws
+//                       (default 0 = the paper's uniform pool)
 //   --verbose           progress to stderr
 // Applies the command-line flags on top of `config` — callers seed it with
 // their harness's defaults, so passing one flag overrides one knob instead
@@ -89,6 +91,17 @@ inline ExperimentConfig ParseFlagsOver(ExperimentConfig config, int argc,
       config.workers = static_cast<size_t>(intval("--workers=", 1, 1024));
     } else if (arg.rfind("--islands=", 0) == 0) {
       config.islands = static_cast<size_t>(intval("--islands=", 1, 1024));
+    } else if (arg.rfind("--zipf=", 0) == 0) {
+      const char* p = arg.c_str() + std::strlen("--zipf=");
+      char* end = nullptr;
+      errno = 0;
+      const double v = std::strtod(p, &end);
+      // [0, 1): ZipfianSampler's closed-form inversion requires theta < 1.
+      if (end == p || *end != '\0' || errno == ERANGE || v < 0.0 || v >= 1.0) {
+        std::fprintf(stderr, "bad value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      config.zipf_theta = v;
     } else if (arg.rfind("--mappings=", 0) == 0) {
       config.mapping_counts.clear();
       const char* p = arg.c_str() + std::strlen("--mappings=");
@@ -140,11 +153,12 @@ inline void PrintResult(const char* figure, const char* workload,
   std::printf("=== %s: %s workload ===\n", figure, workload);
   std::printf(
       "config: relations=%zu constants=%zu initial_tuples=%zu "
-      "updates/run=%zu runs=%zu seed=%llu workers=%zu islands=%zu\n",
+      "updates/run=%zu runs=%zu seed=%llu workers=%zu islands=%zu "
+      "zipf=%.2f\n",
       config.num_relations, config.num_constants, config.initial_tuples,
       config.updates_per_run, config.runs,
       static_cast<unsigned long long>(config.seed), config.workers,
-      config.islands);
+      config.islands, config.zipf_theta);
   std::printf("initial database: %zu visible tuples\n\n",
               result.initial.total_tuples);
 

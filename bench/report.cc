@@ -141,5 +141,58 @@ bool WriteParallelScaleJson(const std::string& name,
   return true;
 }
 
+bool WriteStreamingIngestJson(const std::string& name,
+                              const ExperimentConfig& config,
+                              const std::vector<StreamingIngestArm>& arms,
+                              bool replay_identical) {
+  const std::string path = BenchJsonPath(name);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n";
+  out << "  \"name\": \"" << name << "\",\n";
+  out << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"config\": {\n";
+  out << "    \"relations\": " << config.num_relations << ",\n";
+  out << "    \"mappings\": " << config.num_mappings_total << ",\n";
+  out << "    \"islands\": " << config.islands << ",\n";
+  out << "    \"workers\": " << config.workers << ",\n";
+  out << "    \"initial_tuples\": " << config.initial_tuples << ",\n";
+  out << "    \"ops\": " << config.updates_per_run << ",\n";
+  out << "    \"zipf_theta\": " << config.zipf_theta << ",\n";
+  out << "    \"seed\": " << config.seed << "\n";
+  out << "  },\n";
+  out << "  \"replay_identical\": " << (replay_identical ? "true" : "false")
+      << ",\n";
+  out << "  \"arms\": [\n";
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const StreamingIngestArm& a = arms[i];
+    out << "    {\"mode\": \"" << a.mode << "\", \"offered_rate\": "
+        << a.offered_rate << ", \"wall_seconds\": " << a.wall_seconds
+        << ", \"sustained_rate\": " << a.sustained_rate
+        << ", \"stall_p50_us\": " << a.stall_p50_us
+        << ", \"stall_p99_us\": " << a.stall_p99_us
+        << ", \"stall_max_us\": " << a.stall_max_us
+        << ", \"admission_stall_seconds\": " << a.admission_stall_seconds
+        << ", \"inbox_high_watermark\": " << a.inbox_high_watermark
+        << ", \"inbox_capacity\": " << a.inbox_capacity
+        << ", \"pinned\": " << a.pinned << ", \"cross_shard\": "
+        << a.cross_shard << ", \"escaped\": " << a.escaped << "}"
+        << (i + 1 < arms.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n";
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench: failed writing %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace bench
 }  // namespace youtopia

@@ -48,6 +48,36 @@ bool WriteParallelScaleJson(const std::string& name,
                             const ExperimentConfig& config,
                             const std::vector<ParallelScalePoint>& points);
 
+// One arm of the bench/streaming_ingest open-loop driver.
+struct StreamingIngestArm {
+  std::string mode;            // "unbounded" (closed loop) or "paced"
+  double offered_rate = 0;     // target ops/sec (0 = submit as fast as
+                               // the admission path admits)
+  double wall_seconds = 0;     // first submit until the Flush barrier
+  double sustained_rate = 0;   // retired ops per wall second
+  // Producer-observed admission latency per op (routing + any time blocked
+  // on a full inbox), in microseconds.
+  double stall_p50_us = 0;
+  double stall_p99_us = 0;
+  double stall_max_us = 0;
+  // Pipeline-side counters from ParallelStats.
+  double admission_stall_seconds = 0;
+  size_t inbox_high_watermark = 0;
+  size_t inbox_capacity = 0;
+  size_t pinned = 0;
+  size_t cross_shard = 0;
+  size_t escaped = 0;
+};
+
+// Writes BENCH_<name>.json for the streaming driver: generator config,
+// hardware concurrency, one record per offered-rate arm, and the result of
+// the committed-op serial-replay equivalence check (byte-identical final
+// database state).
+bool WriteStreamingIngestJson(const std::string& name,
+                              const ExperimentConfig& config,
+                              const std::vector<StreamingIngestArm>& arms,
+                              bool replay_identical);
+
 }  // namespace bench
 }  // namespace youtopia
 

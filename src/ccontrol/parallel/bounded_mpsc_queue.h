@@ -1,0 +1,164 @@
+#ifndef YOUTOPIA_CCONTROL_PARALLEL_BOUNDED_MPSC_QUEUE_H_
+#define YOUTOPIA_CCONTROL_PARALLEL_BOUNDED_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+
+namespace youtopia {
+
+// Outcome of a producer-side push against a bounded queue.
+enum class QueuePush {
+  kOk = 0,
+  kWouldBlock,  // queue full and the deadline passed (or was immediate)
+  kClosed,      // queue shut down while (or before) the producer waited
+};
+
+// A bounded blocking multi-producer single-consumer inbox — the admission
+// edge of the standing ingest pipeline. Capacity works like credits: a
+// producer that finds the queue full blocks until the consumer frees a slot,
+// until its deadline expires (kWouldBlock), or until shutdown (kClosed).
+// That blocked time IS the system's backpressure signal, so the queue
+// accounts it (stall_seconds) along with the depth high-watermark.
+//
+// The pinned chase hot path never touches the queue mid-update — one pop
+// admits one whole update — so queue overhead is per-update, not per-step,
+// and a mutex-guarded deque with two condition variables is the whole
+// implementation; lock-free cleverness would buy nothing measurable.
+//
+// ForcePush deliberately ignores the capacity: internal re-routing (escape
+// surrender, engine re-queues) may run while holding component locks that
+// the consumer needs to make progress, so blocking there could deadlock.
+// Only user-facing admission takes the credit path.
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(size_t capacity) : capacity_(capacity) {
+    CHECK_GT(capacity, 0u);
+  }
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  // Producer. Blocks while the queue is at capacity: forever when `deadline`
+  // is nullopt, else until `deadline` (a deadline in the past is the
+  // fast-fail mode — the lock is taken but nothing ever waits).
+  QueuePush Push(T item,
+                 const std::optional<std::chrono::steady_clock::time_point>&
+                     deadline = std::nullopt) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (items_.size() >= capacity_ && !closed_) {
+        const auto stall_start = std::chrono::steady_clock::now();
+        auto has_room = [&] { return items_.size() < capacity_ || closed_; };
+        if (deadline.has_value()) {
+          can_push_.wait_until(lock, *deadline, has_room);
+        } else {
+          can_push_.wait(lock, has_room);
+        }
+        stall_ns_.fetch_add(
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - stall_start)
+                    .count()),
+            std::memory_order_relaxed);
+        if (!closed_ && items_.size() >= capacity_) return QueuePush::kWouldBlock;
+      }
+      if (closed_) return QueuePush::kClosed;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+    }
+    can_pop_.notify_one();
+    return QueuePush::kOk;
+  }
+
+  // Producer, internal lanes only: never blocks and never fails — not even
+  // on a full or closed queue (see the class comment). Re-routed work is
+  // part of the already-admitted backlog, so it must land during shutdown
+  // drain too; callers are responsible for pushing only while the consumer
+  // is still guaranteed to drain (the pipeline's join order ensures this).
+  void ForcePush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push_back(std::move(item));
+      if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+    }
+    can_pop_.notify_one();
+  }
+
+  // Consumer: blocks until an item arrives or the queue is closed and
+  // drained. Returns false only in the latter case (shutdown).
+  bool WaitPop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_pop_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    can_push_.notify_one();
+    return true;
+  }
+
+  // Consumer: non-blocking variant.
+  bool TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    can_push_.notify_one();
+    return true;
+  }
+
+  // Wakes every blocked producer (they return kClosed without enqueueing)
+  // and consumer; subsequent WaitPops drain the backlog, then return false.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    can_pop_.notify_all();
+    can_push_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // Deepest the queue has ever been. Under credit-only producers this never
+  // exceeds capacity(); ForcePush lanes can exceed it.
+  size_t high_watermark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_watermark_;
+  }
+
+  // Cumulative producer time spent blocked waiting for a free slot.
+  double stall_seconds() const {
+    return static_cast<double>(stall_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable can_pop_;
+  std::condition_variable can_push_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  size_t high_watermark_ = 0;  // guarded by mu_
+  std::atomic<uint64_t> stall_ns_{0};
+  bool closed_ = false;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CCONTROL_PARALLEL_BOUNDED_MPSC_QUEUE_H_

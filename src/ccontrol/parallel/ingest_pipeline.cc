@@ -1,0 +1,371 @@
+#include "ccontrol/parallel/ingest_pipeline.h"
+
+#include <algorithm>
+
+#include "query/plan.h"
+
+namespace youtopia {
+
+IngestPipeline::IngestPipeline(Database* db, const std::vector<Tgd>* tgds,
+                               IngestOptions options)
+    : db_(db),
+      tgds_(tgds),
+      options_(std::move(options)),
+      shard_map_(db->num_relations(), *tgds,
+                 std::max<size_t>(options_.num_workers, 1)),
+      component_locks_(shard_map_.num_components()),
+      next_number_(options_.first_number),
+      cross_inbox_(options_.inbox_capacity) {
+  // Setup-time plan registration, single-threaded: recompile every
+  // mapping's plan complement against the live database and register its
+  // composite-index demands once. The worker plan views and the engine
+  // view copied below share these compiled complements until their own
+  // adaptive re-planning diverges them; no engine recompiles at
+  // construction again (Scheduler runs with register_plans off).
+  for (const Tgd& tgd : *tgds_) {
+    tgd.RecompilePlans(db_);
+    EnsureTgdPlanIndexes(db_, tgd.plans());
+  }
+  engine_tgds_ = *tgds_;
+  engine_agent_ =
+      options_.agent_factory
+          ? options_.agent_factory(options_.num_workers)
+          : std::make_unique<RandomAgent>(options_.agent_seed ^
+                                          0xc2b2ae3d27d4eb4fULL);
+
+  WorkerPoolOptions wopts;
+  wopts.num_workers = options_.num_workers;
+  wopts.max_steps_per_update = options_.max_steps_per_update;
+  wopts.inbox_capacity = options_.inbox_capacity;
+  wopts.agent_seed = options_.agent_seed;
+  wopts.agent_factory = options_.agent_factory;
+  wopts.escape_sink = [this](WriteOp op) { EnqueueEscape(std::move(op)); };
+  wopts.on_op_retired = [this] { RetireOps(1); };
+  pool_ = std::make_unique<WorkerPool>(db_, *tgds_, &shard_map_,
+                                       &component_locks_, &next_number_,
+                                       std::move(wopts));
+
+  // The admission thread starts last, once every structure it reads is
+  // live. kOnFlush mode starts none: the flushing thread plays its role.
+  if (options_.cross_admission == CrossAdmission::kContinuous) {
+    admission_thread_ = std::thread(&IngestPipeline::AdmissionLoop, this);
+  }
+}
+
+IngestPipeline::~IngestPipeline() { Stop(); }
+
+bool IngestPipeline::ClassifiesCross(const WriteOp& op) const {
+  if (op.kind == WriteOp::Kind::kNullReplace) return true;
+  if (op.kind != WriteOp::Kind::kInsert) return false;
+  // An insert referencing a pre-existing null that already occurs outside
+  // the op's component would, if pinned, grow that null's occurrence set
+  // under only its own component lock — silently widening the footprint of
+  // any concurrent replacement of the null. Such inserts are cross-shard:
+  // the batch locks the union footprint and the replacement machinery sees
+  // a stable occurrence set. (The registry read is mutex-protected, so
+  // classifying while workers run is safe; null-free inserts — the common
+  // case — skip it entirely.)
+  bool has_null = false;
+  for (const Value& v : op.data) has_null |= v.is_null();
+  if (!has_null) return false;
+  std::vector<uint32_t> fp;
+  shard_map_.FootprintOf(op, *db_, &fp);
+  return fp.size() > 1;
+}
+
+SubmitResult IngestPipeline::Submit(
+    WriteOp op,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  // The op counts as in flight before it can possibly be popped, so a
+  // concurrent Flush barrier can never miss it; a rejected push retracts.
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  QueuePush result;
+  if (ClassifiesCross(op)) {
+    CrossItem item;
+    item.op = std::move(op);
+    // The watermark: this op's batch will wait until the pool has
+    // processed at least this many pinned ops — i.e. every pinned update
+    // whose Submit happened-before this one — and nothing newer.
+    item.barrier = pinned_submitted_.load(std::memory_order_acquire);
+    if (options_.cross_admission == CrossAdmission::kOnFlush) {
+      // No consumer runs between flushes in this mode — the cross lane is
+      // a staging queue, unbounded exactly like the legacy drain queue; a
+      // credit wait here would block until a Flush that can never start.
+      cross_inbox_.ForcePush(std::move(item));
+      result = QueuePush::kOk;
+    } else {
+      result = cross_inbox_.Push(std::move(item), deadline);
+    }
+    if (result == QueuePush::kOk) {
+      cross_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    result = pool_->Submit(std::move(op), deadline);
+    // Counted only on success, and only after the push: the watermark must
+    // never exceed what the pool will eventually process, or a cross batch
+    // could wait forever on a rejected submission.
+    if (result == QueuePush::kOk) {
+      pinned_submitted_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  switch (result) {
+    case QueuePush::kOk:
+      return SubmitResult::kOk;
+    case QueuePush::kWouldBlock:
+      RetireOps(1);
+      return SubmitResult::kWouldBlock;
+    case QueuePush::kClosed:
+      RetireOps(1);
+      return SubmitResult::kShutdown;
+  }
+  CHECK(false);
+  return SubmitResult::kShutdown;
+}
+
+void IngestPipeline::EnqueueEscape(WriteOp op) {
+  // Runs on a worker thread that still holds the op's component lock (or on
+  // the admission thread mid-batch, holding the batch's locks), so this
+  // must never block: ForcePush bypasses the credit capacity. The op stays
+  // in flight — surrender is a re-route, not a retirement.
+  escape_count_.fetch_add(1, std::memory_order_relaxed);
+  CrossItem item;
+  item.op = std::move(op);
+  item.barrier = pinned_submitted_.load(std::memory_order_acquire);
+  item.escalated = true;
+  cross_inbox_.ForcePush(std::move(item));
+}
+
+void IngestPipeline::RetireOps(uint64_t n) {
+  if (n == 0) return;
+  {
+    // Under flush_mu_ so a flusher between its predicate test and its sleep
+    // cannot miss the wakeup, and so everything written before this retire
+    // (engine stats, committed lists) is visible to a flusher that observes
+    // the zero.
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    in_flight_.fetch_sub(n, std::memory_order_acq_rel);
+  }
+  flush_cv_.notify_all();
+}
+
+void IngestPipeline::AdmissionLoop() {
+  CrossItem first;
+  while (cross_inbox_.WaitPop(&first)) {
+    // Opportunistic batching: take whatever else is already queued, up to
+    // the cap — one engine run amortizes lock acquisition and conflict
+    // tracking across the batch, exactly like a drain-time batch did.
+    std::vector<CrossItem> items;
+    items.push_back(std::move(first));
+    CrossItem more;
+    while (items.size() < options_.max_cross_batch &&
+           cross_inbox_.TryPop(&more)) {
+      items.push_back(std::move(more));
+    }
+    ProcessCrossItems(std::move(items));
+  }
+}
+
+void IngestPipeline::ProcessCrossItems(std::vector<CrossItem> items) {
+  // Wait for the batch's pinned predecessors — the max of the members'
+  // watermarks — so every replacement sees every occurrence its
+  // predecessors registered. This never waits on pinned traffic submitted
+  // after the batch's ops, so sustained open-loop load cannot livelock the
+  // cross lane the way waiting for full quiescence would.
+  uint64_t barrier = 0;
+  for (const CrossItem& i : items) barrier = std::max(barrier, i.barrier);
+  pool_->WaitProcessedAtLeast(barrier);
+
+  std::vector<WriteOp> normals, escalated;
+  for (CrossItem& i : items) {
+    (i.escalated ? escalated : normals).push_back(std::move(i.op));
+  }
+  if (!normals.empty()) {
+    const size_t n = normals.size();
+    const size_t escapes = RunCrossShardBatch(std::move(normals),
+                                              /*escalated=*/false);
+    // Escapes were re-queued (a later loop iteration runs them escalated)
+    // and stay in flight.
+    RetireOps(n - escapes);
+  }
+  if (!escalated.empty()) {
+    const size_t n = escalated.size();
+    RunCrossShardBatch(std::move(escalated), /*escalated=*/true);
+    RetireOps(n);  // nothing escapes an escalated run
+  }
+}
+
+size_t IngestPipeline::RunCrossShardBatch(std::vector<WriteOp> ops,
+                                          bool escalated) {
+  // Footprint: the union of the batch's component closures (escalated
+  // batches take everything). Component ids ascend with their
+  // representative relation ids, so this loop IS the ordered relation-id
+  // acquisition — any two admissions (and any concurrent pinned update,
+  // which holds exactly one of these locks) order their overlap
+  // identically, so no cycle can form.
+  std::vector<uint32_t> components;
+  if (escalated) {
+    for (uint32_t c = 0; c < shard_map_.num_components(); ++c) {
+      components.push_back(c);
+    }
+  } else {
+    for (const WriteOp& op : ops) {
+      shard_map_.FootprintOf(op, *db_, &components);
+    }
+    std::sort(components.begin(), components.end());
+    components.erase(std::unique(components.begin(), components.end()),
+                     components.end());
+  }
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(components.size());
+  for (uint32_t c : components) held.emplace_back(component_locks_[c]);
+
+  const std::vector<bool> allowed =
+      shard_map_.RelationsOfComponents(components);
+
+  SchedulerOptions sopts;
+  sopts.tracker = options_.tracker;
+  sopts.max_steps_per_update = options_.max_steps_per_update;
+  sopts.max_attempts_per_update = options_.max_attempts_per_update;
+  sopts.register_plans = false;
+  if (!escalated) sopts.allowed_relations = &allowed;
+  // Reserve a number block large enough for every submit and every
+  // possible abort-redo, claimed under the held locks. The number-order ==
+  // execution-order guarantee (Theorem 4.4) survives the move from
+  // drain-time to continuous admission because it never depended on
+  // quiescence, only on the locks: (a) any pinned update overlapping this
+  // footprint either finished before we acquired its component's lock —
+  // its number was claimed under that lock, so it is below this block and
+  // its writes are visible to the engine — or will start after we release,
+  // claiming a number past the block and seeing every batch write; (b) any
+  // other cross batch orders against this one wholesale at its first
+  // shared lock, and its block is disjoint on the same side as its
+  // execution; (c) pinned predecessors of the batch's ops that DON'T share
+  // a component need no number ordering at all — but the watermark wait in
+  // ProcessCrossItems already sequenced the ones the submitter had
+  // observed, so replacement footprints are computed over a registry that
+  // contains them. Wherever footprints overlap, number order is execution
+  // order; elsewhere the orders are free, exactly as in the serial proof.
+  const uint64_t block =
+      ops.size() * (options_.max_attempts_per_update + 2) + 1;
+  sopts.first_number = next_number_.fetch_add(block);
+
+  Scheduler engine(db_, &engine_tgds_, engine_agent_.get(), sopts);
+  for (WriteOp& op : ops) engine.Submit(std::move(op));
+  engine.RunToCompletion();
+  CHECK_LE(engine.next_number(), sopts.first_number + block);
+
+  engine_stats_.Merge(engine.stats());
+  for (auto& numbered : engine.CommittedOpsWithNumbers()) {
+    engine_committed_.push_back(std::move(numbered));
+  }
+  std::vector<WriteOp> escapes = engine.TakeEscapedOps();
+  CHECK(!escalated || escapes.empty());  // nothing escapes an escalated run
+  for (WriteOp& op : escapes) EnqueueEscape(std::move(op));
+  cross_batches_.fetch_add(1, std::memory_order_relaxed);
+  return escapes.size();
+}
+
+ParallelStats IngestPipeline::Flush() {
+  if (options_.cross_admission == CrossAdmission::kOnFlush) {
+    // Legacy drain semantics, on the flushing thread. Phase 1: the pinned
+    // backlog completes, which also lands every worker escape in the cross
+    // inbox. Phase 2: every queued cross op in ONE batch under the union
+    // footprint locks — batch-internal conflict behavior (retroactive
+    // aborts, cascades) is part of this mode's contract. Phase 3: the
+    // escalated batch (worker escapes + phase-2 escapes) under every lock.
+    pool_->WaitIdle();
+    std::vector<CrossItem> items;
+    CrossItem it;
+    while (cross_inbox_.TryPop(&it)) items.push_back(std::move(it));
+    std::vector<WriteOp> normals, escalated;
+    for (CrossItem& i : items) {
+      (i.escalated ? escalated : normals).push_back(std::move(i.op));
+    }
+    if (!normals.empty()) {
+      const size_t n = normals.size();
+      const size_t escapes = RunCrossShardBatch(std::move(normals),
+                                                /*escalated=*/false);
+      RetireOps(n - escapes);
+      while (cross_inbox_.TryPop(&it)) {
+        CHECK(it.escalated);
+        escalated.push_back(std::move(it.op));
+      }
+    }
+    if (!escalated.empty()) {
+      const size_t n = escalated.size();
+      RunCrossShardBatch(std::move(escalated), /*escalated=*/true);
+      RetireOps(n);
+      CHECK_EQ(cross_inbox_.size(), 0u);
+    }
+  }
+
+  // The barrier, in both modes: every admitted op has retired. In
+  // kContinuous mode this is the whole flush — the admission thread drains
+  // the cross lane on its own. Observing zero under flush_mu_
+  // happens-after the retiring thread's stats writes (see RetireOps), so
+  // the aggregation below reads quiescent state.
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    flush_cv_.wait(lock, [&] {
+      return in_flight_.load(std::memory_order_acquire) == 0 || stopped_;
+    });
+  }
+
+  ParallelStats stats;
+  stats.totals = pool_->MergedStats();
+  stats.totals.Merge(engine_stats_);
+  stats.workers = pool_->num_workers();
+  stats.components = shard_map_.num_components();
+  stats.shards = shard_map_.num_shards();
+  stats.pinned_updates = pool_->pinned_updates();
+  stats.cross_shard_updates = cross_count_.load(std::memory_order_relaxed);
+  stats.escaped_updates = escape_count_.load(std::memory_order_relaxed);
+  stats.cross_batches = cross_batches_.load(std::memory_order_relaxed);
+  stats.flushes = ++flushes_;
+  stats.inbox_high_watermark = pool_->InboxHighWatermark();
+  stats.admission_stall_seconds =
+      pool_->AdmissionStallSeconds() + cross_inbox_.stall_seconds();
+  stats.shard_pinned = pool_->PinnedPerShard();
+  return stats;
+}
+
+void IngestPipeline::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  flush_cv_.notify_all();
+  // Shutdown order is what keeps "already admitted ops still drain" true:
+  // the pinned lane closes and joins first, so every worker escape has
+  // reached the cross inbox before it closes; the admission thread then
+  // drains the remaining cross backlog (escapes it produces itself re-enter
+  // before its next WaitPop, so it always sees them) and exits on
+  // closed-and-empty. Blocked producers on either lane fail with kClosed as
+  // soon as the close lands.
+  pool_->Shutdown();
+  cross_inbox_.Close();
+  if (admission_thread_.joinable()) admission_thread_.join();
+}
+
+void IngestPipeline::AdvanceNumberTo(uint64_t n) {
+  uint64_t cur = next_number_.load(std::memory_order_relaxed);
+  while (cur < n && !next_number_.compare_exchange_weak(
+                        cur, n, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<WriteOp> IngestPipeline::CommittedOpsInOrder() const {
+  std::vector<std::pair<uint64_t, WriteOp>> numbered =
+      pool_->CommittedOpsWithNumbers();
+  numbered.insert(numbered.end(), engine_committed_.begin(),
+                  engine_committed_.end());
+  std::sort(numbered.begin(), numbered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<WriteOp> out;
+  out.reserve(numbered.size());
+  for (auto& [number, op] : numbered) out.push_back(std::move(op));
+  return out;
+}
+
+}  // namespace youtopia

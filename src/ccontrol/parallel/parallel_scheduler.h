@@ -1,146 +1,72 @@
 #ifndef YOUTOPIA_CCONTROL_PARALLEL_PARALLEL_SCHEDULER_H_
 #define YOUTOPIA_CCONTROL_PARALLEL_PARALLEL_SCHEDULER_H_
 
-#include <atomic>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
-#include "ccontrol/parallel/mpsc_queue.h"
-#include "ccontrol/parallel/shard_map.h"
-#include "ccontrol/parallel/worker_pool.h"
-#include "ccontrol/scheduler.h"
-#include "core/agent.h"
+#include "ccontrol/parallel/ingest_pipeline.h"
 #include "relational/database.h"
 #include "tgd/tgd.h"
 
 namespace youtopia {
 
-struct ParallelSchedulerOptions {
-  // Worker threads requested; effective count is min(this, components).
-  size_t num_workers = 2;
-  // Cascading-abort algorithm of the embedded cross-shard engine (pinned
-  // updates never abort, so the tracker only matters across shards).
-  TrackerKind tracker = TrackerKind::kCoarse;
-  size_t max_steps_per_update = 1u << 20;
-  size_t max_attempts_per_update = 256;
-  // First update number to assign (continues an external sequence).
-  uint64_t first_number = 1;
-  // Per-worker simulated users; see WorkerPoolOptions. The cross-shard
-  // engine's agent is agent_factory(num_workers) when a factory is given.
-  uint64_t agent_seed = 42;
-  std::function<std::unique_ptr<FrontierAgent>(size_t)> agent_factory;
-};
-
-// Aggregated report of one parallel run (SchedulerStats totals merged
-// across every worker and the cross-shard engine, plus the partition- and
-// admission-level counters).
-struct ParallelStats {
-  SchedulerStats totals;
-  uint64_t workers = 0;
-  uint64_t components = 0;
-  uint64_t shards = 0;
-  uint64_t pinned_updates = 0;       // ran on a shard worker, no CC at all
-  uint64_t cross_shard_updates = 0;  // admitted through the footprint-lock
-                                     // protocol into the serial engine
-  uint64_t escaped_updates = 0;      // pinned/batch attempts re-routed
-};
-
-// The sharded parallel chase scheduler: admission control layered over two
-// execution engines.
-//
-//   * Single-shard updates (inserts and deletes — their tgd-closure
-//     footprint is exactly one component) are pinned to the worker owning
-//     that component's shard and run to completion with no concurrency
-//     control on the hot path (WorkerPool).
-//   * Cross-shard updates (null replacements, whose occurrence footprints
-//     any set of components; plus pinned attempts that escaped their shard
-//     mid-chase) fall back to the existing serial Scheduler — read log,
-//     retroactive conflict checks, cascading aborts — run under the
-//     footprint-lock protocol: the batch acquires its components' locks in
-//     ascending representative-relation-id order, so it excludes exactly
-//     the overlapping shards while disjoint workers keep draining, and two
-//     admissions can never deadlock.
-//
-// Priority numbers come from one atomic counter, claimed under the
-// respective footprint locks, so number order and execution order agree
-// wherever footprints overlap — the serialization-order guarantee of the
-// serial scheduler (Theorem 4.4) carries over with "priority number" intact.
+// Batch-mode veneer over the standing IngestPipeline: the submit-batch /
+// Drain / repeat interface the closed-loop benchmarks and replay
+// equivalence tests are written against. The pipeline runs in kOnFlush
+// admission mode, which restores the legacy drain phasing — the pinned
+// backlog completes, then EVERY queued cross-shard op runs as one batch
+// under the union footprint locks (so batch-internal retroactive conflicts
+// and cascades still happen deterministically), then escapes re-run
+// escalated — while still owning the worker pool for the scheduler's whole
+// lifetime: consecutive Drains reuse the same threads, plan views, arenas
+// and detectors. ParallelSchedulerOptions and ParallelStats are the
+// pipeline's own types (see ingest_pipeline.h).
 //
 // Threading contract: Submit may be called from any thread, but must not
-// race Drain; Drain runs on one thread at a time. Typical use is
-// submit-batch / Drain / repeat (see Youtopia::InsertAsync).
+// race Drain; Drain runs on one thread at a time.
 class ParallelScheduler {
  public:
   ParallelScheduler(Database* db, const std::vector<Tgd>* tgds,
-                    ParallelSchedulerOptions options);
+                    ParallelSchedulerOptions options)
+      : pipeline_(db, tgds,
+                  [&options] {
+                    options.cross_admission = CrossAdmission::kOnFlush;
+                    return std::move(options);
+                  }()) {}
 
   ParallelScheduler(const ParallelScheduler&) = delete;
   ParallelScheduler& operator=(const ParallelScheduler&) = delete;
 
-  ~ParallelScheduler();
-
   // Routes the update: single-component ops go straight to their worker's
   // inbox (workers start executing immediately); null replacements — and
   // inserts referencing a null that already occurs outside the target
-  // component, which would otherwise grow a replacement footprint under
-  // the wrong lock — queue for the next Drain's cross-shard batch.
-  void Submit(WriteOp op);
+  // component — queue for the next Drain's cross-shard batch.
+  void Submit(WriteOp op) {
+    const SubmitResult r = pipeline_.Submit(std::move(op));
+    CHECK(r == SubmitResult::kOk);  // no deadline, and nothing calls Stop
+  }
 
   // Waits for every worker to finish the pinned backlog, then runs the
-  // cross-shard batch under its footprint locks (after the pinned drain,
-  // so replacements see every occurrence the batch's predecessors
-  // registered and number order equals execution order globally), then
-  // re-runs escaped updates under the full lock set. Returns the merged
-  // statistics of everything processed since construction.
-  ParallelStats Drain();
+  // cross-shard batch under its footprint locks, then re-runs escaped
+  // updates under the full lock set. Returns the merged statistics of
+  // everything processed since construction.
+  ParallelStats Drain() { return pipeline_.Flush(); }
 
-  const ShardMap& shard_map() const { return shard_map_; }
+  const ShardMap& shard_map() const { return pipeline_.shard_map(); }
 
   // One past the highest priority number assigned; meaningful after Drain.
-  uint64_t next_number() const {
-    return next_number_.load(std::memory_order_relaxed);
-  }
+  uint64_t next_number() const { return pipeline_.next_number(); }
 
   // Initial operations of every committed update in final priority-number
   // order — the serialization order the run is equivalent to. Meaningful
   // after Drain.
-  std::vector<WriteOp> CommittedOpsInOrder() const;
+  std::vector<WriteOp> CommittedOpsInOrder() const {
+    return pipeline_.CommittedOpsInOrder();
+  }
 
  private:
-  // Runs `ops` through an embedded serial Scheduler under the ordered
-  // footprint locks. Escalated batches hold every component lock and run
-  // unrestricted (nothing can escape twice).
-  void RunCrossShardBatch(std::vector<WriteOp> ops, bool escalated);
-
-  Database* db_;
-  const std::vector<Tgd>* tgds_;
-  ParallelSchedulerOptions options_;
-
-  ShardMap shard_map_;
-  // One footprint lock per component, indexed by component id (== ascending
-  // representative relation id, the global acquisition order).
-  std::vector<std::mutex> component_locks_;
-  std::atomic<uint64_t> next_number_;
-
-  // Cross-shard submissions awaiting the next Drain.
-  std::mutex cross_mu_;
-  std::vector<WriteOp> cross_queue_;
-  // Escape channel: workers and batch engines push, Drain consumes.
-  MpscQueue<WriteOp> escaped_;
-
-  // The cross-shard engine's private plan view and agent.
-  std::vector<Tgd> engine_tgds_;
-  std::unique_ptr<FrontierAgent> engine_agent_;
-  SchedulerStats engine_stats_;
-  std::vector<std::pair<uint64_t, WriteOp>> engine_committed_;
-  uint64_t cross_count_ = 0;
-  uint64_t escape_count_ = 0;
-
-  std::unique_ptr<WorkerPool> pool_;  // last: threads see a complete object
+  IngestPipeline pipeline_;
 };
 
 }  // namespace youtopia

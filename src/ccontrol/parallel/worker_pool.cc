@@ -8,21 +8,20 @@ WorkerPool::WorkerPool(Database* db, const std::vector<Tgd>& tgds,
                        const ShardMap* shards,
                        std::vector<std::mutex>* component_locks,
                        std::atomic<uint64_t>* next_number,
-                       MpscQueue<WriteOp>* escaped_out,
                        WorkerPoolOptions options)
     : db_(db),
       shards_(shards),
       component_locks_(component_locks),
       next_number_(next_number),
-      escaped_out_(escaped_out),
       options_(std::move(options)) {
   CHECK_EQ(component_locks_->size(), shards_->num_components());
+  CHECK(options_.escape_sink != nullptr);
   // One worker per shard: the shard map already clamped the shard count to
   // min(requested workers, components).
   const size_t n = shards_->num_shards();
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    auto w = std::make_unique<Worker>(tgds);
+    auto w = std::make_unique<Worker>(tgds, options_.inbox_capacity);
     w->agent = options_.agent_factory
                    ? options_.agent_factory(i)
                    : std::make_unique<RandomAgent>(
@@ -36,18 +35,29 @@ WorkerPool::WorkerPool(Database* db, const std::vector<Tgd>& tgds,
   }
 }
 
-WorkerPool::~WorkerPool() {
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Shutdown() {
   for (auto& w : workers_) w->inbox.Close();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
 }
 
-void WorkerPool::Submit(WriteOp op) {
+QueuePush WorkerPool::Submit(
+    WriteOp op,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
   CHECK(op.kind != WriteOp::Kind::kNullReplace);
   const uint32_t shard = shards_->ShardOfRelation(op.rel);
+  // pending_ rises before the push so a racing WaitIdle can never observe
+  // the op inside an inbox with the counter still at zero; a rejected push
+  // retracts it.
   pending_.fetch_add(1, std::memory_order_acq_rel);
-  workers_[shard]->inbox.Push(std::move(op));
+  const QueuePush result = workers_[shard]->inbox.Push(std::move(op), deadline);
+  if (result != QueuePush::kOk) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return result;
 }
 
 void WorkerPool::WaitIdle() {
@@ -57,21 +67,32 @@ void WorkerPool::WaitIdle() {
   });
 }
 
+void WorkerPool::WaitProcessedAtLeast(uint64_t count) {
+  if (processed_.load(std::memory_order_acquire) >= count) return;
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [&] {
+    return processed_.load(std::memory_order_acquire) >= count;
+  });
+}
+
 void WorkerPool::WorkerLoop(Worker* w) {
   WriteOp op;
   while (w->inbox.WaitPop(&op)) {
-    RunPinned(w, std::move(op));
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last in-flight update: wake the drain barrier. The lock pairs with
-      // WaitIdle's predicate check so the notify cannot slip between its
-      // test and its sleep.
+    const bool retired = RunPinned(w, std::move(op));
+    // Publish completion under the barrier lock so neither WaitIdle nor a
+    // cross-batch WaitProcessedAtLeast can miss the wakeup between its
+    // predicate test and its sleep.
+    {
       std::lock_guard<std::mutex> lock(idle_mu_);
-      idle_cv_.notify_all();
+      processed_.fetch_add(1, std::memory_order_acq_rel);
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
     }
+    idle_cv_.notify_all();
+    if (retired && options_.on_op_retired) options_.on_op_retired();
   }
 }
 
-void WorkerPool::RunPinned(Worker* w, WriteOp op) {
+bool WorkerPool::RunPinned(Worker* w, WriteOp op) {
   // Footprint lock: an insert/delete chase stays within one component, so
   // the protocol degenerates to a single uncontended mutex unless a
   // cross-shard admission currently covers this component. The number is
@@ -112,24 +133,26 @@ void WorkerPool::RunPinned(Worker* w, WriteOp op) {
     // attempt's writes (all within the locked component, newest first) and
     // surrender the initial operation to the cross-shard engine — which
     // re-counts the submission, so retract this worker's count to keep
-    // merged updates_submitted equal to the ops actually submitted.
+    // merged updates_submitted equal to the ops actually submitted. The
+    // sink must not block: this thread still holds the component lock.
     for (auto it = w->undo_scratch.rbegin(); it != w->undo_scratch.rend();
          ++it) {
       db_->RemoveRowVersions(it->first, it->second, number);
     }
     --w->stats.updates_submitted;
     ++w->stats.escaped_updates;
-    escaped_out_->Push(u.initial_op());
-    return;
+    options_.escape_sink(u.initial_op());
+    return false;
   }
   if (u.hit_step_cap()) {
     ++w->stats.updates_failed;
-    return;
+    return true;
   }
   ++w->stats.updates_completed;
   ++w->pinned;
   w->stats.frontier_ops += u.frontier_ops_performed();
   w->committed.push_back({number, u.initial_op()});
+  return true;
 }
 
 SchedulerStats WorkerPool::MergedStats() const {
@@ -144,6 +167,13 @@ uint64_t WorkerPool::pinned_updates() const {
   return n;
 }
 
+std::vector<uint64_t> WorkerPool::PinnedPerShard() const {
+  std::vector<uint64_t> out;
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) out.push_back(w->pinned);
+  return out;
+}
+
 std::vector<std::pair<uint64_t, WriteOp>> WorkerPool::CommittedOpsWithNumbers()
     const {
   std::vector<std::pair<uint64_t, WriteOp>> out;
@@ -153,6 +183,27 @@ std::vector<std::pair<uint64_t, WriteOp>> WorkerPool::CommittedOpsWithNumbers()
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
+}
+
+size_t WorkerPool::InboxHighWatermark() const {
+  size_t hw = 0;
+  for (const auto& w : workers_) {
+    hw = std::max(hw, w->inbox.high_watermark());
+  }
+  return hw;
+}
+
+double WorkerPool::AdmissionStallSeconds() const {
+  double s = 0;
+  for (const auto& w : workers_) s += w->inbox.stall_seconds();
+  return s;
+}
+
+std::vector<std::thread::id> WorkerPool::ThreadIds() const {
+  std::vector<std::thread::id> ids;
+  ids.reserve(workers_.size());
+  for (const auto& w : workers_) ids.push_back(w->thread.get_id());
+  return ids;
 }
 
 }  // namespace youtopia

@@ -2,16 +2,18 @@
 #define YOUTOPIA_CCONTROL_PARALLEL_WORKER_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
-#include "ccontrol/parallel/mpsc_queue.h"
+#include "ccontrol/parallel/bounded_mpsc_queue.h"
 #include "ccontrol/parallel/shard_map.h"
 #include "ccontrol/scheduler.h"
 #include "core/agent.h"
@@ -28,22 +30,38 @@ struct WorkerPoolOptions {
   // (at most num_components, see ShardMap).
   size_t num_workers = 2;
   size_t max_steps_per_update = 1u << 20;
+  // Credit capacity of each shard inbox. A full inbox is the backpressure
+  // signal: Submit blocks (or fast-fails) until the owning worker frees a
+  // slot. Per-inbox, so one hot shard cannot starve admission to the rest.
+  size_t inbox_capacity = 1024;
   // Per-worker simulated user: agent_factory(worker_index) when supplied,
   // else a RandomAgent derived from agent_seed and the index. Agents with
   // per-call state (RandomAgent's RNG) must never be shared across workers.
   uint64_t agent_seed = 42;
   std::function<std::unique_ptr<FrontierAgent>(size_t)> agent_factory;
+  // Sink for surrendered escape ops. Invoked on the worker thread while the
+  // op's component lock is still held, so it MUST NOT block (the pipeline
+  // re-routes through a ForcePush lane). Required.
+  std::function<void(WriteOp)> escape_sink;
+  // Invoked once per inbox op that retires on the pinned path — committed
+  // or failed, NOT escaped (an escaped op stays logically in flight; the
+  // escape_sink carries it on). Called after the component lock is
+  // released. Optional.
+  std::function<void()> on_op_retired;
 };
 
-// The pinned execution engine of the sharded parallel chase: one thread per
-// shard, each owning everything its hot path touches —
+// The pinned execution engine of the sharded parallel chase: one long-lived
+// thread per shard, each owning everything its hot path touches —
 //   * a private copy of the tgd vector (the worker's *plan view*: adaptive
 //     re-planning swaps plans on the copy, never on a structure another
-//     thread reads),
+//     thread reads; the copy is made once, at pool construction, and the
+//     worker-persistent ReplanPoller watermark refreshes it in place across
+//     flush epochs),
 //   * a scratch Arena and a ViolationDetector whose non-reentrant evaluator
 //     pair amortizes across every update the worker runs,
 //   * a FrontierAgent, and
-//   * an MPSC inbox the submission thread routes work into.
+//   * a bounded inbox (BoundedMpscQueue) the submission threads route work
+//     into; workers park on it between ops instead of exiting.
 //
 // A worker drains its inbox one update at a time: it takes the update's
 // single component lock (uncontended unless a cross-shard admission
@@ -55,42 +73,73 @@ struct WorkerPoolOptions {
 // lock covers: an update whose chase would leave the op's *component* (a
 // unification replacing a cross-component null — even one whose other
 // occurrences live in a sibling component of the same shard) is undone via
-// its tracked writes and surrendered through `escaped_out` for the
+// its tracked writes and surrendered through the escape sink for the
 // cross-shard engine to re-run under the wider lock set.
 class WorkerPool {
  public:
   WorkerPool(Database* db, const std::vector<Tgd>& tgds,
              const ShardMap* shards, std::vector<std::mutex>* component_locks,
-             std::atomic<uint64_t>* next_number,
-             MpscQueue<WriteOp>* escaped_out, WorkerPoolOptions options);
+             std::atomic<uint64_t>* next_number, WorkerPoolOptions options);
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  // Closes every inbox and joins the threads.
+  // Closes every inbox (the backlog still drains) and joins the threads.
   ~WorkerPool();
+
+  // Explicit shutdown: closes every inbox — blocked and future Submits fail
+  // with kClosed, already queued ops still drain, escapes still reach the
+  // sink — then joins the threads. Idempotent; the destructor calls it.
+  // Aggregate accessors stay valid afterwards (the threads are gone but the
+  // per-worker state remains).
+  void Shutdown();
 
   size_t num_workers() const { return workers_.size(); }
 
   // Routes `op` (an insert or delete; null replacements are cross-shard by
-  // definition) to the worker owning its relation's shard. Thread-safe.
-  void Submit(WriteOp op);
+  // definition) to the worker owning its relation's shard, blocking on a
+  // full inbox until `deadline` (nullopt = forever; a past deadline is the
+  // fast-fail mode). Thread-safe.
+  QueuePush Submit(WriteOp op,
+                   const std::optional<std::chrono::steady_clock::time_point>&
+                       deadline = std::nullopt);
 
   // Blocks until every submitted update has been fully processed and all
   // workers are parked. Callers must not race further Submits against this.
   void WaitIdle();
 
+  // Blocks until at least `count` inbox ops have been processed (committed,
+  // failed, or surrendered as escapes) since construction. The cross-shard
+  // admission thread uses this as its per-batch barrier: a batch waits for
+  // exactly the pinned ops submitted before it, never for later traffic.
+  void WaitProcessedAtLeast(uint64_t count);
+
+  // Monotonic count of inbox ops processed (the WaitProcessedAtLeast axis).
+  uint64_t processed() const {
+    return processed_.load(std::memory_order_acquire);
+  }
+
   // The following aggregate across workers; call only while idle.
   SchedulerStats MergedStats() const;
   uint64_t pinned_updates() const;
+  // Per-shard completed pinned counts (throughput attribution).
+  std::vector<uint64_t> PinnedPerShard() const;
   // Committed (number, initial op) pairs of every worker, globally sorted
   // by number — the pinned half of the run's serialization order.
   std::vector<std::pair<uint64_t, WriteOp>> CommittedOpsWithNumbers() const;
 
+  // Observability of the bounded inboxes; safe to call any time.
+  size_t InboxHighWatermark() const;   // max depth any shard inbox reached
+  double AdmissionStallSeconds() const;  // total producer blocked time
+
+  // Stable for the pool's lifetime — the regression axis for "Flush must
+  // not recreate threads".
+  std::vector<std::thread::id> ThreadIds() const;
+
  private:
   struct Worker {
-    explicit Worker(const std::vector<Tgd>& base_tgds)
-        : tgds(base_tgds), detector(&tgds, &arena) {}
+    Worker(const std::vector<Tgd>& base_tgds, size_t capacity)
+        : tgds(base_tgds), detector(&tgds, &arena), inbox(capacity) {}
 
     std::vector<Tgd> tgds;  // private plan view (copies share compiled
                             // plans until this worker replans)
@@ -98,7 +147,7 @@ class WorkerPool {
     ViolationDetector detector;
     std::unique_ptr<FrontierAgent> agent;
     ReplanPoller poller;  // worker-persistent staleness watermark
-    MpscQueue<WriteOp> inbox;
+    BoundedMpscQueue<WriteOp> inbox;
 
     SchedulerStats stats;
     uint64_t pinned = 0;
@@ -109,19 +158,21 @@ class WorkerPool {
   };
 
   void WorkerLoop(Worker* w);
-  void RunPinned(Worker* w, WriteOp op);
+  // Returns true iff the op retired here (false: surrendered via escape).
+  bool RunPinned(Worker* w, WriteOp op);
 
   Database* db_;
   const ShardMap* shards_;
   std::vector<std::mutex>* component_locks_;
   std::atomic<uint64_t>* next_number_;
-  MpscQueue<WriteOp>* escaped_out_;
   WorkerPoolOptions options_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
 
   // Updates submitted but not yet fully processed; the idle barrier.
   std::atomic<size_t> pending_{0};
+  // Inbox ops processed since construction; the cross-batch barrier.
+  std::atomic<uint64_t> processed_{0};
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
 };

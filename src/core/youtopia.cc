@@ -11,12 +11,19 @@ Youtopia::Youtopia(uint64_t seed)
 
 Status Youtopia::CreateRelation(std::string name,
                                 std::vector<std::string> attributes) {
+  // The shard map is a partition of the relation set; a new relation means
+  // a new partition, so the standing pipeline (if any) must rebuild.
+  InvalidatePipeline();
   Result<RelationId> id =
       db_.CreateRelation(std::move(name), std::move(attributes));
   return id.ok() ? Status::Ok() : id.status();
 }
 
 Result<int> Youtopia::AddMapping(std::string_view tgd_text) {
+  // A new mapping changes the tgd-closure components and every plan view;
+  // it may also reallocate tgds_, which the pipeline's workers hold copies
+  // of and the cross-shard engine points into. Quiesce and rebuild.
+  InvalidatePipeline();
   TgdParser parser(&db_.catalog(), &db_.symbols());
   Result<Tgd> tgd = parser.ParseTgd(tgd_text);
   if (!tgd.ok()) return tgd.status();
@@ -97,6 +104,12 @@ Result<TupleData> Youtopia::ResolveValues(
 }
 
 UpdateReport Youtopia::RunSerial(WriteOp op) {
+  // Serial updates run unsynchronized against the database, so they only
+  // execute at a pipeline-quiescent point (the public entry points flushed
+  // already; this claim keeps the two paths on one number sequence). The
+  // pipeline stays up: its workers are parked, its threads and plan views
+  // survive for the next async burst.
+  const uint64_t number = pipeline_ ? pipeline_->ClaimNumber() : next_number_++;
   UpdateOptions uopts;
   // Facade-level generation counter (see ReplanPoller): nothing but chase
   // writes mutate this repository between serial updates, so sharing one
@@ -105,8 +118,11 @@ UpdateReport Youtopia::RunSerial(WriteOp op) {
   // generation bump: AddMapping/RebuildQueryPlans recompile against the
   // live database at the moment of change.
   uopts.replan_poller = &replan_poller_;
-  Update update(next_number_++, std::move(op), &tgds_, uopts);
+  Update update(number, std::move(op), &tgds_, uopts);
   update.RunToCompletion(&db_, agent_.get());
+  if (pipeline_) {
+    next_number_ = std::max(next_number_, pipeline_->next_number());
+  }
   UpdateReport report;
   report.number = update.number();
   report.steps = update.steps_taken();
@@ -118,6 +134,7 @@ UpdateReport Youtopia::RunSerial(WriteOp op) {
 
 Result<UpdateReport> Youtopia::Insert(std::string_view relation,
                                       const std::vector<std::string>& values) {
+  QuiescePipeline();
   Result<RelationId> rel = db_.catalog().Find(relation);
   if (!rel.ok()) return rel.status();
   Result<TupleData> data = ResolveValues(*rel, values, /*allow_new_nulls=*/true);
@@ -127,6 +144,7 @@ Result<UpdateReport> Youtopia::Insert(std::string_view relation,
 
 Result<UpdateReport> Youtopia::Delete(std::string_view relation,
                                       const std::vector<std::string>& values) {
+  QuiescePipeline();
   Result<RelationId> rel = db_.catalog().Find(relation);
   if (!rel.ok()) return rel.status();
   Result<TupleData> data =
@@ -142,6 +160,7 @@ Result<UpdateReport> Youtopia::Delete(std::string_view relation,
 
 Result<UpdateReport> Youtopia::ReplaceNull(std::string_view null_name,
                                            std::string_view constant) {
+  QuiescePipeline();
   auto it = named_nulls_.find(std::string(null_name));
   if (it == named_nulls_.end()) {
     return Status::NotFound("unknown labeled null '" + std::string(null_name) +
@@ -190,6 +209,7 @@ Status Youtopia::QueueDelete(std::string_view relation,
 }
 
 Result<SchedulerStats> Youtopia::RunQueued(TrackerKind tracker) {
+  QuiescePipeline();
   SchedulerOptions options;
   options.tracker = tracker;
   options.first_number = next_number_;
@@ -200,43 +220,167 @@ Result<SchedulerStats> Youtopia::RunQueued(TrackerKind tracker) {
   next_number_ = std::max(next_number_, scheduler.stats().updates_submitted +
                                             options.first_number +
                                             scheduler.stats().aborts);
+  // The serial engine claimed numbers of its own; keep the standing
+  // pipeline's sequence ahead of them.
+  if (pipeline_) pipeline_->AdvanceNumberTo(next_number_);
   return scheduler.stats();
 }
 
-Status Youtopia::InsertAsync(std::string_view relation,
-                             const std::vector<std::string>& values) {
-  return QueueInsertInto(&async_queued_, relation, values);
+// --- The standing ingest pipeline ------------------------------------------
+
+void Youtopia::EnsurePipeline(size_t workers, TrackerKind tracker,
+                              size_t inbox_capacity) {
+  pipeline_workers_ = std::max<size_t>(workers, 1);
+  pipeline_tracker_ = tracker;
+  pipeline_inbox_capacity_ = inbox_capacity;
+  if (pipeline_) return;
+  IngestOptions options;
+  options.num_workers = pipeline_workers_;
+  options.tracker = pipeline_tracker_;
+  options.first_number = next_number_;
+  options.agent_seed = seed_;
+  options.inbox_capacity = pipeline_inbox_capacity_;
+  options.cross_admission = CrossAdmission::kContinuous;
+  pipeline_ = std::make_unique<IngestPipeline>(&db_, &tgds_,
+                                               std::move(options));
 }
 
-Status Youtopia::DeleteAsync(std::string_view relation,
-                             const std::vector<std::string>& values) {
-  return QueueDeleteInto(&async_queued_, relation, values);
+void Youtopia::QuiescePipeline() {
+  if (!pipeline_) return;
+  pipeline_->Flush();
+  next_number_ = std::max(next_number_, pipeline_->next_number());
 }
 
-Status Youtopia::ReplaceNullAsync(std::string_view null_name,
-                                  std::string_view constant) {
-  auto it = named_nulls_.find(std::string(null_name));
-  if (it == named_nulls_.end()) {
-    return Status::NotFound("unknown labeled null '" + std::string(null_name) +
-                            "'");
+void Youtopia::InvalidatePipeline() {
+  QuiescePipeline();
+  pipeline_.reset();
+}
+
+void Youtopia::SubmitBacklog() {
+  for (WriteOp& op : async_queued_) pipeline_->Submit(std::move(op));
+  async_queued_.clear();
+}
+
+Status Youtopia::Start(size_t workers, TrackerKind tracker,
+                       size_t inbox_capacity) {
+  workers = std::max<size_t>(workers, 1);
+  if (pipeline_ && (pipeline_workers_ != workers ||
+                    pipeline_tracker_ != tracker ||
+                    pipeline_inbox_capacity_ != inbox_capacity)) {
+    InvalidatePipeline();  // reconfiguration: flush, then rebuild below
   }
-  async_queued_.push_back(
-      WriteOp::NullReplace(it->second, db_.InternConstant(constant)));
+  EnsurePipeline(workers, tracker, inbox_capacity);
+  SubmitBacklog();
   return Status::Ok();
 }
 
-Result<ParallelStats> Youtopia::Drain(size_t workers, TrackerKind tracker) {
-  ParallelSchedulerOptions options;
-  options.num_workers = std::max<size_t>(workers, 1);
-  options.tracker = tracker;
-  options.first_number = next_number_;
-  options.agent_seed = seed_;
-  ParallelScheduler scheduler(&db_, &tgds_, std::move(options));
-  for (WriteOp& op : async_queued_) scheduler.Submit(std::move(op));
-  async_queued_.clear();
-  const ParallelStats stats = scheduler.Drain();
-  next_number_ = std::max(next_number_, scheduler.next_number());
+Status Youtopia::Stop() {
+  InvalidatePipeline();
+  return Status::Ok();
+}
+
+Result<ParallelStats> Youtopia::Flush() {
+  EnsurePipeline(pipeline_workers_, pipeline_tracker_,
+                 pipeline_inbox_capacity_);
+  SubmitBacklog();
+  const ParallelStats stats = pipeline_->Flush();
+  next_number_ = std::max(next_number_, pipeline_->next_number());
   return stats;
+}
+
+Status Youtopia::SubmitAsync(
+    WriteOp op, const std::optional<std::chrono::nanoseconds>& timeout) {
+  if (!pipeline_) {
+    // Stopped: buffer for the next Start/Flush/Drain. A buffer exerts no
+    // backpressure, so the timeout does not apply.
+    std::lock_guard<std::mutex> lock(resolve_mu_);
+    async_queued_.push_back(std::move(op));
+    return Status::Ok();
+  }
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (timeout.has_value()) {
+    deadline = std::chrono::steady_clock::now() + *timeout;
+  }
+  switch (pipeline_->Submit(std::move(op), deadline)) {
+    case SubmitResult::kOk:
+      return Status::Ok();
+    case SubmitResult::kWouldBlock:
+      return Status::ResourceExhausted(
+          "shard inbox full: admission deadline expired");
+    case SubmitResult::kShutdown:
+      return Status::FailedPrecondition("ingest pipeline stopped");
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Youtopia::InsertAsync(std::string_view relation,
+                             const std::vector<std::string>& values,
+                             std::optional<std::chrono::nanoseconds> timeout) {
+  Result<RelationId> rel = db_.catalog().Find(relation);
+  if (!rel.ok()) return rel.status();
+  WriteOp op;
+  {
+    // Resolution touches facade-owned shared state (the symbol table, the
+    // named-null map, the null registry) that concurrent *Async producers
+    // would otherwise race on. Workers never touch that state.
+    std::lock_guard<std::mutex> lock(resolve_mu_);
+    Result<TupleData> data =
+        ResolveValues(*rel, values, /*allow_new_nulls=*/true);
+    if (!data.ok()) return data.status();
+    op = WriteOp::Insert(*rel, std::move(data).value());
+  }
+  return SubmitAsync(std::move(op), timeout);
+}
+
+Status Youtopia::DeleteAsync(std::string_view relation,
+                             const std::vector<std::string>& values,
+                             std::optional<std::chrono::nanoseconds> timeout) {
+  Result<RelationId> rel = db_.catalog().Find(relation);
+  if (!rel.ok()) return rel.status();
+  Result<TupleData> data = [&] {
+    std::lock_guard<std::mutex> lock(resolve_mu_);
+    return ResolveValues(*rel, values, /*allow_new_nulls=*/false);
+  }();
+  if (!data.ok()) return data.status();
+  // Delete-by-content needs a row id, i.e. a read of live relation data.
+  // While the pipeline runs, that relation's owning worker may be writing
+  // it, so the lookup takes the component lock; the row may still vanish
+  // before the delete executes — the same queue-then-run semantics the
+  // batch era had.
+  std::optional<RowId> row;
+  if (pipeline_) {
+    row = pipeline_->WithComponentLock(*rel, [&] {
+      return db_.FindRowWithData(*rel, *data, kReadLatest);
+    });
+  } else {
+    row = db_.FindRowWithData(*rel, *data, kReadLatest);
+  }
+  if (!row.has_value()) {
+    return Status::NotFound("no such tuple in '" + std::string(relation) +
+                            "'");
+  }
+  return SubmitAsync(WriteOp::Delete(*rel, *row), timeout);
+}
+
+Status Youtopia::ReplaceNullAsync(
+    std::string_view null_name, std::string_view constant,
+    std::optional<std::chrono::nanoseconds> timeout) {
+  WriteOp op;
+  {
+    std::lock_guard<std::mutex> lock(resolve_mu_);
+    auto it = named_nulls_.find(std::string(null_name));
+    if (it == named_nulls_.end()) {
+      return Status::NotFound("unknown labeled null '" +
+                              std::string(null_name) + "'");
+    }
+    op = WriteOp::NullReplace(it->second, db_.InternConstant(constant));
+  }
+  return SubmitAsync(std::move(op), timeout);
+}
+
+Result<ParallelStats> Youtopia::Drain(size_t workers, TrackerKind tracker) {
+  RETURN_IF_ERROR(Start(workers, tracker, pipeline_inbox_capacity_));
+  return Flush();
 }
 
 Result<Youtopia::QueryAnswer> Youtopia::Query(

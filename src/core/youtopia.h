@@ -1,12 +1,15 @@
 #ifndef YOUTOPIA_CORE_YOUTOPIA_H_
 #define YOUTOPIA_CORE_YOUTOPIA_H_
 
+#include <chrono>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#include "ccontrol/parallel/parallel_scheduler.h"
+#include "ccontrol/parallel/ingest_pipeline.h"
 #include "ccontrol/scheduler.h"
 #include "core/agent.h"
 #include "core/update.h"
@@ -94,24 +97,63 @@ class Youtopia {
   // the given cascading-abort algorithm and returns the run's statistics.
   Result<SchedulerStats> RunQueued(TrackerKind tracker);
 
-  // --- Parallel batches (the sharded worker-pool scheduler) -----------------
+  // --- The standing ingest pipeline (sharded worker-pool service) -----------
 
-  // Queues operations for the next Drain(). Unlike Queue*/RunQueued — which
-  // interleave everything through one serial engine — Drain partitions the
-  // queued updates by tgd-closure footprint and runs disjoint shards on
-  // concurrent worker threads (see ccontrol/parallel/).
+  // Brings up the standing ingest service (see ccontrol/parallel/): worker
+  // threads park on bounded per-shard inboxes for the repository's
+  // lifetime, and a dedicated admission thread runs cross-shard batches
+  // continuously. While it runs, *Async calls feed it directly — executing
+  // immediately, subject to the backpressure contract below — and Flush()
+  // is the barrier. Starting an already-running pipeline is a no-op if the
+  // configuration matches; otherwise the old pool flushes and a new one
+  // replaces it.
+  Status Start(size_t workers = 2, TrackerKind tracker = TrackerKind::kCoarse,
+               size_t inbox_capacity = 1024);
+
+  // Flushes whatever was admitted, then tears the pipeline down (threads
+  // join). No-op when not running. *Async calls made while stopped are
+  // buffered and execute on the next Flush()/Drain().
+  Status Stop();
+
+  // Barrier: waits until every admitted async operation has retired and
+  // returns the pipeline's lifetime statistics. Starts the pipeline (with
+  // the most recent — or default — configuration) if needed, submitting
+  // any buffered backlog first.
+  Result<ParallelStats> Flush();
+
+  bool running() const { return pipeline_ != nullptr; }
+
+  // Submits one operation to the pipeline. Unlike Queue*/RunQueued — which
+  // interleave everything through one serial engine — the pipeline
+  // partitions updates by tgd-closure footprint and runs disjoint shards
+  // on concurrent worker threads (see ccontrol/parallel/).
+  //
+  // Backpressure: when the target shard's inbox is full, the call blocks
+  // until a slot frees — forever when `timeout` is nullopt, else at most
+  // `timeout` (zero = pure fast-fail probe), failing with
+  // kResourceExhausted when the deadline expires. When the pipeline is not
+  // running the op is buffered instead and `timeout` is ignored (a buffer
+  // has no backpressure). Safe to call from multiple producer threads.
   Status InsertAsync(std::string_view relation,
-                     const std::vector<std::string>& values);
+                     const std::vector<std::string>& values,
+                     std::optional<std::chrono::nanoseconds> timeout =
+                         std::nullopt);
   Status DeleteAsync(std::string_view relation,
-                     const std::vector<std::string>& values);
+                     const std::vector<std::string>& values,
+                     std::optional<std::chrono::nanoseconds> timeout =
+                         std::nullopt);
   // Null replacements are inherently cross-shard; they run through the
-  // drain's footprint-locked serial engine.
+  // pipeline's footprint-locked serial engine.
   Status ReplaceNullAsync(std::string_view null_name,
-                          std::string_view constant);
+                          std::string_view constant,
+                          std::optional<std::chrono::nanoseconds> timeout =
+                              std::nullopt);
 
-  // Runs every *Async operation queued since the last Drain on `workers`
-  // threads (clamped to the schema's component count) and returns the
-  // merged statistics. The repository is quiescent again when this returns.
+  // Compatibility wrapper from the batch era, subsumed by Start/Flush:
+  // ensures the standing pipeline runs with this configuration (reusing
+  // the live pool — and its threads, plan views and arenas — when the
+  // configuration already matches), submits any buffered backlog, and
+  // flushes. The repository is quiescent again when this returns.
   Result<ParallelStats> Drain(size_t workers = 2,
                               TrackerKind tracker = TrackerKind::kCoarse);
 
@@ -148,7 +190,9 @@ class Youtopia {
   }
   FrontierAgent* agent() { return agent_.get(); }
 
-  uint64_t next_update_number() const { return next_number_; }
+  uint64_t next_update_number() const {
+    return pipeline_ ? pipeline_->next_number() : next_number_;
+  }
 
   // The facade's persistent re-planning watermark (see UpdateOptions::
   // replan_poller): serial updates share it, so an Insert over a database
@@ -168,6 +212,21 @@ class Youtopia {
                          std::string_view relation,
                          const std::vector<std::string>& values);
   UpdateReport RunSerial(WriteOp op);
+  // Creates the pipeline if it is not running (no-op otherwise) and
+  // records the configuration for later lazy restarts.
+  void EnsurePipeline(size_t workers, TrackerKind tracker,
+                      size_t inbox_capacity);
+  // Flushes the pipeline and pulls its number sequence into next_number_.
+  void QuiescePipeline();
+  // QuiescePipeline + tear-down; schema/mapping changes call this because
+  // the shard map and every plan view are compiled against the old state.
+  void InvalidatePipeline();
+  // Routes `op` to the running pipeline (mapping SubmitResult to Status)
+  // or buffers it when stopped.
+  Status SubmitAsync(WriteOp op,
+                     const std::optional<std::chrono::nanoseconds>& timeout);
+  // Feeds ops buffered while the pipeline was down into the live pipeline.
+  void SubmitBacklog();
 
   Database db_;
   std::vector<Tgd> tgds_;
@@ -178,6 +237,17 @@ class Youtopia {
   std::vector<WriteOp> async_queued_;
   uint64_t next_number_ = 1;
   ReplanPoller replan_poller_;
+
+  // The standing ingest service, alive until Stop()/invalidation. Facade
+  // state above (named_nulls_, the symbol table reached through
+  // ResolveValues) is NOT owned by the pipeline; resolve_mu_ makes the
+  // resolution step safe for concurrent *Async producers. Worker threads
+  // never touch that state, so producers and workers need no common lock.
+  std::unique_ptr<IngestPipeline> pipeline_;
+  size_t pipeline_workers_ = 2;
+  TrackerKind pipeline_tracker_ = TrackerKind::kCoarse;
+  size_t pipeline_inbox_capacity_ = 1024;
+  std::mutex resolve_mu_;
 };
 
 }  // namespace youtopia

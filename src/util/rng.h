@@ -1,6 +1,8 @@
 #ifndef YOUTOPIA_UTIL_RNG_H_
 #define YOUTOPIA_UTIL_RNG_H_
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 
 #include "util/check.h"
@@ -76,6 +78,49 @@ class Rng {
   }
 
   uint64_t s_[4];
+};
+
+// Zipfian rank sampler over [0, n), rank 0 hottest: P(rank k) proportional
+// to 1/(k+1)^theta. The classic Gray et al. rejection-free inversion (the
+// YCSB generator): O(n) zeta precomputation at construction, O(1) per
+// sample. theta = 0 degenerates to uniform; theta in [0, 1) (at 1 the
+// closed-form inversion's exponent 1/(1-theta) blows up). Stateless after
+// construction, so one sampler may serve many Rngs.
+class ZipfianSampler {
+ public:
+  ZipfianSampler(size_t n, double theta)
+      : n_(n), theta_(theta), alpha_(1.0 / (1.0 - theta)) {
+    CHECK_GT(n, 0u);
+    CHECK_GE(theta, 0.0);
+    CHECK_LT(theta, 1.0);
+    for (size_t i = 1; i <= n; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    zeta2_ = 1.0 + std::pow(0.5, theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  size_t Sample(Rng* rng) const {
+    const double u = rng->UniformDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (n_ >= 2 && uz < zeta2_) return 1;
+    const size_t rank = static_cast<size_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank < n_ ? rank : n_ - 1;  // guard the u→1 boundary
+  }
+
+ private:
+  size_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_ = 0;
+  double zeta2_ = 0;
+  double eta_ = 0;
 };
 
 }  // namespace youtopia

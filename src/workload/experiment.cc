@@ -53,6 +53,7 @@ void ExperimentDriver::BuildRepository(bool verbose,
   MappingGenOptions mapping_opts;
   mapping_opts.count = config_.num_mappings_total;
   mapping_opts.num_islands = config_.islands;
+  mapping_opts.zipf_theta = config_.zipf_theta;
   tgds_ = GenerateMappings(db_, constants_, &rng_, mapping_opts);
 
   if (verbose) {
@@ -101,6 +102,7 @@ ExperimentResult ExperimentDriver::Run(bool verbose) {
       WorkloadOptions wl_opts;
       wl_opts.num_updates = config_.updates_per_run;
       wl_opts.delete_fraction = config_.delete_fraction;
+      wl_opts.zipf_theta = config_.zipf_theta;
       const std::vector<WriteOp> ops =
           GenerateWorkload(&db_, constants_, &wl_rng, wl_opts);
 

@@ -28,6 +28,10 @@ struct ExperimentConfig {
   double delete_fraction = 0.0;  // 0.2 for the mixed workload (Figure 4)
   size_t runs = 100;             // data points are averages over runs
   uint64_t seed = 1;
+  // > 0: mapping constants and workload pool values draw Zipf(theta)-skewed
+  // by pool rank instead of uniformly (0 = the paper's uniform setup). See
+  // MappingGenOptions::zipf_theta for why skew matters to re-planning.
+  double zipf_theta = 0.0;
 
   // Execution engine: 1 = the serial Scheduler (the paper's setup); > 1 =
   // the sharded ParallelScheduler with this many workers (effective

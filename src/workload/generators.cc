@@ -1,6 +1,7 @@
 #include "workload/generators.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 
 #include "core/update.h"
@@ -23,6 +24,14 @@ size_t PickSize(Rng* rng, const double weights[3]) {
   if (x < weights[0]) return 1;
   if (x < weights[0] + weights[1]) return 2;
   return 3;
+}
+
+// One constant-pool draw: Zipf(theta)-skewed by pool rank when a sampler is
+// given, else uniform (the paper's setup).
+const Value& PickConstant(Rng* rng, const std::vector<Value>& constants,
+                          const ZipfianSampler* zipf) {
+  if (zipf != nullptr) return constants[zipf->Sample(rng)];
+  return constants[rng->Uniform(constants.size())];
 }
 
 // Chooses `k` distinct relation ids uniformly from [lo, hi).
@@ -71,6 +80,11 @@ std::vector<Tgd> GenerateMappings(const Database& db,
   const size_t n = db.num_relations();
   const size_t islands = std::max<size_t>(options.num_islands, 1);
   CHECK_GE(n, islands * 3);  // an island must fit a 3-atom side
+  std::optional<ZipfianSampler> zipf;
+  if (options.zipf_theta > 0) {
+    zipf.emplace(constants.size(), options.zipf_theta);
+  }
+  const ZipfianSampler* zipf_ptr = zipf ? &*zipf : nullptr;
   while (out.size() < options.count) {
     // Round-robin the mappings across islands; with islands == 1 the range
     // is the whole schema and this is the paper's unconstrained generator.
@@ -100,7 +114,7 @@ std::vector<Tgd> GenerateMappings(const Database& db,
       for (size_t p = 0; p < arity; ++p) {
         if (rng->Chance(options.p_constant_lhs)) {
           atom.terms.push_back(
-              Term::Const(constants[rng->Uniform(constants.size())]));
+              Term::Const(PickConstant(rng, constants, zipf_ptr)));
           continue;
         }
         var_positions.push_back(p);
@@ -178,7 +192,7 @@ std::vector<Tgd> GenerateMappings(const Database& db,
       for (size_t p = 0; p < arity; ++p) {
         if (rng->Chance(options.p_constant_rhs)) {
           atom.terms.push_back(
-              Term::Const(constants[rng->Uniform(constants.size())]));
+              Term::Const(PickConstant(rng, constants, zipf_ptr)));
           continue;
         }
         rhs_var_positions.push_back({i, p});
@@ -262,6 +276,12 @@ std::vector<WriteOp> GenerateWorkload(Database* db,
     std::swap(is_delete[i - 1], is_delete[rng->Uniform(i)]);
   }
 
+  std::optional<ZipfianSampler> zipf;
+  if (options.zipf_theta > 0) {
+    zipf.emplace(constants.size(), options.zipf_theta);
+  }
+  const ZipfianSampler* zipf_ptr = zipf ? &*zipf : nullptr;
+
   std::vector<WriteOp> out;
   out.reserve(options.num_updates);
   for (size_t i = 0; i < options.num_updates; ++i) {
@@ -291,7 +311,7 @@ std::vector<WriteOp> GenerateWorkload(Database* db,
         if (rng->Chance(options.p_fresh_value)) {
           data.push_back(db->InternConstant("f_" + RandomName(rng, 8)));
         } else {
-          data.push_back(constants[rng->Uniform(constants.size())]);
+          data.push_back(PickConstant(rng, constants, zipf_ptr));
         }
       }
       out.push_back(WriteOp::Insert(rel, std::move(data)));

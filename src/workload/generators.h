@@ -59,6 +59,12 @@ struct MappingGenOptions {
   // such a pattern, but random tuples rarely match highly self-constrained
   // atoms, so this is kept small).
   double p_within_atom_repeat = 0.05;
+  // > 0: constant positions draw from the pool Zipf(theta)-skewed by pool
+  // rank instead of uniformly (0 = the paper's uniform setup). Skewed
+  // mapping constants concentrate chase matches on the hot constants, so
+  // relation cardinalities drift instead of growing evenly — the workload
+  // shape that actually trips the mid-chase re-planning nudge.
+  double zipf_theta = 0.0;
 };
 
 // Generates `options.count` random mappings over the database's schema.
@@ -96,6 +102,9 @@ struct WorkloadOptions {
   size_t num_updates = 500;
   double delete_fraction = 0.0;  // exact share of deletes, order shuffled
   double p_fresh_value = 0.5;    // insert values: fresh constant vs pool
+  // > 0: pool-constant picks are Zipf(theta)-skewed by pool rank (0 =
+  // uniform). See MappingGenOptions::zipf_theta.
+  double zipf_theta = 0.0;
 };
 
 // Generates the initial operations of one workload run. Insert targets are

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <set>
+#include <vector>
 
 #include "util/arena.h"
 #include "util/rng.h"
@@ -142,6 +143,49 @@ TEST(RngTest, ChanceApproximatesProbability) {
   for (int i = 0; i < n; ++i) hits += rng.Chance(0.3) ? 1 : 0;
   const double rate = static_cast<double>(hits) / n;
   EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(ZipfianSamplerTest, StaysInRangeAndSkewsTowardRankZero) {
+  const size_t n = 100;
+  ZipfianSampler zipf(n, 0.9);
+  EXPECT_EQ(zipf.n(), n);
+  EXPECT_DOUBLE_EQ(zipf.theta(), 0.9);
+  Rng rng(17);
+  const int samples = 50000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < samples; ++i) {
+    const size_t rank = zipf.Sample(&rng);
+    ASSERT_LT(rank, n);
+    ++counts[rank];
+  }
+  // At theta = 0.9 over 100 ranks, rank 0 carries ~20% of the mass — an
+  // order of magnitude above the 1% a uniform draw would give it — and the
+  // frequencies are monotone-ish: the head dominates the tail.
+  EXPECT_GT(counts[0], samples / 10);
+  EXPECT_GT(counts[0], counts[n / 2] * 4);
+  EXPECT_GT(counts[1], counts[n - 1]);
+}
+
+TEST(ZipfianSamplerTest, ThetaZeroIsUniform) {
+  const size_t n = 8;
+  ZipfianSampler zipf(n, 0.0);
+  Rng rng(23);
+  const int samples = 40000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < samples; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / samples, 1.0 / n, 0.02)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfianSamplerTest, DeterministicGivenSameRngStream) {
+  ZipfianSampler zipf(50, 0.5);
+  Rng a(31);
+  Rng b(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.Sample(&a), zipf.Sample(&b));
+  }
 }
 
 }  // namespace

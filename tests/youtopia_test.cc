@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <string>
+
 namespace youtopia {
 namespace {
 
@@ -174,6 +177,80 @@ TEST_F(YoutopiaTest, AsyncInsertThenReplaceOfFreshNullInOneDrain) {
   ASSERT_EQ(q->tuples.size(), 1u);
   EXPECT_EQ(q->rendered[0], "(XYZ)");
   EXPECT_TRUE(repo_.AllMappingsSatisfied());
+}
+
+TEST_F(YoutopiaTest, StandingPipelineLifecycle) {
+  // Start brings the service up; *Async calls execute without a Drain; Flush
+  // is only a barrier; Stop tears the pool down and async falls back to
+  // buffering.
+  EXPECT_FALSE(repo_.running());
+  ASSERT_TRUE(repo_.Start(/*workers=*/2).ok());
+  EXPECT_TRUE(repo_.running());
+
+  ASSERT_TRUE(repo_.Insert("A", {"Geneva", "Winery"}).ok());
+  EXPECT_TRUE(repo_.running());  // serial ops quiesce but keep the pool
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(repo_.InsertAsync(
+                        "T", {"Winery", "co" + std::to_string(i), "Syracuse"})
+                    .ok());
+  }
+  auto stats = repo_.Flush();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->totals.updates_completed, 4u);
+  EXPECT_EQ(*repo_.Count("R"), 4u);
+  EXPECT_TRUE(repo_.running());
+
+  // A second Flush on the same pool: lifetime stats accumulate.
+  ASSERT_TRUE(repo_.InsertAsync("T", {"Winery", "co4", "Syracuse"}).ok());
+  auto stats2 = repo_.Flush();
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats2->totals.updates_completed, 5u);
+  // Three lifetime flushes on one pool: the serial Insert's quiescing
+  // barrier plus the two explicit Flush() calls.
+  EXPECT_EQ(stats2->flushes, 3u);
+
+  ASSERT_TRUE(repo_.Stop().ok());
+  EXPECT_FALSE(repo_.running());
+  // Stopped: async buffers, timeout is ignored, the next Flush replays.
+  ASSERT_TRUE(repo_.InsertAsync("T", {"Winery", "co5", "Syracuse"},
+                                std::chrono::nanoseconds(0))
+                  .ok());
+  EXPECT_EQ(*repo_.Count("R"), 5u);  // not yet executed
+  ASSERT_TRUE(repo_.Flush().ok());
+  EXPECT_EQ(*repo_.Count("R"), 6u);
+  EXPECT_TRUE(repo_.AllMappingsSatisfied());
+}
+
+TEST_F(YoutopiaTest, SchemaChangeInvalidatesTheStandingPipeline) {
+  // The shard map and every worker's plan view are compiled against the
+  // mapping set; AddMapping/CreateRelation must flush and rebuild.
+  ASSERT_TRUE(repo_.Start(/*workers=*/2).ok());
+  ASSERT_TRUE(repo_.Insert("A", {"Geneva", "Winery"}).ok());
+  ASSERT_TRUE(repo_.InsertAsync("T", {"Winery", "XYZ", "Syracuse"}).ok());
+  ASSERT_TRUE(repo_.CreateRelation("Seen", {"name"}).ok());
+  EXPECT_FALSE(repo_.running());  // invalidated, restarts lazily
+  ASSERT_TRUE(repo_.AddMapping("A(l, n) -> Seen(n)").ok());
+  EXPECT_EQ(*repo_.Count("Seen"), 1u);
+  // Async traffic admitted before the schema change was flushed with it.
+  EXPECT_EQ(*repo_.Count("R"), 1u);
+  ASSERT_TRUE(repo_.InsertAsync("A", {"Ithaca", "Gorges"}).ok());
+  ASSERT_TRUE(repo_.Flush().ok());
+  EXPECT_EQ(*repo_.Count("Seen"), 2u);
+  EXPECT_TRUE(repo_.AllMappingsSatisfied());
+}
+
+TEST_F(YoutopiaTest, AsyncTimeoutIsHonoredWhileRunning) {
+  // With roomy inboxes a zero timeout is a successful fast-fail probe —
+  // admission happens immediately, no deadline expires.
+  ASSERT_TRUE(repo_.Start(/*workers=*/2).ok());
+  ASSERT_TRUE(repo_.Insert("A", {"Geneva", "Winery"}).ok());
+  ASSERT_TRUE(repo_.InsertAsync("T", {"Winery", "XYZ", "Syracuse"},
+                                std::chrono::nanoseconds(0))
+                  .ok());
+  auto stats = repo_.Flush();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->totals.updates_completed, 1u);
+  EXPECT_EQ(*repo_.Count("R"), 1u);
 }
 
 TEST_F(YoutopiaTest, SerialUpdatesShareTheReplanWatermark) {
