@@ -1,20 +1,31 @@
-// Scaling curve for the sharded parallel chase (ccontrol/parallel/): the
-// same disjoint-footprint workload replayed through the serial Scheduler and
-// through the ParallelScheduler at 1, 2, 4, ... workers.
+// Scaling curves for the parallel chase (ccontrol/parallel/), two workload
+// graphs in one harness:
 //
-// The workload is fig3-shaped (random inserts plus a delete fraction over a
-// chase-seeded repository) but generated with --islands > 1, so the mapping
-// graph decomposes into disjoint tgd-closure components and every update
-// pins to a shard worker. Two effects add up in the speedup column:
-//   * admission: pinned updates skip the read log, conflict probes and
-//     dependency tracking entirely, and serialized shard queues never waste
-//     work on optimistic abort-redo;
-//   * parallelism: shards chase concurrently (bounded by the host's CPUs —
-//     the JSON records hardware_concurrency for exactly this reason).
+//  * graph="islands" — the sharding regime: --islands > 1 decomposes the
+//    mapping graph into disjoint tgd-closure components, every update pins
+//    to a shard worker, and the curve sweeps shard lanes at 1, 2, 4, ...
+//    Two effects add up in the speedup column: pinned updates skip the read
+//    log, conflict probes and dependency tracking entirely, and shards
+//    chase concurrently (bounded by the host's CPUs — the JSON records
+//    hardware_concurrency for exactly this reason).
+//
+//  * graph="dense" — the one-big-component wall sharding cannot crack: a
+//    deterministic mapping chain (--chain/--fan) welds the whole schema
+//    into ONE component, so the pool collapses to a single shard lane and
+//    adding workers buys nothing. The curve instead sweeps sub-workers at
+//    1, 2, 4, ... — the intra-shard optimistic mode (read logging on,
+//    conflict probes, cascading aborts, per-component commit sequencer; see
+//    ccontrol/parallel/intra_shard.h) — against the single-pinned-worker
+//    arm. The JSON carries the mode's abort/redo/escalation counters so the
+//    optimism's cost is visible next to its throughput.
+//
+// Throughput is committed updates per second (updates that failed their
+// step cap are not counted), so optimistic arms cannot look good by
+// burning work on ops that never commit.
 //
 // Flags are fig_common's; the defaults here are scaled to a smoke run.
 // A full curve: parallel_scale --relations=64 --islands=8 --initial=4000
-//                              --updates=800 --workers=8 --runs=3
+//                              --updates=800 --workers=8 --subs=4 --runs=3
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -29,6 +40,81 @@ double Now() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// One workload graph: a chase-seeded repository plus the arms measured
+// over it. Each arm replays the same per-run op stream from the same
+// initial database (RemoveVersionsAbove(0) rewinds between arms).
+struct Fixture {
+  Database db;
+  std::vector<Value> constants;
+  std::vector<Tgd> tgds;
+  size_t first_point = 0;  // index of the fixture's arms in `points`
+  size_t num_points = 0;
+};
+
+// `constants` lives inside the fixture; a free accessor keeps MeasureArms'
+// call site readable.
+const std::vector<Value>& constants_of(const Fixture& fx) {
+  return fx.constants;
+}
+
+void MeasureArms(Fixture* fx, const ExperimentConfig& config,
+                 std::vector<bench::ParallelScalePoint>* points,
+                 bool verbose) {
+  for (size_t run = 0; run < config.runs; ++run) {
+    Rng wl_rng(config.seed + 1000003 + 7919 * (run + 1));
+    WorkloadOptions wl_opts;
+    wl_opts.num_updates = config.updates_per_run;
+    wl_opts.delete_fraction = config.delete_fraction;
+    const std::vector<WriteOp> ops =
+        GenerateWorkload(&fx->db, constants_of(*fx), &wl_rng, wl_opts);
+
+    for (size_t pi = fx->first_point; pi < fx->first_point + fx->num_points;
+         ++pi) {
+      bench::ParallelScalePoint& p = (*points)[pi];
+      fx->db.RemoveVersionsAbove(0);  // rewind to the initial repository
+      const double start = Now();
+      if (p.engine == "serial") {
+        RandomAgent agent(config.seed + 31 * run);
+        SchedulerOptions sopts;
+        sopts.max_steps_per_update = config.max_steps_per_update;
+        sopts.max_attempts_per_update = config.max_attempts_per_update;
+        Scheduler scheduler(&fx->db, &fx->tgds, &agent, sopts);
+        for (const WriteOp& op : ops) scheduler.Submit(op);
+        scheduler.RunToCompletion();
+        p.aborts += static_cast<double>(scheduler.stats().aborts);
+        p.updates_per_second +=
+            static_cast<double>(scheduler.stats().updates_completed);
+      } else {
+        ParallelSchedulerOptions popts;
+        popts.num_workers = p.workers;
+        popts.sub_workers = p.sub_workers;
+        popts.max_steps_per_update = config.max_steps_per_update;
+        popts.max_attempts_per_update = config.max_attempts_per_update;
+        popts.agent_seed = config.seed + 31 * run;
+        ParallelScheduler scheduler(&fx->db, &fx->tgds, popts);
+        for (const WriteOp& op : ops) scheduler.Submit(op);
+        const ParallelStats stats = scheduler.Drain();
+        p.aborts += static_cast<double>(stats.totals.aborts);
+        p.cross_shard += static_cast<double>(stats.cross_shard_updates);
+        p.escaped += static_cast<double>(stats.escaped_updates);
+        p.intra_aborts += static_cast<double>(stats.intra_shard_aborts);
+        p.intra_redos += static_cast<double>(stats.intra_shard_redos);
+        p.intra_escalations +=
+            static_cast<double>(stats.intra_shard_escalations);
+        p.updates_per_second +=
+            static_cast<double>(stats.totals.updates_completed);
+      }
+      p.seconds_per_run += Now() - start;
+      if (verbose) {
+        std::fprintf(stderr, "[parallel_scale] run=%zu %s/%s w=%zu k=%zu done\n",
+                     run, p.graph.c_str(), p.engine.c_str(), p.workers,
+                     p.sub_workers);
+      }
+    }
+  }
+  fx->db.RemoveVersionsAbove(0);
 }
 
 int Run(int argc, char** argv) {
@@ -49,118 +135,159 @@ int Run(int argc, char** argv) {
   defaults.seed = 1;
   defaults.islands = 8;
   defaults.workers = 4;
+  defaults.sub_workers = 4;   // sub-worker sweep top for the dense graph
+  defaults.chain_length = 8;  // dense graph: 8-relation chain, linear
+  defaults.fan_out = 1;
   bool verbose = false;
   ExperimentConfig config =
       bench::ParseFlagsOver(std::move(defaults), argc, argv, &verbose);
   config.num_mappings_total = config.mapping_counts.back();
   config.delete_fraction = 0.0;
 
-  Database db;
-  Rng rng(config.seed);
-  SchemaGenOptions schema_opts;
-  schema_opts.num_relations = config.num_relations;
-  CHECK(GenerateSchema(&db, &rng, schema_opts).ok());
-  const std::vector<Value> constants =
-      GenerateConstantPool(&db, &rng, config.num_constants);
-  MappingGenOptions mapping_opts;
-  mapping_opts.count = config.num_mappings_total;
-  mapping_opts.num_islands = config.islands;
-  const std::vector<Tgd> tgds =
-      GenerateMappings(db, constants, &rng, mapping_opts);
+  std::vector<bench::ParallelScalePoint> points;
 
-  InitialDataOptions data_opts;
-  data_opts.num_tuples = config.initial_tuples;
-  data_opts.max_steps_per_insert = config.initial_chase_step_cap;
-  RandomAgent seed_agent(config.seed ^ 0x9e3779b97f4a7c15ULL);
-  const InitialDataReport initial = GenerateInitialData(
-      &db, &tgds, constants, &rng, &seed_agent, data_opts);
+  // --- graph="islands": the sharding fixture. ------------------------------
+  Fixture islands;
   {
-    ShardMap map(db.num_relations(), tgds, config.workers);
+    Rng rng(config.seed);
+    SchemaGenOptions schema_opts;
+    schema_opts.num_relations = config.num_relations;
+    CHECK(GenerateSchema(&islands.db, &rng, schema_opts).ok());
+    islands.constants =
+        GenerateConstantPool(&islands.db, &rng, config.num_constants);
+    MappingGenOptions mapping_opts;
+    mapping_opts.count = config.num_mappings_total;
+    mapping_opts.num_islands = config.islands;
+    islands.tgds = GenerateMappings(islands.db, islands.constants, &rng,
+                                    mapping_opts);
+    InitialDataOptions data_opts;
+    data_opts.num_tuples = config.initial_tuples;
+    data_opts.max_steps_per_insert = config.initial_chase_step_cap;
+    RandomAgent seed_agent(config.seed ^ 0x9e3779b97f4a7c15ULL);
+    const InitialDataReport initial = GenerateInitialData(
+        &islands.db, &islands.tgds, islands.constants, &rng, &seed_agent,
+        data_opts);
+    ShardMap map(islands.db.num_relations(), islands.tgds, config.workers);
     std::printf(
         "=== parallel_scale ===\n"
-        "config: relations=%zu mappings=%zu islands=%zu components=%zu "
-        "initial=%zu updates/run=%zu runs=%zu seed=%llu\n",
+        "islands graph: relations=%zu mappings=%zu islands=%zu "
+        "components=%zu initial=%zu updates/run=%zu runs=%zu seed=%llu\n",
         config.num_relations, config.num_mappings_total, config.islands,
         map.num_components(), initial.total_tuples, config.updates_per_run,
         config.runs, static_cast<unsigned long long>(config.seed));
   }
-
-  // Arms: serial, then parallel at 1, 2, 4, ... up to --workers.
-  std::vector<size_t> parallel_arms;
-  for (size_t w = 1; w <= config.workers; w *= 2) parallel_arms.push_back(w);
-  if (parallel_arms.back() != config.workers) {
-    parallel_arms.push_back(config.workers);
-  }
-
-  std::vector<bench::ParallelScalePoint> points(1 + parallel_arms.size());
-  points[0].engine = "serial";
-  points[0].workers = 1;
-  for (size_t i = 0; i < parallel_arms.size(); ++i) {
-    points[1 + i].engine = "parallel";
-    points[1 + i].workers = parallel_arms[i];
-  }
-
-  for (size_t run = 0; run < config.runs; ++run) {
-    Rng wl_rng(config.seed + 1000003 + 7919 * (run + 1));
-    WorkloadOptions wl_opts;
-    wl_opts.num_updates = config.updates_per_run;
-    wl_opts.delete_fraction = config.delete_fraction;
-    const std::vector<WriteOp> ops =
-        GenerateWorkload(&db, constants, &wl_rng, wl_opts);
-
-    for (bench::ParallelScalePoint& p : points) {
-      db.RemoveVersionsAbove(0);  // rewind to the initial repository
-      const double start = Now();
-      if (p.engine == "serial") {
-        RandomAgent agent(config.seed + 31 * run);
-        SchedulerOptions sopts;
-        sopts.max_steps_per_update = config.max_steps_per_update;
-        sopts.max_attempts_per_update = config.max_attempts_per_update;
-        Scheduler scheduler(&db, &tgds, &agent, sopts);
-        for (const WriteOp& op : ops) scheduler.Submit(op);
-        scheduler.RunToCompletion();
-        p.aborts += static_cast<double>(scheduler.stats().aborts);
-      } else {
-        ParallelSchedulerOptions popts;
-        popts.num_workers = p.workers;
-        popts.max_steps_per_update = config.max_steps_per_update;
-        popts.max_attempts_per_update = config.max_attempts_per_update;
-        popts.agent_seed = config.seed + 31 * run;
-        ParallelScheduler scheduler(&db, &tgds, popts);
-        for (const WriteOp& op : ops) scheduler.Submit(op);
-        const ParallelStats stats = scheduler.Drain();
-        p.aborts += static_cast<double>(stats.totals.aborts);
-        p.cross_shard += static_cast<double>(stats.cross_shard_updates);
-        p.escaped += static_cast<double>(stats.escaped_updates);
-      }
-      p.seconds_per_run += Now() - start;
-      if (verbose) {
-        std::fprintf(stderr, "[parallel_scale] run=%zu %s w=%zu done\n", run,
-                     p.engine.c_str(), p.workers);
-      }
+  islands.first_point = points.size();
+  {
+    bench::ParallelScalePoint serial;
+    serial.engine = "serial";
+    serial.graph = "islands";
+    points.push_back(serial);
+    for (size_t w = 1; w <= config.workers; w *= 2) {
+      bench::ParallelScalePoint p;
+      p.engine = "parallel";
+      p.graph = "islands";
+      p.workers = w;
+      points.push_back(p);
+    }
+    if (points.back().workers != config.workers) {
+      bench::ParallelScalePoint p = points.back();
+      p.workers = config.workers;
+      points.push_back(p);
     }
   }
-  db.RemoveVersionsAbove(0);
+  islands.num_points = points.size() - islands.first_point;
+
+  // --- graph="dense": the one-big-component fixture. -----------------------
+  // A chain prefix (--chain) welds the schema into one tgd-closure
+  // component; the random fill is generated with islands=1 on top, so the
+  // graph stays dense. One component = one shard lane, so the worker axis
+  // is pinned at 1 and the sweep runs over sub-workers instead.
+  Fixture dense;
+  {
+    Rng rng(config.seed ^ 0x5bf03635ULL);
+    SchemaGenOptions schema_opts;
+    schema_opts.num_relations = config.num_relations;
+    CHECK(GenerateSchema(&dense.db, &rng, schema_opts).ok());
+    dense.constants =
+        GenerateConstantPool(&dense.db, &rng, config.num_constants);
+    MappingGenOptions mapping_opts;
+    mapping_opts.count = config.num_mappings_total;
+    mapping_opts.num_islands = 1;
+    mapping_opts.chain_length =
+        config.chain_length > 0 ? config.chain_length : 8;
+    mapping_opts.fan_out = config.fan_out;
+    dense.tgds =
+        GenerateMappings(dense.db, dense.constants, &rng, mapping_opts);
+    InitialDataOptions data_opts;
+    data_opts.num_tuples = config.initial_tuples;
+    data_opts.max_steps_per_insert = config.initial_chase_step_cap;
+    RandomAgent seed_agent(config.seed ^ 0x7f4a7c15ULL);
+    const InitialDataReport initial = GenerateInitialData(
+        &dense.db, &dense.tgds, dense.constants, &rng, &seed_agent,
+        data_opts);
+    ShardMap map(dense.db.num_relations(), dense.tgds, config.workers);
+    std::printf(
+        "dense graph:   relations=%zu mappings=%zu chain=%zu fan=%zu "
+        "components=%zu initial=%zu sub-worker sweep up to %zu\n",
+        config.num_relations, config.num_mappings_total,
+        mapping_opts.chain_length, config.fan_out, map.num_components(),
+        initial.total_tuples, config.sub_workers);
+  }
+  dense.first_point = points.size();
+  {
+    bench::ParallelScalePoint serial;
+    serial.engine = "serial";
+    serial.graph = "dense";
+    points.push_back(serial);
+    for (size_t k = 1; k <= config.sub_workers; k *= 2) {
+      bench::ParallelScalePoint p;
+      p.engine = "parallel";
+      p.graph = "dense";
+      p.workers = 1;  // one component ⇒ one shard lane regardless
+      p.sub_workers = k;
+      points.push_back(p);
+    }
+    if (points.back().sub_workers != config.sub_workers) {
+      bench::ParallelScalePoint p = points.back();
+      p.sub_workers = config.sub_workers;
+      points.push_back(p);
+    }
+  }
+  dense.num_points = points.size() - dense.first_point;
+
+  MeasureArms(&islands, config, &points, verbose);
+  MeasureArms(&dense, config, &points, verbose);
 
   for (bench::ParallelScalePoint& p : points) {
     p.seconds_per_run /= static_cast<double>(config.runs);
     p.aborts /= static_cast<double>(config.runs);
     p.cross_shard /= static_cast<double>(config.runs);
     p.escaped /= static_cast<double>(config.runs);
+    p.intra_aborts /= static_cast<double>(config.runs);
+    p.intra_redos /= static_cast<double>(config.runs);
+    p.intra_escalations /= static_cast<double>(config.runs);
+    // updates_per_second accumulated committed-update counts above; divide
+    // by total measured time to get committed throughput.
+    const double total_seconds =
+        p.seconds_per_run * static_cast<double>(config.runs);
     p.updates_per_second =
-        p.seconds_per_run > 0
-            ? static_cast<double>(config.updates_per_run) / p.seconds_per_run
-            : 0;
+        total_seconds > 0 ? p.updates_per_second / total_seconds : 0;
   }
-  const double serial_ups = points[0].updates_per_second;
-  std::printf("%10s %8s %12s %14s %10s %8s\n", "engine", "workers", "s/run",
-              "updates/s", "speedup", "aborts");
+  std::printf("%8s %10s %8s %6s %12s %14s %10s %8s %12s\n", "graph", "engine",
+              "workers", "subs", "s/run", "committed/s", "speedup", "aborts",
+              "intra(a/r/e)");
+  double serial_ups = 0;
   for (bench::ParallelScalePoint& p : points) {
+    if (p.engine == "serial") serial_ups = p.updates_per_second;
+    // Speedup is against the SAME graph's serial arm (the serial point
+    // precedes its parallel arms in `points`).
     p.speedup_vs_serial =
         serial_ups > 0 ? p.updates_per_second / serial_ups : 0;
-    std::printf("%10s %8zu %12.4f %14.1f %9.2fx %8.1f\n", p.engine.c_str(),
-                p.workers, p.seconds_per_run, p.updates_per_second,
-                p.speedup_vs_serial, p.aborts);
+    std::printf("%8s %10s %8zu %6zu %12.4f %14.1f %9.2fx %8.1f %4.0f/%4.0f/%4.0f\n",
+                p.graph.c_str(), p.engine.c_str(), p.workers, p.sub_workers,
+                p.seconds_per_run, p.updates_per_second, p.speedup_vs_serial,
+                p.aborts, p.intra_aborts, p.intra_redos,
+                p.intra_escalations);
   }
 
   return bench::WriteParallelScaleJson("parallel_scale", config, points) ? 0

@@ -108,12 +108,15 @@ bool WriteParallelScaleJson(const std::string& name,
   }
   out << "{\n";
   out << "  \"name\": \"" << name << "\",\n";
+  out << "  \"schema_version\": 2,\n";
   out << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n";
   out << "  \"config\": {\n";
   out << "    \"relations\": " << config.num_relations << ",\n";
   out << "    \"mappings\": " << config.num_mappings_total << ",\n";
   out << "    \"islands\": " << config.islands << ",\n";
+  out << "    \"chain_length\": " << config.chain_length << ",\n";
+  out << "    \"fan_out\": " << config.fan_out << ",\n";
   out << "    \"initial_tuples\": " << config.initial_tuples << ",\n";
   out << "    \"updates_per_run\": " << config.updates_per_run << ",\n";
   out << "    \"runs\": " << config.runs << ",\n";
@@ -122,12 +125,17 @@ bool WriteParallelScaleJson(const std::string& name,
   out << "  \"arms\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
     const ParallelScalePoint& p = points[i];
-    out << "    {\"engine\": \"" << p.engine << "\", \"workers\": "
-        << p.workers << ", \"seconds_per_run\": " << p.seconds_per_run
+    out << "    {\"engine\": \"" << p.engine << "\", \"graph\": \""
+        << p.graph << "\", \"workers\": " << p.workers
+        << ", \"sub_workers\": " << p.sub_workers
+        << ", \"seconds_per_run\": " << p.seconds_per_run
         << ", \"updates_per_second\": " << p.updates_per_second
         << ", \"speedup_vs_serial\": " << p.speedup_vs_serial
         << ", \"aborts\": " << p.aborts << ", \"cross_shard\": "
-        << p.cross_shard << ", \"escaped\": " << p.escaped << "}"
+        << p.cross_shard << ", \"escaped\": " << p.escaped
+        << ", \"intra_aborts\": " << p.intra_aborts
+        << ", \"intra_redos\": " << p.intra_redos
+        << ", \"intra_escalations\": " << p.intra_escalations << "}"
         << (i + 1 < points.size() ? ",\n" : "\n");
   }
   out << "  ]\n";

@@ -31,19 +31,29 @@ bool WriteExperimentJson(const std::string& name, const std::string& workload,
 // One arm of the bench/parallel_scale scaling curve.
 struct ParallelScalePoint {
   std::string engine;  // "serial" or "parallel"
-  size_t workers = 1;  // engine threads (1 for the serial scheduler)
+  // Workload shape the arm ran under: "islands" (disjoint components, the
+  // sharding regime) or "dense" (one tgd-closure component, the intra-shard
+  // regime).
+  std::string graph = "islands";
+  size_t workers = 1;      // shard lanes (1 for the serial scheduler)
+  size_t sub_workers = 1;  // threads per shard (intra-shard mode when > 1)
   double seconds_per_run = 0;
   double updates_per_second = 0;
   double speedup_vs_serial = 0;
   double aborts = 0;
   double cross_shard = 0;
   double escaped = 0;
+  // Intra-shard optimistic-mode counters (zero unless sub_workers > 1).
+  double intra_aborts = 0;
+  double intra_redos = 0;
+  double intra_escalations = 0;
 };
 
-// Writes BENCH_<name>.json for the scaling curve: the generator config,
-// the host's hardware concurrency (a 1-CPU container cannot show wall-clock
-// parallel speedup, so readers need this to interpret the curve), and one
-// record per engine arm.
+// Writes BENCH_<name>.json for the scaling curve (schema_version 2: adds
+// the graph tag, sub_workers and the intra-shard counters per arm): the
+// generator config, the host's hardware concurrency (a 1-CPU container
+// cannot show wall-clock parallel speedup, so readers need this to
+// interpret the curve), and one record per engine arm.
 bool WriteParallelScaleJson(const std::string& name,
                             const ExperimentConfig& config,
                             const std::vector<ParallelScalePoint>& points);

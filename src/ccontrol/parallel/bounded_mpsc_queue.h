@@ -21,12 +21,17 @@ enum class QueuePush {
   kClosed,      // queue shut down while (or before) the producer waited
 };
 
-// A bounded blocking multi-producer single-consumer inbox — the admission
-// edge of the standing ingest pipeline. Capacity works like credits: a
-// producer that finds the queue full blocks until the consumer frees a slot,
-// until its deadline expires (kWouldBlock), or until shutdown (kClosed).
-// That blocked time IS the system's backpressure signal, so the queue
-// accounts it (stall_seconds) along with the depth high-watermark.
+// A bounded blocking multi-producer inbox — the admission edge of the
+// standing ingest pipeline. Capacity works like credits: a producer that
+// finds the queue full blocks until the consumer frees a slot, until its
+// deadline expires (kWouldBlock), or until shutdown (kClosed). That blocked
+// time IS the system's backpressure signal, so the queue accounts it
+// (stall_seconds) along with the depth high-watermark.
+//
+// Historically single-consumer (one worker per shard inbox); the intra-shard
+// mode pops from K sub-workers concurrently, which the mutex-guarded
+// WaitPop/TryPop support as-is — "Mpsc" survives in the name for the
+// dominant single-consumer configuration, not as a constraint.
 //
 // The pinned chase hot path never touches the queue mid-update — one pop
 // admits one whole update — so queue overhead is per-update, not per-step,

@@ -35,6 +35,10 @@ IngestPipeline::IngestPipeline(Database* db, const std::vector<Tgd>* tgds,
 
   WorkerPoolOptions wopts;
   wopts.num_workers = options_.num_workers;
+  wopts.sub_workers = options_.sub_workers;
+  wopts.escalate_after = options_.intra_escalate_after;
+  wopts.max_attempts_per_update = options_.max_attempts_per_update;
+  wopts.intra_tracker = options_.tracker;
   wopts.max_steps_per_update = options_.max_steps_per_update;
   wopts.inbox_capacity = options_.inbox_capacity;
   wopts.agent_seed = options_.agent_seed;
@@ -215,7 +219,7 @@ size_t IngestPipeline::RunCrossShardBatch(std::vector<WriteOp> ops,
     components.erase(std::unique(components.begin(), components.end()),
                      components.end());
   }
-  std::vector<std::unique_lock<std::mutex>> held;
+  std::vector<std::unique_lock<RwMutex>> held;
   held.reserve(components.size());
   for (uint32_t c : components) held.emplace_back(component_locks_[c]);
 
@@ -317,7 +321,11 @@ ParallelStats IngestPipeline::Flush() {
   stats.workers = pool_->num_workers();
   stats.components = shard_map_.num_components();
   stats.shards = shard_map_.num_shards();
+  stats.sub_workers = pool_->sub_workers_per_shard();
   stats.pinned_updates = pool_->pinned_updates();
+  stats.intra_shard_aborts = pool_->IntraAborts();
+  stats.intra_shard_redos = pool_->IntraRedos();
+  stats.intra_shard_escalations = pool_->IntraEscalations();
   stats.cross_shard_updates = cross_count_.load(std::memory_order_relaxed);
   stats.escaped_updates = escape_count_.load(std::memory_order_relaxed);
   stats.cross_batches = cross_batches_.load(std::memory_order_relaxed);
@@ -326,6 +334,7 @@ ParallelStats IngestPipeline::Flush() {
   stats.admission_stall_seconds =
       pool_->AdmissionStallSeconds() + cross_inbox_.stall_seconds();
   stats.shard_pinned = pool_->PinnedPerShard();
+  stats.sub_pinned = pool_->PinnedPerSub();
   return stats;
 }
 

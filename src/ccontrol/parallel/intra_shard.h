@@ -1,0 +1,214 @@
+#ifndef YOUTOPIA_CCONTROL_PARALLEL_INTRA_SHARD_H_
+#define YOUTOPIA_CCONTROL_PARALLEL_INTRA_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "ccontrol/conflict.h"
+#include "ccontrol/dependency_tracker.h"
+#include "ccontrol/read_log.h"
+#include "ccontrol/scheduler.h"
+#include "ccontrol/write_log.h"
+#include "core/update.h"
+#include "ccontrol/parallel/rw_mutex.h"
+#include "relational/database.h"
+#include "tgd/tgd.h"
+#include "util/arena.h"
+
+namespace youtopia {
+
+// One shard-inbox entry: a pinned operation plus how many optimistic
+// attempts it has already burned (doomed parked victims are re-queued with
+// the count carried over, so escalation thresholds survive the round trip
+// through the inbox).
+struct PinnedItem {
+  WriteOp op;
+  uint32_t attempts = 0;
+};
+
+struct IntraCcOptions {
+  // Cascading-abort algorithm. kPrecise is clamped to kCoarse: its OnReads
+  // runs retroactive conflict checks, which compile residual plans and
+  // register composite-index demands — database mutations a sub-worker
+  // holding the storage latch *shared* must not perform. kCoarse touches
+  // only the component's own write log.
+  TrackerKind tracker = TrackerKind::kCoarse;
+  // Sub-workers per shard (sizes the per-sub commit attribution).
+  size_t num_subs = 1;
+  // Re-queues a doomed parked victim onto the owning shard's inbox. Called
+  // under the component's shared lock, the storage latch (exclusive) and
+  // the cc mutex — must not block (ForcePush lane). Required.
+  std::function<void(WriteOp op, uint32_t attempts)> requeue;
+  // Fired once per committed op, under the cc mutex — the pool's retire
+  // accounting (commit is the moment an intra-shard op leaves the system,
+  // not the moment its runner finishes). Must not block. Required.
+  std::function<void()> on_commit;
+};
+
+// Per-component optimistic concurrency control for the intra-shard execution
+// mode: Algorithm 4's probe/cascade/abort/commit protocol (scheduler.cc),
+// re-instantiated per tgd-closure component so K sub-workers can run pinned
+// ops of one hot component concurrently.
+//
+// Synchronization model (lock order: component lock > storage_latch() >
+// internal cc mutex > pool/queue leaf mutexes):
+//
+//  * Every sub-worker holds the component lock SHARED for the whole lifetime
+//    of an optimistic attempt (Begin .. terminal transition). Cross-shard
+//    batches, escalated ops and the facade's WithComponentLock take it
+//    EXCLUSIVE — acquiring it therefore implies no attempt is in flight,
+//    and (see TryCommitLocked's floor argument) the component is fully
+//    committed: active and parked sets are empty, all committed writes are
+//    final. That quiescence is asserted in AssertQuiescent().
+//  * storage_latch() guards the component's row-version storage: a
+//    sub-worker holds it SHARED during the read-only step phases
+//    (StepPrepare/StepFinish) and EXCLUSIVE during StepApply + OnWrites.
+//    All dooming — undoing a victim's writes, erasing its logs — happens
+//    under the exclusive hold of the prober, so a running victim can only
+//    be doomed *between* its phases, never during one, and its phase-entry
+//    Doomed() checks are a complete detection protocol.
+//  * The cc mutex guards every container below plus the shared read/write
+//    logs, tracker, checker and arena.
+//
+// Commit protocol (Theorem 4.4): numbers are claimed from the pipeline's
+// global counter inside Begin(), under the component-shared hold, so number
+// order within the component is claim order. Commits are admitted strictly
+// in number order by TryCommitLocked: an op finishing out of order parks in
+// finished_ until every lower number is terminal. Since nothing with a lower
+// number can start afterwards (numbers only grow), a committed op can never
+// be retro-aborted — exactly the serial scheduler's commit rule.
+class IntraComponentCc {
+ public:
+  // `tgds` is copied: the component's read log, tracker and checker need a
+  // tgd vector whose compiled-plan pointers no sub-worker ever swaps (each
+  // sub-worker replans only its own private copy).
+  IntraComponentCc(Database* db, const std::vector<Tgd>& tgds,
+                   IntraCcOptions options);
+
+  IntraComponentCc(const IntraComponentCc&) = delete;
+  IntraComponentCc& operator=(const IntraComponentCc&) = delete;
+
+  RwMutex& storage_latch() { return storage_latch_; }
+
+  // Claims the next global number and registers it active. Caller holds the
+  // component lock shared.
+  uint64_t Begin(std::atomic<uint64_t>* next_number);
+
+  // True iff a prober doomed `number` (its writes are already undone and
+  // its logs erased). Runners check at every phase entry, under the phase's
+  // latch hold.
+  bool Doomed(uint64_t number) const;
+
+  // A runner that observed its doom abandons the attempt: clears the mark
+  // and the active registration (advancing the commit floor). The caller
+  // redoes the op under a fresh number.
+  void AbandonDoomed(uint64_t number);
+
+  // Registers res->reads[*registered..] as `number`'s reads with the
+  // dependency tracker and the read log, then advances *registered. Must
+  // run under the same storage-latch hold as the phase that produced the
+  // reads (so the probe, which needs the latch exclusively, observes every
+  // completed phase's reads). Returns how many records were registered.
+  size_t RegisterReads(uint64_t number, std::vector<ReadQueryRecord>* reads,
+                       size_t* registered);
+
+  // Records `number`'s step writes and probes them against the logged reads
+  // of higher-numbered updates (Algorithm 4): every invalidated reader is
+  // doomed together with its cascade closure — running victims get a doom
+  // mark, parked victims are undone and re-queued, failed victims are
+  // undone and written off. Caller holds the storage latch EXCLUSIVE (the
+  // dooms mutate storage).
+  void OnWrites(uint64_t number, const std::vector<PhysicalWrite>& writes);
+
+  // Terminal transitions. Each returns false if the op was doomed in the
+  // unlatched window before the call — the writes are already undone and
+  // the caller must redo, exactly as if a phase check had fired.
+  //
+  // FinishOk parks the finished op in the commit sequencer (it commits once
+  // every lower number is terminal).
+  bool FinishOk(uint64_t number, WriteOp op, uint32_t sub, uint32_t attempts,
+                uint64_t frontier_ops);
+  // FinishFailed records a step-cap failure: the writes stay (a valid
+  // incomplete chase prefix, like the serial scheduler's failed slots), the
+  // logs stay until the commit floor passes so the op remains
+  // retro-abortable meanwhile.
+  bool FinishFailed(uint64_t number);
+
+  // A footprint escape surrenders: undoes `number`'s own writes, dooms the
+  // cascade closure of its readers, and unregisters it (the caller
+  // re-routes the initial op; not counted as an abort). Caller holds the
+  // storage latch EXCLUSIVE.
+  void SurrenderEscape(uint64_t number);
+
+  // Commits an op that ran escalated (under the exclusive component lock,
+  // zero-CC): appends directly to the committed list and fires the commit
+  // callback. No sequencing needed — exclusivity already proves every
+  // earlier op committed and no concurrent one exists.
+  void CommitEscalated(uint64_t number, WriteOp op, uint32_t sub,
+                       uint64_t frontier_ops);
+
+  // CHECKs the quiescence the exclusive component lock implies (see class
+  // comment). Call after acquiring the component lock exclusively.
+  void AssertQuiescent() const;
+
+  // --- Aggregation (any thread; consistent snapshots under the cc mutex) ---
+
+  void AppendCommitted(std::vector<std::pair<uint64_t, WriteOp>>* out) const;
+  SchedulerStats StatsSnapshot() const;
+  std::vector<uint64_t> SubCommitted() const;
+  uint64_t aborts() const;
+
+ private:
+  struct Parked {
+    WriteOp op;
+    uint32_t sub = 0;
+    uint32_t attempts = 0;
+    uint64_t frontier_ops = 0;
+  };
+
+  // Closes `roots` under cascading read dependencies (counting non-root
+  // members as cascading requests) into `marked`.
+  void CollectClosureLocked(const std::unordered_set<uint64_t>& roots,
+                            std::unordered_set<uint64_t>* marked);
+  // Undoes one victim's writes, erases its logs, and routes it: parked →
+  // re-queue, failed → write off, running → doom mark. Idempotent for
+  // already-doomed numbers.
+  void DoomOneLocked(uint64_t victim);
+  void TryCommitLocked();
+
+  Database* db_;
+  IntraCcOptions options_;
+  // Stable tgd view for the shared CC machinery (see ctor comment).
+  std::vector<Tgd> tgds_;
+
+  RwMutex storage_latch_;
+  mutable std::mutex mu_;
+
+  // Everything below is guarded by mu_.
+  Arena arena_;
+  ConflictChecker checker_;
+  ReadLog read_log_;
+  WriteLog write_log_;
+  DependencyTracker tracker_;
+  ReplanPoller replan_poller_;
+  std::unordered_set<uint64_t> direct_scratch_;
+  // Steady-state scratch for RegisterReads' suffix handoffs.
+  std::vector<ReadQueryRecord> suffix_scratch_;
+
+  std::set<uint64_t> active_;
+  std::unordered_set<uint64_t> doomed_;
+  std::map<uint64_t, Parked> finished_;  // parked in the commit sequencer
+  std::set<uint64_t> failed_;
+  std::vector<std::pair<uint64_t, WriteOp>> committed_;
+  std::vector<uint64_t> sub_committed_;
+  SchedulerStats stats_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CCONTROL_PARALLEL_INTRA_SHARD_H_

@@ -1,0 +1,78 @@
+#ifndef YOUTOPIA_CCONTROL_PARALLEL_RW_MUTEX_H_
+#define YOUTOPIA_CCONTROL_PARALLEL_RW_MUTEX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace youtopia {
+
+// Writer-priority shared mutex for the intra-shard execution mode.
+//
+// libstdc++'s std::shared_mutex is reader-preferring: with K sub-workers
+// holding the component lock shared for the whole lifetime of each pinned
+// op, a cross-shard batch (exclusive) could starve indefinitely behind a
+// continuous stream of overlapping shared holds. Here a waiting writer
+// blocks *new* readers, so exclusive acquisition is bounded by the ops
+// already in flight — exactly the quiescence the cross lane needs.
+//
+// Writers are also serialized among themselves FIFO-ish via the waiting
+// counter; fairness between writers is left to the condition variable
+// (contention there is rare: cross batches and escalations).
+//
+// Satisfies SharedMutex named requirements as far as the worker pool and
+// ingest pipeline use them: lock/unlock, lock_shared/unlock_shared, usable
+// with std::unique_lock and std::shared_lock.
+class RwMutex {
+ public:
+  RwMutex() = default;
+  RwMutex(const RwMutex&) = delete;
+  RwMutex& operator=(const RwMutex&) = delete;
+
+  void lock() {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++waiting_writers_;
+    writer_cv_.wait(lk, [&] { return !writer_active_ && readers_ == 0; });
+    --waiting_writers_;
+    writer_active_ = true;
+  }
+
+  void unlock() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      writer_active_ = false;
+    }
+    // Wake everything: a waiting writer wins the re-check race against
+    // readers because readers re-test waiting_writers_ > 0.
+    writer_cv_.notify_all();
+    reader_cv_.notify_all();
+  }
+
+  void lock_shared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    reader_cv_.wait(
+        lk, [&] { return !writer_active_ && waiting_writers_ == 0; });
+    ++readers_;
+  }
+
+  void unlock_shared() {
+    bool wake_writer = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      wake_writer = --readers_ == 0 && waiting_writers_ > 0;
+    }
+    if (wake_writer) writer_cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable writer_cv_;
+  std::condition_variable reader_cv_;
+  uint32_t readers_ = 0;
+  uint32_t waiting_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CCONTROL_PARALLEL_RW_MUTEX_H_

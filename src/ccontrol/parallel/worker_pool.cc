@@ -1,46 +1,64 @@
 #include "ccontrol/parallel/worker_pool.h"
 
 #include <algorithm>
+#include <shared_mutex>
 
 namespace youtopia {
 
 WorkerPool::WorkerPool(Database* db, const std::vector<Tgd>& tgds,
                        const ShardMap* shards,
-                       std::vector<std::mutex>* component_locks,
+                       std::vector<RwMutex>* component_locks,
                        std::atomic<uint64_t>* next_number,
                        WorkerPoolOptions options)
     : db_(db),
-      shards_(shards),
+      shard_map_(shards),
       component_locks_(component_locks),
       next_number_(next_number),
-      options_(std::move(options)) {
-  CHECK_EQ(component_locks_->size(), shards_->num_components());
+      options_(std::move(options)),
+      base_tgds_(tgds) {
+  CHECK_EQ(component_locks_->size(), shard_map_->num_components());
   CHECK(options_.escape_sink != nullptr);
-  // One worker per shard: the shard map already clamped the shard count to
-  // min(requested workers, components).
-  const size_t n = shards_->num_shards();
-  workers_.reserve(n);
+  subs_per_shard_ = std::max<size_t>(1, options_.sub_workers);
+  intra_cc_.resize(shard_map_->num_components());
+  // One shard lane per shard: the shard map already clamped the shard count
+  // to min(requested workers, components).
+  const size_t n = shard_map_->num_shards();
+  shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    auto w = std::make_unique<Worker>(tgds, options_.inbox_capacity);
-    w->agent = options_.agent_factory
-                   ? options_.agent_factory(i)
-                   : std::make_unique<RandomAgent>(
-                         options_.agent_seed + 0x9e3779b97f4a7c15ULL * (i + 1));
-    workers_.push_back(std::move(w));
+    auto s = std::make_unique<Shard>(options_.inbox_capacity);
+    s->subs.reserve(subs_per_shard_);
+    for (size_t j = 0; j < subs_per_shard_; ++j) {
+      auto w = std::make_unique<SubWorker>(tgds);
+      const size_t agent_idx = i * subs_per_shard_ + j;
+      w->agent = options_.agent_factory
+                     ? options_.agent_factory(agent_idx)
+                     : std::make_unique<RandomAgent>(
+                           options_.agent_seed +
+                           0x9e3779b97f4a7c15ULL * (agent_idx + 1));
+      s->subs.push_back(std::move(w));
+    }
+    shards_.push_back(std::move(s));
   }
-  // Threads start only after the full vector is built: a worker never
-  // touches another worker's state, but the loop does take `this`.
-  for (auto& w : workers_) {
-    w->thread = std::thread(&WorkerPool::WorkerLoop, this, w.get());
+  // Threads start only after the full structure is built: a sub-worker
+  // never touches another sub-worker's state, but the loop does take
+  // `this`.
+  for (auto& s : shards_) {
+    for (size_t j = 0; j < s->subs.size(); ++j) {
+      s->subs[j]->thread = std::thread(&WorkerPool::WorkerLoop, this, s.get(),
+                                       s->subs[j].get(),
+                                       static_cast<uint32_t>(j));
+    }
   }
 }
 
 WorkerPool::~WorkerPool() { Shutdown(); }
 
 void WorkerPool::Shutdown() {
-  for (auto& w : workers_) w->inbox.Close();
-  for (auto& w : workers_) {
-    if (w->thread.joinable()) w->thread.join();
+  for (auto& s : shards_) s->inbox.Close();
+  for (auto& s : shards_) {
+    for (auto& w : s->subs) {
+      if (w->thread.joinable()) w->thread.join();
+    }
   }
 }
 
@@ -48,12 +66,13 @@ QueuePush WorkerPool::Submit(
     WriteOp op,
     const std::optional<std::chrono::steady_clock::time_point>& deadline) {
   CHECK(op.kind != WriteOp::Kind::kNullReplace);
-  const uint32_t shard = shards_->ShardOfRelation(op.rel);
+  const uint32_t shard = shard_map_->ShardOfRelation(op.rel);
   // pending_ rises before the push so a racing WaitIdle can never observe
   // the op inside an inbox with the counter still at zero; a rejected push
   // retracts it.
   pending_.fetch_add(1, std::memory_order_acq_rel);
-  const QueuePush result = workers_[shard]->inbox.Push(std::move(op), deadline);
+  const QueuePush result =
+      shards_[shard]->inbox.Push(PinnedItem{std::move(op), 0}, deadline);
   if (result != QueuePush::kOk) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -75,33 +94,227 @@ void WorkerPool::WaitProcessedAtLeast(uint64_t count) {
   });
 }
 
-void WorkerPool::WorkerLoop(Worker* w) {
-  WriteOp op;
-  while (w->inbox.WaitPop(&op)) {
-    const bool retired = RunPinned(w, std::move(op));
-    // Publish completion under the barrier lock so neither WaitIdle nor a
-    // cross-batch WaitProcessedAtLeast can miss the wakeup between its
-    // predicate test and its sleep.
-    {
-      std::lock_guard<std::mutex> lock(idle_mu_);
-      processed_.fetch_add(1, std::memory_order_acq_rel);
-      pending_.fetch_sub(1, std::memory_order_acq_rel);
+void WorkerPool::Retire(bool retired) {
+  // Publish under the barrier lock so neither WaitIdle nor a cross-batch
+  // WaitProcessedAtLeast can miss the wakeup between its predicate test and
+  // its sleep.
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    processed_.fetch_add(1, std::memory_order_acq_rel);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  idle_cv_.notify_all();
+  if (retired && options_.on_op_retired) options_.on_op_retired();
+}
+
+void WorkerPool::WorkerLoop(Shard* s, SubWorker* w, uint32_t sub_slot) {
+  PinnedItem item;
+  while (s->inbox.WaitPop(&item)) {
+    if (subs_per_shard_ > 1) {
+      // Intra-shard optimistic mode: retire accounting is per logical op,
+      // not per pop (an op parked in the commit sequencer retires when it
+      // commits; a doomed parked op cycles back through this inbox without
+      // ever double-retiring). RunOptimistic owns all of it.
+      RunOptimistic(w, sub_slot, std::move(item));
+    } else {
+      ++w->stats.updates_submitted;
+      const Attempt out = RunExclusive(w, sub_slot, std::move(item.op),
+                                       /*cc=*/nullptr);
+      Retire(out != Attempt::kEscaped);
     }
-    idle_cv_.notify_all();
-    if (retired && options_.on_op_retired) options_.on_op_retired();
   }
 }
 
-bool WorkerPool::RunPinned(Worker* w, WriteOp op) {
+IntraComponentCc* WorkerPool::GetIntraCc(uint32_t component) {
+  std::lock_guard<std::mutex> lock(intra_mu_);
+  auto& slot = intra_cc_[component];
+  if (slot == nullptr) {
+    IntraCcOptions copts;
+    copts.tracker = options_.intra_tracker;
+    copts.num_subs = subs_per_shard_;
+    Shard* home = shards_[shard_map_->ShardOfComponent(component)].get();
+    // Doomed parked victims bounce back through the owning shard's inbox;
+    // the ForcePush lane because the caller holds component + latch + cc
+    // locks (see BoundedMpscQueue).
+    copts.requeue = [home](WriteOp op, uint32_t attempts) {
+      home->inbox.ForcePush(PinnedItem{std::move(op), attempts});
+    };
+    copts.on_commit = [this] { Retire(true); };
+    slot = std::make_unique<IntraComponentCc>(db_, base_tgds_,
+                                              std::move(copts));
+  }
+  return slot.get();
+}
+
+void WorkerPool::RunOptimistic(SubWorker* w, uint32_t sub_slot,
+                               PinnedItem item) {
+  const uint32_t component = shard_map_->ComponentOf(item.op.rel);
+  IntraComponentCc* cc = GetIntraCc(component);
+  if (item.attempts == 0) {
+    ++w->stats.updates_submitted;
+  } else {
+    // A doomed parked victim re-entering through the inbox: this pop IS its
+    // redo (the abort was already counted by the cc that doomed it).
+    ++w->intra_redos;
+  }
+
+  uint32_t attempts = item.attempts;
+  for (;;) {
+    if (attempts >= options_.escalate_after) {
+      // Optimism spent: run under the exclusive component lock, where
+      // nothing can doom the op. CommitEscalated retires a commit through
+      // the shared on_commit path; the other outcomes retire here.
+      ++w->intra_escalations;
+      const Attempt out = RunExclusive(w, sub_slot, item.op, cc);
+      if (out == Attempt::kFailed) Retire(true);
+      if (out == Attempt::kEscaped) Retire(false);
+      return;
+    }
+    if (attempts >= options_.max_attempts_per_update) {
+      // Only reachable when escalate_after > max_attempts_per_update.
+      ++w->stats.updates_failed;
+      Retire(true);
+      return;
+    }
+    const Attempt out =
+        RunOptimisticAttempt(w, sub_slot, component, cc, item.op, attempts);
+    switch (out) {
+      case Attempt::kFinished:
+        return;  // parked or committed; retires through the sequencer
+      case Attempt::kFailed:
+        ++w->stats.updates_failed;
+        Retire(true);
+        return;
+      case Attempt::kEscaped:
+        // Mirror the classic path: the cross-shard engine re-counts the
+        // submission; the sink must not block (ForcePush lane) — unlike
+        // the classic path, no component lock is held here anymore.
+        --w->stats.updates_submitted;
+        ++w->stats.escaped_updates;
+        options_.escape_sink(item.op);
+        Retire(false);
+        return;
+      case Attempt::kDoomed:
+        ++attempts;
+        ++w->intra_redos;
+        break;  // redo locally under a fresh number
+    }
+  }
+}
+
+WorkerPool::Attempt WorkerPool::RunOptimisticAttempt(
+    SubWorker* w, uint32_t sub_slot, uint32_t component, IntraComponentCc* cc,
+    const WriteOp& op, uint32_t attempts) {
+  // Shared for the whole attempt: an exclusive acquirer (cross-shard batch,
+  // escalated op, facade maintenance) therefore implies no attempt is in
+  // flight and — via the commit sequencer's floor — the component is fully
+  // committed. Writer priority in RwMutex bounds how long they wait.
+  std::shared_lock<RwMutex> comp_lock((*component_locks_)[component]);
+  const uint64_t number = cc->Begin(next_number_);
+
+  UpdateOptions uopts;
+  uopts.max_steps = options_.max_steps_per_update;
+  uopts.scratch_arena = &w->arena;
+  uopts.detector = &w->detector;
+  // Admission at COMPONENT granularity, as on the classic path.
+  uopts.allowed_relations = &shard_map_->ComponentRelations(component);
+  uopts.log_reads = true;  // the CC machinery consumes them on this path
+  uopts.replan_poller = &w->poller;
+  Update u(number, op, &w->tgds, uopts);
+  RwMutex& latch = cc->storage_latch();
+
+  while (!u.finished()) {
+    StepResult res;
+    size_t registered = 0;
+    bool doomed = false;
+    bool cont = false;
+
+    // Phase 1 (storage shared): frontier processing.
+    {
+      std::shared_lock<RwMutex> latch_lock(latch);
+      if (cc->Doomed(number)) {
+        doomed = true;
+      } else {
+        cont = u.StepPrepare(db_, w->agent.get(), &res);
+        ++w->stats.total_steps;
+        if (cont) {
+          w->stats.read_queries +=
+              cc->RegisterReads(number, &res.reads, &registered);
+        }
+      }
+    }
+    if (doomed) {
+      cc->AbandonDoomed(number);
+      return Attempt::kDoomed;
+    }
+    if (!cont) break;  // step cap fired; the update is final
+
+    // Phase 2 (storage exclusive): apply the pending writes, probe them
+    // against the logged reads of higher-numbered updates.
+    {
+      std::unique_lock<RwMutex> latch_lock(latch);
+      if (cc->Doomed(number)) {
+        doomed = true;
+      } else {
+        u.StepApply(db_, &res);
+        w->stats.physical_writes += res.writes.size();
+        if (u.escaped()) {
+          cc->SurrenderEscape(number);
+          return Attempt::kEscaped;
+        }
+        cc->OnWrites(number, res.writes);
+        w->stats.read_queries +=
+            cc->RegisterReads(number, &res.reads, &registered);
+      }
+    }
+    if (doomed) {
+      cc->AbandonDoomed(number);
+      return Attempt::kDoomed;
+    }
+
+    // Phase 3 (storage shared): violation detection, next violation.
+    {
+      std::shared_lock<RwMutex> latch_lock(latch);
+      if (cc->Doomed(number)) {
+        doomed = true;
+      } else {
+        u.StepFinish(db_, &res);
+        w->stats.read_queries +=
+            cc->RegisterReads(number, &res.reads, &registered);
+      }
+    }
+    if (doomed) {
+      cc->AbandonDoomed(number);
+      return Attempt::kDoomed;
+    }
+  }
+
+  if (u.hit_step_cap()) {
+    return cc->FinishFailed(number) ? Attempt::kFailed : Attempt::kDoomed;
+  }
+  return cc->FinishOk(number, u.initial_op(), sub_slot, attempts,
+                      u.frontier_ops_performed())
+             ? Attempt::kFinished
+             : Attempt::kDoomed;
+}
+
+WorkerPool::Attempt WorkerPool::RunExclusive(SubWorker* w, uint32_t sub_slot,
+                                             WriteOp op,
+                                             IntraComponentCc* cc) {
   // Footprint lock: an insert/delete chase stays within one component, so
   // the protocol degenerates to a single uncontended mutex unless a
-  // cross-shard admission currently covers this component. The number is
-  // claimed under the lock: execution order within a component is then
-  // number order, which makes the pinned run serializable with every
-  // overlapping cross-shard batch (MVTO visibility sees exactly the writes
-  // of lower-numbered, already-finished updates).
-  const uint32_t component = shards_->ComponentOf(op.rel);
-  std::lock_guard<std::mutex> lock((*component_locks_)[component]);
+  // cross-shard admission — or, under the intra-shard mode, a sibling
+  // sub-worker's shared hold — currently covers this component. The number
+  // is claimed under the lock: execution order within a component is then
+  // number order, which makes the run serializable with every overlapping
+  // cross-shard batch (MVTO visibility sees exactly the writes of
+  // lower-numbered, already-finished updates).
+  const uint32_t component = shard_map_->ComponentOf(op.rel);
+  std::lock_guard<RwMutex> lock((*component_locks_)[component]);
+  // Exclusivity implies intra quiescence: every optimistic attempt holds
+  // the lock shared for its lifetime and the sequencer flushed on the last
+  // terminal transition.
+  if (cc != nullptr) cc->AssertQuiescent();
   const uint64_t number = next_number_->fetch_add(1, std::memory_order_relaxed);
 
   UpdateOptions uopts;
@@ -112,12 +325,11 @@ bool WorkerPool::RunPinned(Worker* w, WriteOp op) {
   // covers. A shard-wide bitmap would let a chase write (or replan over) a
   // sibling component of this shard whose lock a concurrent cross-shard
   // admission may hold.
-  uopts.allowed_relations = &shards_->ComponentRelations(component);
+  uopts.allowed_relations = &shard_map_->ComponentRelations(component);
   uopts.log_reads = false;  // nothing consumes read records on this path
   uopts.replan_poller = &w->poller;
   Update u(number, std::move(op), &w->tgds, uopts);
 
-  ++w->stats.updates_submitted;
   w->undo_scratch.clear();
   while (!u.finished()) {
     StepResult res = u.Step(db_, w->agent.get());
@@ -142,67 +354,146 @@ bool WorkerPool::RunPinned(Worker* w, WriteOp op) {
     --w->stats.updates_submitted;
     ++w->stats.escaped_updates;
     options_.escape_sink(u.initial_op());
-    return false;
+    return Attempt::kEscaped;
   }
   if (u.hit_step_cap()) {
     ++w->stats.updates_failed;
-    return true;
+    return Attempt::kFailed;
   }
-  ++w->stats.updates_completed;
-  ++w->pinned;
-  w->stats.frontier_ops += u.frontier_ops_performed();
-  w->committed.push_back({number, u.initial_op()});
-  return true;
+  if (cc != nullptr) {
+    cc->CommitEscalated(number, u.initial_op(), sub_slot,
+                        u.frontier_ops_performed());
+  } else {
+    ++w->stats.updates_completed;
+    ++w->pinned;
+    w->stats.frontier_ops += u.frontier_ops_performed();
+    w->committed.push_back({number, u.initial_op()});
+  }
+  return Attempt::kFinished;
 }
 
 SchedulerStats WorkerPool::MergedStats() const {
   SchedulerStats out;
-  for (const auto& w : workers_) out.Merge(w->stats);
+  for (const auto& s : shards_) {
+    for (const auto& w : s->subs) out.Merge(w->stats);
+  }
+  std::lock_guard<std::mutex> lock(intra_mu_);
+  for (const auto& cc : intra_cc_) {
+    if (cc != nullptr) out.Merge(cc->StatsSnapshot());
+  }
   return out;
 }
 
 uint64_t WorkerPool::pinned_updates() const {
   uint64_t n = 0;
-  for (const auto& w : workers_) n += w->pinned;
+  for (const auto& s : shards_) {
+    for (const auto& w : s->subs) n += w->pinned;
+  }
+  std::lock_guard<std::mutex> lock(intra_mu_);
+  for (const auto& cc : intra_cc_) {
+    if (cc == nullptr) continue;
+    for (uint64_t c : cc->SubCommitted()) n += c;
+  }
   return n;
 }
 
 std::vector<uint64_t> WorkerPool::PinnedPerShard() const {
-  std::vector<uint64_t> out;
-  out.reserve(workers_.size());
-  for (const auto& w : workers_) out.push_back(w->pinned);
+  std::vector<uint64_t> out(shards_.size(), 0);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    for (const auto& w : shards_[i]->subs) out[i] += w->pinned;
+  }
+  std::lock_guard<std::mutex> lock(intra_mu_);
+  for (size_t c = 0; c < intra_cc_.size(); ++c) {
+    if (intra_cc_[c] == nullptr) continue;
+    uint64_t n = 0;
+    for (uint64_t k : intra_cc_[c]->SubCommitted()) n += k;
+    out[shard_map_->ShardOfComponent(static_cast<uint32_t>(c))] += n;
+  }
+  return out;
+}
+
+std::vector<uint64_t> WorkerPool::PinnedPerSub() const {
+  std::vector<uint64_t> out(shards_.size() * subs_per_shard_, 0);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    for (size_t j = 0; j < shards_[i]->subs.size(); ++j) {
+      out[i * subs_per_shard_ + j] += shards_[i]->subs[j]->pinned;
+    }
+  }
+  std::lock_guard<std::mutex> lock(intra_mu_);
+  for (size_t c = 0; c < intra_cc_.size(); ++c) {
+    if (intra_cc_[c] == nullptr) continue;
+    const size_t shard = shard_map_->ShardOfComponent(static_cast<uint32_t>(c));
+    const std::vector<uint64_t> per_sub = intra_cc_[c]->SubCommitted();
+    for (size_t j = 0; j < per_sub.size() && j < subs_per_shard_; ++j) {
+      out[shard * subs_per_shard_ + j] += per_sub[j];
+    }
+  }
   return out;
 }
 
 std::vector<std::pair<uint64_t, WriteOp>> WorkerPool::CommittedOpsWithNumbers()
     const {
   std::vector<std::pair<uint64_t, WriteOp>> out;
-  for (const auto& w : workers_) {
-    out.insert(out.end(), w->committed.begin(), w->committed.end());
+  for (const auto& s : shards_) {
+    for (const auto& w : s->subs) {
+      out.insert(out.end(), w->committed.begin(), w->committed.end());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(intra_mu_);
+    for (const auto& cc : intra_cc_) {
+      if (cc != nullptr) cc->AppendCommitted(&out);
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
+uint64_t WorkerPool::IntraAborts() const {
+  uint64_t n = 0;
+  std::lock_guard<std::mutex> lock(intra_mu_);
+  for (const auto& cc : intra_cc_) {
+    if (cc != nullptr) n += cc->aborts();
+  }
+  return n;
+}
+
+uint64_t WorkerPool::IntraRedos() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    for (const auto& w : s->subs) n += w->intra_redos;
+  }
+  return n;
+}
+
+uint64_t WorkerPool::IntraEscalations() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    for (const auto& w : s->subs) n += w->intra_escalations;
+  }
+  return n;
+}
+
 size_t WorkerPool::InboxHighWatermark() const {
   size_t hw = 0;
-  for (const auto& w : workers_) {
-    hw = std::max(hw, w->inbox.high_watermark());
+  for (const auto& s : shards_) {
+    hw = std::max(hw, s->inbox.high_watermark());
   }
   return hw;
 }
 
 double WorkerPool::AdmissionStallSeconds() const {
-  double s = 0;
-  for (const auto& w : workers_) s += w->inbox.stall_seconds();
-  return s;
+  double sum = 0;
+  for (const auto& s : shards_) sum += s->inbox.stall_seconds();
+  return sum;
 }
 
 std::vector<std::thread::id> WorkerPool::ThreadIds() const {
   std::vector<std::thread::id> ids;
-  ids.reserve(workers_.size());
-  for (const auto& w : workers_) ids.push_back(w->thread.get_id());
+  for (const auto& s : shards_) {
+    for (const auto& w : s->subs) ids.push_back(w->thread.get_id());
+  }
   return ids;
 }
 

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "ccontrol/parallel/bounded_mpsc_queue.h"
+#include "ccontrol/parallel/intra_shard.h"
+#include "ccontrol/parallel/rw_mutex.h"
 #include "ccontrol/parallel/shard_map.h"
 #include "ccontrol/scheduler.h"
 #include "core/agent.h"
@@ -26,59 +28,91 @@
 namespace youtopia {
 
 struct WorkerPoolOptions {
-  // Upper bound on worker threads; the pool creates one worker per shard
-  // (at most num_components, see ShardMap).
+  // Upper bound on shard lanes; the pool creates one lane per shard (at
+  // most num_components, see ShardMap).
   size_t num_workers = 2;
+  // Sub-workers per shard. 1 = the classic pinned mode: one thread per
+  // shard, zero concurrency control under the exclusive component lock.
+  // K > 1 = the intra-shard optimistic mode: K threads drain each shard
+  // inbox concurrently, with full read-log/conflict-probe/dependency-
+  // tracker CC per component (see IntraComponentCc) and abort/redo as the
+  // backstop.
+  size_t sub_workers = 1;
+  // Intra-shard mode: optimistic attempts an op burns before it gives up
+  // and escalates to the exclusive component lock (where it runs zero-CC,
+  // like the classic pinned mode). 0 escalates immediately — every op runs
+  // under the exclusive lock, which serializes the shard again (useful as a
+  // deterministic test mode, useless for throughput).
+  size_t escalate_after = 4;
+  // Intra-shard livelock guard for pathological configs where
+  // escalate_after is set above it: an op doomed this many times without
+  // escalating is written off as failed.
+  size_t max_attempts_per_update = 256;
+  // Cascading-abort algorithm for the intra-shard mode (kPrecise is
+  // clamped to kCoarse, see IntraCcOptions).
+  TrackerKind intra_tracker = TrackerKind::kCoarse;
   size_t max_steps_per_update = 1u << 20;
   // Credit capacity of each shard inbox. A full inbox is the backpressure
   // signal: Submit blocks (or fast-fails) until the owning worker frees a
   // slot. Per-inbox, so one hot shard cannot starve admission to the rest.
   size_t inbox_capacity = 1024;
-  // Per-worker simulated user: agent_factory(worker_index) when supplied,
-  // else a RandomAgent derived from agent_seed and the index. Agents with
-  // per-call state (RandomAgent's RNG) must never be shared across workers.
+  // Per-sub-worker simulated user: agent_factory(shard * sub_workers + sub)
+  // when supplied, else a RandomAgent derived from agent_seed and that
+  // index. Agents with per-call state (RandomAgent's RNG) must never be
+  // shared across threads.
   uint64_t agent_seed = 42;
   std::function<std::unique_ptr<FrontierAgent>(size_t)> agent_factory;
   // Sink for surrendered escape ops. Invoked on the worker thread while the
-  // op's component lock is still held, so it MUST NOT block (the pipeline
-  // re-routes through a ForcePush lane). Required.
+  // op's component lock may still be held, so it MUST NOT block (the
+  // pipeline re-routes through a ForcePush lane). Required.
   std::function<void(WriteOp)> escape_sink;
   // Invoked once per inbox op that retires on the pinned path — committed
   // or failed, NOT escaped (an escaped op stays logically in flight; the
-  // escape_sink carries it on). Called after the component lock is
-  // released. Optional.
+  // escape_sink carries it on). In the intra-shard mode a parked op retires
+  // at commit time, possibly from another sub-worker's thread and under the
+  // component's shared lock — the callback must not block. Optional.
   std::function<void()> on_op_retired;
 };
 
-// The pinned execution engine of the sharded parallel chase: one long-lived
-// thread per shard, each owning everything its hot path touches —
-//   * a private copy of the tgd vector (the worker's *plan view*: adaptive
+// The pinned execution engine of the sharded parallel chase: long-lived
+// threads per shard, each owning everything its hot path touches —
+//   * a private copy of the tgd vector (the thread's *plan view*: adaptive
 //     re-planning swaps plans on the copy, never on a structure another
 //     thread reads; the copy is made once, at pool construction, and the
-//     worker-persistent ReplanPoller watermark refreshes it in place across
+//     thread-persistent ReplanPoller watermark refreshes it in place across
 //     flush epochs),
 //   * a scratch Arena and a ViolationDetector whose non-reentrant evaluator
-//     pair amortizes across every update the worker runs,
-//   * a FrontierAgent, and
-//   * a bounded inbox (BoundedMpscQueue) the submission threads route work
-//     into; workers park on it between ops instead of exiting.
+//     pair amortizes across every update the thread runs, and
+//   * a FrontierAgent.
+// Each shard owns one bounded inbox (BoundedMpscQueue) the submission
+// threads route work into; its sub-workers park on it between ops instead
+// of exiting.
 //
-// A worker drains its inbox one update at a time: it takes the update's
-// single component lock (uncontended unless a cross-shard admission
-// overlaps), claims a fresh global priority number, and runs the chase to
-// completion with concurrency control switched off — no read logging, no
-// conflict probes, no dependency tracking — because serial execution per
-// component plus disjointness across components makes the run trivially
-// serializable in number order. Admission is scoped to exactly what that
-// lock covers: an update whose chase would leave the op's *component* (a
-// unification replacing a cross-component null — even one whose other
-// occurrences live in a sibling component of the same shard) is undone via
-// its tracked writes and surrendered through the escape sink for the
-// cross-shard engine to re-run under the wider lock set.
+// With sub_workers == 1 a shard's single thread drains the inbox one update
+// at a time: it takes the update's component lock exclusively, claims a
+// fresh global priority number, and runs the chase with concurrency control
+// switched off — serial execution per component plus disjointness across
+// components makes the run trivially serializable in number order.
+//
+// With sub_workers == K > 1 — the intra-shard optimistic mode, built for
+// the one-hot-component workload where sharding cannot help — K threads run
+// the shard's ops concurrently under the component lock held SHARED, with
+// the full optimistic protocol (read logging on, conflict probes, cascading
+// aborts, per-component commit sequencer) supplied by IntraComponentCc; see
+// there for the locking and commit-order arguments. Repeated dooms escalate
+// an op to the exclusive component lock, which degenerates to the classic
+// pinned mode for that op.
+//
+// Admission is scoped to the op's component either way: an update whose
+// chase would leave it (a unification replacing a cross-component null —
+// even one whose other occurrences live in a sibling component of the same
+// shard) is undone via its tracked writes and surrendered through the
+// escape sink for the cross-shard engine to re-run under the wider lock
+// set.
 class WorkerPool {
  public:
   WorkerPool(Database* db, const std::vector<Tgd>& tgds,
-             const ShardMap* shards, std::vector<std::mutex>* component_locks,
+             const ShardMap* shards, std::vector<RwMutex>* component_locks,
              std::atomic<uint64_t>* next_number, WorkerPoolOptions options);
 
   WorkerPool(const WorkerPool&) = delete;
@@ -94,12 +128,13 @@ class WorkerPool {
   // per-worker state remains).
   void Shutdown();
 
-  size_t num_workers() const { return workers_.size(); }
+  size_t num_workers() const { return shards_.size(); }
+  size_t sub_workers_per_shard() const { return subs_per_shard_; }
 
   // Routes `op` (an insert or delete; null replacements are cross-shard by
-  // definition) to the worker owning its relation's shard, blocking on a
-  // full inbox until `deadline` (nullopt = forever; a past deadline is the
-  // fast-fail mode). Thread-safe.
+  // definition) to the shard owning its relation, blocking on a full inbox
+  // until `deadline` (nullopt = forever; a past deadline is the fast-fail
+  // mode). Thread-safe.
   QueuePush Submit(WriteOp op,
                    const std::optional<std::chrono::steady_clock::time_point>&
                        deadline = std::nullopt);
@@ -124,9 +159,17 @@ class WorkerPool {
   uint64_t pinned_updates() const;
   // Per-shard completed pinned counts (throughput attribution).
   std::vector<uint64_t> PinnedPerShard() const;
+  // Per-sub-worker completed pinned counts, flattened shard-major (shard 0
+  // subs first). Equals PinnedPerShard() reshaped when sub_workers == 1.
+  std::vector<uint64_t> PinnedPerSub() const;
   // Committed (number, initial op) pairs of every worker, globally sorted
   // by number — the pinned half of the run's serialization order.
   std::vector<std::pair<uint64_t, WriteOp>> CommittedOpsWithNumbers() const;
+
+  // Intra-shard mode counters (zero when sub_workers == 1).
+  uint64_t IntraAborts() const;       // ops doomed by a conflict probe
+  uint64_t IntraRedos() const;        // optimistic re-executions after a doom
+  uint64_t IntraEscalations() const;  // ops that fell back to the excl. lock
 
   // Observability of the bounded inboxes; safe to call any time.
   size_t InboxHighWatermark() const;   // max depth any shard inbox reached
@@ -137,37 +180,75 @@ class WorkerPool {
   std::vector<std::thread::id> ThreadIds() const;
 
  private:
-  struct Worker {
-    Worker(const std::vector<Tgd>& base_tgds, size_t capacity)
-        : tgds(base_tgds), detector(&tgds, &arena), inbox(capacity) {}
+  // Per-thread execution state. One per shard classically; one per
+  // sub-worker in the intra-shard mode.
+  struct SubWorker {
+    explicit SubWorker(const std::vector<Tgd>& base_tgds)
+        : tgds(base_tgds), detector(&tgds, &arena) {}
 
     std::vector<Tgd> tgds;  // private plan view (copies share compiled
-                            // plans until this worker replans)
+                            // plans until this sub-worker replans)
     Arena arena;
     ViolationDetector detector;
     std::unique_ptr<FrontierAgent> agent;
-    ReplanPoller poller;  // worker-persistent staleness watermark
-    BoundedMpscQueue<WriteOp> inbox;
+    ReplanPoller poller;  // thread-persistent staleness watermark
 
     SchedulerStats stats;
-    uint64_t pinned = 0;
-    std::vector<std::pair<uint64_t, WriteOp>> committed;
+    uint64_t pinned = 0;  // commits on the zero-CC paths (K=1 / escalated
+                          // commits are attributed through the cc instead)
+    uint64_t intra_redos = 0;
+    uint64_t intra_escalations = 0;
+    std::vector<std::pair<uint64_t, WriteOp>> committed;  // zero-CC K=1 path
     std::vector<std::pair<RelationId, RowId>> undo_scratch;
 
     std::thread thread;  // started last, after every field is live
   };
 
-  void WorkerLoop(Worker* w);
-  // Returns true iff the op retired here (false: surrendered via escape).
-  bool RunPinned(Worker* w, WriteOp op);
+  struct Shard {
+    explicit Shard(size_t capacity) : inbox(capacity) {}
+    BoundedMpscQueue<PinnedItem> inbox;
+    std::vector<std::unique_ptr<SubWorker>> subs;
+  };
+
+  // Terminal state of one execution attempt.
+  enum class Attempt { kFinished, kFailed, kEscaped, kDoomed };
+
+  void WorkerLoop(Shard* s, SubWorker* w, uint32_t sub_slot);
+  // Zero-CC execution under the exclusive component lock: the classic
+  // pinned path (cc == nullptr; commits into the sub-worker) and the
+  // escalated intra-shard path (cc != nullptr; commits through the cc).
+  // Never returns kDoomed (nothing can doom an exclusive holder).
+  Attempt RunExclusive(SubWorker* w, uint32_t sub_slot, WriteOp op,
+                       IntraComponentCc* cc);
+  // Optimistic intra-shard execution: runs `item` to a terminal state,
+  // redoing locally on dooms and escalating after repeated ones. Handles
+  // its own retire accounting (commits retire via the cc's sequencer).
+  void RunOptimistic(SubWorker* w, uint32_t sub_slot, PinnedItem item);
+  // One optimistic attempt under the shared component lock.
+  Attempt RunOptimisticAttempt(SubWorker* w, uint32_t sub_slot,
+                               uint32_t component, IntraComponentCc* cc,
+                               const WriteOp& op, uint32_t attempts);
+  IntraComponentCc* GetIntraCc(uint32_t component);
+  // Publishes one processed op to the idle/processed barriers; fires
+  // on_op_retired when `retired`.
+  void Retire(bool retired);
 
   Database* db_;
-  const ShardMap* shards_;
-  std::vector<std::mutex>* component_locks_;
+  const ShardMap* shard_map_;
+  std::vector<RwMutex>* component_locks_;
   std::atomic<uint64_t>* next_number_;
   WorkerPoolOptions options_;
+  size_t subs_per_shard_ = 1;
 
-  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Intra-shard CC contexts, created lazily per component on first use (the
+  // mode targets the one-big-component regime; most components of a wide
+  // map never see intra traffic). Entries are never destroyed before
+  // shutdown; base_tgds_ is the stable copy they are built from.
+  std::vector<Tgd> base_tgds_;
+  mutable std::mutex intra_mu_;
+  std::vector<std::unique_ptr<IntraComponentCc>> intra_cc_;
 
   // Updates submitted but not yet fully processed; the idle barrier.
   std::atomic<size_t> pending_{0};

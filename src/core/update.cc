@@ -44,8 +44,16 @@ Update Update::ForViolations(uint64_t number, std::vector<Violation> viols,
 }
 
 StepResult Update::Step(Database* db, FrontierAgent* agent) {
-  CHECK(!finished_);
   StepResult res;
+  if (StepPrepare(db, agent, &res)) {
+    StepApply(db, &res);
+    StepFinish(db, &res);
+  }
+  return res;
+}
+
+bool Update::StepPrepare(Database* db, FrontierAgent* agent, StepResult* res) {
+  CHECK(!finished_);
   started_ = true;
   // One chase step = one arena generation. Steady-state steps allocate
   // nothing new (the detector's scratch retains capacity), so the rewind
@@ -56,10 +64,24 @@ StepResult Update::Step(Database* db, FrontierAgent* agent) {
     // database consistent with a valid (incomplete) chase prefix.
     hit_step_cap_ = true;
     finished_ = true;
-    res.finished = true;
-    return res;
+    res->finished = true;
+    return false;
   }
 
+  // 1. Consume one frontier operation, if one is pending.
+  if (pos_frontier_.has_value()) {
+    ProcessPositiveFrontier(db, agent, res);
+  } else if (neg_frontier_.has_value()) {
+    ProcessNegativeFrontier(db, agent, res);
+  }
+
+  // If the frontier is still open (a group with several tuples resolves one
+  // per step, and a decision may itself have produced writes), apply writes
+  // now and come back for the rest of the group next step.
+  return true;
+}
+
+void Update::StepApply(Database* db, StepResult* res) {
   // Adaptive re-planning: a long chase grows the very relations its cached
   // violation/premise plans join over, so a plan costed at step 0 can be
   // badly ordered by step N. The poll is strided on the database's mutation
@@ -71,7 +93,10 @@ StepResult Update::Step(Database* db, FrontierAgent* agent) {
   // poll until the database actually moved a stride. Under a shard
   // admission guard, only the shard's own mappings are polled: replanning a
   // foreign mapping would read (and re-register indexes on) relations this
-  // thread does not own.
+  // thread does not own. The poll lives in the apply phase because a fired
+  // recompilation mutates plan and index-demand state — frontier processing
+  // (StepPrepare) only runs specificity scans, so polling after it is
+  // equivalent to the old step-entry poll.
   ReplanPoller* poller = options_.replan_poller != nullptr
                              ? options_.replan_poller
                              : &replan_poller_;
@@ -91,17 +116,6 @@ StepResult Update::Step(Database* db, FrontierAgent* agent) {
     }
   }
 
-  // 1. Consume one frontier operation, if one is pending.
-  if (pos_frontier_.has_value()) {
-    ProcessPositiveFrontier(db, agent, &res);
-  } else if (neg_frontier_.has_value()) {
-    ProcessNegativeFrontier(db, agent, &res);
-  }
-
-  // If the frontier is still open (a group with several tuples resolves one
-  // per step, and a decision may itself have produced writes), apply writes
-  // now and come back for the rest of the group next step.
-
   // 2. Perform the write set. Set-semantics insertion reads the database
   // (is an equal tuple already visible?); that read is logged so a later
   // lower-numbered delete of the duplicate retroactively conflicts.
@@ -112,19 +126,20 @@ StepResult Update::Step(Database* db, FrontierAgent* agent) {
   // (earlier steps' writes are the caller's to undo). Null replacements
   // are then applied over the exact occurrence snapshots the check
   // validated — a re-read could see occurrences registered by another
-  // shard in between.
+  // shard in between. Check and apply share this phase (and so, in the
+  // intra-shard mode, one exclusive latch hold).
   std::vector<std::vector<TupleRef>> replace_occs;
   if (options_.allowed_relations != nullptr &&
       !WritesStayWithin(*db, writes, &replace_occs)) {
     escaped_ = true;
     finished_ = true;
-    res.finished = true;
-    return res;
+    res->finished = true;
+    return;
   }
   size_t replace_idx = 0;
   for (const WriteOp& op : writes) {
     if (op.kind == WriteOp::Kind::kInsert && options_.log_reads) {
-      res.reads.push_back(ReadQueryRecord::MoreSpecific(op.rel, op.data));
+      res->reads.push_back(ReadQueryRecord::MoreSpecific(op.rel, op.data));
     }
     const std::vector<TupleRef>* occs =
         op.kind == WriteOp::Kind::kNullReplace &&
@@ -132,31 +147,33 @@ StepResult Update::Step(Database* db, FrontierAgent* agent) {
             ? &replace_occs[replace_idx++]
             : nullptr;
     std::vector<PhysicalWrite> applied = db->Apply(op, number_, occs);
-    for (PhysicalWrite& w : applied) res.writes.push_back(std::move(w));
+    for (PhysicalWrite& w : applied) res->writes.push_back(std::move(w));
   }
+}
 
+void Update::StepFinish(Database* db, StepResult* res) {
+  if (finished_) return;  // StepApply escaped; nothing was applied
   // 3. Violation queries for the whole step's writes, batched: one
   // evaluator retarget, duplicate pinned queries posed once, and no
   // per-write result vector.
   Snapshot snap(db, number_);
   detect_scratch_.clear();
-  detector_->AfterWrites(snap, res.writes, &detect_scratch_,
-                         options_.log_reads ? &res.reads : nullptr);
+  detector_->AfterWrites(snap, res->writes, &detect_scratch_,
+                         options_.log_reads ? &res->reads : nullptr);
   for (Violation& v : detect_scratch_) viol_queue_.push_back(std::move(v));
 
   // 4. Choose the next violation and generate corrective writes, unless the
   // update is still blocked on an open frontier group.
   if (!awaiting_frontier()) {
-    ChooseNextViolation(db, snap, &res);
+    ChooseNextViolation(db, snap, res);
   }
 
   if (awaiting_frontier()) {
-    res.awaiting_frontier = true;
+    res->awaiting_frontier = true;
   } else if (write_set_.empty() && viol_queue_.empty()) {
     finished_ = true;
-    res.finished = true;
+    res->finished = true;
   }
-  return res;
 }
 
 void Update::RunToCompletion(Database* db, FrontierAgent* agent) {

@@ -124,6 +124,31 @@ class Update {
   // `agent` is consulted only when the update is at a frontier.
   StepResult Step(Database* db, FrontierAgent* agent);
 
+  // Phased execution of one chase step, for the intra-shard optimistic mode
+  // (ccontrol/parallel/): the storage-mutating middle phase is isolated so
+  // a sub-worker can hold its component's storage latch exclusively there
+  // and only there, and shared during the read-only phases. Step() is the
+  // composition of the three; serial callers should keep using it.
+  //
+  //   StepPrepare — step bookkeeping plus frontier processing (agent
+  //     decisions; reads the database and the internally synchronized null
+  //     registry, mutates only this update's own state). Returns false when
+  //     the step already terminated (step cap): `res` is final and the
+  //     other two phases must not run.
+  //   StepApply — the adaptive re-planning poll (mutates plan/index state),
+  //     the shard-admission check, and the pending write set's application.
+  //     May end the attempt with escaped() set.
+  //   StepFinish — violation detection over the step's writes and choice of
+  //     the next violation (read-only against the database). No-op when
+  //     StepApply escaped.
+  //
+  // res->reads accumulates across the phases in order, so a concurrency-
+  // control caller can register each phase's suffix of reads while still
+  // holding whatever latch that phase ran under.
+  bool StepPrepare(Database* db, FrontierAgent* agent, StepResult* res);
+  void StepApply(Database* db, StepResult* res);
+  void StepFinish(Database* db, StepResult* res);
+
   // Runs steps until the update terminates (or the step cap is hit).
   // Convenience for single-update (serial) execution.
   void RunToCompletion(Database* db, FrontierAgent* agent);

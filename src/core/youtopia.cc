@@ -229,10 +229,11 @@ Result<SchedulerStats> Youtopia::RunQueued(TrackerKind tracker) {
 // --- The standing ingest pipeline ------------------------------------------
 
 void Youtopia::EnsurePipeline(size_t workers, TrackerKind tracker,
-                              size_t inbox_capacity) {
+                              size_t inbox_capacity, size_t sub_workers) {
   pipeline_workers_ = std::max<size_t>(workers, 1);
   pipeline_tracker_ = tracker;
   pipeline_inbox_capacity_ = inbox_capacity;
+  pipeline_sub_workers_ = std::max<size_t>(sub_workers, 1);
   if (pipeline_) return;
   IngestOptions options;
   options.num_workers = pipeline_workers_;
@@ -240,6 +241,7 @@ void Youtopia::EnsurePipeline(size_t workers, TrackerKind tracker,
   options.first_number = next_number_;
   options.agent_seed = seed_;
   options.inbox_capacity = pipeline_inbox_capacity_;
+  options.sub_workers = pipeline_sub_workers_;
   options.cross_admission = CrossAdmission::kContinuous;
   pipeline_ = std::make_unique<IngestPipeline>(&db_, &tgds_,
                                                std::move(options));
@@ -262,14 +264,16 @@ void Youtopia::SubmitBacklog() {
 }
 
 Status Youtopia::Start(size_t workers, TrackerKind tracker,
-                       size_t inbox_capacity) {
+                       size_t inbox_capacity, size_t sub_workers) {
   workers = std::max<size_t>(workers, 1);
+  sub_workers = std::max<size_t>(sub_workers, 1);
   if (pipeline_ && (pipeline_workers_ != workers ||
                     pipeline_tracker_ != tracker ||
-                    pipeline_inbox_capacity_ != inbox_capacity)) {
+                    pipeline_inbox_capacity_ != inbox_capacity ||
+                    pipeline_sub_workers_ != sub_workers)) {
     InvalidatePipeline();  // reconfiguration: flush, then rebuild below
   }
-  EnsurePipeline(workers, tracker, inbox_capacity);
+  EnsurePipeline(workers, tracker, inbox_capacity, sub_workers);
   SubmitBacklog();
   return Status::Ok();
 }
@@ -281,7 +285,7 @@ Status Youtopia::Stop() {
 
 Result<ParallelStats> Youtopia::Flush() {
   EnsurePipeline(pipeline_workers_, pipeline_tracker_,
-                 pipeline_inbox_capacity_);
+                 pipeline_inbox_capacity_, pipeline_sub_workers_);
   SubmitBacklog();
   const ParallelStats stats = pipeline_->Flush();
   next_number_ = std::max(next_number_, pipeline_->next_number());
@@ -379,7 +383,8 @@ Status Youtopia::ReplaceNullAsync(
 }
 
 Result<ParallelStats> Youtopia::Drain(size_t workers, TrackerKind tracker) {
-  RETURN_IF_ERROR(Start(workers, tracker, pipeline_inbox_capacity_));
+  RETURN_IF_ERROR(Start(workers, tracker, pipeline_inbox_capacity_,
+                        pipeline_sub_workers_));
   return Flush();
 }
 

@@ -107,8 +107,14 @@ class Youtopia {
   // is the barrier. Starting an already-running pipeline is a no-op if the
   // configuration matches; otherwise the old pool flushes and a new one
   // replaces it.
+  //
+  // `sub_workers` selects the shard execution mode: 1 (default) runs each
+  // shard on a single pinned thread with zero concurrency control; K > 1
+  // fans each shard inbox out to K sub-workers running the optimistic
+  // intra-shard protocol (read logging, conflict probes, cascading aborts,
+  // per-component commit sequencer — see ccontrol/parallel/intra_shard.h).
   Status Start(size_t workers = 2, TrackerKind tracker = TrackerKind::kCoarse,
-               size_t inbox_capacity = 1024);
+               size_t inbox_capacity = 1024, size_t sub_workers = 1);
 
   // Flushes whatever was admitted, then tears the pipeline down (threads
   // join). No-op when not running. *Async calls made while stopped are
@@ -215,7 +221,7 @@ class Youtopia {
   // Creates the pipeline if it is not running (no-op otherwise) and
   // records the configuration for later lazy restarts.
   void EnsurePipeline(size_t workers, TrackerKind tracker,
-                      size_t inbox_capacity);
+                      size_t inbox_capacity, size_t sub_workers);
   // Flushes the pipeline and pulls its number sequence into next_number_.
   void QuiescePipeline();
   // QuiescePipeline + tear-down; schema/mapping changes call this because
@@ -247,6 +253,7 @@ class Youtopia {
   size_t pipeline_workers_ = 2;
   TrackerKind pipeline_tracker_ = TrackerKind::kCoarse;
   size_t pipeline_inbox_capacity_ = 1024;
+  size_t pipeline_sub_workers_ = 1;
   std::mutex resolve_mu_;
 };
 

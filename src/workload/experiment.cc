@@ -54,6 +54,8 @@ void ExperimentDriver::BuildRepository(bool verbose,
   mapping_opts.count = config_.num_mappings_total;
   mapping_opts.num_islands = config_.islands;
   mapping_opts.zipf_theta = config_.zipf_theta;
+  mapping_opts.chain_length = config_.chain_length;
+  mapping_opts.fan_out = config_.fan_out;
   tgds_ = GenerateMappings(db_, constants_, &rng_, mapping_opts);
 
   if (verbose) {

@@ -85,6 +85,56 @@ std::vector<Tgd> GenerateMappings(const Database& db,
     zipf.emplace(constants.size(), options.zipf_theta);
   }
   const ZipfianSampler* zipf_ptr = zipf ? &*zipf : nullptr;
+
+  // --- Deterministic chain prefix (chain_length > 1). ----------------------
+  // Relation lo+k maps positionally into the next fan_out relations: shared
+  // frontier variables weld the whole chain into one tgd-closure component,
+  // and every hop deepens the chase a seed insert sets off.
+  if (options.chain_length > 1) {
+    const size_t fan = std::max<size_t>(options.fan_out, 1);
+    for (size_t island = 0; island < islands && out.size() < options.count;
+         ++island) {
+      const size_t lo = island * n / islands;
+      const size_t hi = (island + 1) * n / islands;
+      const size_t chain = std::min(options.chain_length, hi - lo);
+      for (size_t k = 0; k + 1 < chain && out.size() < options.count; ++k) {
+        const RelationId src = static_cast<RelationId>(lo + k);
+        const size_t src_arity = db.catalog().schema(src).arity();
+        ConjunctiveQuery lhs;
+        Atom latom;
+        latom.rel = src;
+        for (size_t p = 0; p < src_arity; ++p) {
+          latom.terms.push_back(Term::Var(static_cast<VarId>(p)));
+        }
+        lhs.atoms.push_back(std::move(latom));
+        VarId next_var = static_cast<VarId>(src_arity);
+        ConjunctiveQuery rhs;
+        for (size_t f = 0; f < fan && lo + k + 1 + f < hi; ++f) {
+          const RelationId dst = static_cast<RelationId>(lo + k + 1 + f);
+          const size_t dst_arity = db.catalog().schema(dst).arity();
+          Atom ratom;
+          ratom.rel = dst;
+          for (size_t p = 0; p < dst_arity; ++p) {
+            // Position 0 always carries frontier v0 (arities are >= 1), so
+            // Tgd::Create's frontier requirement holds by construction.
+            ratom.terms.push_back(p < src_arity
+                                      ? Term::Var(static_cast<VarId>(p))
+                                      : Term::Var(next_var++));
+          }
+          rhs.atoms.push_back(std::move(ratom));
+        }
+        std::vector<std::string> names;
+        for (VarId v = 0; v < next_var; ++v) {
+          names.push_back("c" + std::to_string(v));
+        }
+        Result<Tgd> tgd = Tgd::Create(std::move(lhs), std::move(rhs),
+                                      std::move(names), db.catalog());
+        CHECK(tgd.ok());
+        out.push_back(std::move(tgd).value());
+      }
+    }
+  }
+
   while (out.size() < options.count) {
     // Round-robin the mappings across islands; with islands == 1 the range
     // is the whole schema and this is the paper's unconstrained generator.

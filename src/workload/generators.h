@@ -65,6 +65,18 @@ struct MappingGenOptions {
   // relation cardinalities drift instead of growing evenly — the workload
   // shape that actually trips the mid-chase re-planning nudge.
   double zipf_theta = 0.0;
+  // > 1: prepend deterministic *chain* mappings (they count toward `count`)
+  // before the random fill: per island, relation lo+k maps positionally
+  // into the next `fan_out` relations for k in [0, chain_length-1). Long
+  // chains make every seed insert cascade through deep derivations, and
+  // the shared relations weld the island into ONE tgd-closure component —
+  // the dense single-component shape that relation-partitioned sharding
+  // cannot split and the intra-shard optimistic mode targets (see
+  // ccontrol/parallel/intra_shard.h and bench/parallel_scale.cc).
+  size_t chain_length = 0;
+  // RHS atoms per chain hop (breadth of each derivation; clamped to the
+  // island edge). 1 = a pure linear chain.
+  size_t fan_out = 1;
 };
 
 // Generates `options.count` random mappings over the database's schema.

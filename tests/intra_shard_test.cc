@@ -1,0 +1,326 @@
+#include "ccontrol/parallel/intra_shard.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ccontrol/parallel/ingest_pipeline.h"
+#include "core/update.h"
+#include "relational/tuple.h"
+#include "tgd/parser.h"
+
+namespace youtopia {
+namespace {
+
+// One dense tgd-closure component without existentials: a mapping chain
+// A -> B -> C -> D welds all four relations together, so the worker pool
+// collapses to a single shard lane and only the intra-shard mode can add
+// threads. No existentials means no labeled nulls, so equal committed op
+// sequences produce literally equal instances (names and all).
+struct Chain {
+  Database db;
+  std::vector<Tgd> tgds;
+  RelationId A, B, C, D;
+
+  Chain() {
+    A = *db.CreateRelation("A", {"x", "y"});
+    B = *db.CreateRelation("B", {"x", "y"});
+    C = *db.CreateRelation("C", {"x", "y"});
+    D = *db.CreateRelation("D", {"x", "y"});
+    TgdParser parser(&db.catalog(), &db.symbols());
+    tgds.push_back(*parser.ParseTgd("A(x, y) -> B(y, x)"));
+    tgds.push_back(*parser.ParseTgd("B(x, y) -> C(y, x)"));
+    tgds.push_back(*parser.ParseTgd("C(x, y) -> D(y, x)"));
+    // The whole value universe is interned eagerly so that any two Chain
+    // instances assign identical constant ids — ops built against one
+    // fixture carry interned ids, and SerialReplayDump feeds them to a
+    // fresh fixture.
+    for (int i = 0; i < 8; ++i) db.InternConstant("x" + std::to_string(i));
+    for (int i = 0; i < 3; ++i) db.InternConstant("y" + std::to_string(i));
+  }
+
+  TupleData Row(const std::string& x, const std::string& y) {
+    TupleData data;
+    data.push_back(db.InternConstant(x));
+    data.push_back(db.InternConstant(y));
+    return data;
+  }
+};
+
+std::string DumpAll(const Database& db) {
+  std::string out;
+  Snapshot snap(&db, kReadLatest);
+  for (RelationId r = 0; r < db.num_relations(); ++r) {
+    std::vector<std::string> rows;
+    snap.ForEachVisible(r, [&](RowId, const TupleData& t) {
+      rows.push_back(TupleToString(t, db.symbols()));
+    });
+    std::sort(rows.begin(), rows.end());
+    out += db.catalog().schema(r).name + ":";
+    for (const std::string& s : rows) out += " " + s + ";";
+    out += "\n";
+  }
+  return out;
+}
+
+std::unique_ptr<FrontierAgent> MinContentFactory(size_t) {
+  return std::make_unique<MinContentAgent>();
+}
+
+// Replays `ops` serially (fresh numbers 1..n) into a fresh Chain instance
+// and returns its dump — the reference every concurrent run must match
+// byte-for-byte (Theorem 4.4: number order == serialization order).
+std::string SerialReplayDump(const std::vector<WriteOp>& ops) {
+  Chain fix;
+  MinContentAgent agent;
+  uint64_t number = 1;
+  for (const WriteOp& op : ops) {
+    Update u(number++, op, &fix.tgds);
+    u.RunToCompletion(&fix.db, &agent);
+  }
+  return DumpAll(fix.db);
+}
+
+// --- The tentpole equivalence axis -----------------------------------------
+
+TEST(IntraShardTest, ConcurrentSubWorkersMatchSerialReplay) {
+  // 4 producers hammer ONE component through a tiny inbox while 4
+  // sub-workers run the optimistic protocol; overlapping values make the
+  // cascades collide, so conflict probes, dooms and redos actually fire.
+  // The final instance must equal a serial replay of the committed ops in
+  // number order.
+  constexpr size_t kProducers = 4;
+  constexpr size_t kOpsPerProducer = 32;
+
+  Chain fix;
+  // Ops only reference the universe the Chain ctor interned, so the replay
+  // fixture (constructed identically) resolves the same ids.
+  std::vector<std::vector<WriteOp>> per_producer(kProducers);
+  for (size_t p = 0; p < kProducers; ++p) {
+    for (size_t j = 0; j < kOpsPerProducer; ++j) {
+      per_producer[p].push_back(WriteOp::Insert(
+          fix.A, fix.Row("x" + std::to_string((p + j) % 8),
+                         "y" + std::to_string(j % 3))));
+    }
+  }
+
+  IngestOptions opts;
+  opts.num_workers = 2;  // one component ⇒ collapses to one shard lane
+  opts.sub_workers = 4;
+  opts.inbox_capacity = 4;
+  opts.agent_factory = MinContentFactory;
+  IngestPipeline pipeline(&fix.db, &fix.tgds, opts);
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pipeline, &per_producer, p] {
+      for (const WriteOp& op : per_producer[p]) {
+        ASSERT_EQ(pipeline.Submit(op), SubmitResult::kOk);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  const ParallelStats stats = pipeline.Flush();
+
+  EXPECT_EQ(stats.sub_workers, 4u);
+  EXPECT_EQ(stats.pinned_updates, kProducers * kOpsPerProducer);
+  EXPECT_EQ(stats.totals.updates_failed, 0u);
+  // Per-sub attribution folds back to the pinned total.
+  EXPECT_EQ(std::accumulate(stats.sub_pinned.begin(), stats.sub_pinned.end(),
+                            uint64_t{0}),
+            stats.pinned_updates);
+  // Every doom is matched by a redo (nothing failed, nothing escaped).
+  EXPECT_EQ(stats.intra_shard_redos, stats.intra_shard_aborts);
+
+  const std::vector<WriteOp> committed = pipeline.CommittedOpsInOrder();
+  EXPECT_EQ(committed.size(), kProducers * kOpsPerProducer);
+  EXPECT_EQ(DumpAll(fix.db), SerialReplayDump(committed));
+}
+
+// --- Engineered conflict: probe → doom → requeue → redo ---------------------
+
+TEST(IntraShardTest, ConflictProbeDoomsParkedReaderAndRedoCommits) {
+  // Single-threaded drive of IntraComponentCc with a hand-built schedule:
+  //   seed      B("k")                       (update number 0)
+  //   number 2  Insert A("k") — reads B("k") during violation detection,
+  //             finds the mapping satisfied, parks behind number 1.
+  //   number 1  Delete B("k") — its write invalidates 2's logged read, so
+  //             the probe dooms the parked reader: undo + requeue.
+  //   number 3  the requeued redo — now sees B("k") gone, repairs it.
+  Database db;
+  const RelationId A = *db.CreateRelation("A", {"x"});
+  const RelationId B = *db.CreateRelation("B", {"x"});
+  TgdParser parser(&db.catalog(), &db.symbols());
+  std::vector<Tgd> tgds;
+  tgds.push_back(*parser.ParseTgd("A(x) -> B(x)"));
+  const Value k = db.InternConstant("k");
+  db.Apply(WriteOp::Insert(B, {k}), /*update_number=*/0);
+  RowId seed_row = 0;
+  bool seed_found = false;
+  db.relation(B).ForEachVisible(kReadLatest, [&](RowId row, const TupleData&) {
+    seed_row = row;
+    seed_found = true;
+  });
+  ASSERT_TRUE(seed_found);
+
+  std::atomic<uint64_t> next_number{1};
+  std::vector<std::pair<WriteOp, uint32_t>> requeued;
+  size_t commits = 0;
+  IntraCcOptions copts;
+  copts.num_subs = 1;
+  copts.requeue = [&](WriteOp op, uint32_t attempts) {
+    requeued.push_back({std::move(op), attempts});
+  };
+  copts.on_commit = [&] { ++commits; };
+  IntraComponentCc cc(&db, tgds, std::move(copts));
+
+  MinContentAgent agent;
+  // One optimistic attempt, the way a sub-worker phases it (single thread:
+  // the latches are uncontended, the protocol order is what's under test).
+  auto run = [&](uint64_t number, const WriteOp& op) {
+    UpdateOptions uopts;
+    uopts.log_reads = true;
+    Update u(number, op, &tgds, uopts);
+    while (!u.finished()) {
+      StepResult res;
+      size_t registered = 0;
+      bool cont;
+      {
+        std::shared_lock<RwMutex> latch(cc.storage_latch());
+        EXPECT_FALSE(cc.Doomed(number));
+        cont = u.StepPrepare(&db, &agent, &res);
+        cc.RegisterReads(number, &res.reads, &registered);
+      }
+      if (!cont) break;
+      {
+        std::unique_lock<RwMutex> latch(cc.storage_latch());
+        u.StepApply(&db, &res);
+        cc.OnWrites(number, res.writes);
+        cc.RegisterReads(number, &res.reads, &registered);
+      }
+      {
+        std::shared_lock<RwMutex> latch(cc.storage_latch());
+        u.StepFinish(&db, &res);
+        cc.RegisterReads(number, &res.reads, &registered);
+      }
+    }
+    ASSERT_FALSE(u.hit_step_cap());
+    EXPECT_TRUE(cc.FinishOk(number, u.initial_op(), /*sub=*/0, /*attempts=*/0,
+                            u.frontier_ops_performed()));
+  };
+
+  const uint64_t n1 = cc.Begin(&next_number);  // the (future) deleter
+  const uint64_t n2 = cc.Begin(&next_number);  // the reader, runs first
+  ASSERT_EQ(n1, 1u);
+  ASSERT_EQ(n2, 2u);
+
+  run(n2, WriteOp::Insert(A, {k}));
+  EXPECT_EQ(commits, 0u);  // parked: number 1 is still active
+
+  run(n1, WriteOp::Delete(B, seed_row));
+  // The delete's probe doomed the parked reader (undo + requeue) and then
+  // number 1 committed — the sequencer floor moved past it.
+  EXPECT_EQ(commits, 1u);
+  EXPECT_EQ(cc.aborts(), 1u);
+  ASSERT_EQ(requeued.size(), 1u);
+  EXPECT_EQ(requeued[0].second, 1u);  // attempts carried over, incremented
+  {
+    // The doomed insert's write is gone again.
+    Snapshot snap(&db, kReadLatest);
+    size_t a_rows = 0;
+    snap.ForEachVisible(A, [&](RowId, const TupleData&) { ++a_rows; });
+    EXPECT_EQ(a_rows, 0u);
+  }
+
+  const uint64_t n3 = cc.Begin(&next_number);  // the redo, fresh number
+  ASSERT_EQ(n3, 3u);
+  run(n3, requeued[0].first);
+  EXPECT_EQ(commits, 2u);
+
+  // The redo observed the committed delete and repaired the mapping.
+  Snapshot snap(&db, kReadLatest);
+  size_t a_rows = 0, b_rows = 0;
+  snap.ForEachVisible(A, [&](RowId, const TupleData&) { ++a_rows; });
+  snap.ForEachVisible(B, [&](RowId, const TupleData&) { ++b_rows; });
+  EXPECT_EQ(a_rows, 1u);
+  EXPECT_EQ(b_rows, 1u);
+
+  std::vector<std::pair<uint64_t, WriteOp>> committed;
+  cc.AppendCommitted(&committed);
+  ASSERT_EQ(committed.size(), 2u);
+  EXPECT_EQ(committed[0].first, 1u);
+  EXPECT_EQ(committed[1].first, 3u);
+  cc.AssertQuiescent();
+}
+
+// --- Escalation -------------------------------------------------------------
+
+TEST(IntraShardTest, ImmediateEscalationSerializesAndStaysEquivalent) {
+  // intra_escalate_after = 0: every op escalates to the exclusive component
+  // lock on its first pop — the deterministic degenerate mode. No
+  // optimistic attempt ever runs, so no aborts; every op is counted as an
+  // escalation; and the result still replays serially.
+  constexpr size_t kOps = 32;
+  Chain fix;
+  std::vector<WriteOp> ops;
+  for (size_t j = 0; j < kOps; ++j) {
+    ops.push_back(WriteOp::Insert(
+        fix.A, fix.Row("x" + std::to_string(j % 8),
+                       "y" + std::to_string(j % 3))));
+  }
+
+  IngestOptions opts;
+  opts.num_workers = 1;
+  opts.sub_workers = 2;
+  opts.intra_escalate_after = 0;
+  opts.agent_factory = MinContentFactory;
+  IngestPipeline pipeline(&fix.db, &fix.tgds, opts);
+  for (const WriteOp& op : ops) {
+    ASSERT_EQ(pipeline.Submit(op), SubmitResult::kOk);
+  }
+  const ParallelStats stats = pipeline.Flush();
+
+  EXPECT_EQ(stats.pinned_updates, kOps);
+  EXPECT_EQ(stats.intra_shard_escalations, kOps);
+  EXPECT_EQ(stats.intra_shard_aborts, 0u);
+  EXPECT_EQ(stats.totals.updates_failed, 0u);
+
+  const std::vector<WriteOp> committed = pipeline.CommittedOpsInOrder();
+  EXPECT_EQ(committed.size(), kOps);
+  EXPECT_EQ(DumpAll(fix.db), SerialReplayDump(committed));
+}
+
+// --- Stats plumbing ---------------------------------------------------------
+
+TEST(IntraShardTest, ParallelStatsMergeFoldsSubWorkerCounters) {
+  ParallelStats a;
+  a.sub_workers = 4;
+  a.intra_shard_aborts = 3;
+  a.intra_shard_redos = 3;
+  a.intra_shard_escalations = 1;
+  a.sub_pinned = {5, 7};
+  ParallelStats b;
+  b.sub_workers = 2;
+  b.intra_shard_aborts = 2;
+  b.intra_shard_redos = 1;
+  b.sub_pinned = {1, 2, 3};
+
+  a.Merge(b);
+  EXPECT_EQ(a.sub_workers, 4u);  // a configuration axis: max, not sum
+  EXPECT_EQ(a.intra_shard_aborts, 5u);
+  EXPECT_EQ(a.intra_shard_redos, 4u);
+  EXPECT_EQ(a.intra_shard_escalations, 1u);
+  ASSERT_EQ(a.sub_pinned.size(), 3u);
+  EXPECT_EQ(a.sub_pinned[0], 6u);
+  EXPECT_EQ(a.sub_pinned[1], 9u);
+  EXPECT_EQ(a.sub_pinned[2], 3u);
+}
+
+}  // namespace
+}  // namespace youtopia
