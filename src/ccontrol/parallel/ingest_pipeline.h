@@ -48,7 +48,7 @@ struct IngestOptions {
   // control per component — built for the dense mapping graph whose single
   // hot component sharding cannot split. See WorkerPoolOptions.
   size_t sub_workers = 1;
-  // Intra-shard mode: dooms an op survives before it escalates to the
+  // Intra-shard mode: number of dooms an op survives before it escalates to the
   // exclusive component lock (0 = escalate immediately; deterministic test
   // mode). Ignored when sub_workers == 1.
   size_t intra_escalate_after = 4;

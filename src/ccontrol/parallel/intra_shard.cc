@@ -25,8 +25,11 @@ IntraComponentCc::IntraComponentCc(Database* db, const std::vector<Tgd>& tgds,
 }
 
 uint64_t IntraComponentCc::Begin(std::atomic<uint64_t>* next_number) {
-  const uint64_t number = next_number->fetch_add(1, std::memory_order_relaxed);
+  // Claim and registration must be one atomic step: a number claimed but not
+  // yet in active_ is invisible to TryCommitLocked's floor, letting a
+  // higher-numbered op commit past it — a retro-abortable committed op.
   std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t number = next_number->fetch_add(1, std::memory_order_relaxed);
   active_.insert(number);
   return number;
 }
