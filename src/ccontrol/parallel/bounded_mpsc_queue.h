@@ -3,14 +3,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace youtopia {
 
@@ -41,7 +41,9 @@ enum class QueuePush {
 // ForcePush deliberately ignores the capacity: internal re-routing (escape
 // surrender, engine re-queues) may run while holding component locks that
 // the consumer needs to make progress, so blocking there could deadlock.
-// Only user-facing admission takes the credit path.
+// Only user-facing admission takes the credit path. The queue mutex is a
+// leaf of the lock hierarchy for exactly that reason — ForcePush runs with
+// component, latch and cc locks held.
 template <typename T>
 class BoundedMpscQueue {
  public:
@@ -58,14 +60,18 @@ class BoundedMpscQueue {
                  const std::optional<std::chrono::steady_clock::time_point>&
                      deadline = std::nullopt) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (items_.size() >= capacity_ && !closed_) {
         const auto stall_start = std::chrono::steady_clock::now();
-        auto has_room = [&] { return items_.size() < capacity_ || closed_; };
-        if (deadline.has_value()) {
-          can_push_.wait_until(lock, *deadline, has_room);
-        } else {
-          can_push_.wait(lock, has_room);
+        while (items_.size() >= capacity_ && !closed_) {
+          if (deadline.has_value()) {
+            if (can_push_.WaitUntil(mu_, *deadline) ==
+                std::cv_status::timeout) {
+              break;
+            }
+          } else {
+            can_push_.Wait(mu_);
+          }
         }
         stall_ns_.fetch_add(
             static_cast<uint64_t>(
@@ -73,13 +79,15 @@ class BoundedMpscQueue {
                     std::chrono::steady_clock::now() - stall_start)
                     .count()),
             std::memory_order_relaxed);
-        if (!closed_ && items_.size() >= capacity_) return QueuePush::kWouldBlock;
+        if (!closed_ && items_.size() >= capacity_) {
+          return QueuePush::kWouldBlock;
+        }
       }
       if (closed_) return QueuePush::kClosed;
       items_.push_back(std::move(item));
       if (items_.size() > high_watermark_) high_watermark_ = items_.size();
     }
-    can_pop_.notify_one();
+    can_pop_.NotifyOne();
     return QueuePush::kOk;
   }
 
@@ -90,35 +98,36 @@ class BoundedMpscQueue {
   // is still guaranteed to drain (the pipeline's join order ensures this).
   void ForcePush(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       items_.push_back(std::move(item));
       if (items_.size() > high_watermark_) high_watermark_ = items_.size();
     }
-    can_pop_.notify_one();
+    can_pop_.NotifyOne();
   }
 
   // Consumer: blocks until an item arrives or the queue is closed and
   // drained. Returns false only in the latter case (shutdown).
   bool WaitPop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    can_pop_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return false;
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    can_push_.notify_one();
+    {
+      MutexLock lock(mu_);
+      while (items_.empty() && !closed_) can_pop_.Wait(mu_);
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    can_push_.NotifyOne();
     return true;
   }
 
   // Consumer: non-blocking variant.
   bool TryPop(T* out) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (items_.empty()) return false;
       *out = std::move(items_.front());
       items_.pop_front();
     }
-    can_push_.notify_one();
+    can_push_.NotifyOne();
     return true;
   }
 
@@ -126,15 +135,15 @@ class BoundedMpscQueue {
   // and consumer; subsequent WaitPops drain the backlog, then return false.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    can_pop_.notify_all();
-    can_push_.notify_all();
+    can_pop_.NotifyAll();
+    can_push_.NotifyAll();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -143,7 +152,7 @@ class BoundedMpscQueue {
   // Deepest the queue has ever been. Under credit-only producers this never
   // exceeds capacity(); ForcePush lanes can exceed it.
   size_t high_watermark() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return high_watermark_;
   }
 
@@ -154,14 +163,14 @@ class BoundedMpscQueue {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable can_pop_;
-  std::condition_variable can_push_;
-  std::deque<T> items_;
+  mutable Mutex mu_{LockRank::kLeaf};
+  CondVar can_pop_;
+  CondVar can_push_;
+  std::deque<T> items_ GUARDED_BY(mu_);
   const size_t capacity_;
-  size_t high_watermark_ = 0;  // guarded by mu_
+  size_t high_watermark_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> stall_ns_{0};
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace youtopia

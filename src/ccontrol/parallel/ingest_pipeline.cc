@@ -1,6 +1,7 @@
 #include "ccontrol/parallel/ingest_pipeline.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "query/plan.h"
 
@@ -16,6 +17,12 @@ IngestPipeline::IngestPipeline(Database* db, const std::vector<Tgd>* tgds,
       component_locks_(shard_map_.num_components()),
       next_number_(options_.first_number),
       cross_inbox_(options_.inbox_capacity) {
+  // Component locks sit at the top of the lock hierarchy; their validator
+  // key is the component id, whose ascending order is exactly the legal
+  // multi-acquisition order (cross-shard batches).
+  for (size_t c = 0; c < component_locks_.size(); ++c) {
+    component_locks_[c].SetLockOrder(LockRank::kComponentLock, c);
+  }
   // Setup-time plan registration, single-threaded: recompile every
   // mapping's plan complement against the live database and register its
   // composite-index demands once. The worker plan views and the engine
@@ -146,10 +153,10 @@ void IngestPipeline::RetireOps(uint64_t n) {
     // cannot miss the wakeup, and so everything written before this retire
     // (engine stats, committed lists) is visible to a flusher that observes
     // the zero.
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    MutexLock lock(flush_mu_);
     in_flight_.fetch_sub(n, std::memory_order_acq_rel);
   }
-  flush_cv_.notify_all();
+  flush_cv_.NotifyAll();
 }
 
 void IngestPipeline::AdmissionLoop() {
@@ -219,6 +226,10 @@ size_t IngestPipeline::RunCrossShardBatch(std::vector<WriteOp> ops,
     components.erase(std::unique(components.begin(), components.end()),
                      components.end());
   }
+  // The held set is dynamic (footprint-sized), which thread-safety analysis
+  // cannot express — std::unique_lock keeps the acquisition out of its
+  // sight on purpose; the LockOrderValidator still checks the ascending
+  // component order at runtime through RwMutex::lock itself.
   std::vector<std::unique_lock<RwMutex>> held;
   held.reserve(components.size());
   for (uint32_t c : components) held.emplace_back(component_locks_[c]);
@@ -309,10 +320,10 @@ ParallelStats IngestPipeline::Flush() {
   // happens-after the retiring thread's stats writes (see RetireOps), so
   // the aggregation below reads quiescent state.
   {
-    std::unique_lock<std::mutex> lock(flush_mu_);
-    flush_cv_.wait(lock, [&] {
-      return in_flight_.load(std::memory_order_acquire) == 0 || stopped_;
-    });
+    MutexLock lock(flush_mu_);
+    while (in_flight_.load(std::memory_order_acquire) != 0 && !stopped_) {
+      flush_cv_.Wait(flush_mu_);
+    }
   }
 
   ParallelStats stats;
@@ -340,11 +351,11 @@ ParallelStats IngestPipeline::Flush() {
 
 void IngestPipeline::Stop() {
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    MutexLock lock(flush_mu_);
     if (stopped_) return;
     stopped_ = true;
   }
-  flush_cv_.notify_all();
+  flush_cv_.NotifyAll();
   // Shutdown order is what keeps "already admitted ops still drain" true:
   // the pinned lane closes and joins first, so every worker escape has
   // reached the cross inbox before it closes; the admission thread then

@@ -4,11 +4,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -22,6 +20,8 @@
 #include "core/agent.h"
 #include "relational/database.h"
 #include "tgd/tgd.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace youtopia {
 
@@ -264,8 +264,7 @@ class IngestPipeline {
     // Exclusive: under the intra-shard mode this also waits out (and,
     // writer-priority, fences off) every optimistic attempt on the
     // component, so fn observes fully committed state.
-    std::lock_guard<RwMutex> lock(
-        component_locks_[shard_map_.ComponentOf(rel)]);
+    ExclusiveLock lock(component_locks_[shard_map_.ComponentOf(rel)]);
     return fn();
   }
 
@@ -309,8 +308,8 @@ class IngestPipeline {
 
   // Admitted-but-not-retired ops; the Flush barrier.
   std::atomic<uint64_t> in_flight_{0};
-  std::mutex flush_mu_;
-  std::condition_variable flush_cv_;
+  Mutex flush_mu_{LockRank::kLeaf};
+  CondVar flush_cv_;
 
   // Pinned ops admitted so far — the watermark cross ops capture.
   std::atomic<uint64_t> pinned_submitted_{0};
@@ -331,7 +330,7 @@ class IngestPipeline {
   std::atomic<uint64_t> cross_batches_{0};
   uint64_t flushes_ = 0;  // flusher-thread only
 
-  bool stopped_ = false;  // guarded by flush_mu_
+  bool stopped_ GUARDED_BY(flush_mu_) = false;
 
   std::unique_ptr<WorkerPool> pool_;  // before admission thread: it submits
   std::thread admission_thread_;      // kContinuous only; started last

@@ -13,6 +13,7 @@ IntraComponentCc::IntraComponentCc(Database* db, const std::vector<Tgd>& tgds,
     : db_(db),
       options_(std::move(options)),
       tgds_(tgds),
+      component_lock_(options_.component_lock),
       checker_(&tgds_, &arena_),
       read_log_(&tgds_),
       tracker_(options_.tracker == TrackerKind::kPrecise
@@ -20,27 +21,29 @@ IntraComponentCc::IntraComponentCc(Database* db, const std::vector<Tgd>& tgds,
                    : options_.tracker,
                &tgds_, &arena_),
       sub_committed_(options_.num_subs, 0) {
+  CHECK(options_.component_lock != nullptr);
   CHECK(options_.requeue != nullptr);
   CHECK(options_.on_commit != nullptr);
+  storage_latch_.SetLockOrder(LockRank::kStorageLatch);
 }
 
 uint64_t IntraComponentCc::Begin(std::atomic<uint64_t>* next_number) {
   // Claim and registration must be one atomic step: a number claimed but not
   // yet in active_ is invisible to TryCommitLocked's floor, letting a
   // higher-numbered op commit past it — a retro-abortable committed op.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t number = next_number->fetch_add(1, std::memory_order_relaxed);
   active_.insert(number);
   return number;
 }
 
 bool IntraComponentCc::Doomed(uint64_t number) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return doomed_.count(number) > 0;
 }
 
 void IntraComponentCc::AbandonDoomed(uint64_t number) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CHECK_EQ(doomed_.erase(number), 1u);
   CHECK_EQ(active_.erase(number), 1u);
   TryCommitLocked();
@@ -51,7 +54,7 @@ size_t IntraComponentCc::RegisterReads(uint64_t number,
                                        size_t* registered) {
   const size_t from = *registered;
   if (from >= reads->size()) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // The tracker first (it needs the write log's current state; the records
   // themselves are moved into the read log right after). A doomed runner
   // never gets here: dooming requires the exclusive latch, and the doom
@@ -80,7 +83,7 @@ size_t IntraComponentCc::RegisterReads(uint64_t number,
 
 void IntraComponentCc::OnWrites(uint64_t number,
                                 const std::vector<PhysicalWrite>& writes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   arena_.ResetIfAbove(64 * 1024);
   for (const PhysicalWrite& w : writes) write_log_.Record(number, w);
   // The retroactive checker's residual plans go stale as the database
@@ -109,7 +112,7 @@ void IntraComponentCc::OnWrites(uint64_t number,
 
 bool IntraComponentCc::FinishOk(uint64_t number, WriteOp op, uint32_t sub,
                                 uint32_t attempts, uint64_t frontier_ops) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (doomed_.erase(number) > 0) {
     // Doomed in the window between the last phase's latch release and this
     // call; the doomer already undid everything.
@@ -128,7 +131,7 @@ bool IntraComponentCc::FinishOk(uint64_t number, WriteOp op, uint32_t sub,
 }
 
 bool IntraComponentCc::FinishFailed(uint64_t number) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (doomed_.erase(number) > 0) {
     CHECK_EQ(active_.erase(number), 1u);
     TryCommitLocked();
@@ -141,7 +144,7 @@ bool IntraComponentCc::FinishFailed(uint64_t number) {
 }
 
 void IntraComponentCc::SurrenderEscape(uint64_t number) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Escape is detected inside StepApply, under a continuous exclusive latch
   // hold since the phase's doom check — nothing can have doomed us.
   CHECK_EQ(doomed_.count(number), 0u);
@@ -163,7 +166,7 @@ void IntraComponentCc::SurrenderEscape(uint64_t number) {
 
 void IntraComponentCc::CommitEscalated(uint64_t number, WriteOp op,
                                        uint32_t sub, uint64_t frontier_ops) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   committed_.emplace_back(number, std::move(op));
   ++stats_.updates_completed;
   stats_.frontier_ops += frontier_ops;
@@ -172,7 +175,7 @@ void IntraComponentCc::CommitEscalated(uint64_t number, WriteOp op,
 }
 
 void IntraComponentCc::AssertQuiescent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CHECK(active_.empty());
   CHECK(finished_.empty());
   CHECK(doomed_.empty());
@@ -180,22 +183,22 @@ void IntraComponentCc::AssertQuiescent() const {
 
 void IntraComponentCc::AppendCommitted(
     std::vector<std::pair<uint64_t, WriteOp>>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out->insert(out->end(), committed_.begin(), committed_.end());
 }
 
 SchedulerStats IntraComponentCc::StatsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::vector<uint64_t> IntraComponentCc::SubCommitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sub_committed_;
 }
 
 uint64_t IntraComponentCc::aborts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_.aborts;
 }
 

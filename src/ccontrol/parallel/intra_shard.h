@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <unordered_set>
 #include <vector>
@@ -19,6 +18,8 @@
 #include "relational/database.h"
 #include "tgd/tgd.h"
 #include "util/arena.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace youtopia {
 
@@ -40,6 +41,10 @@ struct IntraCcOptions {
   TrackerKind tracker = TrackerKind::kCoarse;
   // Sub-workers per shard (sizes the per-sub commit attribution).
   size_t num_subs = 1;
+  // The component lock this cc instance serializes under. Required: the
+  // REQUIRES contracts below are stated against it, so thread-safety
+  // analysis can prove callers hold it in the right mode.
+  RwMutex* component_lock = nullptr;
   // Re-queues a doomed parked victim onto the owning shard's inbox. Called
   // under the component's shared lock, the storage latch (exclusive) and
   // the cc mutex — must not block (ForcePush lane). Required.
@@ -55,7 +60,7 @@ struct IntraCcOptions {
 // re-instantiated per tgd-closure component so K sub-workers can run pinned
 // ops of one hot component concurrently.
 //
-// Synchronization model (lock order: component lock > storage_latch() >
+// Synchronization model (lock order: component_lock() > storage_latch() >
 // internal cc mutex > pool/queue leaf mutexes):
 //
 //  * Every sub-worker holds the component lock SHARED for the whole lifetime
@@ -75,6 +80,11 @@ struct IntraCcOptions {
 //  * The cc mutex guards every container below plus the shared read/write
 //    logs, tracker, checker and arena.
 //
+// The lock contracts are enforced two ways: clang thread-safety analysis
+// checks the REQUIRES/GUARDED_BY annotations at compile time (CI job
+// `lint-static-analysis`), and the LockOrderValidator checks acquisition
+// order at runtime in sanitizer builds.
+//
 // Commit protocol (Theorem 4.4): numbers are claimed from the pipeline's
 // global counter inside Begin(), under the component-shared hold, so number
 // order within the component is claim order. Commits are admitted strictly
@@ -93,21 +103,30 @@ class IntraComponentCc {
   IntraComponentCc(const IntraComponentCc&) = delete;
   IntraComponentCc& operator=(const IntraComponentCc&) = delete;
 
-  RwMutex& storage_latch() { return storage_latch_; }
+  // The component lock this cc serializes under, for callers that need to
+  // (re)acquire it in a way the analysis can trace to the same capability
+  // the REQUIRES contracts name.
+  RwMutex& component_lock() const RETURN_CAPABILITY(component_lock_) {
+    return *component_lock_;
+  }
 
-  // Claims the next global number and registers it active. Caller holds the
-  // component lock shared.
-  uint64_t Begin(std::atomic<uint64_t>* next_number);
+  RwMutex& storage_latch() RETURN_CAPABILITY(storage_latch_) {
+    return storage_latch_;
+  }
+
+  // Claims the next global number and registers it active.
+  uint64_t Begin(std::atomic<uint64_t>* next_number)
+      REQUIRES_SHARED(component_lock_);
 
   // True iff a prober doomed `number` (its writes are already undone and
   // its logs erased). Runners check at every phase entry, under the phase's
-  // latch hold.
-  bool Doomed(uint64_t number) const;
+  // latch hold (shared or exclusive).
+  bool Doomed(uint64_t number) const REQUIRES_SHARED(storage_latch_);
 
   // A runner that observed its doom abandons the attempt: clears the mark
   // and the active registration (advancing the commit floor). The caller
   // redoes the op under a fresh number.
-  void AbandonDoomed(uint64_t number);
+  void AbandonDoomed(uint64_t number) REQUIRES_SHARED(component_lock_);
 
   // Registers res->reads[*registered..] as `number`'s reads with the
   // dependency tracker and the read log, then advances *registered. Must
@@ -115,15 +134,17 @@ class IntraComponentCc {
   // reads (so the probe, which needs the latch exclusively, observes every
   // completed phase's reads). Returns how many records were registered.
   size_t RegisterReads(uint64_t number, std::vector<ReadQueryRecord>* reads,
-                       size_t* registered);
+                       size_t* registered)
+      REQUIRES_SHARED(component_lock_, storage_latch_);
 
   // Records `number`'s step writes and probes them against the logged reads
   // of higher-numbered updates (Algorithm 4): every invalidated reader is
   // doomed together with its cascade closure — running victims get a doom
   // mark, parked victims are undone and re-queued, failed victims are
-  // undone and written off. Caller holds the storage latch EXCLUSIVE (the
-  // dooms mutate storage).
-  void OnWrites(uint64_t number, const std::vector<PhysicalWrite>& writes);
+  // undone and written off. The dooms mutate storage, hence the exclusive
+  // latch.
+  void OnWrites(uint64_t number, const std::vector<PhysicalWrite>& writes)
+      REQUIRES(storage_latch_) REQUIRES_SHARED(component_lock_);
 
   // Terminal transitions. Each returns false if the op was doomed in the
   // unlatched window before the call — the writes are already undone and
@@ -132,29 +153,30 @@ class IntraComponentCc {
   // FinishOk parks the finished op in the commit sequencer (it commits once
   // every lower number is terminal).
   bool FinishOk(uint64_t number, WriteOp op, uint32_t sub, uint32_t attempts,
-                uint64_t frontier_ops);
+                uint64_t frontier_ops) REQUIRES_SHARED(component_lock_);
   // FinishFailed records a step-cap failure: the writes stay (a valid
   // incomplete chase prefix, like the serial scheduler's failed slots), the
   // logs stay until the commit floor passes so the op remains
   // retro-abortable meanwhile.
-  bool FinishFailed(uint64_t number);
+  bool FinishFailed(uint64_t number) REQUIRES_SHARED(component_lock_);
 
   // A footprint escape surrenders: undoes `number`'s own writes, dooms the
   // cascade closure of its readers, and unregisters it (the caller
-  // re-routes the initial op; not counted as an abort). Caller holds the
-  // storage latch EXCLUSIVE.
-  void SurrenderEscape(uint64_t number);
+  // re-routes the initial op; not counted as an abort). The undo mutates
+  // storage, hence the exclusive latch.
+  void SurrenderEscape(uint64_t number)
+      REQUIRES(storage_latch_) REQUIRES_SHARED(component_lock_);
 
   // Commits an op that ran escalated (under the exclusive component lock,
   // zero-CC): appends directly to the committed list and fires the commit
   // callback. No sequencing needed — exclusivity already proves every
   // earlier op committed and no concurrent one exists.
   void CommitEscalated(uint64_t number, WriteOp op, uint32_t sub,
-                       uint64_t frontier_ops);
+                       uint64_t frontier_ops) REQUIRES(component_lock_);
 
   // CHECKs the quiescence the exclusive component lock implies (see class
   // comment). Call after acquiring the component lock exclusively.
-  void AssertQuiescent() const;
+  void AssertQuiescent() const REQUIRES(component_lock_);
 
   // --- Aggregation (any thread; consistent snapshots under the cc mutex) ---
 
@@ -174,39 +196,44 @@ class IntraComponentCc {
   // Closes `roots` under cascading read dependencies (counting non-root
   // members as cascading requests) into `marked`.
   void CollectClosureLocked(const std::unordered_set<uint64_t>& roots,
-                            std::unordered_set<uint64_t>* marked);
+                            std::unordered_set<uint64_t>* marked)
+      REQUIRES(mu_);
   // Undoes one victim's writes, erases its logs, and routes it: parked →
   // re-queue, failed → write off, running → doom mark. Idempotent for
-  // already-doomed numbers.
-  void DoomOneLocked(uint64_t victim);
-  void TryCommitLocked();
+  // already-doomed numbers. Undoing writes mutates storage — only probe
+  // paths that hold the latch exclusively may doom.
+  void DoomOneLocked(uint64_t victim) REQUIRES(mu_, storage_latch_);
+  void TryCommitLocked() REQUIRES(mu_);
 
   Database* db_;
   IntraCcOptions options_;
   // Stable tgd view for the shared CC machinery (see ctor comment).
   std::vector<Tgd> tgds_;
 
+  // Aliases options_.component_lock so the analysis has a stable member to
+  // resolve the REQUIRES contracts against.
+  RwMutex* const component_lock_;
   RwMutex storage_latch_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_{LockRank::kCcMutex};
 
-  // Everything below is guarded by mu_.
-  Arena arena_;
-  ConflictChecker checker_;
-  ReadLog read_log_;
-  WriteLog write_log_;
-  DependencyTracker tracker_;
-  ReplanPoller replan_poller_;
-  std::unordered_set<uint64_t> direct_scratch_;
+  Arena arena_ GUARDED_BY(mu_);
+  ConflictChecker checker_ GUARDED_BY(mu_);
+  ReadLog read_log_ GUARDED_BY(mu_);
+  WriteLog write_log_ GUARDED_BY(mu_);
+  DependencyTracker tracker_ GUARDED_BY(mu_);
+  ReplanPoller replan_poller_ GUARDED_BY(mu_);
+  std::unordered_set<uint64_t> direct_scratch_ GUARDED_BY(mu_);
   // Steady-state scratch for RegisterReads' suffix handoffs.
-  std::vector<ReadQueryRecord> suffix_scratch_;
+  std::vector<ReadQueryRecord> suffix_scratch_ GUARDED_BY(mu_);
 
-  std::set<uint64_t> active_;
-  std::unordered_set<uint64_t> doomed_;
-  std::map<uint64_t, Parked> finished_;  // parked in the commit sequencer
-  std::set<uint64_t> failed_;
-  std::vector<std::pair<uint64_t, WriteOp>> committed_;
-  std::vector<uint64_t> sub_committed_;
-  SchedulerStats stats_;
+  std::set<uint64_t> active_ GUARDED_BY(mu_);
+  std::unordered_set<uint64_t> doomed_ GUARDED_BY(mu_);
+  // Parked in the commit sequencer.
+  std::map<uint64_t, Parked> finished_ GUARDED_BY(mu_);
+  std::set<uint64_t> failed_ GUARDED_BY(mu_);
+  std::vector<std::pair<uint64_t, WriteOp>> committed_ GUARDED_BY(mu_);
+  std::vector<uint64_t> sub_committed_ GUARDED_BY(mu_);
+  SchedulerStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace youtopia

@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <mutex>
 
+#include "util/lock_order.h"
+#include "util/thread_annotations.h"
+
 namespace youtopia {
 
 // Writer-priority shared mutex for the intra-shard execution mode.
@@ -20,16 +23,28 @@ namespace youtopia {
 // counter; fairness between writers is left to the condition variable
 // (contention there is rare: cross batches and escalations).
 //
-// Satisfies SharedMutex named requirements as far as the worker pool and
-// ingest pipeline use them: lock/unlock, lock_shared/unlock_shared, usable
-// with std::unique_lock and std::shared_lock.
-class RwMutex {
+// RwMutex is a TSA CAPABILITY: hold it via the SharedLock/ExclusiveLock
+// guards below (or std::unique_lock where the hold set is dynamic — the
+// cross-batch ordered lock vector — which TSA cannot express and ignores).
+// The internal mu_ is kUnranked: it is an implementation detail, only ever
+// held instantaneously, and must not appear in the validator's hierarchy.
+class CAPABILITY("mutex") RwMutex {
  public:
   RwMutex() = default;
   RwMutex(const RwMutex&) = delete;
   RwMutex& operator=(const RwMutex&) = delete;
 
-  void lock() {
+  // Assigns the validator rank (and same-rank ordering key — the
+  // component id for component locks). Separate from the constructor
+  // because component locks live in a std::vector<RwMutex>, which can
+  // only default-construct its elements. Call before any concurrency.
+  void SetLockOrder(LockRank rank, uint64_t order_key = 0) {
+    rank_ = rank;
+    order_key_ = order_key;
+  }
+
+  void lock() ACQUIRE() {
+    LockOrderValidator::OnAcquire(this, rank_, order_key_);
     std::unique_lock<std::mutex> lk(mu_);
     ++waiting_writers_;
     writer_cv_.wait(lk, [&] { return !writer_active_ && readers_ == 0; });
@@ -37,7 +52,7 @@ class RwMutex {
     writer_active_ = true;
   }
 
-  void unlock() {
+  void unlock() RELEASE() {
     {
       std::lock_guard<std::mutex> lk(mu_);
       writer_active_ = false;
@@ -46,31 +61,86 @@ class RwMutex {
     // readers because readers re-test waiting_writers_ > 0.
     writer_cv_.notify_all();
     reader_cv_.notify_all();
+    LockOrderValidator::OnRelease(this, rank_);
   }
 
-  void lock_shared() {
+  bool try_lock() TRY_ACQUIRE(true) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (writer_active_ || readers_ != 0 || waiting_writers_ != 0) {
+        return false;
+      }
+      writer_active_ = true;
+    }
+    // Cannot have blocked; validate after the fact and die on bad rank.
+    LockOrderValidator::OnAcquire(this, rank_, order_key_);
+    return true;
+  }
+
+  void lock_shared() ACQUIRE_SHARED() {
+    LockOrderValidator::OnAcquire(this, rank_, order_key_);
     std::unique_lock<std::mutex> lk(mu_);
     reader_cv_.wait(
         lk, [&] { return !writer_active_ && waiting_writers_ == 0; });
     ++readers_;
   }
 
-  void unlock_shared() {
+  void unlock_shared() RELEASE_SHARED() {
     bool wake_writer = false;
     {
       std::lock_guard<std::mutex> lk(mu_);
       wake_writer = --readers_ == 0 && waiting_writers_ > 0;
     }
     if (wake_writer) writer_cv_.notify_one();
+    LockOrderValidator::OnRelease(this, rank_);
+  }
+
+  // Test-only visibility into writer priority: true while some thread is
+  // parked in lock(). Racy by nature — callers spin on it.
+  bool HasWaitingWriter() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return waiting_writers_ > 0;
   }
 
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable writer_cv_;
   std::condition_variable reader_cv_;
   uint32_t readers_ = 0;
   uint32_t waiting_writers_ = 0;
   bool writer_active_ = false;
+  LockRank rank_ = LockRank::kUnranked;
+  uint64_t order_key_ = 0;
+};
+
+// RAII shared (reader) hold on an RwMutex. Dtor uses RELEASE_GENERIC:
+// clang's analysis warns when a shared hold is released through a plain
+// RELEASE annotation.
+class SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(RwMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedLock() RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  RwMutex& mu_;
+};
+
+// RAII exclusive (writer) hold on an RwMutex.
+class SCOPED_CAPABILITY ExclusiveLock {
+ public:
+  explicit ExclusiveLock(RwMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~ExclusiveLock() RELEASE() { mu_.unlock(); }
+
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+ private:
+  RwMutex& mu_;
 };
 
 }  // namespace youtopia

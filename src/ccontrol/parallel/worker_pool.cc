@@ -1,7 +1,6 @@
 #include "ccontrol/parallel/worker_pool.h"
 
 #include <algorithm>
-#include <shared_mutex>
 
 namespace youtopia {
 
@@ -80,18 +79,18 @@ QueuePush WorkerPool::Submit(
 }
 
 void WorkerPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  idle_cv_.wait(lock, [&] {
-    return pending_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(idle_mu_);
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    idle_cv_.Wait(idle_mu_);
+  }
 }
 
 void WorkerPool::WaitProcessedAtLeast(uint64_t count) {
   if (processed_.load(std::memory_order_acquire) >= count) return;
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  idle_cv_.wait(lock, [&] {
-    return processed_.load(std::memory_order_acquire) >= count;
-  });
+  MutexLock lock(idle_mu_);
+  while (processed_.load(std::memory_order_acquire) < count) {
+    idle_cv_.Wait(idle_mu_);
+  }
 }
 
 void WorkerPool::Retire(bool retired) {
@@ -99,11 +98,11 @@ void WorkerPool::Retire(bool retired) {
   // WaitProcessedAtLeast can miss the wakeup between its predicate test and
   // its sleep.
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     processed_.fetch_add(1, std::memory_order_acq_rel);
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   if (retired && options_.on_op_retired) options_.on_op_retired();
 }
 
@@ -126,12 +125,13 @@ void WorkerPool::WorkerLoop(Shard* s, SubWorker* w, uint32_t sub_slot) {
 }
 
 IntraComponentCc* WorkerPool::GetIntraCc(uint32_t component) {
-  std::lock_guard<std::mutex> lock(intra_mu_);
+  MutexLock lock(intra_mu_);
   auto& slot = intra_cc_[component];
   if (slot == nullptr) {
     IntraCcOptions copts;
     copts.tracker = options_.intra_tracker;
     copts.num_subs = subs_per_shard_;
+    copts.component_lock = &(*component_locks_)[component];
     Shard* home = shards_[shard_map_->ShardOfComponent(component)].get();
     // Doomed parked victims bounce back through the owning shard's inbox;
     // the ForcePush lane because the caller holds component + latch + cc
@@ -209,7 +209,9 @@ WorkerPool::Attempt WorkerPool::RunOptimisticAttempt(
   // escalated op, facade maintenance) therefore implies no attempt is in
   // flight and — via the commit sequencer's floor — the component is fully
   // committed. Writer priority in RwMutex bounds how long they wait.
-  std::shared_lock<RwMutex> comp_lock((*component_locks_)[component]);
+  // Acquired through the cc's accessor so the thread-safety analysis can
+  // match the hold against the REQUIRES_SHARED contracts below.
+  SharedLock comp_lock(cc->component_lock());
   const uint64_t number = cc->Begin(next_number_);
 
   UpdateOptions uopts;
@@ -221,7 +223,6 @@ WorkerPool::Attempt WorkerPool::RunOptimisticAttempt(
   uopts.log_reads = true;  // the CC machinery consumes them on this path
   uopts.replan_poller = &w->poller;
   Update u(number, op, &w->tgds, uopts);
-  RwMutex& latch = cc->storage_latch();
 
   while (!u.finished()) {
     StepResult res;
@@ -231,7 +232,7 @@ WorkerPool::Attempt WorkerPool::RunOptimisticAttempt(
 
     // Phase 1 (storage shared): frontier processing.
     {
-      std::shared_lock<RwMutex> latch_lock(latch);
+      SharedLock latch_lock(cc->storage_latch());
       if (cc->Doomed(number)) {
         doomed = true;
       } else {
@@ -252,7 +253,7 @@ WorkerPool::Attempt WorkerPool::RunOptimisticAttempt(
     // Phase 2 (storage exclusive): apply the pending writes, probe them
     // against the logged reads of higher-numbered updates.
     {
-      std::unique_lock<RwMutex> latch_lock(latch);
+      ExclusiveLock latch_lock(cc->storage_latch());
       if (cc->Doomed(number)) {
         doomed = true;
       } else {
@@ -274,7 +275,7 @@ WorkerPool::Attempt WorkerPool::RunOptimisticAttempt(
 
     // Phase 3 (storage shared): violation detection, next violation.
     {
-      std::shared_lock<RwMutex> latch_lock(latch);
+      SharedLock latch_lock(cc->storage_latch());
       if (cc->Doomed(number)) {
         doomed = true;
       } else {
@@ -310,13 +311,38 @@ WorkerPool::Attempt WorkerPool::RunExclusive(SubWorker* w, uint32_t sub_slot,
   // cross-shard batch (MVTO visibility sees exactly the writes of
   // lower-numbered, already-finished updates).
   const uint32_t component = shard_map_->ComponentOf(op.rel);
-  std::lock_guard<RwMutex> lock((*component_locks_)[component]);
-  // Exclusivity implies intra quiescence: every optimistic attempt holds
-  // the lock shared for its lifetime and the sequencer flushed on the last
-  // terminal transition.
-  if (cc != nullptr) cc->AssertQuiescent();
+  if (cc != nullptr) {
+    // Escalated intra-shard op: same lock object, but acquired through the
+    // cc's accessor so the analysis can check the quiescence and commit
+    // contracts against the exclusive hold.
+    ExclusiveLock lock(cc->component_lock());
+    // Exclusivity implies intra quiescence: every optimistic attempt holds
+    // the lock shared for its lifetime and the sequencer flushed on the
+    // last terminal transition.
+    cc->AssertQuiescent();
+    const uint64_t number =
+        next_number_->fetch_add(1, std::memory_order_relaxed);
+    ZeroCcRun run = ChaseZeroCc(w, component, number, std::move(op));
+    if (run.attempt == Attempt::kFinished) {
+      cc->CommitEscalated(number, std::move(run.initial), sub_slot,
+                          run.frontier_ops);
+    }
+    return run.attempt;
+  }
+  ExclusiveLock lock((*component_locks_)[component]);
   const uint64_t number = next_number_->fetch_add(1, std::memory_order_relaxed);
+  ZeroCcRun run = ChaseZeroCc(w, component, number, std::move(op));
+  if (run.attempt == Attempt::kFinished) {
+    ++w->stats.updates_completed;
+    ++w->pinned;
+    w->stats.frontier_ops += run.frontier_ops;
+    w->committed.push_back({number, std::move(run.initial)});
+  }
+  return run.attempt;
+}
 
+WorkerPool::ZeroCcRun WorkerPool::ChaseZeroCc(SubWorker* w, uint32_t component,
+                                              uint64_t number, WriteOp op) {
   UpdateOptions uopts;
   uopts.max_steps = options_.max_steps_per_update;
   uopts.scratch_arena = &w->arena;
@@ -354,22 +380,21 @@ WorkerPool::Attempt WorkerPool::RunExclusive(SubWorker* w, uint32_t sub_slot,
     --w->stats.updates_submitted;
     ++w->stats.escaped_updates;
     options_.escape_sink(u.initial_op());
-    return Attempt::kEscaped;
+    return {Attempt::kEscaped, 0, WriteOp{}};
   }
   if (u.hit_step_cap()) {
     ++w->stats.updates_failed;
-    return Attempt::kFailed;
+    return {Attempt::kFailed, 0, WriteOp{}};
   }
-  if (cc != nullptr) {
-    cc->CommitEscalated(number, u.initial_op(), sub_slot,
-                        u.frontier_ops_performed());
-  } else {
-    ++w->stats.updates_completed;
-    ++w->pinned;
-    w->stats.frontier_ops += u.frontier_ops_performed();
-    w->committed.push_back({number, u.initial_op()});
-  }
-  return Attempt::kFinished;
+  return {Attempt::kFinished, u.frontier_ops_performed(), u.initial_op()};
+}
+
+std::vector<IntraComponentCc*> WorkerPool::IntraCcSnapshot() const {
+  MutexLock lock(intra_mu_);
+  std::vector<IntraComponentCc*> out;
+  out.reserve(intra_cc_.size());
+  for (const auto& cc : intra_cc_) out.push_back(cc.get());
+  return out;
 }
 
 SchedulerStats WorkerPool::MergedStats() const {
@@ -377,8 +402,7 @@ SchedulerStats WorkerPool::MergedStats() const {
   for (const auto& s : shards_) {
     for (const auto& w : s->subs) out.Merge(w->stats);
   }
-  std::lock_guard<std::mutex> lock(intra_mu_);
-  for (const auto& cc : intra_cc_) {
+  for (IntraComponentCc* cc : IntraCcSnapshot()) {
     if (cc != nullptr) out.Merge(cc->StatsSnapshot());
   }
   return out;
@@ -389,8 +413,7 @@ uint64_t WorkerPool::pinned_updates() const {
   for (const auto& s : shards_) {
     for (const auto& w : s->subs) n += w->pinned;
   }
-  std::lock_guard<std::mutex> lock(intra_mu_);
-  for (const auto& cc : intra_cc_) {
+  for (IntraComponentCc* cc : IntraCcSnapshot()) {
     if (cc == nullptr) continue;
     for (uint64_t c : cc->SubCommitted()) n += c;
   }
@@ -402,11 +425,11 @@ std::vector<uint64_t> WorkerPool::PinnedPerShard() const {
   for (size_t i = 0; i < shards_.size(); ++i) {
     for (const auto& w : shards_[i]->subs) out[i] += w->pinned;
   }
-  std::lock_guard<std::mutex> lock(intra_mu_);
-  for (size_t c = 0; c < intra_cc_.size(); ++c) {
-    if (intra_cc_[c] == nullptr) continue;
+  const std::vector<IntraComponentCc*> ccs = IntraCcSnapshot();
+  for (size_t c = 0; c < ccs.size(); ++c) {
+    if (ccs[c] == nullptr) continue;
     uint64_t n = 0;
-    for (uint64_t k : intra_cc_[c]->SubCommitted()) n += k;
+    for (uint64_t k : ccs[c]->SubCommitted()) n += k;
     out[shard_map_->ShardOfComponent(static_cast<uint32_t>(c))] += n;
   }
   return out;
@@ -419,11 +442,11 @@ std::vector<uint64_t> WorkerPool::PinnedPerSub() const {
       out[i * subs_per_shard_ + j] += shards_[i]->subs[j]->pinned;
     }
   }
-  std::lock_guard<std::mutex> lock(intra_mu_);
-  for (size_t c = 0; c < intra_cc_.size(); ++c) {
-    if (intra_cc_[c] == nullptr) continue;
+  const std::vector<IntraComponentCc*> ccs = IntraCcSnapshot();
+  for (size_t c = 0; c < ccs.size(); ++c) {
+    if (ccs[c] == nullptr) continue;
     const size_t shard = shard_map_->ShardOfComponent(static_cast<uint32_t>(c));
-    const std::vector<uint64_t> per_sub = intra_cc_[c]->SubCommitted();
+    const std::vector<uint64_t> per_sub = ccs[c]->SubCommitted();
     for (size_t j = 0; j < per_sub.size() && j < subs_per_shard_; ++j) {
       out[shard * subs_per_shard_ + j] += per_sub[j];
     }
@@ -439,11 +462,8 @@ std::vector<std::pair<uint64_t, WriteOp>> WorkerPool::CommittedOpsWithNumbers()
       out.insert(out.end(), w->committed.begin(), w->committed.end());
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(intra_mu_);
-    for (const auto& cc : intra_cc_) {
-      if (cc != nullptr) cc->AppendCommitted(&out);
-    }
+  for (IntraComponentCc* cc : IntraCcSnapshot()) {
+    if (cc != nullptr) cc->AppendCommitted(&out);
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -452,8 +472,7 @@ std::vector<std::pair<uint64_t, WriteOp>> WorkerPool::CommittedOpsWithNumbers()
 
 uint64_t WorkerPool::IntraAborts() const {
   uint64_t n = 0;
-  std::lock_guard<std::mutex> lock(intra_mu_);
-  for (const auto& cc : intra_cc_) {
+  for (IntraComponentCc* cc : IntraCcSnapshot()) {
     if (cc != nullptr) n += cc->aborts();
   }
   return n;

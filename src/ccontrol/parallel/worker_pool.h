@@ -3,11 +3,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -24,6 +22,8 @@
 #include "relational/database.h"
 #include "tgd/tgd.h"
 #include "util/arena.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace youtopia {
 
@@ -213,6 +213,15 @@ class WorkerPool {
   // Terminal state of one execution attempt.
   enum class Attempt { kFinished, kFailed, kEscaped, kDoomed };
 
+  // The chase half of an exclusive (zero-CC) run. `initial` is only
+  // meaningful for kFinished — escapes route their op through the sink and
+  // failures leave their writes in place, both inside ChaseZeroCc.
+  struct ZeroCcRun {
+    Attempt attempt = Attempt::kFinished;
+    uint64_t frontier_ops = 0;
+    WriteOp initial;
+  };
+
   void WorkerLoop(Shard* s, SubWorker* w, uint32_t sub_slot);
   // Zero-CC execution under the exclusive component lock: the classic
   // pinned path (cc == nullptr; commits into the sub-worker) and the
@@ -220,6 +229,12 @@ class WorkerPool {
   // Never returns kDoomed (nothing can doom an exclusive holder).
   Attempt RunExclusive(SubWorker* w, uint32_t sub_slot, WriteOp op,
                        IntraComponentCc* cc);
+  // Runs one chase to a terminal state with concurrency control off.
+  // Caller holds the op's component lock exclusively (the two RunExclusive
+  // branches acquire it through expressions the thread-safety analysis can
+  // check against their respective commit calls).
+  ZeroCcRun ChaseZeroCc(SubWorker* w, uint32_t component, uint64_t number,
+                        WriteOp op);
   // Optimistic intra-shard execution: runs `item` to a terminal state,
   // redoing locally on dooms and escalating after repeated ones. Handles
   // its own retire accounting (commits retire via the cc's sequencer).
@@ -229,6 +244,13 @@ class WorkerPool {
                                uint32_t component, IntraComponentCc* cc,
                                const WriteOp& op, uint32_t attempts);
   IntraComponentCc* GetIntraCc(uint32_t component);
+  // Copies the per-component cc pointers out from under intra_mu_ (null
+  // where no intra traffic ever arrived). The aggregation methods iterate
+  // the copy with the registry lock RELEASED: the cc methods they call
+  // take the rank-2 cc mutex, which must never nest inside the rank-3
+  // registry leaf (the lock-order validator enforces this). Safe because
+  // entries are never destroyed before shutdown.
+  std::vector<IntraComponentCc*> IntraCcSnapshot() const;
   // Publishes one processed op to the idle/processed barriers; fires
   // on_op_retired when `retired`.
   void Retire(bool retired);
@@ -247,15 +269,18 @@ class WorkerPool {
   // map never see intra traffic). Entries are never destroyed before
   // shutdown; base_tgds_ is the stable copy they are built from.
   std::vector<Tgd> base_tgds_;
-  mutable std::mutex intra_mu_;
-  std::vector<std::unique_ptr<IntraComponentCc>> intra_cc_;
+  mutable Mutex intra_mu_{LockRank::kLeaf};
+  std::vector<std::unique_ptr<IntraComponentCc>> intra_cc_
+      GUARDED_BY(intra_mu_);
 
   // Updates submitted but not yet fully processed; the idle barrier.
   std::atomic<size_t> pending_{0};
   // Inbox ops processed since construction; the cross-batch barrier.
   std::atomic<uint64_t> processed_{0};
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  // Barrier lock: the counters are atomics (lock-free readers), but their
+  // transitions publish under idle_mu_ so waiters can't miss a wakeup.
+  Mutex idle_mu_{LockRank::kLeaf};
+  CondVar idle_cv_;
 };
 
 }  // namespace youtopia

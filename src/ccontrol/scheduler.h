@@ -96,6 +96,15 @@ struct SchedulerStats {
 // (highest) number, MVTO-style. An update commits — and its read/write logs
 // are pruned — once every lower-numbered update has finished, since nothing
 // can invalidate it anymore.
+//
+// Threading contract: a Scheduler is a SERIAL engine — no internal locking,
+// no GUARDED_BY annotations, because every member is confined to whichever
+// single thread is driving it. The parallel layer embeds one per worker
+// (and one in the cross-shard lane) and guarantees exclusivity externally:
+// a worker's engine runs only on that worker's thread, and the cross-shard
+// engine runs only while the admission thread holds the full ordered
+// component-lock set covering its footprint. Do not share an instance
+// across threads; share the Database under the lock protocol instead.
 class Scheduler {
  public:
   Scheduler(Database* db, const std::vector<Tgd>* tgds, FrontierAgent* agent,

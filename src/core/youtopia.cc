@@ -297,7 +297,7 @@ Status Youtopia::SubmitAsync(
   if (!pipeline_) {
     // Stopped: buffer for the next Start/Flush/Drain. A buffer exerts no
     // backpressure, so the timeout does not apply.
-    std::lock_guard<std::mutex> lock(resolve_mu_);
+    MutexLock lock(resolve_mu_);
     async_queued_.push_back(std::move(op));
     return Status::Ok();
   }
@@ -327,7 +327,7 @@ Status Youtopia::InsertAsync(std::string_view relation,
     // Resolution touches facade-owned shared state (the symbol table, the
     // named-null map, the null registry) that concurrent *Async producers
     // would otherwise race on. Workers never touch that state.
-    std::lock_guard<std::mutex> lock(resolve_mu_);
+    MutexLock lock(resolve_mu_);
     Result<TupleData> data =
         ResolveValues(*rel, values, /*allow_new_nulls=*/true);
     if (!data.ok()) return data.status();
@@ -342,7 +342,7 @@ Status Youtopia::DeleteAsync(std::string_view relation,
   Result<RelationId> rel = db_.catalog().Find(relation);
   if (!rel.ok()) return rel.status();
   Result<TupleData> data = [&] {
-    std::lock_guard<std::mutex> lock(resolve_mu_);
+    MutexLock lock(resolve_mu_);
     return ResolveValues(*rel, values, /*allow_new_nulls=*/false);
   }();
   if (!data.ok()) return data.status();
@@ -371,7 +371,7 @@ Status Youtopia::ReplaceNullAsync(
     std::optional<std::chrono::nanoseconds> timeout) {
   WriteOp op;
   {
-    std::lock_guard<std::mutex> lock(resolve_mu_);
+    MutexLock lock(resolve_mu_);
     auto it = named_nulls_.find(std::string(null_name));
     if (it == named_nulls_.end()) {
       return Status::NotFound("unknown labeled null '" +

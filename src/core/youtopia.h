@@ -3,7 +3,6 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -17,7 +16,9 @@
 #include "relational/database.h"
 #include "tgd/parser.h"
 #include "tgd/tgd.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace youtopia {
 
@@ -238,7 +239,7 @@ class Youtopia {
   std::vector<Tgd> tgds_;
   uint64_t seed_;
   std::unique_ptr<FrontierAgent> agent_;
-  std::unordered_map<std::string, Value> named_nulls_;
+  std::unordered_map<std::string, Value> named_nulls_;  // see resolve_mu_
   std::vector<WriteOp> queued_;
   std::vector<WriteOp> async_queued_;
   uint64_t next_number_ = 1;
@@ -254,7 +255,9 @@ class Youtopia {
   TrackerKind pipeline_tracker_ = TrackerKind::kCoarse;
   size_t pipeline_inbox_capacity_ = 1024;
   size_t pipeline_sub_workers_ = 1;
-  std::mutex resolve_mu_;
+  // Leaf lock: never held across pipeline Submit/WithComponentLock (the
+  // *Async resolution scopes release it before routing the op).
+  Mutex resolve_mu_{LockRank::kLeaf};
 };
 
 }  // namespace youtopia

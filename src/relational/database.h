@@ -143,6 +143,14 @@ class Database {
     next_seq_.fetch_add(removed_versions, std::memory_order_relaxed);
   }
 
+  // catalog_/symbols_ and the relations_ vector's SHAPE freeze before
+  // concurrent execution (schema creation is single-threaded; any change
+  // goes through Youtopia::InvalidatePipeline). Each element of relations_
+  // is then owner-only under the shard protocol (see relation.h); nulls_ is
+  // the one internally synchronized member (global identities, own leaf
+  // mutex); next_seq_ is an any-thread relaxed atomic. None of this is
+  // expressible as GUARDED_BY — ownership moves with the footprint locks,
+  // which the lock-order validator and TSan police at runtime instead.
   Catalog catalog_;
   std::vector<VersionedRelation> relations_;
   SymbolTable symbols_;

@@ -7,7 +7,7 @@ namespace youtopia {
 void NullRegistry::AddOccurrence(const Value& null_value,
                                  const TupleRef& ref) {
   CHECK(null_value.is_null());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TupleRef>& refs = occurrences_[null_value.id()];
   // Tuples often contain the same null several times; keep entries unique.
   if (std::find(refs.begin(), refs.end(), ref) == refs.end()) {
@@ -18,7 +18,7 @@ void NullRegistry::AddOccurrence(const Value& null_value,
 std::vector<TupleRef> NullRegistry::Occurrences(
     const Value& null_value) const {
   CHECK(null_value.is_null());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = occurrences_.find(null_value.id());
   if (it == occurrences_.end()) return {};
   return it->second;

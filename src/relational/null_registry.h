@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "relational/tuple.h"
 #include "relational/value.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace youtopia {
 
@@ -53,8 +54,11 @@ class NullRegistry {
 
  private:
   std::atomic<uint64_t> next_id_{0};
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::vector<TupleRef>> occurrences_;
+  // Leaf of the lock hierarchy: occurrence reads/writes happen inside chase
+  // steps that already hold component and storage locks.
+  mutable Mutex mu_{LockRank::kLeaf};
+  std::unordered_map<uint64_t, std::vector<TupleRef>> occurrences_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace youtopia

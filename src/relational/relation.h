@@ -340,9 +340,15 @@ class VersionedRelation {
     }
   }
 
+  // OWNER-ONLY (all fields but visible_rows_): protected by the shard
+  // ownership protocol, not by a mutex — there is no capability to name in
+  // a GUARDED_BY, so the discipline is enforced by the lock-order-validated
+  // footprint locks in ccontrol/parallel/ and by TSan, not by clang's
+  // static analysis. See the class threading comment.
   size_t arity_;
   size_t num_versions_ = 0;
   size_t stale_removals_ = 0;
+  // The one any-thread field: relaxed atomic for foreign staleness polls.
   std::atomic<size_t> visible_rows_{0};
   // Per column: largest index bucket since the last compaction.
   std::vector<size_t> max_bucket_;

@@ -1,0 +1,142 @@
+#ifndef YOUTOPIA_UTIL_LOCK_ORDER_H_
+#define YOUTOPIA_UTIL_LOCK_ORDER_H_
+
+// Runtime lock-order validator for the documented lock hierarchy
+// (ROADMAP "Threading model"):
+//
+//     component lock (0)  >  storage latch (1)  >  cc mutex (2)  >  leaf (3)
+//
+// Locks must be acquired in strictly descending hierarchy order
+// (ascending rank number) per thread, with two refinements:
+//   - Acquiring a lock of the SAME rank as one already held is an
+//     inversion, except for component locks, which may stack if their
+//     keys (component ids) are strictly ascending — exactly the
+//     cross-shard batch protocol.
+//   - Re-acquiring the SAME lock object recursively is always fatal.
+//
+// The validator keeps a thread-local stack of held locks and aborts
+// *before* blocking on a would-be-inverted acquisition, so an engineered
+// deadlock dies loudly instead of hanging. Releases may be out of LIFO
+// order (the cross-batch path releases its ordered lock vector
+// wholesale), so OnRelease searches by lock identity.
+//
+// Compiled out unless YOUTOPIA_LOCK_ORDER_CHECKS=1, which the build sets
+// globally (forced ON in the asan/tsan presets) — the macro is a CMake
+// option applied to every TU, never a per-file define, so there is no
+// ODR hazard.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace youtopia {
+
+// Lower numeric value = acquired earlier (outermost). Ranks mirror the
+// ROADMAP hierarchy; kUnranked locks are invisible to the validator
+// (used for mutexes internal to other synchronization primitives).
+enum class LockRank : uint8_t {
+  kComponentLock = 0,
+  kStorageLatch = 1,
+  kCcMutex = 2,
+  kLeaf = 3,
+  kUnranked = 255,
+};
+
+#ifndef YOUTOPIA_LOCK_ORDER_CHECKS
+#define YOUTOPIA_LOCK_ORDER_CHECKS 0
+#endif
+
+#if YOUTOPIA_LOCK_ORDER_CHECKS
+
+namespace lock_order_internal {
+
+struct Held {
+  const void* lock;
+  LockRank rank;
+  uint64_t key;
+};
+
+inline thread_local std::vector<Held> held_stack;
+
+[[noreturn]] inline void Fatal(const char* what, const void* lock,
+                               LockRank rank, uint64_t key, LockRank held_rank,
+                               uint64_t held_key) {
+  std::fprintf(stderr,
+               "lock-order violation: %s (lock %p rank %u key %llu; "
+               "innermost held rank %u key %llu); hierarchy is "
+               "component(0) > storage latch(1) > cc mutex(2) > leaf(3)\n",
+               what, lock, static_cast<unsigned>(rank),
+               static_cast<unsigned long long>(key),
+               static_cast<unsigned>(held_rank),
+               static_cast<unsigned long long>(held_key));
+  std::abort();
+}
+
+}  // namespace lock_order_internal
+
+class LockOrderValidator {
+ public:
+  // Call immediately BEFORE blocking on the acquisition, so an ordering
+  // violation aborts instead of deadlocking. `key` disambiguates locks
+  // of the same rank (component id for component locks; 0 otherwise).
+  static void OnAcquire(const void* lock, LockRank rank, uint64_t key) {
+    if (rank == LockRank::kUnranked) return;
+    auto& stack = lock_order_internal::held_stack;
+    for (const auto& h : stack) {
+      if (h.lock == lock) {
+        lock_order_internal::Fatal("recursive acquisition", lock, rank, key,
+                                   h.rank, h.key);
+      }
+    }
+    if (!stack.empty()) {
+      const auto& top = stack.back();
+      if (rank == LockRank::kComponentLock &&
+          top.rank == LockRank::kComponentLock) {
+        if (key <= top.key) {
+          lock_order_internal::Fatal(
+              "component locks must be acquired in ascending component order",
+              lock, rank, key, top.rank, top.key);
+        }
+      } else if (static_cast<uint8_t>(rank) <= static_cast<uint8_t>(top.rank)) {
+        lock_order_internal::Fatal("rank inversion", lock, rank, key, top.rank,
+                                   top.key);
+      }
+    }
+    stack.push_back({lock, rank, key});
+  }
+
+  static void OnRelease(const void* lock, LockRank rank) {
+    if (rank == LockRank::kUnranked) return;
+    auto& stack = lock_order_internal::held_stack;
+    // Releases may be non-LIFO (ordered cross-batch lock vectors), so
+    // search from the most recent hold.
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->lock == lock) {
+        stack.erase(std::next(it).base());
+        return;
+      }
+    }
+    lock_order_internal::Fatal("releasing a lock this thread does not hold",
+                               lock, rank, 0, LockRank::kUnranked, 0);
+  }
+
+  static size_t HeldCountForTest() {
+    return lock_order_internal::held_stack.size();
+  }
+};
+
+#else  // !YOUTOPIA_LOCK_ORDER_CHECKS
+
+class LockOrderValidator {
+ public:
+  static void OnAcquire(const void*, LockRank, uint64_t) {}
+  static void OnRelease(const void*, LockRank) {}
+  static size_t HeldCountForTest() { return 0; }
+};
+
+#endif  // YOUTOPIA_LOCK_ORDER_CHECKS
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_UTIL_LOCK_ORDER_H_

@@ -1,0 +1,112 @@
+#ifndef YOUTOPIA_UTIL_MUTEX_H_
+#define YOUTOPIA_UTIL_MUTEX_H_
+
+// Thin capability wrappers over std::mutex / std::condition_variable.
+//
+// Mutex carries the Clang Thread Safety Analysis CAPABILITY attribute
+// (so members can be GUARDED_BY it and methods can REQUIRES it) and a
+// LockRank consulted by the debug-build LockOrderValidator. MutexLock is
+// the annotated RAII guard. CondVar wraps std::condition_variable with a
+// REQUIRES(mu) Wait API: callers hold the Mutex via MutexLock and loop
+// on their predicate explicitly — TSA analyzes lambda bodies without the
+// caller's lock context, so the classic predicate-wait overload would
+// produce false positives on every guarded read inside the predicate.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/lock_order.h"
+#include "util/thread_annotations.h"
+
+namespace youtopia {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank = LockRank::kLeaf, uint64_t order_key = 0)
+      : rank_(rank), order_key_(order_key) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+    LockOrderValidator::OnAcquire(this, rank_, order_key_);
+    mu_.lock();
+  }
+
+  void unlock() RELEASE() {
+    mu_.unlock();
+    LockOrderValidator::OnRelease(this, rank_);
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // A successful try_lock cannot deadlock, but it still must respect
+    // the hierarchy — validate after the fact so the attempt never
+    // blocks, and die if it broke rank.
+    LockOrderValidator::OnAcquire(this, rank_, order_key_);
+    return true;
+  }
+
+  // The underlying std::mutex, for CondVar's adopt-lock bridge only.
+  std::mutex& native() { return mu_; }
+
+  LockRank rank() const { return rank_; }
+
+ private:
+  std::mutex mu_;
+  LockRank rank_;
+  uint64_t order_key_;
+};
+
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable over Mutex. Callers wait in an explicit loop:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);
+//
+// Wait/WaitUntil REQUIRES(mu): the calling thread must hold `mu`, and
+// holds it again when the call returns. Internally the wait adopts the
+// already-held native mutex and releases it back without unlocking, so
+// the validator's held stack stays consistent across the block (the
+// thread still logically holds the Mutex while parked — acquiring it in
+// that window from the same thread would be a real deadlock).
+class CondVar {
+ public:
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(Mutex& mu,
+                           const std::chrono::time_point<Clock, Duration>&
+                               deadline) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lk, deadline);
+    lk.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_UTIL_MUTEX_H_

@@ -172,8 +172,11 @@ TEST(IntraShardTest, ConflictProbeDoomsParkedReaderAndRedoCommits) {
   std::atomic<uint64_t> next_number{1};
   std::vector<std::pair<WriteOp, uint32_t>> requeued;
   size_t commits = 0;
+  RwMutex comp_mu;
+  comp_mu.SetLockOrder(LockRank::kComponentLock, 0);
   IntraCcOptions copts;
   copts.num_subs = 1;
+  copts.component_lock = &comp_mu;
   copts.requeue = [&](WriteOp op, uint32_t attempts) {
     requeued.push_back({std::move(op), attempts});
   };
@@ -192,20 +195,20 @@ TEST(IntraShardTest, ConflictProbeDoomsParkedReaderAndRedoCommits) {
       size_t registered = 0;
       bool cont;
       {
-        std::shared_lock<RwMutex> latch(cc.storage_latch());
+        SharedLock latch(cc.storage_latch());
         EXPECT_FALSE(cc.Doomed(number));
         cont = u.StepPrepare(&db, &agent, &res);
         cc.RegisterReads(number, &res.reads, &registered);
       }
       if (!cont) break;
       {
-        std::unique_lock<RwMutex> latch(cc.storage_latch());
+        ExclusiveLock latch(cc.storage_latch());
         u.StepApply(&db, &res);
         cc.OnWrites(number, res.writes);
         cc.RegisterReads(number, &res.reads, &registered);
       }
       {
-        std::shared_lock<RwMutex> latch(cc.storage_latch());
+        SharedLock latch(cc.storage_latch());
         u.StepFinish(&db, &res);
         cc.RegisterReads(number, &res.reads, &registered);
       }
@@ -215,33 +218,41 @@ TEST(IntraShardTest, ConflictProbeDoomsParkedReaderAndRedoCommits) {
                             u.frontier_ops_performed()));
   };
 
-  const uint64_t n1 = cc.Begin(&next_number);  // the (future) deleter
-  const uint64_t n2 = cc.Begin(&next_number);  // the reader, runs first
-  ASSERT_EQ(n1, 1u);
-  ASSERT_EQ(n2, 2u);
-
-  run(n2, WriteOp::Insert(A, {k}));
-  EXPECT_EQ(commits, 0u);  // parked: number 1 is still active
-
-  run(n1, WriteOp::Delete(B, seed_row));
-  // The delete's probe doomed the parked reader (undo + requeue) and then
-  // number 1 committed — the sequencer floor moved past it.
-  EXPECT_EQ(commits, 1u);
-  EXPECT_EQ(cc.aborts(), 1u);
-  ASSERT_EQ(requeued.size(), 1u);
-  EXPECT_EQ(requeued[0].second, 1u);  // attempts carried over, incremented
+  // The schedule drives every cc call under the component lock the way a
+  // sub-worker would: shared for attempts, exclusive for the quiescence
+  // assertion at the end (the single thread makes the latches and the cc
+  // contracts uncontended; the protocol order is what is under test).
+  uint64_t n3 = 0;
   {
-    // The doomed insert's write is gone again.
-    Snapshot snap(&db, kReadLatest);
-    size_t a_rows = 0;
-    snap.ForEachVisible(A, [&](RowId, const TupleData&) { ++a_rows; });
-    EXPECT_EQ(a_rows, 0u);
-  }
+    SharedLock comp(comp_mu);
+    const uint64_t n1 = cc.Begin(&next_number);  // the (future) deleter
+    const uint64_t n2 = cc.Begin(&next_number);  // the reader, runs first
+    ASSERT_EQ(n1, 1u);
+    ASSERT_EQ(n2, 2u);
 
-  const uint64_t n3 = cc.Begin(&next_number);  // the redo, fresh number
-  ASSERT_EQ(n3, 3u);
-  run(n3, requeued[0].first);
-  EXPECT_EQ(commits, 2u);
+    run(n2, WriteOp::Insert(A, {k}));
+    EXPECT_EQ(commits, 0u);  // parked: number 1 is still active
+
+    run(n1, WriteOp::Delete(B, seed_row));
+    // The delete's probe doomed the parked reader (undo + requeue) and then
+    // number 1 committed — the sequencer floor moved past it.
+    EXPECT_EQ(commits, 1u);
+    EXPECT_EQ(cc.aborts(), 1u);
+    ASSERT_EQ(requeued.size(), 1u);
+    EXPECT_EQ(requeued[0].second, 1u);  // attempts carried over, incremented
+    {
+      // The doomed insert's write is gone again.
+      Snapshot snap(&db, kReadLatest);
+      size_t a_rows = 0;
+      snap.ForEachVisible(A, [&](RowId, const TupleData&) { ++a_rows; });
+      EXPECT_EQ(a_rows, 0u);
+    }
+
+    n3 = cc.Begin(&next_number);  // the redo, fresh number
+    ASSERT_EQ(n3, 3u);
+    run(n3, requeued[0].first);
+    EXPECT_EQ(commits, 2u);
+  }
 
   // The redo observed the committed delete and repaired the mapping.
   Snapshot snap(&db, kReadLatest);
@@ -256,6 +267,9 @@ TEST(IntraShardTest, ConflictProbeDoomsParkedReaderAndRedoCommits) {
   ASSERT_EQ(committed.size(), 2u);
   EXPECT_EQ(committed[0].first, 1u);
   EXPECT_EQ(committed[1].first, 3u);
+
+  // Exclusive acquisition implies (and asserts) full quiescence.
+  ExclusiveLock comp(comp_mu);
   cc.AssertQuiescent();
 }
 

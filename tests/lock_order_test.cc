@@ -1,0 +1,157 @@
+// Death tests for the runtime lock-order validator (util/lock_order.h).
+//
+// The validator is compiled in only when YOUTOPIA_LOCK_ORDER_CHECKS=1 (the
+// asan/tsan presets force it on); under a plain release build these tests
+// reduce to a single check that the no-op stub stays a no-op.
+
+#include <gtest/gtest.h>
+
+#include "ccontrol/parallel/rw_mutex.h"
+#include "util/lock_order.h"
+#include "util/mutex.h"
+
+namespace youtopia {
+namespace {
+
+#if YOUTOPIA_LOCK_ORDER_CHECKS
+
+// The documented hierarchy, outermost to innermost, must pass untouched.
+TEST(LockOrderTest, FullHierarchyChainIsAccepted) {
+  RwMutex comp;
+  comp.SetLockOrder(LockRank::kComponentLock, 0);
+  RwMutex latch;
+  latch.SetLockOrder(LockRank::kStorageLatch);
+  Mutex cc{LockRank::kCcMutex};
+  Mutex leaf{LockRank::kLeaf};
+  {
+    SharedLock c(comp);
+    SharedLock l(latch);
+    MutexLock m(cc);
+    MutexLock f(leaf);
+    EXPECT_EQ(LockOrderValidator::HeldCountForTest(), 4u);
+  }
+  EXPECT_EQ(LockOrderValidator::HeldCountForTest(), 0u);
+}
+
+// Component locks stack when keys ascend — the cross-shard batch protocol.
+TEST(LockOrderTest, AscendingComponentStackingIsAccepted) {
+  RwMutex a, b, c;
+  a.SetLockOrder(LockRank::kComponentLock, 0);
+  b.SetLockOrder(LockRank::kComponentLock, 3);
+  c.SetLockOrder(LockRank::kComponentLock, 7);
+  ExclusiveLock la(a);
+  ExclusiveLock lb(b);
+  ExclusiveLock lc(c);
+  EXPECT_EQ(LockOrderValidator::HeldCountForTest(), 3u);
+}
+
+// The cross-batch path releases its ordered lock vector wholesale, which
+// is not LIFO; the validator must track identity, not stack position.
+TEST(LockOrderTest, NonLifoReleaseIsTracked) {
+  RwMutex a, b;
+  a.SetLockOrder(LockRank::kComponentLock, 0);
+  b.SetLockOrder(LockRank::kComponentLock, 1);
+  a.lock();
+  b.lock();
+  a.unlock();  // out of LIFO order
+  EXPECT_EQ(LockOrderValidator::HeldCountForTest(), 1u);
+  b.unlock();
+  EXPECT_EQ(LockOrderValidator::HeldCountForTest(), 0u);
+}
+
+// Unranked locks (internal implementation mutexes) stay invisible.
+TEST(LockOrderTest, UnrankedLocksAreInvisible) {
+  RwMutex unranked;  // default rank: kUnranked
+  ExclusiveLock l(unranked);
+  EXPECT_EQ(LockOrderValidator::HeldCountForTest(), 0u);
+}
+
+// The acceptance-criteria inversion: taking a component lock while holding
+// a cc mutex reverses the hierarchy and must die before blocking.
+TEST(LockOrderDeathTest, ComponentLockAfterCcMutexAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex cc{LockRank::kCcMutex};
+        RwMutex comp;
+        comp.SetLockOrder(LockRank::kComponentLock, 0);
+        MutexLock inner(cc);
+        comp.lock();
+      },
+      "lock-order violation: rank inversion");
+}
+
+TEST(LockOrderDeathTest, LatchAfterLeafAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex leaf{LockRank::kLeaf};
+        RwMutex latch;
+        latch.SetLockOrder(LockRank::kStorageLatch);
+        MutexLock inner(leaf);
+        latch.lock_shared();
+      },
+      "lock-order violation: rank inversion");
+}
+
+TEST(LockOrderDeathTest, RecursiveAcquisitionAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex leaf{LockRank::kLeaf};
+        leaf.lock();
+        leaf.lock();
+      },
+      "lock-order violation: recursive acquisition");
+}
+
+// A shared hold re-entered exclusively is still a self-deadlock.
+TEST(LockOrderDeathTest, RecursiveRwAcquisitionAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        RwMutex comp;
+        comp.SetLockOrder(LockRank::kComponentLock, 0);
+        comp.lock_shared();
+        comp.lock();
+      },
+      "lock-order violation: recursive acquisition");
+}
+
+TEST(LockOrderDeathTest, DescendingComponentKeysAbort) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        RwMutex a;
+        RwMutex b;
+        a.SetLockOrder(LockRank::kComponentLock, 5);
+        b.SetLockOrder(LockRank::kComponentLock, 2);
+        a.lock();
+        b.lock();
+      },
+      "ascending component order");
+}
+
+TEST(LockOrderDeathTest, ReleasingUnheldLockAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        RwMutex comp;
+        comp.SetLockOrder(LockRank::kComponentLock, 0);
+        LockOrderValidator::OnRelease(&comp, LockRank::kComponentLock);
+      },
+      "does not hold");
+}
+
+#else  // !YOUTOPIA_LOCK_ORDER_CHECKS
+
+TEST(LockOrderTest, ValidatorCompiledOutIsNoOp) {
+  Mutex leaf{LockRank::kLeaf};
+  MutexLock l(leaf);
+  EXPECT_EQ(LockOrderValidator::HeldCountForTest(), 0u);
+}
+
+#endif  // YOUTOPIA_LOCK_ORDER_CHECKS
+
+}  // namespace
+}  // namespace youtopia

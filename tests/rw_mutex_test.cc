@@ -1,0 +1,104 @@
+// Semantics tests for the writer-priority RwMutex
+// (ccontrol/parallel/rw_mutex.h): the intra-shard mode leans on the
+// guarantee that a waiting cross-shard writer blocks NEW readers, so a
+// reader convoy cannot starve exclusive acquisition.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "ccontrol/parallel/rw_mutex.h"
+
+namespace youtopia {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(RwMutexTest, ConcurrentReadersShareTheLock) {
+  RwMutex mu;
+  std::atomic<int> inside{0};
+  std::atomic<bool> both_seen{false};
+  auto reader = [&] {
+    SharedLock lock(mu);
+    inside.fetch_add(1);
+    // Hold until both readers are provably inside simultaneously.
+    while (!both_seen.load()) {
+      if (inside.load() == 2) both_seen.store(true);
+      std::this_thread::yield();
+    }
+    inside.fetch_sub(1);
+  };
+  std::thread r1(reader), r2(reader);
+  r1.join();
+  r2.join();
+  EXPECT_TRUE(both_seen.load());
+}
+
+// The writer-priority contract: while a writer is parked, a newly arriving
+// reader must wait, so the writer's turn comes as soon as the in-flight
+// readers drain — a continuous reader stream cannot starve it.
+TEST(RwMutexTest, WaitingWriterBlocksNewReaders) {
+  RwMutex mu;
+  std::atomic<int> seq{0};
+  int writer_turn = -1;
+  int late_reader_turn = -1;
+
+  mu.lock_shared();  // the in-flight reader the writer must wait behind
+
+  std::thread writer([&] {
+    mu.lock();
+    writer_turn = seq.fetch_add(1);
+    mu.unlock();
+  });
+  while (!mu.HasWaitingWriter()) std::this_thread::yield();
+
+  std::atomic<bool> late_reader_started{false};
+  std::thread late_reader([&] {
+    late_reader_started.store(true);
+    mu.lock_shared();
+    late_reader_turn = seq.fetch_add(1);
+    mu.unlock_shared();
+  });
+  while (!late_reader_started.load()) std::this_thread::yield();
+  // Give the late reader every chance to (incorrectly) slip past the
+  // parked writer before the first reader releases.
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(seq.load(), 0) << "late reader or writer got in while a reader "
+                              "held the lock and a writer waited";
+
+  mu.unlock_shared();
+  writer.join();
+  late_reader.join();
+  EXPECT_LT(writer_turn, late_reader_turn)
+      << "writer must beat readers that arrived after it started waiting";
+}
+
+TEST(RwMutexTest, ExclusiveHoldExcludesReaders) {
+  RwMutex mu;
+  std::atomic<bool> reader_done{false};
+  mu.lock();
+  std::thread reader([&] {
+    SharedLock lock(mu);
+    reader_done.store(true);
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(reader_done.load());
+  mu.unlock();
+  reader.join();
+  EXPECT_TRUE(reader_done.load());
+}
+
+TEST(RwMutexTest, TryLockRespectsReadersAndSucceedsWhenFree) {
+  RwMutex mu;
+  mu.lock_shared();
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock_shared();
+  ASSERT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock());  // already exclusively held
+  mu.unlock();
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Per-TU bisection driver for -ftrivial-auto-var-init=pattern.
+#
+# Target: the layout-sensitive SerializabilityTest heisenbug (ROADMAP,
+# "Layout-sensitive latent bug"): certain sweep seeds hang or pass
+# depending purely on binary layout, the classic signature of an
+# uninitialized stack read. A whole-build -ftrivial-auto-var-init=pattern
+# build passes, so pattern-initializing the *culprit TU alone* should flip
+# a hanging layout back to passing — and unlike printf/dead-code probes,
+# per-TU init does not move code in any other TU, so it cannot relocate
+# the bug while hunting it.
+#
+# Protocol (single-culprit delta debugging over the TU list):
+#   1. baseline  — no TU initialized. Must reproduce the failure (hang =
+#      ctest timeout, or a hard failure). If it passes, the current layout
+#      does not exhibit the bug and there is nothing to bisect.
+#   2. full      — every candidate TU initialized. Must pass (matches the
+#      recorded whole-build result). If it still fails, the bug is not an
+#      uninitialized local in src/ — stop and widen the theory.
+#   3. bisect    — binary-search the candidate list: keep the half whose
+#      initialization alone makes the test pass, until one TU remains.
+#
+# The per-TU switch is the YOUTOPIA_AUTO_VAR_INIT_FILES cache variable
+# (colon-separated paths relative to src/), applied per-source in
+# src/CMakeLists.txt, so each probe is an incremental reconfigure +
+# rebuild of only the toggled TUs.
+#
+# Usage:
+#   tools/bisect_auto_var_init.sh [-r TEST_REGEX] [-s TIMEOUT_SECS] [TU...]
+# TUs are paths relative to src/ (default: every .cc under src/).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TEST_REGEX='SerializabilityTest.*(Seed4_PRECISE_Del20|Seed9_COARSE_Del10|Seed10_NAIVE_Del0)'
+TIMEOUT_SECS=300
+BUILD_DIR=build/bisect-avi
+
+while getopts 'r:s:h' opt; do
+  case "${opt}" in
+    r) TEST_REGEX="${OPTARG}" ;;
+    s) TIMEOUT_SECS="${OPTARG}" ;;
+    h | *)
+      grep '^#' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+if [[ $# -gt 0 ]]; then
+  candidates=("$@")
+else
+  mapfile -t candidates < <(cd src && find . -name '*.cc' | sed 's|^\./||' | sort)
+fi
+
+join_colon() {
+  local IFS=':'
+  echo "$*"
+}
+
+# probe "tu1:tu2:..." -> 0 when the filtered tests pass within the
+# timeout, 1 on failure or hang. ctest's own per-test TIMEOUT property
+# still applies; TIMEOUT_SECS bounds the whole probe as a backstop.
+probe() {
+  local tus="$1"
+  cmake -S . -B "${BUILD_DIR}" -G Ninja \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DYOUTOPIA_BUILD_BENCH=OFF -DYOUTOPIA_BUILD_EXAMPLES=OFF \
+    -DYOUTOPIA_AUTO_VAR_INIT_FILES="${tus}" >/dev/null
+  cmake --build "${BUILD_DIR}" -j >/dev/null
+  if (cd "${BUILD_DIR}" &&
+      timeout "${TIMEOUT_SECS}" ctest -R "${TEST_REGEX}" \
+        --output-on-failure -j "$(nproc)" >/dev/null 2>&1); then
+    return 0
+  fi
+  return 1
+}
+
+echo "bisecting ${#candidates[@]} TUs against: ${TEST_REGEX}"
+
+echo "[1/3] baseline (no TU initialized)..."
+if probe ""; then
+  echo "baseline PASSES — this layout does not reproduce the bug."
+  echo "Perturb the layout (toolchain, flags, unrelated edits) until the"
+  echo "hang reappears, then re-run; bisection needs a failing baseline."
+  exit 1
+fi
+echo "baseline fails/hangs — reproducible, good."
+
+echo "[2/3] full set (${#candidates[@]} TUs initialized)..."
+if ! probe "$(join_colon "${candidates[@]}")"; then
+  echo "still failing with every candidate TU pattern-initialized —"
+  echo "the bug is not an uninitialized local in the candidate set."
+  exit 1
+fi
+echo "full set passes — an uninitialized local in src/ is implicated."
+
+echo "[3/3] binary search..."
+set=("${candidates[@]}")
+while [[ ${#set[@]} -gt 1 ]]; do
+  half=$((${#set[@]} / 2))
+  left=("${set[@]:0:half}")
+  right=("${set[@]:half}")
+  echo "  ${#set[@]} TUs remain; probing first half (${#left[@]})..."
+  if probe "$(join_colon "${left[@]}")"; then
+    set=("${left[@]}")
+  elif probe "$(join_colon "${right[@]}")"; then
+    set=("${right[@]}")
+  else
+    echo "neither half alone fixes the failure: more than one culprit TU"
+    echo "(or an interaction). Remaining set:"
+    printf '  %s\n' "${set[@]}"
+    exit 1
+  fi
+done
+
+echo
+echo "culprit TU: src/${set[0]}"
+echo "Pattern-initializing this one file flips the failure; audit its"
+echo "locals (and any structs it stack-allocates) for reads before writes."
