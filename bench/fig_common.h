@@ -39,6 +39,10 @@ namespace bench {
 //   --fan=F             RHS atoms per chain hop (default 1 = linear chain)
 //   --zipf=T            Zipfian theta in [0, 1) for constant-pool draws
 //                       (default 0 = the paper's uniform pool)
+//   --hotp=P            probability in [0, 1] that a pool draw collides
+//                       onto the shared hot prefix instead (default 0; see
+//                       WorkloadOptions::p_hot_value)
+//   --hotranks=N        size of that shared hot prefix (default 4)
 //   --verbose           progress to stderr
 // Applies the command-line flags on top of `config` — callers seed it with
 // their harness's defaults, so passing one flag overrides one knob instead
@@ -115,6 +119,19 @@ inline ExperimentConfig ParseFlagsOver(ExperimentConfig config, int argc,
         std::exit(2);
       }
       config.zipf_theta = v;
+    } else if (arg.rfind("--hotp=", 0) == 0) {
+      const char* p = arg.c_str() + std::strlen("--hotp=");
+      char* end = nullptr;
+      errno = 0;
+      const double v = std::strtod(p, &end);
+      if (end == p || *end != '\0' || errno == ERANGE || v < 0.0 || v > 1.0) {
+        std::fprintf(stderr, "bad value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      config.p_hot_value = v;
+    } else if (arg.rfind("--hotranks=", 0) == 0) {
+      config.hot_pool_ranks =
+          static_cast<size_t>(intval("--hotranks=", 1, kMaxCount));
     } else if (arg.rfind("--mappings=", 0) == 0) {
       config.mapping_counts.clear();
       const char* p = arg.c_str() + std::strlen("--mappings=");

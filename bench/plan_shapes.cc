@@ -92,6 +92,46 @@ void SkewShapes() {
                   .c_str());
 }
 
+// Value-aware (heavy-hitter sketch) costing: one skewed column, two
+// constants. The hot constant owns a 2048-row bucket the uniform model
+// prices at ~4, so only the sketch justifies the composite index for it;
+// the cold constant's tracked 2-row bucket keeps the single-column probe
+// under both models. The same queries compiled with the kill switch off
+// show the uniform shapes the skew_suite control arm runs under.
+void ValueAwareShapes() {
+  Database db;
+  const RelationId z = *db.CreateRelation("Z", {"k", "tag", "n"});
+  auto constant = [&](const char* prefix, size_t i) {
+    return db.InternConstant(std::string(prefix) + std::to_string(i));
+  };
+  const Value hot = db.InternConstant("hot");
+  const Value even = db.InternConstant("even");
+  const Value odd = db.InternConstant("odd");
+  for (uint64_t i = 0; i < 4096; ++i) {
+    const Value k = i < 2048 ? hot : constant("cold", i % 1024);
+    db.Apply(WriteOp::Insert(z, {k, i % 2 == 0 ? even : odd,
+                                 Value::Constant(i)}),
+             0);
+  }
+  TgdParser parser(&db.catalog(), &db.symbols());
+  const auto hot_q = *parser.ParseQuery("Z('hot', 'even', n)");
+  const auto cold_q = *parser.ParseQuery("Z('cold0', 'even', n)");
+  std::printf(
+      "[value-aware] Z(k, tag, n), rows=4096 hot-bucket=2048 domain=1025\n");
+  for (const bool on : {true, false}) {
+    Planner::set_sketch_costing(on);
+    std::printf("  sketch %s hot:  %s\n", on ? "on " : "off",
+                Planner::Compile(hot_q.body, 0, std::nullopt, &db)
+                    .ToString(db.catalog())
+                    .c_str());
+    std::printf("  sketch %s cold: %s\n", on ? "on " : "off",
+                Planner::Compile(cold_q.body, 0, std::nullopt, &db)
+                    .ToString(db.catalog())
+                    .c_str());
+  }
+  Planner::set_sketch_costing(true);
+}
+
 }  // namespace
 }  // namespace youtopia
 
@@ -99,5 +139,6 @@ int main() {
   std::printf("# Compiled plan shapes (CI golden; see bench/plan_shapes.cc)\n");
   youtopia::Sigma3Shapes();
   youtopia::SkewShapes();
+  youtopia::ValueAwareShapes();
   return 0;
 }

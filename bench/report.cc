@@ -38,6 +38,7 @@ bool WriteExperimentJson(const std::string& name, const std::string& workload,
   out << "    \"delete_fraction\": " << config.delete_fraction << ",\n";
   out << "    \"runs\": " << config.runs << ",\n";
   out << "    \"seed\": " << config.seed << ",\n";
+  out << "    \"zipf_theta\": " << config.zipf_theta << ",\n";
   // Serial runs record workers = 1, so BENCH_ files from the sharded
   // parallel scheduler are distinguishable from serial baselines.
   out << "    \"workers\": " << config.workers << ",\n";
@@ -108,7 +109,9 @@ bool WriteParallelScaleJson(const std::string& name,
   }
   out << "{\n";
   out << "  \"name\": \"" << name << "\",\n";
-  out << "  \"schema_version\": 2,\n";
+  // Version 3 adds zipf_theta to the config block (the skew axis matters
+  // now that plan costing is value-aware).
+  out << "  \"schema_version\": 3,\n";
   out << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n";
   out << "  \"config\": {\n";
@@ -120,6 +123,7 @@ bool WriteParallelScaleJson(const std::string& name,
   out << "    \"initial_tuples\": " << config.initial_tuples << ",\n";
   out << "    \"updates_per_run\": " << config.updates_per_run << ",\n";
   out << "    \"runs\": " << config.runs << ",\n";
+  out << "    \"zipf_theta\": " << config.zipf_theta << ",\n";
   out << "    \"seed\": " << config.seed << "\n";
   out << "  },\n";
   out << "  \"arms\": [\n";
@@ -189,6 +193,46 @@ bool WriteStreamingIngestJson(const std::string& name,
         << ", \"inbox_capacity\": " << a.inbox_capacity
         << ", \"pinned\": " << a.pinned << ", \"cross_shard\": "
         << a.cross_shard << ", \"escaped\": " << a.escaped << "}"
+        << (i + 1 < arms.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n";
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench: failed writing %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+  return true;
+}
+
+bool WriteSkewSuiteJson(const std::string& name,
+                        const ExperimentConfig& config,
+                        const std::vector<SkewSuiteArm>& arms) {
+  const std::string path = BenchJsonPath(name);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n";
+  out << "  \"name\": \"" << name << "\",\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"config\": {\n";
+  out << "    \"constants\": " << config.num_constants << ",\n";
+  out << "    \"updates_per_run\": " << config.updates_per_run << ",\n";
+  out << "    \"zipf_theta\": " << config.zipf_theta << ",\n";
+  out << "    \"seed\": " << config.seed << "\n";
+  out << "  },\n";
+  out << "  \"arms\": [\n";
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const SkewSuiteArm& a = arms[i];
+    out << "    {\"graph\": \"" << a.graph << "\", \"zipf_theta\": "
+        << a.zipf_theta << ", \"sketch\": " << (a.sketch ? "true" : "false")
+        << ", \"rows_examined\": " << a.rows_examined
+        << ", \"replans\": " << a.replans
+        << ", \"committed\": " << a.committed << ", \"steps\": " << a.steps
+        << ", \"seconds\": " << a.seconds << "}"
         << (i + 1 < arms.size() ? ",\n" : "\n");
   }
   out << "  ]\n";

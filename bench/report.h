@@ -88,6 +88,31 @@ bool WriteStreamingIngestJson(const std::string& name,
                               const std::vector<StreamingIngestArm>& arms,
                               bool replay_identical);
 
+// One arm of the bench/skew_suite adversarial-skew sweep: a (graph shape,
+// zipf theta) fixture executed with value-aware sketch costing either ON or
+// OFF (Planner::set_sketch_costing), on otherwise identical data, plans and
+// workload. rows_examined is the arm's planner-quality metric: total rows
+// fetched by every violation query and conflict re-check across the run
+// (Scheduler::TotalRowsExamined).
+struct SkewSuiteArm {
+  std::string graph;       // "chain" or "fanout"
+  double zipf_theta = 0;   // workload skew of this fixture
+  bool sketch = false;     // value-aware costing on?
+  uint64_t rows_examined = 0;
+  uint64_t replans = 0;    // mid-run plan recompilations across all tgds
+  size_t committed = 0;
+  double steps = 0;
+  double seconds = 0;
+};
+
+// Writes BENCH_<name>.json for the skew suite (schema_version 1): the
+// fixture config block and one record per (graph, theta, sketch) arm. CI
+// gates on the rows_examined ratio between the sketch-off and sketch-on
+// arms of each fixture: >= 2x at high theta, parity (+-10%) at theta 0.
+bool WriteSkewSuiteJson(const std::string& name,
+                        const ExperimentConfig& config,
+                        const std::vector<SkewSuiteArm>& arms);
+
 }  // namespace bench
 }  // namespace youtopia
 

@@ -57,6 +57,14 @@ class ConflictChecker {
   // periodically; cheap when nothing is stale. Returns plans recompiled.
   size_t MaybeReplan(Database* db) const { return residual_plans_.Refresh(db); }
 
+  // Rows examined by this checker's evaluators across its lifetime (the
+  // retroactive-check share of a run's row traffic; same contract as
+  // ViolationDetector::rows_examined).
+  uint64_t rows_examined() const {
+    return lhs_eval_.lifetime_rows_examined() +
+           rhs_eval_.lifetime_rows_examined();
+  }
+
  private:
   // Everything about a recorded violation query's residual premise that is
   // fixed by (tgd, pinned side, pinned atom): the residual query (the LHS

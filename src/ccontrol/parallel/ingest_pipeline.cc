@@ -12,8 +12,10 @@ IngestPipeline::IngestPipeline(Database* db, const std::vector<Tgd>* tgds,
     : db_(db),
       tgds_(tgds),
       options_(std::move(options)),
+      // Constructed before any worker exists, so the skew-aware balance may
+      // read the pre-seeded relations' owner-only statistics (shard_map.h).
       shard_map_(db->num_relations(), *tgds,
-                 std::max<size_t>(options_.num_workers, 1)),
+                 std::max<size_t>(options_.num_workers, 1), db),
       component_locks_(shard_map_.num_components()),
       next_number_(options_.first_number),
       cross_inbox_(options_.inbox_capacity) {

@@ -30,7 +30,7 @@ void Union(std::vector<uint32_t>& parent, uint32_t a, uint32_t b) {
 }  // namespace
 
 ShardMap::ShardMap(size_t num_relations, const std::vector<Tgd>& tgds,
-                   size_t num_shards) {
+                   size_t num_shards, const Database* db) {
   std::vector<uint32_t> parent(num_relations);
   for (uint32_t r = 0; r < num_relations; ++r) parent[r] = r;
   for (const Tgd& tgd : tgds) {
@@ -45,7 +45,7 @@ ShardMap::ShardMap(size_t num_relations, const std::vector<Tgd>& tgds,
   // Component ids in ascending-representative order: scanning relations in
   // id order meets each root at its minimum member first.
   component_of_.assign(num_relations, 0);
-  std::vector<uint32_t> component_weight;  // relation count per component
+  std::vector<uint64_t> component_weight;
   std::vector<int64_t> id_of_root(num_relations, -1);
   for (uint32_t r = 0; r < num_relations; ++r) {
     const uint32_t root = Find(parent, r);
@@ -56,7 +56,16 @@ ShardMap::ShardMap(size_t num_relations, const std::vector<Tgd>& tgds,
     }
     const auto c = static_cast<uint32_t>(id_of_root[root]);
     component_of_[r] = c;
-    ++component_weight[c];
+    // Without statistics every relation weighs 1 (relation count); with
+    // them, rows plus the sketch-estimated hot-value mass (owner-only
+    // reads — legal here because construction precedes worker start; see
+    // the class comment).
+    uint64_t weight = 1;
+    if (db != nullptr && r < db->num_relations()) {
+      const VersionedRelation& rel = db->relation(r);
+      weight += rel.visible_rows() + kHotMassWeight * rel.HotValueMass();
+    }
+    component_weight[c] += weight;
   }
 
   // Greedy balance: components largest-first onto the least loaded shard.

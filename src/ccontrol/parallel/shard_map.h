@@ -30,12 +30,25 @@ namespace youtopia {
 //
 // Shards group components onto workers: shard_count = min(requested
 // workers, components), components assigned largest-first onto the least
-// loaded shard (relation count as weight). The map is immutable after
+// loaded shard. Without a database the weight is the component's relation
+// count; with one (`db` non-null) each relation weighs
+// 1 + visible_rows + kHotMassWeight * HotValueMass(), so a component whose
+// mass sits in Zipfian-hot values — where every probe and violation query
+// examines whole hot buckets, not average ones — stops hiding behind
+// uniform siblings of equal row count. Construction reads owner-only
+// relation statistics and must therefore happen single-threaded, before
+// workers exist (pipeline setup does). The map is immutable after
 // construction and safe to read from any thread.
 class ShardMap {
  public:
   ShardMap(size_t num_relations, const std::vector<Tgd>& tgds,
-           size_t num_shards);
+           size_t num_shards, const Database* db = nullptr);
+
+  // Weight multiplier for hot-value mass in the balance: a hot bucket of g
+  // rows is examined in full by each probe that lands on it, and the
+  // probability of landing there scales with g itself — the same 4x
+  // pessimism the planner's hot thresholds encode (relation.h).
+  static constexpr uint64_t kHotMassWeight = 4;
 
   size_t num_relations() const { return component_of_.size(); }
   size_t num_components() const { return representative_.size(); }

@@ -310,4 +310,10 @@ size_t Scheduler::num_failed() const {
   return n;
 }
 
+uint64_t Scheduler::TotalRowsExamined() const {
+  uint64_t rows = checker_.rows_examined();
+  for (const Slot& slot : slots_) rows += slot.update->rows_examined();
+  return rows;
+}
+
 }  // namespace youtopia

@@ -123,6 +123,12 @@ class Scheduler {
   const SchedulerStats& stats() const { return stats_; }
   Database* db() { return db_; }
 
+  // Rows examined across the run: every slot's violation-detector traffic
+  // (each serial-engine update owns its detector) plus the retroactive
+  // conflict checker's. The planner-quality metric bench/skew_suite gates
+  // on — wall time measures the machine, rows measure the plans.
+  uint64_t TotalRowsExamined() const;
+
   // Introspection for tests: the update currently (or finally) registered
   // under `number`, if any.
   const Update* FindUpdate(uint64_t number) const;

@@ -163,6 +163,12 @@ class Update {
   size_t violations_repaired() const { return violations_repaired_; }
   size_t attempts() const { return attempts_; }
 
+  // Rows examined by this update's violation detector across all attempts.
+  // Counts the shared detector's whole lifetime when options.detector was
+  // set; exact per-update only with an owned detector (the serial
+  // scheduler's configuration — bench/skew_suite relies on this).
+  uint64_t rows_examined() const { return detector_->rows_examined(); }
+
  private:
   struct ForwardRepair {
     bool deterministic = false;

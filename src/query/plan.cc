@@ -1,11 +1,15 @@
 #include "query/plan.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/hash.h"
 
 namespace youtopia {
 namespace {
+
+// See Planner::set_sketch_costing.
+std::atomic<bool> g_sketch_costing{true};
 
 uint64_t WithVar(uint64_t mask, VarId v) {
   return v < 64 ? (mask | (uint64_t{1} << v)) : mask;
@@ -37,13 +41,6 @@ std::vector<size_t> BoundColumns(const Atom& atom, uint64_t mask) {
 // (whose materialization and per-write maintenance are not free).
 constexpr double kCompositeProbeBreakEven = 4.0;
 
-// Skew nudge: the uniform-bucket estimate N/distinct understates a probe
-// that lands in a hot value. Once a column's tracked largest bucket exceeds
-// this multiple of the uniform bucket, the cost model charges the probe the
-// hot bucket itself — a pessimistic bound, but the right one for exactly the
-// columns where uniformity has already visibly failed.
-constexpr double kSkewNudgeRatio = 4.0;
-
 // Estimated cost of executing one atom next under the binding prefix `mask`
 // (see the cost model in plan.h).
 struct AtomEstimate {
@@ -52,6 +49,41 @@ struct AtomEstimate {
   size_t bound = 0;    // statically bound columns (tie-break)
   AccessPath access = AccessPath::kScan;
 };
+
+// Per-value probe estimate for one bound column (the est(c) of the cost
+// model in plan.h): the uniform bucket, refined by the column's heavy-hitter
+// sketch when value-aware costing is on. Sketch reads are owner-thread-only
+// like distinct_values — the planner only costs relations its shard owns.
+double EstimateBoundColumn(const VersionedRelation& rel, const Term& term,
+                           size_t c, double n, bool value_aware) {
+  const double distinct =
+      std::max<double>(1.0, static_cast<double>(rel.distinct_values(c)));
+  const double uniform = n / distinct;
+  if (!value_aware) return uniform;
+  const TopKSketch<Value, ValueHash>& sketch = rel.sketch(c);
+  if (term.is_constant()) {
+    // The probe value is known now: price its bucket. Tracked entries are
+    // exact bucket sizes (as of the last compaction, high-water since);
+    // an untracked value's bucket cannot exceed the sketch's minimum
+    // tracked count, so a cold constant in a skewed column stays cheap —
+    // the refinement the retired whole-column max_bucket nudge could not
+    // make.
+    const double est = static_cast<double>(sketch.Estimate(term.constant()));
+    return sketch.Tracks(term.constant()) ? est : std::min(uniform, est);
+  }
+  // Bound variable: the probe value arrives at runtime. Under the
+  // data-frequency draw a bucket of g rows is probed with probability g/n
+  // and then examines g rows, so the hot entries alone contribute
+  // sum(g^2)/n expected rows; uniform covers the cold tail.
+  double hot_expectation = 0;
+  sketch.ForEach([&](const Value&, uint64_t count, uint64_t) {
+    if (IsHotBucket(count, uniform)) {
+      const double g = static_cast<double>(count);
+      hot_expectation += g * g / std::max(1.0, n);
+    }
+  });
+  return std::max(uniform, hot_expectation);
+}
 
 AtomEstimate EstimateAtom(const Atom& atom, uint64_t mask,
                           const Database& db) {
@@ -65,18 +97,13 @@ AtomEstimate EstimateAtom(const Atom& atom, uint64_t mask,
     e.access = AccessPath::kScan;
     return e;
   }
+  const bool value_aware = Planner::sketch_costing();
   double out = n;
   double best_single = n;
   for (size_t c : bound) {
-    const double distinct =
-        std::max<double>(1.0, static_cast<double>(rel.distinct_values(c)));
-    out /= distinct;
-    double per_probe = n / distinct;
-    // Skew-aware nudge: charge the hot bucket where the column's skew ratio
-    // exceeds kSkewNudgeRatio x uniform (max_bucket is already maintained by
-    // the write path; this read is owner-thread-only like distinct_values).
-    const double hot = static_cast<double>(rel.max_bucket(c));
-    if (hot >= kSkewNudgeRatio * per_probe) per_probe = hot;
+    const double per_probe =
+        EstimateBoundColumn(rel, atom.terms[c], c, n, value_aware);
+    out *= n > 0 ? per_probe / n : 0.0;
     best_single = std::min(best_single, per_probe);
   }
   e.out = out;
@@ -109,10 +136,20 @@ bool CardinalityDrifted(size_t costed, size_t now) {
 }
 
 // Shared body of the two staleness predicates: drift of any stamped input.
+// Both reads (visible_rows, hot_fingerprint) are any-thread relaxed
+// atomics, so foreign staleness polls never touch owner-only state.
 bool AnyDrifted(const std::vector<CostedCardinality>& costed_at,
                 const Database& db) {
+  const bool value_aware = Planner::sketch_costing();
   for (const CostedCardinality& e : costed_at) {
-    if (CardinalityDrifted(e.visible_rows, db.relation(e.rel).visible_rows())) {
+    const VersionedRelation& rel = db.relation(e.rel);
+    if (CardinalityDrifted(e.visible_rows, rel.visible_rows())) return true;
+    // Hot-set rotation: the plan priced specific heavy hitters; if the hot
+    // set changed while total cardinality stayed put (e.g. churn moved the
+    // skew to a different value), those per-value charges are wrong even
+    // though no decade shifted. Skipped when sketch costing is off — the
+    // plans then carry no per-value charges to invalidate.
+    if (value_aware && e.hot_fingerprint != rel.hot_fingerprint()) {
       return true;
     }
   }
@@ -121,16 +158,27 @@ bool AnyDrifted(const std::vector<CostedCardinality>& costed_at,
 
 }  // namespace
 
+void Planner::set_sketch_costing(bool on) {
+  g_sketch_costing.store(on, std::memory_order_relaxed);
+}
+
+bool Planner::sketch_costing() {
+  return g_sketch_costing.load(std::memory_order_relaxed);
+}
+
 void Planner::StampCardinalities(const ConjunctiveQuery& cq,
                                  const Database* db,
                                  std::vector<CostedCardinality>* out) {
+  const bool value_aware = sketch_costing();
   for (const Atom& atom : cq.atoms) {
     bool seen = false;
     for (const CostedCardinality& e : *out) seen |= e.rel == atom.rel;
     if (!seen) {
-      out->push_back(
-          {atom.rel,
-           db == nullptr ? 0 : db->relation(atom.rel).visible_rows()});
+      const VersionedRelation* rel =
+          db == nullptr ? nullptr : &db->relation(atom.rel);
+      out->push_back({atom.rel, rel == nullptr ? 0 : rel->visible_rows(),
+                      (rel != nullptr && value_aware) ? rel->hot_fingerprint()
+                                                      : 0});
     }
   }
 }

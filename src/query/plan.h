@@ -35,10 +35,14 @@ struct PlanStep {
 
 // The live cardinality a cost-based plan was costed at, one entry per
 // distinct relation the query mentions. Compared against the relations'
-// current visible-row counts by the staleness predicate below.
+// current visible-row counts — and heavy-hitter fingerprints — by the
+// staleness predicate below.
 struct CostedCardinality {
   RelationId rel = 0;
   size_t visible_rows = 0;
+  // The relation's hot-set fingerprint at costing time (see
+  // VersionedRelation::hot_fingerprint); 0 when costed without sketches.
+  uint64_t hot_fingerprint = 0;
 };
 
 // A compiled physical plan for one conjunctive query under one boundness
@@ -81,22 +85,36 @@ struct QueryPlan {
 //
 // With statistics (db != nullptr), ordering and access paths come from a
 // selectivity cost model over the relations' live statistics
-// (VersionedRelation::visible_rows / distinct_values, maintained
+// (VersionedRelation::visible_rows / distinct_values / sketch, maintained
 // incrementally by the write path). Per candidate atom under the current
-// binding prefix, with N = visible rows and sel(c) = 1/distinct(c) for each
-// bound column c (attribute-independence assumption):
+// binding prefix, with N = visible rows, each bound column c is priced at a
+// per-value estimate est(c):
 //
-//   rows produced  out   = N * prod_c sel(c)
-//   single probe   fetch = min_c cost(c)      (executor picks the cheapest
+//   rows produced  out   = N * prod_c est(c)/N
+//   single probe   fetch = min_c est(c)       (executor picks the cheapest
 //                                              actual bucket at runtime)
 //   composite      fetch = out                (probe over all bound columns)
 //   scan           fetch = N                  (no bound column)
 //
-// where cost(c) = N * sel(c) normally, nudged up to the column's tracked
-// max_bucket when that hot bucket exceeds 4x the uniform estimate — a
-// pessimistic bound for columns whose value distribution has already
-// visibly broken the uniformity assumption (skewed probes then lose to
-// alternative orders or to a composite index).
+// est(c) starts at the uniform bucket N/distinct(c) (attribute
+// independence) and is refined by the column's heavy-hitter sketch
+// (VersionedRelation::sketch):
+//
+//   * constant term: the probe value is known at compile time, so the
+//     sketch prices that value — its tracked (exact-as-of-compaction)
+//     bucket when tracked, else at most the sketch's minimum tracked count
+//     (any untracked value's bucket is bounded by it). This replaces the
+//     retired max_bucket nudge, which charged the one hot bucket to EVERY
+//     probe of a skewed column: a cold constant in a skewed column now
+//     keeps its cheap estimate, a hot one is charged its real bucket.
+//   * bound variable: the probe value is unknown, so est(c) is the uniform
+//     estimate raised to the hot-value expectation sum(g^2)/N over hot
+//     entries g (a value drawn by data frequency lands in bucket g with
+//     probability g/N and then examines g rows) — columns whose mass sits
+//     in heavy hitters are priced at their expected, not best-case, probe.
+//
+// Planner::set_sketch_costing(false) disables the refinement (pure uniform
+// estimates; the skew suite's control arms).
 //
 // Greedy order: the atom minimizing fetch + out next (fetch is this step's
 // rows examined; out multiplies every later step), ties to the statically
@@ -106,13 +124,15 @@ struct QueryPlan {
 // beats the cheapest single-column probe by at least the break-even margin,
 // replacing the old fixed 256-row materialization threshold.
 //
-// Cost-based plans are stamped with the cardinalities they were costed at
-// (QueryPlan::costed_at); PlanIsStale reports when any input relation has
-// since drifted by roughly an order of magnitude (factor-8 ratio test with
-// a +8 floor on both sides so nearly-empty relations do not churn), which
-// is the re-planning trigger the chase layers poll — recompilation is ~200ns
-// (BM_AdHocPlanCompilation), so re-planning is nearly free relative to one
-// mis-ordered join over a grown relation.
+// Cost-based plans are stamped with the cardinalities and hot-set
+// fingerprints they were costed at (QueryPlan::costed_at); PlanIsStale
+// reports when any input relation has since drifted by roughly an order of
+// magnitude (factor-8 ratio test with a +8 floor on both sides so
+// nearly-empty relations do not churn) or rotated its heavy-hitter set
+// (the per-value charges priced values that are no longer the hot ones),
+// which is the re-planning trigger the chase layers poll — recompilation is
+// ~200ns (BM_AdHocPlanCompilation), so re-planning is nearly free relative
+// to one mis-ordered join over a grown relation.
 class Planner {
  public:
   static QueryPlan Compile(const ConjunctiveQuery& cq, uint64_t seed_bound_mask,
@@ -133,6 +153,15 @@ class Planner {
   static void StampCardinalities(const ConjunctiveQuery& cq,
                                  const Database* db,
                                  std::vector<CostedCardinality>* out);
+
+  // Kill switch for the sketch-backed per-value refinement (the skew
+  // suite's no-sketch control arms and A/B debugging). Default on. Also
+  // gates fingerprint stamping and the hot-set staleness trigger, so a
+  // disabled run never replans on hot-set rotation. Process-wide; flip only
+  // while no planner or staleness poll runs concurrently (benches flip it
+  // between arms, single-threaded).
+  static void set_sketch_costing(bool on);
+  static bool sketch_costing();
 
   // Bound-profile mask helpers (variables >= 64 are conservatively treated
   // as unbound; plans stay correct, only the access path degrades).

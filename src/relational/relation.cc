@@ -27,12 +27,28 @@ void SortUniqueSuffix(std::vector<RowId>* out, size_t start) {
              out->end());
 }
 
+// Finalizer for the hot-fingerprint fold (murmur3-style avalanche): the
+// per-entry inputs (column, value hash) are structured, so each must be
+// scrambled before the order-independent XOR combine or adjacent columns
+// would cancel.
+uint64_t MixFingerprint(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
 }  // namespace
 
 VersionedRelation::VersionedRelation(size_t arity) : arity_(arity) {
   CHECK_GT(arity, 0u);
   indexes_.resize(arity);
-  max_bucket_.resize(arity, 0);
+  sketches_.reserve(arity);
+  for (size_t c = 0; c < arity; ++c) {
+    sketches_.emplace_back(kRelationSketchCapacity);
+  }
 }
 
 StatsSnapshot VersionedRelation::Stats() const {
@@ -42,7 +58,7 @@ StatsSnapshot VersionedRelation::Stats() const {
   s.columns.resize(arity_);
   for (size_t c = 0; c < arity_; ++c) {
     s.columns[c].distinct_values = indexes_[c].size();
-    s.columns[c].max_bucket = max_bucket_[c];
+    s.columns[c].max_bucket = max_bucket(c);
   }
   return s;
 }
@@ -161,7 +177,7 @@ bool VersionedRelation::ShouldBuildComposite(
   // composite index only pays once even the best of those buckets is large.
   size_t cheapest_fallback = SIZE_MAX;
   for (size_t c : index.columns) {
-    cheapest_fallback = std::min(cheapest_fallback, max_bucket_[c]);
+    cheapest_fallback = std::min(cheapest_fallback, max_bucket(c));
   }
   return cheapest_fallback >= kCompositeBuildBreakEven;
 }
@@ -216,16 +232,50 @@ void VersionedRelation::CompactIndexes() {
   for (CompositeIndex& index : composites_) {
     for (auto& [key, rows] : index.buckets) SortUniqueSuffix(&rows, 0);
   }
-  // The rebuild dropped empty buckets and stranded entries, so the bucket
-  // high-water marks are recomputed exactly (CandidateCount-sized pass over
-  // bucket headers, not rows).
+  // The rebuild dropped empty buckets and stranded entries, so the sketches
+  // are rebuilt exactly too: one exact-weight offer per surviving bucket
+  // (a pass over bucket headers, not rows) leaves every tracked entry an
+  // exact bucket size and max_bucket() the exact high-water mark.
   for (size_t c = 0; c < arity_; ++c) {
-    max_bucket_[c] = 0;
+    sketches_[c].Clear();
     for (const auto& [value, rows] : indexes_[c]) {
-      max_bucket_[c] = std::max(max_bucket_[c], rows.size());
+      sketches_[c].OfferExact(value, rows.size());
     }
   }
+  RecomputeHotFingerprint();
   stale_removals_ = 0;
+}
+
+uint64_t VersionedRelation::HotValueMass() const {
+  const double n = static_cast<double>(visible_rows());
+  uint64_t mass = 0;
+  for (size_t c = 0; c < arity_; ++c) {
+    const double uniform =
+        n / static_cast<double>(std::max<size_t>(1, indexes_[c].size()));
+    sketches_[c].ForEach([&](const Value&, uint64_t count, uint64_t) {
+      if (IsHotBucket(count, uniform)) mass += count;
+    });
+  }
+  return mass;
+}
+
+void VersionedRelation::RecomputeHotFingerprint() {
+  offers_since_fingerprint_ = 0;
+  const double n = static_cast<double>(visible_rows());
+  uint64_t fp = 0;
+  for (size_t c = 0; c < arity_; ++c) {
+    const double uniform =
+        n / static_cast<double>(std::max<size_t>(1, indexes_[c].size()));
+    sketches_[c].ForEach([&](const Value& v, uint64_t count, uint64_t) {
+      if (!IsHotBucket(count, uniform)) return;
+      // Membership only, not counts: the fingerprint answers "did the hot
+      // SET rotate" — growth of an already-hot value is cardinality drift,
+      // which the visible_rows stamp already catches.
+      fp ^= MixFingerprint((static_cast<uint64_t>(c) + 1) * 0x9E3779B97F4A7C15ull ^
+                           ValueHash{}(v));
+    });
+  }
+  hot_fingerprint_.store(fp, std::memory_order_relaxed);
 }
 
 size_t VersionedRelation::RemoveVersionsOf(uint64_t update_number) {
@@ -291,8 +341,17 @@ void VersionedRelation::IndexData(RowId row, const TupleData& data) {
   for (size_t c = 0; c < arity_; ++c) {
     std::vector<RowId>& bucket = indexes_[c][data[c]];
     // Avoid consecutive duplicates (common when a tuple is re-modified).
-    if (bucket.empty() || bucket.back() != row) bucket.push_back(row);
-    if (bucket.size() > max_bucket_[c]) max_bucket_[c] = bucket.size();
+    if (bucket.empty() || bucket.back() != row) {
+      bucket.push_back(row);
+      // The bucket size at insert time is this value's exact multiplicity,
+      // so the sketch entry for a tracked value is its exact bucket size —
+      // which makes max_bucket() (the sketch's max count) the same bucket
+      // high-water mark the retired per-column counter kept.
+      sketches_[c].OfferExact(data[c], bucket.size());
+    }
+  }
+  if (++offers_since_fingerprint_ >= kHotFingerprintStride) {
+    RecomputeHotFingerprint();
   }
   for (CompositeIndex& index : composites_) {
     if (!index.built) {

@@ -11,8 +11,42 @@
 #include "relational/tuple.h"
 #include "relational/value.h"
 #include "relational/write.h"
+#include "util/topk_sketch.h"
 
 namespace youtopia {
+
+// --- Heavy-hitter thresholds (shared by the statistics and the planner) ----
+//
+// A sketch entry counts as confidently "hot" when its bucket is at least
+// kHotBucketRatio times the column's uniform expectation AND at least
+// kHotBucketFloor rows — the same 4x pessimism ratio the retired max_bucket
+// nudge used, with an absolute floor so small buckets never qualify: a
+// 4x-over-uniform bucket of a couple dozen rows costs less to probe than
+// one hot-set-rotation replan it would trigger, and a uniform stream's
+// ordinary multinomial lumps must not read as skew (bench/skew_suite's
+// theta-0 parity arms measure exactly that). Hot entries drive the
+// planner's per-value probe charges, the relation's hot-set fingerprint
+// (plan staleness) and ShardMap's hot-mass weights.
+inline constexpr double kHotBucketRatio = 4.0;
+inline constexpr size_t kHotBucketFloor = 32;
+
+// Entries per column sketch. Eight heavy hitters per column is enough to
+// price every constant the compiled mappings probe (mapping constants are
+// few) while keeping the per-insert refresh O(1).
+inline constexpr size_t kRelationSketchCapacity = 8;
+
+// Index maintenance calls between hot-fingerprint recomputations. The
+// fingerprint is a staleness signal, not a correctness input, so it may lag
+// the sketch by up to a stride of writes — the same tolerance the
+// kReplanPollWriteStride poll already grants cardinality drift.
+inline constexpr size_t kHotFingerprintStride = 64;
+
+// The shared hot predicate: is a bucket of `count` rows hot relative to the
+// column's uniform expectation (visible rows / distinct values)?
+inline bool IsHotBucket(uint64_t count, double uniform_expectation) {
+  return count >= kHotBucketFloor &&
+         static_cast<double>(count) >= kHotBucketRatio * uniform_expectation;
+}
 
 // One version of a stored tuple. Versions are created by inserts, in-place
 // modifications (null replacement / unification) and deletes (tombstones).
@@ -77,10 +111,16 @@ struct StatsSnapshot {
 // footprint lock), and every row/index/statistics access except
 // visible_rows() requires ownership. Ownership hand-offs happen only
 // through the footprint mutexes, which provide the happens-before edge.
-// visible_rows() alone is an atomic (relaxed) counter: it feeds the plan
-// staleness predicate, which foreign threads may evaluate without taking
-// ownership; distinct_values()/max_bucket() are container reads and stay
-// owner-only (the planner only ever costs relations its own shard owns).
+// visible_rows() and hot_fingerprint() alone are atomic (relaxed) fields:
+// they feed the plan staleness predicate, which foreign threads may evaluate
+// without taking ownership; distinct_values()/max_bucket()/sketch() are
+// container reads and stay owner-only (the planner only ever costs relations
+// its own shard owns). The per-column heavy-hitter sketches follow exactly
+// the distinct_values() contract: maintained by the owner on the write path
+// (O(1) per insert, no lock, GUARDED_BY nothing — there is no capability to
+// name), readable only under ownership; the owner folds their hot set into
+// hot_fingerprint_ on a stride so foreign staleness polls can observe
+// hot-set rotation without touching the containers.
 class VersionedRelation {
  public:
   explicit VersionedRelation(size_t arity);
@@ -93,7 +133,10 @@ class VersionedRelation {
         num_versions_(other.num_versions_),
         stale_removals_(other.stale_removals_),
         visible_rows_(other.visible_rows_.load(std::memory_order_relaxed)),
-        max_bucket_(std::move(other.max_bucket_)),
+        hot_fingerprint_(
+            other.hot_fingerprint_.load(std::memory_order_relaxed)),
+        offers_since_fingerprint_(other.offers_since_fingerprint_),
+        sketches_(std::move(other.sketches_)),
         rows_(std::move(other.rows_)),
         indexes_(std::move(other.indexes_)),
         composites_(std::move(other.composites_)) {}
@@ -123,10 +166,36 @@ class VersionedRelation {
   }
 
   // Largest bucket of the column's index since the last compaction (an upper
-  // bound on what a single-column probe can yield).
+  // bound on what a single-column probe can yield). Derived from the
+  // column's heavy-hitter sketch — under exact-weight maintenance the
+  // sketch's max tracked count IS the bucket high-water mark, so there is no
+  // separate counter to keep in sync.
   size_t max_bucket(size_t column) const {
-    CHECK_LT(column, max_bucket_.size());
-    return max_bucket_[column];
+    CHECK_LT(column, sketches_.size());
+    return static_cast<size_t>(sketches_[column].max_count());
+  }
+
+  // The column's heavy-hitter sketch (owner-only, like distinct_values()).
+  // Entries are exact index-bucket sizes as of the last compaction,
+  // monotonically refreshed by the write path since; Estimate() upper-bounds
+  // any value's bucket. Feeds the planner's per-value probe charges.
+  const TopKSketch<Value, ValueHash>& sketch(size_t column) const {
+    CHECK_LT(column, sketches_.size());
+    return sketches_[column];
+  }
+
+  // Sum of sketch counts that clear the hot thresholds across all columns —
+  // the relation's skew signal collapsed to one number, used by ShardMap to
+  // weigh components by where the hot values actually live. Owner-only.
+  uint64_t HotValueMass() const;
+
+  // XOR-fold of the hot sketch entries (column, value-hash) as of the last
+  // strided recomputation: a foreign thread comparing two readings observes
+  // hot-set rotation without owning the relation. 0 until some value first
+  // clears the hot thresholds. Safe to read from any thread (relaxed
+  // atomic, like visible_rows()).
+  uint64_t hot_fingerprint() const {
+    return hot_fingerprint_.load(std::memory_order_relaxed);
   }
 
   StatsSnapshot Stats() const;
@@ -311,6 +380,10 @@ class VersionedRelation {
   // RequestCompositeIndex).
   bool ShouldBuildComposite(const CompositeIndex& index) const;
   void IndexData(RowId row, const TupleData& data);
+  // Folds the currently-hot sketch entries into hot_fingerprint_. Called by
+  // the owner every kHotFingerprintStride IndexData calls and at
+  // CompactIndexes; O(arity * K).
+  void RecomputeHotFingerprint();
   void IndexDataComposite(CompositeIndex& index, RowId row,
                           const TupleData& data);
   void RecomputeNewest(Row& row);
@@ -340,18 +413,24 @@ class VersionedRelation {
     }
   }
 
-  // OWNER-ONLY (all fields but visible_rows_): protected by the shard
-  // ownership protocol, not by a mutex — there is no capability to name in
-  // a GUARDED_BY, so the discipline is enforced by the lock-order-validated
-  // footprint locks in ccontrol/parallel/ and by TSan, not by clang's
-  // static analysis. See the class threading comment.
+  // OWNER-ONLY (all fields but visible_rows_ and hot_fingerprint_):
+  // protected by the shard ownership protocol, not by a mutex — there is no
+  // capability to name in a GUARDED_BY, so the discipline is enforced by the
+  // lock-order-validated footprint locks in ccontrol/parallel/ and by TSan,
+  // not by clang's static analysis. See the class threading comment.
   size_t arity_;
   size_t num_versions_ = 0;
   size_t stale_removals_ = 0;
-  // The one any-thread field: relaxed atomic for foreign staleness polls.
+  // The any-thread fields: relaxed atomics for foreign staleness polls.
   std::atomic<size_t> visible_rows_{0};
-  // Per column: largest index bucket since the last compaction.
-  std::vector<size_t> max_bucket_;
+  std::atomic<uint64_t> hot_fingerprint_{0};
+  // IndexData calls since the owner last folded the sketches into
+  // hot_fingerprint_ (strided: see kHotFingerprintStride).
+  size_t offers_since_fingerprint_ = 0;
+  // Per column: heavy-hitter sketch over indexed values (exact bucket sizes
+  // as of the last compaction, monotone high-water refresh since — see
+  // max_bucket()/sketch()).
+  std::vector<TopKSketch<Value, ValueHash>> sketches_;
   std::vector<Row> rows_;
   // One hash index per column: value -> candidate rows.
   std::vector<std::unordered_map<Value, std::vector<RowId>, ValueHash>>

@@ -54,6 +54,8 @@ void ExperimentDriver::BuildRepository(bool verbose,
   mapping_opts.count = config_.num_mappings_total;
   mapping_opts.num_islands = config_.islands;
   mapping_opts.zipf_theta = config_.zipf_theta;
+  mapping_opts.p_hot_constant = config_.p_hot_value;
+  mapping_opts.hot_pool_ranks = config_.hot_pool_ranks;
   mapping_opts.chain_length = config_.chain_length;
   mapping_opts.fan_out = config_.fan_out;
   tgds_ = GenerateMappings(db_, constants_, &rng_, mapping_opts);
@@ -105,6 +107,8 @@ ExperimentResult ExperimentDriver::Run(bool verbose) {
       wl_opts.num_updates = config_.updates_per_run;
       wl_opts.delete_fraction = config_.delete_fraction;
       wl_opts.zipf_theta = config_.zipf_theta;
+      wl_opts.p_hot_value = config_.p_hot_value;
+      wl_opts.hot_pool_ranks = config_.hot_pool_ranks;
       const std::vector<WriteOp> ops =
           GenerateWorkload(&db_, constants_, &wl_rng, wl_opts);
 

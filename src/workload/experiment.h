@@ -32,6 +32,12 @@ struct ExperimentConfig {
   // by pool rank instead of uniformly (0 = the paper's uniform setup). See
   // MappingGenOptions::zipf_theta for why skew matters to re-planning.
   double zipf_theta = 0.0;
+  // Hot-collision knobs forwarded to the generators: probability that a
+  // pool draw bypasses its usual distribution and picks rank-uniformly from
+  // the first hot_pool_ranks constants instead (see
+  // MappingGenOptions::p_hot_constant / WorkloadOptions::p_hot_value).
+  double p_hot_value = 0.0;
+  size_t hot_pool_ranks = 4;
 
   // Execution engine: 1 = the serial Scheduler (the paper's setup); > 1 =
   // the sharded ParallelScheduler with this many workers (effective

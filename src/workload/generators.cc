@@ -27,9 +27,19 @@ size_t PickSize(Rng* rng, const double weights[3]) {
 }
 
 // One constant-pool draw: Zipf(theta)-skewed by pool rank when a sampler is
-// given, else uniform (the paper's setup).
+// given, else uniform (the paper's setup). With probability `p_hot` the
+// draw is instead redirected to the first `hot_ranks` pool constants
+// (rank-uniform) — the hot-collision knob: generators sharing a small hot
+// prefix make independently generated mappings (and the workload's inserts)
+// collide on the SAME heavy hitters, the adversarial shape where per-value
+// costing matters and whole-column nudges do not. p_hot = 0 leaves the
+// random stream untouched.
 const Value& PickConstant(Rng* rng, const std::vector<Value>& constants,
-                          const ZipfianSampler* zipf) {
+                          const ZipfianSampler* zipf, double p_hot = 0.0,
+                          size_t hot_ranks = 0) {
+  if (p_hot > 0 && hot_ranks > 0 && rng->Chance(p_hot)) {
+    return constants[rng->Uniform(std::min(hot_ranks, constants.size()))];
+  }
   if (zipf != nullptr) return constants[zipf->Sample(rng)];
   return constants[rng->Uniform(constants.size())];
 }
@@ -163,8 +173,9 @@ std::vector<Tgd> GenerateMappings(const Database& db,
       std::vector<VarId> used_in_atom;
       for (size_t p = 0; p < arity; ++p) {
         if (rng->Chance(options.p_constant_lhs)) {
-          atom.terms.push_back(
-              Term::Const(PickConstant(rng, constants, zipf_ptr)));
+          atom.terms.push_back(Term::Const(
+              PickConstant(rng, constants, zipf_ptr, options.p_hot_constant,
+                           options.hot_pool_ranks)));
           continue;
         }
         var_positions.push_back(p);
@@ -241,8 +252,9 @@ std::vector<Tgd> GenerateMappings(const Database& db,
       };
       for (size_t p = 0; p < arity; ++p) {
         if (rng->Chance(options.p_constant_rhs)) {
-          atom.terms.push_back(
-              Term::Const(PickConstant(rng, constants, zipf_ptr)));
+          atom.terms.push_back(Term::Const(
+              PickConstant(rng, constants, zipf_ptr, options.p_hot_constant,
+                           options.hot_pool_ranks)));
           continue;
         }
         rhs_var_positions.push_back({i, p});
@@ -361,7 +373,9 @@ std::vector<WriteOp> GenerateWorkload(Database* db,
         if (rng->Chance(options.p_fresh_value)) {
           data.push_back(db->InternConstant("f_" + RandomName(rng, 8)));
         } else {
-          data.push_back(PickConstant(rng, constants, zipf_ptr));
+          data.push_back(PickConstant(rng, constants, zipf_ptr,
+                                      options.p_hot_value,
+                                      options.hot_pool_ranks));
         }
       }
       out.push_back(WriteOp::Insert(rel, std::move(data)));

@@ -65,6 +65,16 @@ struct MappingGenOptions {
   // relation cardinalities drift instead of growing evenly — the workload
   // shape that actually trips the mid-chase re-planning nudge.
   double zipf_theta = 0.0;
+  // > 0: probability that a constant position bypasses its usual draw
+  // (uniform or Zipf) and picks rank-uniformly from the first
+  // `hot_pool_ranks` pool constants instead. Mappings generated with the
+  // same hot prefix collide on the same constants ACROSS mappings — paired
+  // with a Zipfian workload over the same prefix, the hot values every
+  // violation query probes are exactly the values the data piles onto (see
+  // bench/skew_suite.cc). 0 = off (the paper's independent draws).
+  double p_hot_constant = 0.0;
+  // Size of the shared hot prefix the collision knob draws from.
+  size_t hot_pool_ranks = 4;
   // > 1: prepend deterministic *chain* mappings (they count toward `count`)
   // before the random fill: per island, relation lo+k maps positionally
   // into the next `fan_out` relations for k in [0, chain_length-1). Long
@@ -117,6 +127,12 @@ struct WorkloadOptions {
   // > 0: pool-constant picks are Zipf(theta)-skewed by pool rank (0 =
   // uniform). See MappingGenOptions::zipf_theta.
   double zipf_theta = 0.0;
+  // Hot-collision knob for insert pool draws, mirroring
+  // MappingGenOptions::p_hot_constant: with this probability a pool draw
+  // picks rank-uniformly from the first `hot_pool_ranks` constants, piling
+  // workload mass onto the same hot prefix the mappings' constants share.
+  double p_hot_value = 0.0;
+  size_t hot_pool_ranks = 4;
 };
 
 // Generates the initial operations of one workload run. Insert targets are

@@ -419,9 +419,10 @@ TEST(ParallelSchedulerTest, SiblingComponentOnSameShardStillEscapes) {
   const RelationId p = *db.CreateRelation("P", {"a", "b"});
   const RelationId q = *db.CreateRelation("Q", {"b", "c"});
   const RelationId r = *db.CreateRelation("R", {"a", "c"});
-  // Filler component of weight 4, so largest-first balancing puts it alone
-  // on shard 0 and co-locates {P,Q,R} (3) with {E} (1) on shard 1.
-  (void)*db.CreateRelation("G", {"a"});
+  // Filler component seeded heavy enough (weights are relation count +
+  // rows + hot mass) that largest-first balancing puts it alone on one
+  // shard and co-locates {P,Q,R} with {E} on the other.
+  const RelationId g = *db.CreateRelation("G", {"a"});
   (void)*db.CreateRelation("H", {"a"});
   (void)*db.CreateRelation("I", {"a"});
   (void)*db.CreateRelation("J", {"a"});
@@ -436,6 +437,10 @@ TEST(ParallelSchedulerTest, SiblingComponentOnSameShardStillEscapes) {
   db.Apply(WriteOp::Insert(q, {k, x}), 0);
   db.Apply(WriteOp::Insert(r, {m, d}), 0);
   db.Apply(WriteOp::Insert(e, {x}), 0);
+  for (int i = 0; i < 4; ++i) {
+    db.Apply(
+        WriteOp::Insert(g, {db.InternConstant("g" + std::to_string(i))}), 0);
+  }
 
   ParallelSchedulerOptions popts;
   popts.num_workers = 2;

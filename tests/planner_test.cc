@@ -332,6 +332,34 @@ TEST(PlannerSkewTest, HotBucketPushesProbeToCompositeIndex) {
             "[0:Uni col(0,1)]");
 }
 
+TEST(PlannerSkewTest, ColdConstantOnSkewedColumnStaysSingleColumn) {
+  SkewNudgeFixture fix;
+  // 'u0' sits in the same skewed column as 'h' but its bucket holds one
+  // row; the sketch tracks it (capacity 8 admits the seven coldest early
+  // values alongside 'h') and prices the probe at the exact 1 instead of
+  // the whole-column 501-row high-water mark, so no composite index is
+  // built. This per-value distinction is what the retired max-bucket
+  // column nudge could not make: it charged every constant 501.
+  ASSERT_TRUE(fix.db.relation(fix.sk).sketch(0).Tracks(
+      fix.db.InternConstant("u0")));
+  EXPECT_EQ(fix.CompileStats("Sk('u0', 'x', w)").ToString(fix.db.catalog()),
+            "[0:Sk col(0,1)]");
+}
+
+TEST(PlannerSkewTest, KillSwitchRestoresUniformCosting) {
+  SkewNudgeFixture fix;
+  // With sketch costing off the hot constant is priced uniformly (2 rows)
+  // and the composite upgrade of HotBucketPushesProbeToCompositeIndex
+  // disappears — the control arm bench/skew_suite measures against.
+  Planner::set_sketch_costing(false);
+  const std::string off =
+      fix.CompileStats("Sk('h', 'x', w)").ToString(fix.db.catalog());
+  Planner::set_sketch_costing(true);
+  EXPECT_EQ(off, "[0:Sk col(0,1)]");
+  EXPECT_EQ(fix.CompileStats("Sk('h', 'x', w)").ToString(fix.db.catalog()),
+            "[0:Sk idx(0,1)]");
+}
+
 TEST(PlannerSkewTest, HotBucketReordersJoinAroundTheSkewedProbe) {
   SkewNudgeFixture fix;
   // Statically Sk leads (one bound column beats Mid's zero)...

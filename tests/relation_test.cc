@@ -345,6 +345,43 @@ TEST(VersionedRelationStatsTest, DistinctAndMaxBucketExactAfterCompaction) {
   EXPECT_EQ(s.columns[1].max_bucket, 1u);
 }
 
+TEST(VersionedRelationStatsTest, SketchRebuiltExactlyByCompaction) {
+  VersionedRelation rel(1);
+  // Update 1: value v gets 10+v rows, v in 0..5 — six tracked entries
+  // (capacity is kRelationSketchCapacity = 8), exact by construction.
+  uint64_t seq = 1;
+  for (uint64_t v = 0; v < 6; ++v) {
+    for (uint64_t i = 0; i <= 10 + v; ++i) {
+      rel.AppendInsertRow(1, seq++, Row({v}));
+    }
+  }
+  const TopKSketch<Value, ValueHash>& sk = rel.sketch(0);
+  for (uint64_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(sk.Estimate(Value::Constant(v)), 11 + v);
+  }
+
+  // Update 7 piles rows onto value 9, then the run is rewound. OfferExact
+  // keeps high-water marks, so between the rewind and the next compaction
+  // the sketch may legitimately over-report value 9...
+  for (uint64_t i = 0; i < 50; ++i) {
+    rel.AppendInsertRow(7, 1000 + i, Row({9}));
+  }
+  EXPECT_EQ(sk.Estimate(Value::Constant(9)), 50u);
+  rel.RemoveVersionsAbove(1);
+  rel.CompactIndexes();
+  // ...but compaction rebuilds every column sketch from the live index:
+  // each tracked count equals the actual visible bucket, and the stranded
+  // value is gone, not merely decayed.
+  EXPECT_FALSE(sk.Tracks(Value::Constant(9)));
+  EXPECT_EQ(sk.Estimate(Value::Constant(9)), 0u) << "below capacity";
+  for (uint64_t v = 0; v < 6; ++v) {
+    const Value val = Value::Constant(v);
+    EXPECT_EQ(sk.Estimate(val), rel.CandidateCount(0, val));
+    EXPECT_EQ(sk.Estimate(val), 11 + v);
+  }
+  EXPECT_EQ(rel.max_bucket(0), 16u);
+}
+
 TEST(VersionedRelationStatsTest, StatsSurviveRewindPlusExplicitCompaction) {
   VersionedRelation rel(1);
   for (uint64_t i = 0; i < 20; ++i) {

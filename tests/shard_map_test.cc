@@ -69,6 +69,59 @@ TEST(ShardMapTest, NullReplaceFootprintFollowsOccurrences) {
   EXPECT_LT(fp[0], fp[1]);
 }
 
+// Two equal-row-count components plus a tiny singleton, two shards. When
+// component {A,B}'s rows pile onto one hot value, its sketch-estimated hot
+// mass outweighs the uniform sibling {C,D} and the balance isolates it —
+// the singleton joins the uniform component's shard. With the same rows
+// spread uniformly the weights tie and the singleton lands on {A,B}'s
+// shard instead (deterministic tie-break), so the placement difference is
+// attributable to hot mass alone, not row count.
+TEST(ShardMapTest, HotValueMassIsolatesSkewedComponent) {
+  for (const bool skewed : {true, false}) {
+    Database db;
+    std::vector<Tgd> tgds;
+    const RelationId a = *db.CreateRelation("A", {"x", "y"});
+    (void)*db.CreateRelation("B", {"x", "y"});
+    const RelationId c = *db.CreateRelation("C", {"x", "y"});
+    (void)*db.CreateRelation("D", {"x", "y"});
+    const RelationId e = *db.CreateRelation("E", {"x"});
+    TgdParser parser(&db.catalog(), &db.symbols());
+    tgds.push_back(*parser.ParseTgd("A(x, y) -> B(x, y)"));
+    tgds.push_back(*parser.ParseTgd("C(x, y) -> D(x, y)"));
+    const Value hot = db.InternConstant("hot");
+    for (uint64_t i = 0; i < 200; ++i) {
+      // Skewed: 160 of A's rows share one x value (a hot bucket: 160 is
+      // over 4x the ~4.9-row uniform bucket and past the 32-row floor).
+      // Uniform: every x distinct. Column y keeps set semantics from
+      // collapsing the pile-up.
+      const Value x = (skewed && i < 160)
+                          ? hot
+                          : db.InternConstant("a" + std::to_string(i));
+      db.Apply(WriteOp::Insert(
+                   a, {x, db.InternConstant("n" + std::to_string(i))}),
+               0);
+      db.Apply(WriteOp::Insert(
+                   c, {db.InternConstant("c" + std::to_string(i % 40)),
+                       db.InternConstant("m" + std::to_string(i))}),
+               0);
+    }
+    ASSERT_EQ(db.relation(a).HotValueMass() > 0, skewed);
+    EXPECT_EQ(db.relation(c).HotValueMass(), 0u);
+
+    ShardMap map(db.num_relations(), tgds, 2, &db);
+    ASSERT_EQ(map.num_components(), 3u);
+    ASSERT_EQ(map.num_shards(), 2u);
+    EXPECT_NE(map.ShardOfRelation(a), map.ShardOfRelation(c));
+    if (skewed) {
+      EXPECT_EQ(map.ShardOfRelation(e), map.ShardOfRelation(c))
+          << "singleton must avoid the hot component's shard";
+    } else {
+      EXPECT_EQ(map.ShardOfRelation(e), map.ShardOfRelation(a))
+          << "equal weights tie-break to the first component's shard";
+    }
+  }
+}
+
 TEST(ShardMapTest, UnmappedRelationsAreSingletonComponents) {
   Database db;
   (void)*db.CreateRelation("R0", {"a"});

@@ -1,0 +1,149 @@
+#include "util/topk_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace youtopia {
+namespace {
+
+using IntSketch = TopKSketch<int>;
+
+TEST(TopKSketchTest, ExactBelowCapacity) {
+  IntSketch s(/*capacity=*/4);
+  for (int i = 0; i < 3; ++i) {
+    s.Offer(7);
+    s.Offer(11);
+  }
+  s.Offer(7);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(s.AtCapacity());
+  EXPECT_TRUE(s.Tracks(7));
+  EXPECT_EQ(s.Estimate(7), 4u);
+  EXPECT_EQ(s.Estimate(11), 3u);
+  // Below capacity every offered value is tracked, so an unseen value's
+  // estimate is exactly zero, not min_count.
+  EXPECT_FALSE(s.Tracks(99));
+  EXPECT_EQ(s.Estimate(99), 0u);
+  EXPECT_EQ(s.max_count(), 4u);
+}
+
+// The space-saving invariants (Metwally et al.): for every tracked value
+// true <= count and count - error <= true; any untracked value's true count
+// is at most min_count(); tracked counts sum to the stream length.
+TEST(TopKSketchTest, ClassicOfferBoundsHoldUnderEviction) {
+  constexpr size_t kCapacity = 8;
+  IntSketch s(kCapacity);
+  std::map<int, uint64_t> truth;
+  Rng rng(42);
+  uint64_t stream_len = 0;
+  for (int i = 0; i < 5000; ++i) {
+    // Skewed-ish stream over 64 values: low values dominate.
+    const int v = static_cast<int>(rng.Uniform(8) * rng.Uniform(8));
+    s.Offer(v);
+    ++truth[v];
+    ++stream_len;
+  }
+  ASSERT_TRUE(s.AtCapacity());
+  uint64_t tracked_sum = 0;
+  s.ForEach([&](const int& v, uint64_t count, uint64_t error) {
+    const uint64_t true_count = truth[v];
+    EXPECT_GE(count, true_count) << "value " << v;
+    EXPECT_LE(count - error, true_count) << "value " << v;
+    tracked_sum += count;
+  });
+  // Every offer lands on exactly one entry's count (evictions transfer the
+  // displaced count to the newcomer), so the counts partition the stream.
+  EXPECT_EQ(tracked_sum, stream_len);
+  for (const auto& [v, true_count] : truth) {
+    if (!s.Tracks(v)) {
+      EXPECT_LE(true_count, s.min_count()) << "untracked value " << v;
+      EXPECT_EQ(s.Estimate(v), s.min_count());
+    }
+  }
+}
+
+TEST(TopKSketchTest, OfferExactKeepsHighWaterAndAdmitsOnlyBeaters) {
+  IntSketch s(/*capacity=*/2);
+  s.OfferExact(1, 10);
+  s.OfferExact(2, 5);
+  // Refresh below the high-water mark is ignored; above it sticks.
+  s.OfferExact(1, 7);
+  EXPECT_EQ(s.Estimate(1), 10u);
+  s.OfferExact(1, 12);
+  EXPECT_EQ(s.Estimate(1), 12u);
+  EXPECT_EQ(s.max_count(), 12u);
+  // At capacity a newcomer must beat the minimum tracked count to enter
+  // (no error inheritance in exact mode: counts stay exact).
+  s.OfferExact(3, 4);
+  EXPECT_FALSE(s.Tracks(3));
+  s.OfferExact(3, 6);
+  EXPECT_TRUE(s.Tracks(3));
+  EXPECT_FALSE(s.Tracks(2));
+  EXPECT_EQ(s.Estimate(3), 6u);
+  s.ForEach([](const int&, uint64_t, uint64_t error) { EXPECT_EQ(error, 0u); });
+}
+
+TEST(TopKSketchTest, MergeSumsSharedValuesAndTruncatesToLargest) {
+  IntSketch a(/*capacity=*/3);
+  IntSketch b(/*capacity=*/3);
+  a.OfferExact(1, 10);
+  a.OfferExact(2, 8);
+  a.OfferExact(3, 2);
+  b.OfferExact(2, 5);
+  b.OfferExact(4, 9);
+  b.OfferExact(5, 1);
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  // Union counts: 1:10, 2:13, 3:2, 4:9, 5:1 -> keep {2:13, 1:10, 4:9}.
+  EXPECT_EQ(a.Estimate(2), 13u);
+  EXPECT_EQ(a.Estimate(1), 10u);
+  EXPECT_EQ(a.Estimate(4), 9u);
+  EXPECT_FALSE(a.Tracks(3));
+  EXPECT_FALSE(a.Tracks(5));
+}
+
+// Golden determinism: a fixed stream must produce the exact same entry set
+// on every platform and build — the planner's cost estimates, the hot-set
+// fingerprint and bench/skew_suite's CI gates all assume reproducibility.
+TEST(TopKSketchTest, DeterministicGoldenStream) {
+  TopKSketch<std::string> s(/*capacity=*/3);
+  const char* stream[] = {"a", "b", "a", "c", "d", "a", "b", "d",
+                          "d", "e", "a", "d", "c", "d", "a"};
+  for (const char* v : stream) s.Offer(v);
+  std::vector<std::string> got;
+  s.ForEach([&](const std::string& v, uint64_t count, uint64_t error) {
+    got.push_back(v + ":" + std::to_string(count) + "+" +
+                  std::to_string(error));
+  });
+  // Hand-traced (ties at the minimum resolve to the lowest slot): a=5
+  // exact in slot 0; d displaced b(1) in slot 1 and carries error 1;
+  // slot 2 churned c -> b -> e -> c, with the final c carrying e's count
+  // as error 3. ForEach yields slot order.
+  const std::vector<std::string> want = {"a:5+0", "d:6+1", "c:4+3"};
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(s.max_count(), 6u);
+  EXPECT_EQ(s.min_count(), 4u);
+}
+
+TEST(TopKSketchTest, ClearEmptiesAndReusesCapacity) {
+  IntSketch s(/*capacity=*/2);
+  s.Offer(1);
+  s.Offer(2);
+  s.Offer(3);
+  ASSERT_TRUE(s.AtCapacity());
+  s.Clear();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.min_count(), 0u);
+  EXPECT_EQ(s.Estimate(1), 0u);
+  s.OfferExact(9, 4);
+  EXPECT_EQ(s.Estimate(9), 4u);
+}
+
+}  // namespace
+}  // namespace youtopia
