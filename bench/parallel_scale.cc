@@ -28,10 +28,12 @@
 //                              --updates=800 --workers=8 --subs=4 --runs=3
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/fig_common.h"
 #include "ccontrol/parallel/parallel_scheduler.h"
+#include "obs/metrics.h"
 
 namespace youtopia {
 namespace {
@@ -62,6 +64,14 @@ const std::vector<Value>& constants_of(const Fixture& fx) {
 void MeasureArms(Fixture* fx, const ExperimentConfig& config,
                  std::vector<bench::ParallelScalePoint>* points,
                  bool verbose) {
+  // One metrics registry per arm, shared by that arm's schedulers across
+  // every measured run: the stage histograms in the JSON accumulate all
+  // runs' samples (percentiles over the whole measurement, not the last
+  // run). Serial arms record only counters, so their stage block is empty.
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> arm_metrics(
+      fx->num_points);
+  for (auto& reg : arm_metrics) reg = std::make_unique<obs::MetricsRegistry>();
+
   for (size_t run = 0; run < config.runs; ++run) {
     Rng wl_rng(config.seed + 1000003 + 7919 * (run + 1));
     WorkloadOptions wl_opts;
@@ -80,6 +90,7 @@ void MeasureArms(Fixture* fx, const ExperimentConfig& config,
         SchedulerOptions sopts;
         sopts.max_steps_per_update = config.max_steps_per_update;
         sopts.max_attempts_per_update = config.max_attempts_per_update;
+        sopts.metrics = arm_metrics[pi - fx->first_point].get();
         Scheduler scheduler(&fx->db, &fx->tgds, &agent, sopts);
         for (const WriteOp& op : ops) scheduler.Submit(op);
         scheduler.RunToCompletion();
@@ -93,6 +104,7 @@ void MeasureArms(Fixture* fx, const ExperimentConfig& config,
         popts.max_steps_per_update = config.max_steps_per_update;
         popts.max_attempts_per_update = config.max_attempts_per_update;
         popts.agent_seed = config.seed + 31 * run;
+        popts.metrics = arm_metrics[pi - fx->first_point].get();
         ParallelScheduler scheduler(&fx->db, &fx->tgds, popts);
         for (const WriteOp& op : ops) scheduler.Submit(op);
         const ParallelStats stats = scheduler.Drain();
@@ -113,6 +125,11 @@ void MeasureArms(Fixture* fx, const ExperimentConfig& config,
                      p.sub_workers);
       }
     }
+  }
+  for (size_t pi = fx->first_point; pi < fx->first_point + fx->num_points;
+       ++pi) {
+    (*points)[pi].stages = bench::SummarizeStages(
+        arm_metrics[pi - fx->first_point]->Snapshot());
   }
   fx->db.RemoveVersionsAbove(0);
 }

@@ -10,6 +10,47 @@
 namespace youtopia {
 namespace bench {
 
+namespace {
+
+// Emits `stages` as a JSON array on one line per stage, using `indent` for
+// the array's own indentation. Empty summaries render as "[]".
+void WriteStagesJson(std::ofstream& out,
+                     const std::vector<StageSummary>& stages,
+                     const char* indent) {
+  if (stages.empty()) {
+    out << "[]";
+    return;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const StageSummary& s = stages[i];
+    out << indent << "  {\"stage\": \"" << s.stage << "\", \"count\": "
+        << s.count << ", \"p50_ns\": " << s.p50_ns << ", \"p90_ns\": "
+        << s.p90_ns << ", \"p99_ns\": " << s.p99_ns << ", \"max_ns\": "
+        << s.max_ns << "}" << (i + 1 < stages.size() ? ",\n" : "\n");
+  }
+  out << indent << "]";
+}
+
+}  // namespace
+
+std::vector<StageSummary> SummarizeStages(const obs::MetricsSnapshot& snap) {
+  std::vector<StageSummary> out;
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    const obs::HistogramSnapshot& h = snap.stages[i];
+    if (h.total == 0) continue;
+    StageSummary s;
+    s.stage = obs::StageName(static_cast<obs::Stage>(i));
+    s.count = h.total;
+    s.p50_ns = h.p50();
+    s.p90_ns = h.p90();
+    s.p99_ns = h.p99();
+    s.max_ns = h.max;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::string BenchJsonPath(const std::string& name) {
   std::string dir;
   if (const char* env = std::getenv("YOUTOPIA_BENCH_DIR")) dir = env;
@@ -109,9 +150,10 @@ bool WriteParallelScaleJson(const std::string& name,
   }
   out << "{\n";
   out << "  \"name\": \"" << name << "\",\n";
-  // Version 3 adds zipf_theta to the config block (the skew axis matters
-  // now that plan costing is value-aware).
-  out << "  \"schema_version\": 3,\n";
+  // Version 4 adds per-arm stage latency summaries from the pipeline's
+  // metrics registry; 3 added zipf_theta to the config block (the skew
+  // axis matters now that plan costing is value-aware).
+  out << "  \"schema_version\": 4,\n";
   out << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n";
   out << "  \"config\": {\n";
@@ -139,8 +181,10 @@ bool WriteParallelScaleJson(const std::string& name,
         << p.cross_shard << ", \"escaped\": " << p.escaped
         << ", \"intra_aborts\": " << p.intra_aborts
         << ", \"intra_redos\": " << p.intra_redos
-        << ", \"intra_escalations\": " << p.intra_escalations << "}"
-        << (i + 1 < points.size() ? ",\n" : "\n");
+        << ", \"intra_escalations\": " << p.intra_escalations
+        << ",\n     \"stages\": ";
+    WriteStagesJson(out, p.stages, "     ");
+    out << "}" << (i + 1 < points.size() ? ",\n" : "\n");
   }
   out << "  ]\n";
   out << "}\n";
@@ -165,6 +209,9 @@ bool WriteStreamingIngestJson(const std::string& name,
   }
   out << "{\n";
   out << "  \"name\": \"" << name << "\",\n";
+  // Version 2 adds per-arm stage latency summaries; files without the
+  // field are version 1.
+  out << "  \"schema_version\": 2,\n";
   out << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n";
   out << "  \"config\": {\n";
@@ -192,8 +239,10 @@ bool WriteStreamingIngestJson(const std::string& name,
         << ", \"inbox_high_watermark\": " << a.inbox_high_watermark
         << ", \"inbox_capacity\": " << a.inbox_capacity
         << ", \"pinned\": " << a.pinned << ", \"cross_shard\": "
-        << a.cross_shard << ", \"escaped\": " << a.escaped << "}"
-        << (i + 1 < arms.size() ? ",\n" : "\n");
+        << a.cross_shard << ", \"escaped\": " << a.escaped
+        << ",\n     \"stages\": ";
+    WriteStagesJson(out, a.stages, "     ");
+    out << "}" << (i + 1 < arms.size() ? ",\n" : "\n");
   }
   out << "  ]\n";
   out << "}\n";

@@ -2,7 +2,9 @@
 #define YOUTOPIA_BENCH_REPORT_H_
 
 #include <string>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "workload/experiment.h"
 
 namespace youtopia {
@@ -28,6 +30,24 @@ bool WriteExperimentJson(const std::string& name, const std::string& workload,
                          const ExperimentConfig& config,
                          const ExperimentResult& result, const Database& db);
 
+// One pipeline stage's latency summary, lifted out of an
+// obs::MetricsSnapshot histogram at the end of an arm. Values are
+// nanoseconds; percentiles carry the power-of-two bucket resolution of the
+// registry (upper bucket bound, clamped to the observed max) — stable
+// across runs, which is what a diffable report needs.
+struct StageSummary {
+  std::string stage;
+  uint64_t count = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p90_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+// Extracts the non-empty stage histograms of `snap` as StageSummary rows,
+// in Stage enumeration order.
+std::vector<StageSummary> SummarizeStages(const obs::MetricsSnapshot& snap);
+
 // One arm of the bench/parallel_scale scaling curve.
 struct ParallelScalePoint {
   std::string engine;  // "serial" or "parallel"
@@ -47,10 +67,15 @@ struct ParallelScalePoint {
   double intra_aborts = 0;
   double intra_redos = 0;
   double intra_escalations = 0;
+  // Per-stage latency summaries from the arm's metrics registry,
+  // accumulated over every measured run (empty for the serial engine,
+  // which records no stage latencies).
+  std::vector<StageSummary> stages;
 };
 
-// Writes BENCH_<name>.json for the scaling curve (schema_version 2: adds
-// the graph tag, sub_workers and the intra-shard counters per arm): the
+// Writes BENCH_<name>.json for the scaling curve (schema_version 4: adds
+// the per-arm stage latency summaries; 3 added zipf_theta; 2 added the
+// graph tag, sub_workers and the intra-shard counters per arm): the
 // generator config, the host's hardware concurrency (a 1-CPU container
 // cannot show wall-clock parallel speedup, so readers need this to
 // interpret the curve), and one record per engine arm.
@@ -77,12 +102,16 @@ struct StreamingIngestArm {
   size_t pinned = 0;
   size_t cross_shard = 0;
   size_t escaped = 0;
+  // Per-stage latency summaries from the arm's pipeline registry (submit,
+  // inbox-wait, admission, chase, commit, ... — see obs::Stage).
+  std::vector<StageSummary> stages;
 };
 
-// Writes BENCH_<name>.json for the streaming driver: generator config,
-// hardware concurrency, one record per offered-rate arm, and the result of
-// the committed-op serial-replay equivalence check (byte-identical final
-// database state).
+// Writes BENCH_<name>.json for the streaming driver (schema_version 2:
+// adds the per-arm stage latency summaries; files without the field are
+// version 1): generator config, hardware concurrency, one record per
+// offered-rate arm, and the result of the committed-op serial-replay
+// equivalence check (byte-identical final database state).
 bool WriteStreamingIngestJson(const std::string& name,
                               const ExperimentConfig& config,
                               const std::vector<StreamingIngestArm>& arms,

@@ -30,9 +30,17 @@
 // --zipf, ...). A full-size run:
 //   streaming_ingest --relations=64 --islands=8 --initial=2000
 //                    --updates=20000 --workers=8
+//
+// Observability hooks: each arm runs against its own obs::MetricsRegistry
+// and lands its per-stage latency percentiles (submit, inbox-wait,
+// admission, chase, commit, ...) in the JSON's `stages` block. Setting
+// YOUTOPIA_TRACE=<path> enables the global tracer for the whole run and
+// dumps a Chrome trace-event / Perfetto JSON there at exit (validated by
+// tools/check_trace.py in CI).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -41,6 +49,8 @@
 #include "bench/fig_common.h"
 #include "ccontrol/parallel/ingest_pipeline.h"
 #include "core/update.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/tuple.h"
 
 namespace youtopia {
@@ -85,6 +95,10 @@ void RunArm(Database* db, const std::vector<Tgd>* tgds,
             std::vector<WriteOp>* committed) {
   db->RemoveVersionsAbove(0);  // rewind to the initial repository
 
+  // Per-arm registry (declared before the pipeline: workers record into it
+  // until the pipeline's destructor joins them).
+  obs::MetricsRegistry metrics;
+
   IngestOptions popts;
   popts.num_workers = config.workers;
   popts.tracker = TrackerKind::kCoarse;
@@ -92,6 +106,7 @@ void RunArm(Database* db, const std::vector<Tgd>* tgds,
   popts.max_attempts_per_update = config.max_attempts_per_update;
   popts.agent_factory = MinContentFactory;
   popts.inbox_capacity = 256;
+  popts.metrics = &metrics;
   IngestPipeline pipeline(db, tgds, popts);
 
   std::vector<double> stalls_us;
@@ -134,6 +149,7 @@ void RunArm(Database* db, const std::vector<Tgd>* tgds,
   arm->pinned = stats.pinned_updates;
   arm->cross_shard = stats.cross_shard_updates;
   arm->escaped = stats.escaped_updates;
+  arm->stages = bench::SummarizeStages(metrics.Snapshot());
 
   // Bounded memory: credit-path admission never overfills a shard inbox.
   CHECK_LE(stats.inbox_high_watermark, popts.inbox_capacity);
@@ -159,6 +175,11 @@ int Run(int argc, char** argv) {
       bench::ParseFlagsOver(std::move(defaults), argc, argv, &verbose);
   config.num_mappings_total = config.mapping_counts.back();
   config.delete_fraction = 0.0;
+
+  // YOUTOPIA_TRACE=<path>: trace the whole run (all arms) and dump a
+  // Chrome trace-event JSON at exit.
+  const char* trace_path = std::getenv("YOUTOPIA_TRACE");
+  if (trace_path != nullptr) obs::Tracer::Global().SetEnabled(true);
 
   Database db;
   Rng rng(config.seed);
@@ -245,6 +266,15 @@ int Run(int argc, char** argv) {
   }
   std::printf("replay check: byte-identical=%s\n",
               replay_identical ? "yes" : "NO");
+
+  if (trace_path != nullptr) {
+    obs::Tracer::Global().SetEnabled(false);
+    if (!obs::Tracer::Global().DumpJson(trace_path)) {
+      std::fprintf(stderr, "trace: cannot write %s\n", trace_path);
+      return 1;
+    }
+    std::printf("trace: wrote %s\n", trace_path);
+  }
 
   return bench::WriteStreamingIngestJson("streaming_ingest", config, arms,
                                          replay_identical)

@@ -8,6 +8,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -53,6 +54,15 @@ class BoundedMpscQueue {
   BoundedMpscQueue(const BoundedMpscQueue&) = delete;
   BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
 
+  // Attaches an optional metrics sink: producer-stall latencies plus a
+  // depth gauge (latest sampled depth; the gauge's high watermark tracks
+  // the deepest any attached queue got). Call before producers start; the
+  // recording itself is rank-safe under the leaf queue mutex.
+  void SetMetrics(obs::MetricsRegistry* reg, obs::Gauge depth_gauge) {
+    metrics_ = reg;
+    depth_gauge_ = depth_gauge;
+  }
+
   // Producer. Blocks while the queue is at capacity: forever when `deadline`
   // is nullopt, else until `deadline` (a deadline in the past is the
   // fast-fail mode — the lock is taken but nothing ever waits).
@@ -73,12 +83,14 @@ class BoundedMpscQueue {
             can_push_.Wait(mu_);
           }
         }
-        stall_ns_.fetch_add(
-            static_cast<uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - stall_start)
-                    .count()),
-            std::memory_order_relaxed);
+        const uint64_t stalled = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - stall_start)
+                .count());
+        stall_ns_.fetch_add(stalled, std::memory_order_relaxed);
+        if (metrics_ != nullptr) {
+          metrics_->RecordLatency(obs::Stage::kProducerStall, stalled);
+        }
         if (!closed_ && items_.size() >= capacity_) {
           return QueuePush::kWouldBlock;
         }
@@ -86,6 +98,7 @@ class BoundedMpscQueue {
       if (closed_) return QueuePush::kClosed;
       items_.push_back(std::move(item));
       if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+      if (metrics_ != nullptr) metrics_->SetGauge(depth_gauge_, items_.size());
     }
     can_pop_.NotifyOne();
     return QueuePush::kOk;
@@ -101,6 +114,7 @@ class BoundedMpscQueue {
       MutexLock lock(mu_);
       items_.push_back(std::move(item));
       if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+      if (metrics_ != nullptr) metrics_->SetGauge(depth_gauge_, items_.size());
     }
     can_pop_.NotifyOne();
   }
@@ -114,6 +128,7 @@ class BoundedMpscQueue {
       if (items_.empty()) return false;
       *out = std::move(items_.front());
       items_.pop_front();
+      if (metrics_ != nullptr) metrics_->SetGauge(depth_gauge_, items_.size());
     }
     can_push_.NotifyOne();
     return true;
@@ -126,6 +141,7 @@ class BoundedMpscQueue {
       if (items_.empty()) return false;
       *out = std::move(items_.front());
       items_.pop_front();
+      if (metrics_ != nullptr) metrics_->SetGauge(depth_gauge_, items_.size());
     }
     can_push_.NotifyOne();
     return true;
@@ -171,6 +187,8 @@ class BoundedMpscQueue {
   size_t high_watermark_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> stall_ns_{0};
   bool closed_ GUARDED_BY(mu_) = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Gauge depth_gauge_ = obs::Gauge::kInboxDepth;
 };
 
 }  // namespace youtopia

@@ -1,6 +1,7 @@
 #include "ccontrol/parallel/ingest_pipeline.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <mutex>
 
 #include "query/plan.h"
@@ -19,11 +20,26 @@ IngestPipeline::IngestPipeline(Database* db, const std::vector<Tgd>* tgds,
       component_locks_(shard_map_.num_components()),
       next_number_(options_.first_number),
       cross_inbox_(options_.inbox_capacity) {
+  // Metrics plumbing before any thread exists: every stage below records
+  // into one registry (the embedder's or a pipeline-owned fallback), and
+  // the lifetime counters snapshot their baselines here so ParallelStats
+  // reports deltas even on a shared registry.
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  base_cross_ = metrics_->CounterValue(obs::Counter::kCrossShardOps);
+  base_escape_ = metrics_->CounterValue(obs::Counter::kEscapedOps);
+  base_batches_ = metrics_->CounterValue(obs::Counter::kCrossBatches);
+  cross_inbox_.SetMetrics(metrics_, obs::Gauge::kCrossInboxDepth);
   // Component locks sit at the top of the lock hierarchy; their validator
   // key is the component id, whose ascending order is exactly the legal
   // multi-acquisition order (cross-shard batches).
   for (size_t c = 0; c < component_locks_.size(); ++c) {
     component_locks_[c].SetLockOrder(LockRank::kComponentLock, c);
+    component_locks_[c].SetMetrics(metrics_);
   }
   // Setup-time plan registration, single-threaded: recompile every
   // mapping's plan complement against the live database and register its
@@ -54,6 +70,7 @@ IngestPipeline::IngestPipeline(Database* db, const std::vector<Tgd>* tgds,
   wopts.agent_factory = options_.agent_factory;
   wopts.escape_sink = [this](WriteOp op) { EnqueueEscape(std::move(op)); };
   wopts.on_op_retired = [this] { RetireOps(1); };
+  wopts.metrics = metrics_;
   pool_ = std::make_unique<WorkerPool>(db_, *tgds_, &shard_map_,
                                        &component_locks_, &next_number_,
                                        std::move(wopts));
@@ -62,6 +79,26 @@ IngestPipeline::IngestPipeline(Database* db, const std::vector<Tgd>* tgds,
   // live. kOnFlush mode starts none: the flushing thread plays its role.
   if (options_.cross_admission == CrossAdmission::kContinuous) {
     admission_thread_ = std::thread(&IngestPipeline::AdmissionLoop, this);
+  }
+
+  // Watchdog last, once every structure its dump reads is live. Progress
+  // axis is the retired-op counter: pinned commits, cross commits, failed
+  // and rejected ops all advance it, so the only way it freezes with work
+  // in flight is a genuine stall (deadlock, livelock, or a lost wakeup).
+  if (options_.watchdog_deadline_ms > 0) {
+    obs::WatchdogOptions wd;
+    wd.deadline_ms = options_.watchdog_deadline_ms;
+    wd.name = "ingest-pipeline";
+    wd.fatal = options_.watchdog_fatal;
+    wd.progress = [this] {
+      return metrics_->CounterValue(obs::Counter::kRetired);
+    };
+    wd.busy = [this] {
+      return in_flight_.load(std::memory_order_acquire) > 0;
+    };
+    wd.dump = [this](std::string* out) { AppendDiagnostics(out); };
+    watchdog_ = std::make_unique<obs::StallWatchdog>(std::move(wd));
+    watchdog_->Start();
   }
 }
 
@@ -92,6 +129,8 @@ SubmitResult IngestPipeline::Submit(
   // The op counts as in flight before it can possibly be popped, so a
   // concurrent Flush barrier can never miss it; a rejected push retracts.
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  obs::ScopedLatency submit_latency(metrics_, obs::Stage::kSubmit);
+  obs::TraceSpan submit_span(obs::TraceName::kSubmit);
   QueuePush result;
   if (ClassifiesCross(op)) {
     CrossItem item;
@@ -100,6 +139,7 @@ SubmitResult IngestPipeline::Submit(
     // processed at least this many pinned ops — i.e. every pinned update
     // whose Submit happened-before this one — and nothing newer.
     item.barrier = pinned_submitted_.load(std::memory_order_acquire);
+    item.enqueue_ns = obs::MonotonicNs();
     if (options_.cross_admission == CrossAdmission::kOnFlush) {
       // No consumer runs between flushes in this mode — the cross lane is
       // a staging queue, unbounded exactly like the legacy drain queue; a
@@ -110,7 +150,7 @@ SubmitResult IngestPipeline::Submit(
       result = cross_inbox_.Push(std::move(item), deadline);
     }
     if (result == QueuePush::kOk) {
-      cross_count_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->Add(obs::Counter::kCrossShardOps);
     }
   } else {
     result = pool_->Submit(std::move(op), deadline);
@@ -123,6 +163,7 @@ SubmitResult IngestPipeline::Submit(
   }
   switch (result) {
     case QueuePush::kOk:
+      metrics_->Add(obs::Counter::kSubmitted);
       return SubmitResult::kOk;
     case QueuePush::kWouldBlock:
       RetireOps(1);
@@ -140,16 +181,18 @@ void IngestPipeline::EnqueueEscape(WriteOp op) {
   // the admission thread mid-batch, holding the batch's locks), so this
   // must never block: ForcePush bypasses the credit capacity. The op stays
   // in flight — surrender is a re-route, not a retirement.
-  escape_count_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->Add(obs::Counter::kEscapedOps);
   CrossItem item;
   item.op = std::move(op);
   item.barrier = pinned_submitted_.load(std::memory_order_acquire);
   item.escalated = true;
+  item.enqueue_ns = obs::MonotonicNs();
   cross_inbox_.ForcePush(std::move(item));
 }
 
 void IngestPipeline::RetireOps(uint64_t n) {
   if (n == 0) return;
+  metrics_->Add(obs::Counter::kRetired, n);
   {
     // Under flush_mu_ so a flusher between its predicate test and its sleep
     // cannot miss the wakeup, and so everything written before this retire
@@ -186,10 +229,22 @@ void IngestPipeline::ProcessCrossItems(std::vector<CrossItem> items) {
   // cross lane the way waiting for full quiescence would.
   uint64_t barrier = 0;
   for (const CrossItem& i : items) barrier = std::max(barrier, i.barrier);
-  pool_->WaitProcessedAtLeast(barrier);
+  {
+    obs::ScopedLatency barrier_latency(metrics_,
+                                       obs::Stage::kAdmissionBarrier);
+    obs::TraceSpan barrier_span(obs::TraceName::kAdmissionBarrier, barrier);
+    pool_->WaitProcessedAtLeast(barrier);
+  }
 
+  // Admission latency per op: cross-lane enqueue until its batch starts
+  // running (queue residency plus the watermark wait above).
+  const uint64_t admitted_ns = obs::MonotonicNs();
   std::vector<WriteOp> normals, escalated;
   for (CrossItem& i : items) {
+    if (i.enqueue_ns != 0 && admitted_ns > i.enqueue_ns) {
+      metrics_->RecordLatency(obs::Stage::kAdmission,
+                              admitted_ns - i.enqueue_ns);
+    }
     (i.escalated ? escalated : normals).push_back(std::move(i.op));
   }
   if (!normals.empty()) {
@@ -209,6 +264,8 @@ void IngestPipeline::ProcessCrossItems(std::vector<CrossItem> items) {
 
 size_t IngestPipeline::RunCrossShardBatch(std::vector<WriteOp> ops,
                                           bool escalated) {
+  obs::ScopedLatency batch_latency(metrics_, obs::Stage::kCrossBatch);
+  obs::TraceSpan batch_span(obs::TraceName::kCrossBatch, ops.size());
   // Footprint: the union of the batch's component closures (escalated
   // batches take everything). Component ids ascend with their
   // representative relation ids, so this loop IS the ordered relation-id
@@ -235,6 +292,12 @@ size_t IngestPipeline::RunCrossShardBatch(std::vector<WriteOp> ops,
   std::vector<std::unique_lock<RwMutex>> held;
   held.reserve(components.size());
   for (uint32_t c : components) held.emplace_back(component_locks_[c]);
+  // Declared after `held`, so both destructors run before the locks
+  // release: the span and histogram measure exactly the hold window —
+  // the time this batch excluded its overlapping shards.
+  obs::ScopedLatency hold_latency(metrics_, obs::Stage::kCrossLockHold);
+  obs::TraceSpan hold_span(obs::TraceName::kCrossLockHold,
+                           components.size());
 
   const std::vector<bool> allowed =
       shard_map_.RelationsOfComponents(components);
@@ -244,6 +307,7 @@ size_t IngestPipeline::RunCrossShardBatch(std::vector<WriteOp> ops,
   sopts.max_steps_per_update = options_.max_steps_per_update;
   sopts.max_attempts_per_update = options_.max_attempts_per_update;
   sopts.register_plans = false;
+  sopts.metrics = metrics_;  // doom causes, cascades, commits
   if (!escalated) sopts.allowed_relations = &allowed;
   // Reserve a number block large enough for every submit and every
   // possible abort-redo, claimed under the held locks. The number-order ==
@@ -268,17 +332,23 @@ size_t IngestPipeline::RunCrossShardBatch(std::vector<WriteOp> ops,
 
   Scheduler engine(db_, &engine_tgds_, engine_agent_.get(), sopts);
   for (WriteOp& op : ops) engine.Submit(std::move(op));
-  engine.RunToCompletion();
+  {
+    obs::TraceSpan engine_span(obs::TraceName::kEngineRun,
+                               sopts.first_number);
+    engine.RunToCompletion();
+  }
   CHECK_LE(engine.next_number(), sopts.first_number + block);
 
   engine_stats_.Merge(engine.stats());
+  // Commit events (kCommits + commit spans) were recorded by the engine's
+  // own TryCommit — sopts.metrics above — so only collect the ops here.
   for (auto& numbered : engine.CommittedOpsWithNumbers()) {
     engine_committed_.push_back(std::move(numbered));
   }
   std::vector<WriteOp> escapes = engine.TakeEscapedOps();
   CHECK(!escalated || escapes.empty());  // nothing escapes an escalated run
   for (WriteOp& op : escapes) EnqueueEscape(std::move(op));
-  cross_batches_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->Add(obs::Counter::kCrossBatches);
   return escapes.size();
 }
 
@@ -339,9 +409,14 @@ ParallelStats IngestPipeline::Flush() {
   stats.intra_shard_aborts = pool_->IntraAborts();
   stats.intra_shard_redos = pool_->IntraRedos();
   stats.intra_shard_escalations = pool_->IntraEscalations();
-  stats.cross_shard_updates = cross_count_.load(std::memory_order_relaxed);
-  stats.escaped_updates = escape_count_.load(std::memory_order_relaxed);
-  stats.cross_batches = cross_batches_.load(std::memory_order_relaxed);
+  // Lifetime counters are a view over the metrics registry (deltas from
+  // the construction-time baselines, in case the registry outlives us).
+  stats.cross_shard_updates =
+      metrics_->CounterValue(obs::Counter::kCrossShardOps) - base_cross_;
+  stats.escaped_updates =
+      metrics_->CounterValue(obs::Counter::kEscapedOps) - base_escape_;
+  stats.cross_batches =
+      metrics_->CounterValue(obs::Counter::kCrossBatches) - base_batches_;
   stats.flushes = ++flushes_;
   stats.inbox_high_watermark = pool_->InboxHighWatermark();
   stats.admission_stall_seconds =
@@ -358,6 +433,9 @@ void IngestPipeline::Stop() {
     stopped_ = true;
   }
   flush_cv_.NotifyAll();
+  // Watchdog first: the shutdown drain below can legitimately take longer
+  // than a stall deadline, and a fatal watchdog must never fire on it.
+  if (watchdog_ != nullptr) watchdog_->Stop();
   // Shutdown order is what keeps "already admitted ops still drain" true:
   // the pinned lane closes and joins first, so every worker escape has
   // reached the cross inbox before it closes; the admission thread then
@@ -374,6 +452,41 @@ void IngestPipeline::AdvanceNumberTo(uint64_t n) {
   uint64_t cur = next_number_.load(std::memory_order_relaxed);
   while (cur < n && !next_number_.compare_exchange_weak(
                         cur, n, std::memory_order_relaxed)) {
+  }
+}
+
+void IngestPipeline::AppendDiagnostics(std::string* out) const {
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "in-flight ops: %llu, pinned submitted: %llu, cross inbox "
+           "depth: %zu\n",
+           static_cast<unsigned long long>(
+               in_flight_.load(std::memory_order_acquire)),
+           static_cast<unsigned long long>(
+               pinned_submitted_.load(std::memory_order_acquire)),
+           cross_inbox_.size());
+  out->append(buf);
+  for (const auto& ib : pool_->InboxSnapshot()) {
+    snprintf(buf, sizeof(buf),
+             "shard %u inbox: depth=%zu high-watermark=%zu\n", ib.shard,
+             ib.depth, ib.high_watermark);
+    out->append(buf);
+  }
+  for (const auto& w : pool_->PhaseSnapshot()) {
+    snprintf(buf, sizeof(buf), "shard %u sub %u: op=%llu phase=%s\n",
+             w.shard, w.sub, static_cast<unsigned long long>(w.number),
+             WorkerPhaseName(w.phase));
+    out->append(buf);
+  }
+  for (const auto& [shard, parked] : pool_->ParkedSnapshot()) {
+    snprintf(buf, sizeof(buf), "shard %u commit-sequencer parked:", shard);
+    out->append(buf);
+    for (uint64_t n : parked) {
+      snprintf(buf, sizeof(buf), " %llu",
+               static_cast<unsigned long long>(n));
+      out->append(buf);
+    }
+    out->append("\n");
   }
 }
 

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -18,6 +19,9 @@
 #include "ccontrol/parallel/worker_pool.h"
 #include "ccontrol/scheduler.h"
 #include "core/agent.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "relational/database.h"
 #include "tgd/tgd.h"
 #include "util/mutex.h"
@@ -72,6 +76,20 @@ struct IngestOptions {
   // (kOnFlush batches are unbounded, as before).
   size_t max_cross_batch = 64;
   CrossAdmission cross_admission = CrossAdmission::kContinuous;
+  // Metrics sink shared with the facade (stage histograms, counters,
+  // gauges). nullptr = the pipeline owns a private registry; either way
+  // metrics() exposes it. Counters are cumulative over the registry's
+  // lifetime, so the pipeline snapshots baselines at construction and
+  // reports lifetime deltas in ParallelStats.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Stall watchdog: if no op retires for this many milliseconds while work
+  // is in flight, dump per-shard inbox depths, per-worker op/phase, the
+  // commit-sequencer parked sets and (checked builds) every thread's
+  // held-lock stack to stderr. 0 disables (default: embedders opt in).
+  uint64_t watchdog_deadline_ms = 0;
+  // Abort the process after the first watchdog dump — turns a hung test
+  // into a failing one (the tsan/asan serializability presets arm this).
+  bool watchdog_fatal = false;
 };
 
 // Legacy spelling, kept so batch callers read naturally.
@@ -248,6 +266,17 @@ class IngestPipeline {
     return pool_->ThreadIds();
   }
 
+  // The metrics registry every stage of this pipeline records into (the
+  // one passed in IngestOptions, or the pipeline-owned fallback).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  // Appends the stall-diagnostic report: in-flight count, cross-lane and
+  // per-shard inbox depth/high-watermark, each sub-worker's current op
+  // number and phase, and the commit sequencers' parked sets. Callable
+  // from any thread (reads atomics and snapshot accessors); the watchdog
+  // dumps exactly this plus the held-lock stacks.
+  void AppendDiagnostics(std::string* out) const;
+
   // Initial operations of every committed update in final priority-number
   // order — the serialization order the run is equivalent to. Quiescent
   // points only.
@@ -275,6 +304,9 @@ class IngestPipeline {
     WriteOp op;
     uint64_t barrier = 0;
     bool escalated = false;
+    // Stamped at admission-lane push; measures the admission latency
+    // (queue residency + barrier wait) when its batch starts running.
+    uint64_t enqueue_ns = 0;
   };
 
   bool ClassifiesCross(const WriteOp& op) const;
@@ -325,10 +357,22 @@ class IngestPipeline {
   std::unique_ptr<FrontierAgent> engine_agent_;
   SchedulerStats engine_stats_;
   std::vector<std::pair<uint64_t, WriteOp>> engine_committed_;
-  std::atomic<uint64_t> cross_count_{0};
-  std::atomic<uint64_t> escape_count_{0};
-  std::atomic<uint64_t> cross_batches_{0};
   uint64_t flushes_ = 0;  // flusher-thread only
+
+  // The registry every stage records into; owned_metrics_ backs it when
+  // the embedder passed none. The cross/escape/batch lifetime counters
+  // that used to live here as atomics are now registry counters
+  // (kCrossShardOps / kEscapedOps / kCrossBatches); the baselines are
+  // their values at construction, so ParallelStats stays a view of THIS
+  // pipeline's lifetime even on a shared, longer-lived registry.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  uint64_t base_cross_ = 0;
+  uint64_t base_escape_ = 0;
+  uint64_t base_batches_ = 0;
+
+  // Started after all execution threads, stopped first in Stop().
+  std::unique_ptr<obs::StallWatchdog> watchdog_;
 
   bool stopped_ GUARDED_BY(flush_mu_) = false;
 

@@ -84,6 +84,9 @@ size_t IntraComponentCc::RegisterReads(uint64_t number,
 void IntraComponentCc::OnWrites(uint64_t number,
                                 const std::vector<PhysicalWrite>& writes) {
   MutexLock lock(mu_);
+  obs::ScopedLatency probe_latency(options_.metrics,
+                                   obs::Stage::kConflictProbe);
+  obs::TraceSpan probe_span(obs::TraceName::kConflictProbe, number);
   arena_.ResetIfAbove(64 * 1024);
   for (const PhysicalWrite& w : writes) write_log_.Record(number, w);
   // The retroactive checker's residual plans go stale as the database
@@ -99,19 +102,27 @@ void IntraComponentCc::OnWrites(uint64_t number,
         Snapshot reader_snap(db_, reader);
         if (!checker_.Conflicts(reader_snap, w, q)) return false;
         direct_scratch_.insert(reader);
+        if (options_.metrics != nullptr) {
+          options_.metrics->Add(DoomCauseCounter(q.kind));
+        }
         return true;  // reader doomed; skip its remaining queries
       });
   if (direct_scratch_.empty()) return;
   stats_.direct_conflict_aborts += direct_scratch_.size();
   std::unordered_set<uint64_t> marked;
   CollectClosureLocked(direct_scratch_, &marked);
+  if (options_.metrics != nullptr && marked.size() > direct_scratch_.size()) {
+    options_.metrics->Add(obs::Counter::kDoomCascade,
+                          marked.size() - direct_scratch_.size());
+  }
   for (uint64_t v : marked) DoomOneLocked(v);
   // Dooming never advances the commit floor (victims are all above the
   // prober, which is still active), so no TryCommit here.
 }
 
 bool IntraComponentCc::FinishOk(uint64_t number, WriteOp op, uint32_t sub,
-                                uint32_t attempts, uint64_t frontier_ops) {
+                                uint32_t attempts, uint64_t frontier_ops,
+                                uint64_t enqueue_ns) {
   MutexLock lock(mu_);
   if (doomed_.erase(number) > 0) {
     // Doomed in the window between the last phase's latch release and this
@@ -126,6 +137,8 @@ bool IntraComponentCc::FinishOk(uint64_t number, WriteOp op, uint32_t sub,
   rec.sub = sub;
   rec.attempts = attempts;
   rec.frontier_ops = frontier_ops;
+  rec.park_ns = obs::MonotonicNs();
+  rec.enqueue_ns = enqueue_ns;
   TryCommitLocked();
   return true;
 }
@@ -171,6 +184,10 @@ void IntraComponentCc::CommitEscalated(uint64_t number, WriteOp op,
   ++stats_.updates_completed;
   stats_.frontier_ops += frontier_ops;
   if (sub < sub_committed_.size()) ++sub_committed_[sub];
+  if (options_.metrics != nullptr) {
+    options_.metrics->Add(obs::Counter::kCommits);
+  }
+  obs::TraceCommit(number);
   options_.on_commit();
 }
 
@@ -200,6 +217,14 @@ std::vector<uint64_t> IntraComponentCc::SubCommitted() const {
 uint64_t IntraComponentCc::aborts() const {
   MutexLock lock(mu_);
   return stats_.aborts;
+}
+
+std::vector<uint64_t> IntraComponentCc::ParkedNumbers() const {
+  MutexLock lock(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(finished_.size());
+  for (const auto& kv : finished_) out.push_back(kv.first);
+  return out;
 }
 
 void IntraComponentCc::CollectClosureLocked(
@@ -236,6 +261,7 @@ void IntraComponentCc::DoomOneLocked(uint64_t victim) {
   // not yet at a phase boundary. (Reachable only through the NAIVE
   // enumeration — erased tracker edges can't resurface a victim.)
   if (doomed_.count(victim) > 0) return;
+  obs::TraceInstant(obs::TraceName::kDoom, victim);
   write_log_.ForEachEntryOf(victim, [&](const PhysicalWrite& w) {
     db_->RemoveRowVersions(w.rel, w.row, victim);
   });
@@ -270,6 +296,17 @@ void IntraComponentCc::TryCommitLocked() {
     if (it->second.sub < sub_committed_.size()) {
       ++sub_committed_[it->second.sub];
     }
+    if (options_.metrics != nullptr) {
+      const uint64_t now = obs::MonotonicNs();
+      options_.metrics->Add(obs::Counter::kCommits);
+      options_.metrics->RecordLatency(obs::Stage::kCommitPark,
+                                      now - it->second.park_ns);
+      if (it->second.enqueue_ns != 0) {
+        options_.metrics->RecordLatency(obs::Stage::kCommit,
+                                        now - it->second.enqueue_ns);
+      }
+    }
+    obs::TraceCommit(number);
     finished_.erase(it);
     options_.on_commit();
   }

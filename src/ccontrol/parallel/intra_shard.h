@@ -14,6 +14,8 @@
 #include "ccontrol/scheduler.h"
 #include "ccontrol/write_log.h"
 #include "core/update.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ccontrol/parallel/rw_mutex.h"
 #include "relational/database.h"
 #include "tgd/tgd.h"
@@ -30,6 +32,9 @@ namespace youtopia {
 struct PinnedItem {
   WriteOp op;
   uint32_t attempts = 0;
+  // Inbox-entry timestamp (MonotonicNs) — re-stamped on every requeue, so
+  // the inbox-wait histogram measures queue residency, not op lifetime.
+  uint64_t enqueue_ns = 0;
 };
 
 struct IntraCcOptions {
@@ -53,6 +58,9 @@ struct IntraCcOptions {
   // accounting (commit is the moment an intra-shard op leaves the system,
   // not the moment its runner finishes). Must not block. Required.
   std::function<void()> on_commit;
+  // Optional metrics sink (probe latency, doom-cause counters, commit
+  // sequencing). Recording is wait-free and rank-safe under the cc mutex.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Per-component optimistic concurrency control for the intra-shard execution
@@ -151,9 +159,11 @@ class IntraComponentCc {
   // the caller must redo, exactly as if a phase check had fired.
   //
   // FinishOk parks the finished op in the commit sequencer (it commits once
-  // every lower number is terminal).
+  // every lower number is terminal). `enqueue_ns` is the op's inbox-entry
+  // stamp (0 = unknown), carried to the commit for whole-op latency.
   bool FinishOk(uint64_t number, WriteOp op, uint32_t sub, uint32_t attempts,
-                uint64_t frontier_ops) REQUIRES_SHARED(component_lock_);
+                uint64_t frontier_ops, uint64_t enqueue_ns)
+      REQUIRES_SHARED(component_lock_);
   // FinishFailed records a step-cap failure: the writes stay (a valid
   // incomplete chase prefix, like the serial scheduler's failed slots), the
   // logs stay until the commit floor passes so the op remains
@@ -184,6 +194,9 @@ class IntraComponentCc {
   SchedulerStats StatsSnapshot() const;
   std::vector<uint64_t> SubCommitted() const;
   uint64_t aborts() const;
+  // Numbers parked in the commit sequencer, ascending — the watchdog's
+  // "who is the floor waiting on" dump axis.
+  std::vector<uint64_t> ParkedNumbers() const;
 
  private:
   struct Parked {
@@ -191,6 +204,8 @@ class IntraComponentCc {
     uint32_t sub = 0;
     uint32_t attempts = 0;
     uint64_t frontier_ops = 0;
+    uint64_t park_ns = 0;     // FinishOk timestamp (commit-park stage)
+    uint64_t enqueue_ns = 0;  // inbox-entry timestamp (whole-op commit)
   };
 
   // Closes `roots` under cascading read dependencies (counting non-root

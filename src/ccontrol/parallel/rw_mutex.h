@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/lock_order.h"
 #include "util/thread_annotations.h"
 
@@ -43,13 +45,28 @@ class CAPABILITY("mutex") RwMutex {
     order_key_ = order_key;
   }
 
+  // Attaches an optional metrics sink for writer-wait latency (how long
+  // exclusive acquirers — cross batches, escalations — block behind the
+  // in-flight shared holds). Call before any concurrency.
+  void SetMetrics(obs::MetricsRegistry* reg) { metrics_ = reg; }
+
   void lock() ACQUIRE() {
     LockOrderValidator::OnAcquire(this, rank_, order_key_);
-    std::unique_lock<std::mutex> lk(mu_);
-    ++waiting_writers_;
-    writer_cv_.wait(lk, [&] { return !writer_active_ && readers_ == 0; });
-    --waiting_writers_;
-    writer_active_ = true;
+    // Span/latency cover the whole wait; arg = the ordering key (the
+    // component id for component locks).
+    obs::TraceSpan wait_span(obs::TraceName::kWriterWait, order_key_);
+    const uint64_t wait_start = metrics_ != nullptr ? obs::MonotonicNs() : 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      ++waiting_writers_;
+      writer_cv_.wait(lk, [&] { return !writer_active_ && readers_ == 0; });
+      --waiting_writers_;
+      writer_active_ = true;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->RecordLatency(obs::Stage::kWriterWait,
+                              obs::MonotonicNs() - wait_start);
+    }
   }
 
   void unlock() RELEASE() {
@@ -111,6 +128,7 @@ class CAPABILITY("mutex") RwMutex {
   bool writer_active_ = false;
   LockRank rank_ = LockRank::kUnranked;
   uint64_t order_key_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 // RAII shared (reader) hold on an RwMutex. Dtor uses RELEASE_GENERIC:

@@ -25,6 +25,7 @@ WorkerPool::WorkerPool(Database* db, const std::vector<Tgd>& tgds,
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     auto s = std::make_unique<Shard>(options_.inbox_capacity);
+    s->inbox.SetMetrics(options_.metrics, obs::Gauge::kInboxDepth);
     s->subs.reserve(subs_per_shard_);
     for (size_t j = 0; j < subs_per_shard_; ++j) {
       auto w = std::make_unique<SubWorker>(tgds);
@@ -70,8 +71,8 @@ QueuePush WorkerPool::Submit(
   // the op inside an inbox with the counter still at zero; a rejected push
   // retracts it.
   pending_.fetch_add(1, std::memory_order_acq_rel);
-  const QueuePush result =
-      shards_[shard]->inbox.Push(PinnedItem{std::move(op), 0}, deadline);
+  const QueuePush result = shards_[shard]->inbox.Push(
+      PinnedItem{std::move(op), 0, obs::MonotonicNs()}, deadline);
   if (result != QueuePush::kOk) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -109,6 +110,11 @@ void WorkerPool::Retire(bool retired) {
 void WorkerPool::WorkerLoop(Shard* s, SubWorker* w, uint32_t sub_slot) {
   PinnedItem item;
   while (s->inbox.WaitPop(&item)) {
+    if (options_.metrics != nullptr && item.enqueue_ns != 0) {
+      options_.metrics->RecordLatency(obs::Stage::kInboxWait,
+                                      obs::MonotonicNs() - item.enqueue_ns);
+    }
+    obs::TraceSpan op_span(obs::TraceName::kOp);
     if (subs_per_shard_ > 1) {
       // Intra-shard optimistic mode: retire accounting is per logical op,
       // not per pop (an op parked in the commit sequencer retires when it
@@ -118,9 +124,12 @@ void WorkerPool::WorkerLoop(Shard* s, SubWorker* w, uint32_t sub_slot) {
     } else {
       ++w->stats.updates_submitted;
       const Attempt out = RunExclusive(w, sub_slot, std::move(item.op),
-                                       /*cc=*/nullptr);
+                                       /*cc=*/nullptr, item.enqueue_ns);
       Retire(out != Attempt::kEscaped);
     }
+    op_span.End();
+    w->cur_number.store(0, std::memory_order_relaxed);
+    w->cur_phase.store(WorkerPhase::kIdle, std::memory_order_relaxed);
   }
 }
 
@@ -137,9 +146,11 @@ IntraComponentCc* WorkerPool::GetIntraCc(uint32_t component) {
     // the ForcePush lane because the caller holds component + latch + cc
     // locks (see BoundedMpscQueue).
     copts.requeue = [home](WriteOp op, uint32_t attempts) {
-      home->inbox.ForcePush(PinnedItem{std::move(op), attempts});
+      home->inbox.ForcePush(
+          PinnedItem{std::move(op), attempts, obs::MonotonicNs()});
     };
     copts.on_commit = [this] { Retire(true); };
+    copts.metrics = options_.metrics;
     slot = std::make_unique<IntraComponentCc>(db_, base_tgds_,
                                               std::move(copts));
   }
@@ -165,7 +176,9 @@ void WorkerPool::RunOptimistic(SubWorker* w, uint32_t sub_slot,
       // nothing can doom the op. CommitEscalated retires a commit through
       // the shared on_commit path; the other outcomes retire here.
       ++w->intra_escalations;
-      const Attempt out = RunExclusive(w, sub_slot, item.op, cc);
+      obs::TraceInstant(obs::TraceName::kEscalate, attempts);
+      const Attempt out =
+          RunExclusive(w, sub_slot, item.op, cc, item.enqueue_ns);
       if (out == Attempt::kFailed) Retire(true);
       if (out == Attempt::kEscaped) Retire(false);
       return;
@@ -176,8 +189,9 @@ void WorkerPool::RunOptimistic(SubWorker* w, uint32_t sub_slot,
       Retire(true);
       return;
     }
-    const Attempt out =
-        RunOptimisticAttempt(w, sub_slot, component, cc, item.op, attempts);
+    const Attempt out = RunOptimisticAttempt(w, sub_slot, component, cc,
+                                             item.op, attempts,
+                                             item.enqueue_ns);
     switch (out) {
       case Attempt::kFinished:
         return;  // parked or committed; retires through the sequencer
@@ -191,12 +205,14 @@ void WorkerPool::RunOptimistic(SubWorker* w, uint32_t sub_slot,
         // the classic path, no component lock is held here anymore.
         --w->stats.updates_submitted;
         ++w->stats.escaped_updates;
+        obs::TraceInstant(obs::TraceName::kEscape);
         options_.escape_sink(item.op);
         Retire(false);
         return;
       case Attempt::kDoomed:
         ++attempts;
         ++w->intra_redos;
+        obs::TraceInstant(obs::TraceName::kRedo, attempts);
         break;  // redo locally under a fresh number
     }
   }
@@ -204,15 +220,19 @@ void WorkerPool::RunOptimistic(SubWorker* w, uint32_t sub_slot,
 
 WorkerPool::Attempt WorkerPool::RunOptimisticAttempt(
     SubWorker* w, uint32_t sub_slot, uint32_t component, IntraComponentCc* cc,
-    const WriteOp& op, uint32_t attempts) {
+    const WriteOp& op, uint32_t attempts, uint64_t enqueue_ns) {
   // Shared for the whole attempt: an exclusive acquirer (cross-shard batch,
   // escalated op, facade maintenance) therefore implies no attempt is in
   // flight and — via the commit sequencer's floor — the component is fully
   // committed. Writer priority in RwMutex bounds how long they wait.
   // Acquired through the cc's accessor so the thread-safety analysis can
   // match the hold against the REQUIRES_SHARED contracts below.
+  obs::ScopedLatency chase_latency(options_.metrics, obs::Stage::kChase);
+  obs::TraceSpan chase_span(obs::TraceName::kChase);
   SharedLock comp_lock(cc->component_lock());
   const uint64_t number = cc->Begin(next_number_);
+  chase_span.set_arg(number);
+  w->cur_number.store(number, std::memory_order_relaxed);
 
   UpdateOptions uopts;
   uopts.max_steps = options_.max_steps_per_update;
@@ -231,6 +251,7 @@ WorkerPool::Attempt WorkerPool::RunOptimisticAttempt(
     bool cont = false;
 
     // Phase 1 (storage shared): frontier processing.
+    w->cur_phase.store(WorkerPhase::kPrepare, std::memory_order_relaxed);
     {
       SharedLock latch_lock(cc->storage_latch());
       if (cc->Doomed(number)) {
@@ -252,6 +273,7 @@ WorkerPool::Attempt WorkerPool::RunOptimisticAttempt(
 
     // Phase 2 (storage exclusive): apply the pending writes, probe them
     // against the logged reads of higher-numbered updates.
+    w->cur_phase.store(WorkerPhase::kApply, std::memory_order_relaxed);
     {
       ExclusiveLock latch_lock(cc->storage_latch());
       if (cc->Doomed(number)) {
@@ -274,6 +296,7 @@ WorkerPool::Attempt WorkerPool::RunOptimisticAttempt(
     }
 
     // Phase 3 (storage shared): violation detection, next violation.
+    w->cur_phase.store(WorkerPhase::kFinish, std::memory_order_relaxed);
     {
       SharedLock latch_lock(cc->storage_latch());
       if (cc->Doomed(number)) {
@@ -294,14 +317,14 @@ WorkerPool::Attempt WorkerPool::RunOptimisticAttempt(
     return cc->FinishFailed(number) ? Attempt::kFailed : Attempt::kDoomed;
   }
   return cc->FinishOk(number, u.initial_op(), sub_slot, attempts,
-                      u.frontier_ops_performed())
+                      u.frontier_ops_performed(), enqueue_ns)
              ? Attempt::kFinished
              : Attempt::kDoomed;
 }
 
 WorkerPool::Attempt WorkerPool::RunExclusive(SubWorker* w, uint32_t sub_slot,
-                                             WriteOp op,
-                                             IntraComponentCc* cc) {
+                                             WriteOp op, IntraComponentCc* cc,
+                                             uint64_t enqueue_ns) {
   // Footprint lock: an insert/delete chase stays within one component, so
   // the protocol degenerates to a single uncontended mutex unless a
   // cross-shard admission — or, under the intra-shard mode, a sibling
@@ -311,6 +334,9 @@ WorkerPool::Attempt WorkerPool::RunExclusive(SubWorker* w, uint32_t sub_slot,
   // cross-shard batch (MVTO visibility sees exactly the writes of
   // lower-numbered, already-finished updates).
   const uint32_t component = shard_map_->ComponentOf(op.rel);
+  obs::ScopedLatency chase_latency(options_.metrics, obs::Stage::kChase);
+  obs::TraceSpan chase_span(obs::TraceName::kChase);
+  w->cur_phase.store(WorkerPhase::kExclusive, std::memory_order_relaxed);
   if (cc != nullptr) {
     // Escalated intra-shard op: same lock object, but acquired through the
     // cc's accessor so the analysis can check the quiescence and commit
@@ -322,21 +348,37 @@ WorkerPool::Attempt WorkerPool::RunExclusive(SubWorker* w, uint32_t sub_slot,
     cc->AssertQuiescent();
     const uint64_t number =
         next_number_->fetch_add(1, std::memory_order_relaxed);
+    chase_span.set_arg(number);
+    w->cur_number.store(number, std::memory_order_relaxed);
     ZeroCcRun run = ChaseZeroCc(w, component, number, std::move(op));
     if (run.attempt == Attempt::kFinished) {
       cc->CommitEscalated(number, std::move(run.initial), sub_slot,
                           run.frontier_ops);
+      if (options_.metrics != nullptr && enqueue_ns != 0) {
+        options_.metrics->RecordLatency(obs::Stage::kCommit,
+                                        obs::MonotonicNs() - enqueue_ns);
+      }
     }
     return run.attempt;
   }
   ExclusiveLock lock((*component_locks_)[component]);
   const uint64_t number = next_number_->fetch_add(1, std::memory_order_relaxed);
+  chase_span.set_arg(number);
+  w->cur_number.store(number, std::memory_order_relaxed);
   ZeroCcRun run = ChaseZeroCc(w, component, number, std::move(op));
   if (run.attempt == Attempt::kFinished) {
     ++w->stats.updates_completed;
     ++w->pinned;
     w->stats.frontier_ops += run.frontier_ops;
     w->committed.push_back({number, std::move(run.initial)});
+    if (options_.metrics != nullptr) {
+      options_.metrics->Add(obs::Counter::kCommits);
+      if (enqueue_ns != 0) {
+        options_.metrics->RecordLatency(obs::Stage::kCommit,
+                                        obs::MonotonicNs() - enqueue_ns);
+      }
+    }
+    obs::TraceCommit(number);
   }
   return run.attempt;
 }
@@ -379,6 +421,7 @@ WorkerPool::ZeroCcRun WorkerPool::ChaseZeroCc(SubWorker* w, uint32_t component,
     }
     --w->stats.updates_submitted;
     ++w->stats.escaped_updates;
+    obs::TraceInstant(obs::TraceName::kEscape, number);
     options_.escape_sink(u.initial_op());
     return {Attempt::kEscaped, 0, WriteOp{}};
   }
@@ -506,6 +549,48 @@ double WorkerPool::AdmissionStallSeconds() const {
   double sum = 0;
   for (const auto& s : shards_) sum += s->inbox.stall_seconds();
   return sum;
+}
+
+std::vector<WorkerPool::WorkerPhaseInfo> WorkerPool::PhaseSnapshot() const {
+  std::vector<WorkerPhaseInfo> out;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    for (size_t j = 0; j < shards_[i]->subs.size(); ++j) {
+      const SubWorker& w = *shards_[i]->subs[j];
+      WorkerPhaseInfo info;
+      info.shard = static_cast<uint32_t>(i);
+      info.sub = static_cast<uint32_t>(j);
+      info.number = w.cur_number.load(std::memory_order_relaxed);
+      info.phase = w.cur_phase.load(std::memory_order_relaxed);
+      out.push_back(info);
+    }
+  }
+  return out;
+}
+
+std::vector<WorkerPool::InboxInfo> WorkerPool::InboxSnapshot() const {
+  std::vector<InboxInfo> out;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    InboxInfo info;
+    info.shard = static_cast<uint32_t>(i);
+    info.depth = shards_[i]->inbox.size();
+    info.high_watermark = shards_[i]->inbox.high_watermark();
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<std::pair<uint32_t, std::vector<uint64_t>>>
+WorkerPool::ParkedSnapshot() const {
+  std::vector<std::pair<uint32_t, std::vector<uint64_t>>> out;
+  const std::vector<IntraComponentCc*> ccs = IntraCcSnapshot();
+  for (size_t c = 0; c < ccs.size(); ++c) {
+    if (ccs[c] == nullptr) continue;
+    std::vector<uint64_t> parked = ccs[c]->ParkedNumbers();
+    if (!parked.empty()) {
+      out.emplace_back(static_cast<uint32_t>(c), std::move(parked));
+    }
+  }
+  return out;
 }
 
 std::vector<std::thread::id> WorkerPool::ThreadIds() const {

@@ -27,6 +27,28 @@
 
 namespace youtopia {
 
+// Watchdog-visible execution phase of a sub-worker, published with relaxed
+// atomics on every transition (cheap enough for the hot path; the reader
+// is a diagnostic dump that tolerates tearing across workers).
+enum class WorkerPhase : uint8_t {
+  kIdle = 0,   // parked on the inbox
+  kPrepare,    // optimistic phase 1: frontier processing (storage shared)
+  kApply,      // optimistic phase 2: apply + probe (storage exclusive)
+  kFinish,     // optimistic phase 3: violation detection (storage shared)
+  kExclusive,  // zero-CC chase under the exclusive component lock
+};
+
+inline const char* WorkerPhaseName(WorkerPhase p) {
+  switch (p) {
+    case WorkerPhase::kIdle: return "idle";
+    case WorkerPhase::kPrepare: return "prepare";
+    case WorkerPhase::kApply: return "apply";
+    case WorkerPhase::kFinish: return "finish";
+    case WorkerPhase::kExclusive: return "exclusive";
+  }
+  return "?";
+}
+
 struct WorkerPoolOptions {
   // Upper bound on shard lanes; the pool creates one lane per shard (at
   // most num_components, see ShardMap).
@@ -72,6 +94,10 @@ struct WorkerPoolOptions {
   // at commit time, possibly from another sub-worker's thread and under the
   // component's shared lock — the callback must not block. Optional.
   std::function<void()> on_op_retired;
+  // Optional metrics sink threaded through the inboxes, component locks
+  // and intra-shard cc instances (inbox-wait/chase/commit histograms,
+  // doom-cause counters, depth gauges).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // The pinned execution engine of the sharded parallel chase: long-lived
@@ -175,6 +201,28 @@ class WorkerPool {
   size_t InboxHighWatermark() const;   // max depth any shard inbox reached
   double AdmissionStallSeconds() const;  // total producer blocked time
 
+  // --- Watchdog diagnostics (any thread, racy-by-design snapshots) ---
+
+  struct WorkerPhaseInfo {
+    uint32_t shard = 0;
+    uint32_t sub = 0;
+    uint64_t number = 0;  // op number of the current attempt (0 = none)
+    WorkerPhase phase = WorkerPhase::kIdle;
+  };
+  std::vector<WorkerPhaseInfo> PhaseSnapshot() const;
+
+  struct InboxInfo {
+    uint32_t shard = 0;
+    size_t depth = 0;
+    size_t high_watermark = 0;
+  };
+  std::vector<InboxInfo> InboxSnapshot() const;
+
+  // (component, parked numbers) for every component whose commit sequencer
+  // currently holds parked ops.
+  std::vector<std::pair<uint32_t, std::vector<uint64_t>>> ParkedSnapshot()
+      const;
+
   // Stable for the pool's lifetime — the regression axis for "Flush must
   // not recreate threads".
   std::vector<std::thread::id> ThreadIds() const;
@@ -200,6 +248,10 @@ class WorkerPool {
     uint64_t intra_escalations = 0;
     std::vector<std::pair<uint64_t, WriteOp>> committed;  // zero-CC K=1 path
     std::vector<std::pair<RelationId, RowId>> undo_scratch;
+
+    // Watchdog-visible current work, published relaxed on transitions.
+    std::atomic<uint64_t> cur_number{0};
+    std::atomic<WorkerPhase> cur_phase{WorkerPhase::kIdle};
 
     std::thread thread;  // started last, after every field is live
   };
@@ -227,8 +279,10 @@ class WorkerPool {
   // pinned path (cc == nullptr; commits into the sub-worker) and the
   // escalated intra-shard path (cc != nullptr; commits through the cc).
   // Never returns kDoomed (nothing can doom an exclusive holder).
+  // `enqueue_ns` is the op's inbox-entry stamp (0 = unknown) — the start
+  // of its whole-op commit latency.
   Attempt RunExclusive(SubWorker* w, uint32_t sub_slot, WriteOp op,
-                       IntraComponentCc* cc);
+                       IntraComponentCc* cc, uint64_t enqueue_ns);
   // Runs one chase to a terminal state with concurrency control off.
   // Caller holds the op's component lock exclusively (the two RunExclusive
   // branches acquire it through expressions the thread-safety analysis can
@@ -242,7 +296,8 @@ class WorkerPool {
   // One optimistic attempt under the shared component lock.
   Attempt RunOptimisticAttempt(SubWorker* w, uint32_t sub_slot,
                                uint32_t component, IntraComponentCc* cc,
-                               const WriteOp& op, uint32_t attempts);
+                               const WriteOp& op, uint32_t attempts,
+                               uint64_t enqueue_ns);
   IntraComponentCc* GetIntraCc(uint32_t component);
   // Copies the per-component cc pointers out from under intra_mu_ (null
   // where no intra traffic ever arrived). The aggregation methods iterate

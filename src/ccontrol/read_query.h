@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "query/plan.h"
 #include "relational/tuple.h"
 #include "relational/value.h"
@@ -29,6 +30,21 @@ enum class ReadQueryKind : uint8_t {
   kMoreSpecific = 1,
   kNullOccurrence = 2,
 };
+
+// Maps the read class an invalidating probe hit to its doom-cause counter
+// — one mapping shared by the serial engine's probe and the intra-shard
+// probes, so the cause taxonomy can never drift between them.
+inline obs::Counter DoomCauseCounter(ReadQueryKind k) {
+  switch (k) {
+    case ReadQueryKind::kViolation:
+      return obs::Counter::kDoomReadViolation;
+    case ReadQueryKind::kMoreSpecific:
+      return obs::Counter::kDoomReadMoreSpecific;
+    case ReadQueryKind::kNullOccurrence:
+      return obs::Counter::kDoomReadNullOccurrence;
+  }
+  return obs::Counter::kDoomReadViolation;
+}
 
 struct ReadQueryRecord;
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "ccontrol/read_query.h"
+#include "obs/trace.h"
+
 namespace youtopia {
 
 Scheduler::Scheduler(Database* db, const std::vector<Tgd>* tgds,
@@ -90,6 +93,7 @@ void Scheduler::StepOne(size_t slot_idx) {
   // nothing, and an unconditional reset would rebuild the checkers' scratch
   // every step for no reclaim.
   arena_.ResetIfAbove(64 * 1024);
+  progress_ticks_.fetch_add(1, std::memory_order_relaxed);
   Update* u = slots_[slot_idx].update.get();
   const uint64_t number = u->number();
   StepResult res = u->Step(db_, agent_);
@@ -142,6 +146,9 @@ void Scheduler::StepOne(size_t slot_idx) {
       [&](uint64_t reader, const ReadQueryRecord& q, const PhysicalWrite& w) {
         Snapshot reader_snap(db_, reader);
         if (!checker_.Conflicts(reader_snap, w, q)) return false;
+        if (options_.metrics != nullptr) {
+          options_.metrics->Add(DoomCauseCounter(q.kind));
+        }
         direct.insert(reader);
         return true;  // doomed: stop probing this reader
       });
@@ -192,6 +199,10 @@ void Scheduler::CascadeFrom(const std::unordered_set<uint64_t>& direct) {
     }
   }
 
+  if (options_.metrics != nullptr && marked.size() > direct.size()) {
+    options_.metrics->Add(obs::Counter::kDoomCascade,
+                          marked.size() - direct.size());
+  }
   for (uint64_t number : marked) AbortOne(number);
 }
 
@@ -222,6 +233,7 @@ void Scheduler::AbortOne(uint64_t number) {
     return;
   }
   ++stats_.aborts;
+  obs::TraceInstant(obs::TraceName::kAbort, number);
 
   if (slot.failed) return;  // already written off
   if (slot.update->attempts() >= options_.max_attempts_per_update) {
@@ -260,6 +272,10 @@ void Scheduler::TryCommit() {
     Slot& slot = slots_[it->second];
     slot.committed = true;
     ++stats_.updates_completed;
+    if (options_.metrics != nullptr) {
+      options_.metrics->Add(obs::Counter::kCommits);
+    }
+    obs::TraceCommit(number);
     stats_.frontier_ops += slot.update->frontier_ops_performed();
     write_log_.EraseUpdate(number);
     read_log_.EraseUpdate(number);

@@ -1,6 +1,7 @@
 #ifndef YOUTOPIA_CCONTROL_SCHEDULER_H_
 #define YOUTOPIA_CCONTROL_SCHEDULER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -15,6 +16,7 @@
 #include "ccontrol/write_log.h"
 #include "core/agent.h"
 #include "core/update.h"
+#include "obs/metrics.h"
 #include "relational/database.h"
 #include "tgd/tgd.h"
 #include "util/arena.h"
@@ -44,6 +46,11 @@ struct SchedulerOptions {
   // every relation, but the engine may only touch the relations its
   // footprint locks cover (its plan view was compiled at setup instead).
   bool register_plans = true;
+  // Optional observability sink: doom-cause counters (which read-query
+  // class a conflicting write invalidated), cascade counts and commit
+  // events. Null = no recording; the engine itself stays serial either
+  // way — the registry's cells are thread-local.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SchedulerStats {
@@ -152,6 +159,14 @@ class Scheduler {
   // numbering sequence).
   uint64_t next_number() const { return next_number_; }
 
+  // Monotone liveness counter, bumped once per scheduling step. The ONLY
+  // member safe to read from another thread: a stall watchdog polls it
+  // while RunToCompletion runs to tell "slow" from "hung" (every other
+  // member is confined to the driving thread — see the class comment).
+  uint64_t ProgressTicks() const {
+    return progress_ticks_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Slot {
     std::unique_ptr<Update> update;
@@ -208,6 +223,8 @@ class Scheduler {
   // Surrendered initial ops of footprint escapes (see TakeEscapedOps).
   std::vector<WriteOp> escaped_ops_;
   SchedulerStats stats_;
+  // See ProgressTicks().
+  std::atomic<uint64_t> progress_ticks_{0};
 };
 
 }  // namespace youtopia

@@ -213,6 +213,7 @@ Result<SchedulerStats> Youtopia::RunQueued(TrackerKind tracker) {
   SchedulerOptions options;
   options.tracker = tracker;
   options.first_number = next_number_;
+  options.metrics = &metrics_;
   Scheduler scheduler(&db_, &tgds_, agent_.get(), options);
   for (WriteOp& op : queued_) scheduler.Submit(std::move(op));
   queued_.clear();
@@ -243,6 +244,9 @@ void Youtopia::EnsurePipeline(size_t workers, TrackerKind tracker,
   options.inbox_capacity = pipeline_inbox_capacity_;
   options.sub_workers = pipeline_sub_workers_;
   options.cross_admission = CrossAdmission::kContinuous;
+  options.metrics = &metrics_;
+  options.watchdog_deadline_ms = pipeline_watchdog_ms_;
+  options.watchdog_fatal = pipeline_watchdog_fatal_;
   pipeline_ = std::make_unique<IngestPipeline>(&db_, &tgds_,
                                                std::move(options));
 }

@@ -11,6 +11,8 @@
 #include "ccontrol/parallel/ingest_pipeline.h"
 #include "ccontrol/scheduler.h"
 #include "core/agent.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/update.h"
 #include "query/query_engine.h"
 #include "relational/database.h"
@@ -164,6 +166,45 @@ class Youtopia {
   Result<ParallelStats> Drain(size_t workers = 2,
                               TrackerKind tracker = TrackerKind::kCoarse);
 
+  // --- Observability --------------------------------------------------------
+
+  // Aggregated per-stage latency histograms (p50/p90/p99/max for inbox
+  // wait, admission, chase, conflict probe, commit, ...), doom-cause and
+  // throughput counters, and inbox-depth gauges, merged across every
+  // thread that recorded into this repository's registry — the standing
+  // pipeline's stages and the serial engines behind RunQueued. Callable
+  // any time; exact at a quiescent point.
+  obs::MetricsSnapshot MetricsSnapshot() { return metrics_.Snapshot(); }
+
+  // Zeroes every histogram, counter and gauge (bench arms isolate runs).
+  void ResetMetrics() { metrics_.Reset(); }
+
+  // Turns process-wide trace-span recording on or off. Off (the default)
+  // costs one relaxed load per span site; compiled out entirely with
+  // -DYOUTOPIA_TRACING=0.
+  void SetTracing(bool on) { obs::Tracer::Global().SetEnabled(on); }
+
+  // Writes everything recorded so far as Chrome trace-event JSON —
+  // loadable in ui.perfetto.dev / chrome://tracing. False on I/O failure.
+  bool DumpTrace(const std::string& path) const {
+    return obs::Tracer::Global().DumpJson(path);
+  }
+
+  // Arms the stall watchdog on pipelines created from now on (existing
+  // pipelines keep their setting until recreated; 0 disables). When the
+  // pipeline has admitted-but-unretired ops and none retires for
+  // `deadline_ms`, the watchdog dumps per-shard inbox depths, per-worker
+  // op/phase, parked commit sequences and (checked builds) held-lock
+  // stacks to stderr; `fatal` additionally aborts, turning a hang into a
+  // failing test.
+  void SetStallWatchdog(uint64_t deadline_ms, bool fatal = false) {
+    pipeline_watchdog_ms_ = deadline_ms;
+    pipeline_watchdog_fatal_ = fatal;
+  }
+
+  // The underlying registry (bench harnesses record custom stages).
+  obs::MetricsRegistry* metrics_registry() { return &metrics_; }
+
   // --- Queries --------------------------------------------------------------
 
   struct QueryAnswer {
@@ -250,6 +291,12 @@ class Youtopia {
   // ResolveValues) is NOT owned by the pipeline; resolve_mu_ makes the
   // resolution step safe for concurrent *Async producers. Worker threads
   // never touch that state, so producers and workers need no common lock.
+  // Facade-lifetime metrics registry: pipelines come and go (lazy
+  // restarts, reconfiguration), their histograms accumulate here.
+  obs::MetricsRegistry metrics_;
+  uint64_t pipeline_watchdog_ms_ = 0;
+  bool pipeline_watchdog_fatal_ = false;
+
   std::unique_ptr<IngestPipeline> pipeline_;
   size_t pipeline_workers_ = 2;
   TrackerKind pipeline_tracker_ = TrackerKind::kCoarse;

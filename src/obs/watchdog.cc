@@ -1,0 +1,90 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/lock_order.h"
+
+namespace youtopia {
+namespace obs {
+
+StallWatchdog::StallWatchdog(WatchdogOptions options)
+    : options_(std::move(options)) {}
+
+StallWatchdog::~StallWatchdog() { Stop(); }
+
+void StallWatchdog::Start() {
+  if (started_ || options_.deadline_ms == 0 || !options_.progress) return;
+  started_ = true;
+  {
+    MutexLock lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StallWatchdog::Stop() {
+  if (!started_) return;
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+std::string StallWatchdog::BuildDump() const {
+  std::string out;
+  out += "=== youtopia stall watchdog [" + options_.name + "] ===\n";
+  if (options_.dump) options_.dump(&out);
+  out += "held-lock stacks:\n";
+  LockOrderValidator::DumpAllHeldLocks(&out);
+  out += "=== end watchdog dump ===\n";
+  return out;
+}
+
+void StallWatchdog::Loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = std::chrono::milliseconds(options_.deadline_ms);
+  uint64_t last_progress = options_.progress();
+  Clock::time_point last_change = Clock::now();
+  bool dumped_this_episode = false;
+
+  MutexLock lock(mu_);
+  while (!stop_) {
+    cv_.WaitUntil(mu_, Clock::now() +
+                           std::chrono::milliseconds(options_.poll_ms));
+    if (stop_) break;
+    const uint64_t p = options_.progress();
+    const Clock::time_point now = Clock::now();
+    if (p != last_progress) {
+      last_progress = p;
+      last_change = now;
+      dumped_this_episode = false;
+      continue;
+    }
+    if (options_.busy && !options_.busy()) {
+      // Idle, not stalled: the deadline clock restarts when work resumes.
+      last_change = now;
+      dumped_this_episode = false;
+      continue;
+    }
+    if (!dumped_this_episode && now - last_change >= deadline) {
+      dumped_this_episode = true;
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      const std::string dump = BuildDump();
+      std::fprintf(stderr,
+                   "youtopia watchdog: no progress for %llu ms "
+                   "(progress counter stuck at %llu)\n%s",
+                   static_cast<unsigned long long>(options_.deadline_ms),
+                   static_cast<unsigned long long>(p), dump.c_str());
+      std::fflush(stderr);
+      if (options_.fatal) std::abort();
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace youtopia

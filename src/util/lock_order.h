@@ -14,20 +14,32 @@
 //     cross-shard batch protocol.
 //   - Re-acquiring the SAME lock object recursively is always fatal.
 //
-// The validator keeps a thread-local stack of held locks and aborts
+// The validator keeps a per-thread stack of held locks and aborts
 // *before* blocking on a would-be-inverted acquisition, so an engineered
 // deadlock dies loudly instead of hanging. Releases may be out of LIFO
 // order (the cross-batch path releases its ordered lock vector
 // wholesale), so OnRelease searches by lock identity.
+//
+// The stacks are registered in a process-wide table so the stall
+// watchdog can dump EVERY thread's held locks from its monitor thread
+// (DumpAllHeldLocks) — each stack is protected by its own std::mutex,
+// touched uncontended on the owner's fast path and cross-thread only by
+// a dump. The innermost entry of a stack may be a lock the thread is
+// still *blocked acquiring* (OnAcquire runs before the block, by
+// design), which is exactly what a deadlock dump wants to show.
 //
 // Compiled out unless YOUTOPIA_LOCK_ORDER_CHECKS=1, which the build sets
 // globally (forced ON in the asan/tsan presets) — the macro is a CMake
 // option applied to every TU, never a per-file define, so there is no
 // ODR hazard.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <string>
 #include <vector>
 
 namespace youtopia {
@@ -43,6 +55,17 @@ enum class LockRank : uint8_t {
   kUnranked = 255,
 };
 
+inline const char* LockRankName(LockRank r) {
+  switch (r) {
+    case LockRank::kComponentLock: return "component";
+    case LockRank::kStorageLatch: return "storage-latch";
+    case LockRank::kCcMutex: return "cc-mutex";
+    case LockRank::kLeaf: return "leaf";
+    case LockRank::kUnranked: return "unranked";
+  }
+  return "?";
+}
+
 #ifndef YOUTOPIA_LOCK_ORDER_CHECKS
 #define YOUTOPIA_LOCK_ORDER_CHECKS 0
 #endif
@@ -57,7 +80,55 @@ struct Held {
   uint64_t key;
 };
 
-inline thread_local std::vector<Held> held_stack;
+// One registered stack per live thread. The owner thread takes `mu`
+// uncontended on every acquire/release; the watchdog's dump is the only
+// cross-thread reader.
+struct ThreadEntry {
+  explicit ThreadEntry(uint64_t id) : tid(id) {}
+  const uint64_t tid;
+  std::mutex mu;
+  std::vector<Held> stack;  // guarded by mu
+};
+
+// Function-local statics: constructed on first use, before any TlsHandle
+// that will touch them in its destructor.
+inline std::mutex& RegistryMu() {
+  static std::mutex mu;
+  return mu;
+}
+inline std::vector<ThreadEntry*>& Registry() {
+  static std::vector<ThreadEntry*> entries;
+  return entries;
+}
+inline std::atomic<uint64_t>& NextTid() {
+  static std::atomic<uint64_t> next{1};
+  return next;
+}
+
+// Registers this thread's entry for its lifetime; deregisters (and frees)
+// on thread exit, so a dump never walks a dead thread's stack.
+struct TlsHandle {
+  ThreadEntry* entry;
+  TlsHandle()
+      : entry(new ThreadEntry(
+            NextTid().fetch_add(1, std::memory_order_relaxed))) {
+    std::lock_guard<std::mutex> g(RegistryMu());
+    Registry().push_back(entry);
+  }
+  ~TlsHandle() {
+    {
+      std::lock_guard<std::mutex> g(RegistryMu());
+      auto& r = Registry();
+      r.erase(std::remove(r.begin(), r.end(), entry), r.end());
+    }
+    delete entry;
+  }
+};
+
+inline ThreadEntry& MyEntry() {
+  static thread_local TlsHandle handle;
+  return *handle.entry;
+}
 
 [[noreturn]] inline void Fatal(const char* what, const void* lock,
                                LockRank rank, uint64_t key, LockRank held_rank,
@@ -82,7 +153,9 @@ class LockOrderValidator {
   // of the same rank (component id for component locks; 0 otherwise).
   static void OnAcquire(const void* lock, LockRank rank, uint64_t key) {
     if (rank == LockRank::kUnranked) return;
-    auto& stack = lock_order_internal::held_stack;
+    auto& entry = lock_order_internal::MyEntry();
+    std::lock_guard<std::mutex> g(entry.mu);
+    auto& stack = entry.stack;
     for (const auto& h : stack) {
       if (h.lock == lock) {
         lock_order_internal::Fatal("recursive acquisition", lock, rank, key,
@@ -108,7 +181,9 @@ class LockOrderValidator {
 
   static void OnRelease(const void* lock, LockRank rank) {
     if (rank == LockRank::kUnranked) return;
-    auto& stack = lock_order_internal::held_stack;
+    auto& entry = lock_order_internal::MyEntry();
+    std::lock_guard<std::mutex> g(entry.mu);
+    auto& stack = entry.stack;
     // Releases may be non-LIFO (ordered cross-batch lock vectors), so
     // search from the most recent hold.
     for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
@@ -122,7 +197,36 @@ class LockOrderValidator {
   }
 
   static size_t HeldCountForTest() {
-    return lock_order_internal::held_stack.size();
+    auto& entry = lock_order_internal::MyEntry();
+    std::lock_guard<std::mutex> g(entry.mu);
+    return entry.stack.size();
+  }
+
+  // Appends every live thread's held-lock stack to *out (the stall
+  // watchdog's diagnostic dump). Safe to call from any thread, including
+  // while other threads are blocked mid-acquisition.
+  static void DumpAllHeldLocks(std::string* out) {
+    std::lock_guard<std::mutex> g(lock_order_internal::RegistryMu());
+    bool any = false;
+    for (lock_order_internal::ThreadEntry* entry :
+         lock_order_internal::Registry()) {
+      std::lock_guard<std::mutex> eg(entry->mu);
+      if (entry->stack.empty()) continue;
+      any = true;
+      char line[128];
+      std::snprintf(line, sizeof(line),
+                    "  thread %llu holds %zu lock(s), outermost first:\n",
+                    static_cast<unsigned long long>(entry->tid),
+                    entry->stack.size());
+      *out += line;
+      for (const auto& h : entry->stack) {
+        std::snprintf(line, sizeof(line), "    %p rank=%s key=%llu\n",
+                      h.lock, LockRankName(h.rank),
+                      static_cast<unsigned long long>(h.key));
+        *out += line;
+      }
+    }
+    if (!any) *out += "  no ranked locks held by any thread\n";
   }
 };
 
@@ -133,6 +237,10 @@ class LockOrderValidator {
   static void OnAcquire(const void*, LockRank, uint64_t) {}
   static void OnRelease(const void*, LockRank) {}
   static size_t HeldCountForTest() { return 0; }
+  static void DumpAllHeldLocks(std::string* out) {
+    *out += "  (lock-order checks compiled out; rebuild with "
+            "-DYOUTOPIA_LOCK_ORDER_CHECKS=ON for held-lock stacks)\n";
+  }
 };
 
 #endif  // YOUTOPIA_LOCK_ORDER_CHECKS

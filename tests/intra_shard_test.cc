@@ -215,7 +215,7 @@ TEST(IntraShardTest, ConflictProbeDoomsParkedReaderAndRedoCommits) {
     }
     ASSERT_FALSE(u.hit_step_cap());
     EXPECT_TRUE(cc.FinishOk(number, u.initial_op(), /*sub=*/0, /*attempts=*/0,
-                            u.frontier_ops_performed()));
+                            u.frontier_ops_performed(), /*enqueue_ns=*/0));
   };
 
   // The schedule drives every cc call under the component lock the way a

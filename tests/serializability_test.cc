@@ -7,10 +7,37 @@
 
 #include "ccontrol/scheduler.h"
 #include "core/update.h"
+#include "obs/watchdog.h"
 #include "workload/generators.h"
 
 namespace youtopia {
 namespace {
+
+// Stall-armed engine drive. This sweep is the one that occasionally hangs
+// under the sanitizer presets with no output until the ctest timeout kills
+// it attribution-free (the open ROADMAP heisenbug). The watchdog polls the
+// engine's step counter — the only Scheduler member safe to read from
+// another thread — and on a freeze dumps the counter plus every thread's
+// held-lock stack (under the checked presets) and aborts, so the next
+// occurrence self-reports instead of timing out silently.
+void RunToCompletionArmed(Scheduler* scheduler, const char* name) {
+  obs::WatchdogOptions wd;
+  // Generous: the slowest case runs ~8.5 min under ASan+UBSan but steps
+  // continuously; 90 s with zero steps means wedged, not slow.
+  wd.deadline_ms = 90000;
+  wd.poll_ms = 500;
+  wd.fatal = true;
+  wd.name = name;
+  wd.progress = [scheduler] { return scheduler->ProgressTicks(); };
+  wd.dump = [scheduler](std::string* out) {
+    out->append("engine step count: " +
+                std::to_string(scheduler->ProgressTicks()) + "\n");
+  };
+  obs::StallWatchdog dog(std::move(wd));
+  dog.Start();
+  scheduler->RunToCompletion();
+  dog.Stop();
+}
 
 // Theorem 4.4 property test: a concurrent run under the optimistic
 // scheduler must produce the same final database as running the committed
@@ -89,7 +116,7 @@ TEST_P(SerializabilityTest, ConcurrentEqualsSerialInFinalOrder) {
   sched_opts.tracker = param.tracker;
   Scheduler scheduler(&db, &tgds, &agent, sched_opts);
   for (const WriteOp& op : ops) scheduler.Submit(op);
-  scheduler.RunToCompletion();
+  RunToCompletionArmed(&scheduler, "serializability-sweep");
   ASSERT_EQ(scheduler.num_failed(), 0u);
   ASSERT_EQ(scheduler.stats().updates_completed, ops.size());
   const auto concurrent = Contents(db);
@@ -171,7 +198,7 @@ TEST_P(SatisfactionTest, FinalStateSatisfiesAllMappings) {
   sched_opts.tracker = TrackerKind::kCoarse;
   Scheduler scheduler(&db, &tgds, &agent, sched_opts);
   for (const WriteOp& op : ops) scheduler.Submit(op);
-  scheduler.RunToCompletion();
+  RunToCompletionArmed(&scheduler, "satisfaction-sweep");
   ASSERT_EQ(scheduler.num_failed(), 0u);
 
   ViolationDetector detector(&tgds);

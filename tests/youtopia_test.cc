@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace youtopia {
@@ -219,6 +223,53 @@ TEST_F(YoutopiaTest, StandingPipelineLifecycle) {
   ASSERT_TRUE(repo_.Flush().ok());
   EXPECT_EQ(*repo_.Count("R"), 6u);
   EXPECT_TRUE(repo_.AllMappingsSatisfied());
+}
+
+TEST_F(YoutopiaTest, ObservabilitySurfaceOnTheFacade) {
+  // The whole PR-10 surface through the public facade: a mixed pinned +
+  // cross-shard workload must leave p50/p99-capable histograms for every
+  // acceptance stage (submit, inbox-wait, admission, chase, commit),
+  // correct throughput counters, inbox-depth gauges, and a dumpable trace
+  // with commit spans; ResetMetrics then zeroes it all.
+  repo_.SetTracing(true);
+  ASSERT_TRUE(repo_.Start(/*workers=*/2).ok());
+  ASSERT_TRUE(repo_.Insert("A", {"Geneva", "Winery"}).ok());
+  ASSERT_TRUE(repo_.Insert("T", {"Winery", "?who", "Syracuse"}).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(repo_.InsertAsync(
+                        "T", {"Winery", "co" + std::to_string(i), "Syracuse"})
+                    .ok());
+  }
+  ASSERT_TRUE(repo_.ReplaceNullAsync("?who", "XYZ").ok());
+  ASSERT_TRUE(repo_.Flush().ok());
+  repo_.SetTracing(false);
+
+  const obs::MetricsSnapshot snap = repo_.MetricsSnapshot();
+  EXPECT_GT(snap.counter(obs::Counter::kCommits), 0u);
+  EXPECT_GT(snap.counter(obs::Counter::kRetired), 0u);
+  EXPECT_EQ(snap.counter(obs::Counter::kCrossShardOps), 1u);
+  for (obs::Stage s : {obs::Stage::kSubmit, obs::Stage::kInboxWait,
+                       obs::Stage::kAdmission, obs::Stage::kChase,
+                       obs::Stage::kCommit}) {
+    const obs::HistogramSnapshot& h = snap.stage(s);
+    EXPECT_GT(h.total, 0u) << obs::StageName(s);
+    EXPECT_LE(h.p50(), h.p99()) << obs::StageName(s);
+    EXPECT_LE(h.p99(), h.max) << obs::StageName(s);
+  }
+  EXPECT_GT(snap.gauge(obs::Gauge::kInboxDepth).max, 0u);
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                           "/youtopia_facade_trace.json";
+  ASSERT_TRUE(repo_.DumpTrace(path));
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"name\":\"commit\""), std::string::npos);
+  std::remove(path.c_str());
+
+  repo_.ResetMetrics();
+  EXPECT_EQ(repo_.MetricsSnapshot().counter(obs::Counter::kCommits), 0u);
 }
 
 TEST_F(YoutopiaTest, SchemaChangeInvalidatesTheStandingPipeline) {

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validates a youtopia Chrome trace-event JSON dump (obs::Tracer::DumpJson).
+
+Checks, in order:
+  1. the file parses as JSON and carries the expected envelope
+     (displayTimeUnit + traceEvents, a process_name metadata record);
+  2. every event record is well-formed: known phase ("X", "i" or "M"),
+     numeric non-negative ts/dur, integer tid;
+  3. duration spans nest properly per thread: spans on one tid must be
+     disjoint or fully contained, never partially overlapping (the spans
+     are RAII scopes, so a partial overlap means a corrupted dump or a
+     broken recorder);
+  4. with --expect-commits N: at least ceil(coverage * N) commit events are
+     present (default coverage 0.99) — the "every committed op has a commit
+     span" gate, with slack only for ring-buffer wraparound on very long
+     runs.
+
+Exit status 0 on success; 1 with a diagnostic on the first failure.
+
+Usage:
+  tools/check_trace.py TRACE.json [--expect-commits N] [--min-coverage F]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# %.3f rounding of both ts and dur can displace each boundary by up to
+# 0.0005us against the true ns value; two boundaries compare with up to
+# 0.002us of artificial overlap.
+EPSILON_US = 0.0021
+
+KNOWN_PHASES = {"X", "i", "M"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace JSON path")
+    parser.add_argument("--expect-commits", type=int, default=None,
+                        help="number of committed ops the run reported")
+    parser.add_argument("--min-coverage", type=float, default=0.99,
+                        help="required fraction of commits with a trace "
+                             "event (default 0.99)")
+    args = parser.parse_args()
+
+    # 1. Envelope.
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.trace}: {e}")
+    if doc.get("displayTimeUnit") != "ns":
+        fail("missing/unexpected displayTimeUnit")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+    if not any(e.get("ph") == "M" and e.get("name") == "process_name"
+               for e in events):
+        fail("no process_name metadata record")
+
+    # 2. Per-event shape.
+    spans_by_tid = {}
+    commit_events = 0
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in KNOWN_PHASES:
+            fail(f"event {i}: unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        if not isinstance(e.get("name"), str):
+            fail(f"event {i}: missing name")
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {i}: bad ts {ts!r}")
+        tid = e.get("tid")
+        if not isinstance(tid, int):
+            fail(f"event {i}: bad tid {tid!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event {i}: bad dur {dur!r}")
+            spans_by_tid.setdefault(tid, []).append(
+                (ts, ts + dur, e["name"]))
+        if e["name"] == "commit":
+            commit_events += 1
+
+    # 3. Nesting: within a tid, sort by start (ties: longer span first) and
+    # sweep with a stack of open-span end times.
+    for tid, spans in sorted(spans_by_tid.items()):
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []  # (end, name) of currently open spans
+        for start, end, name in spans:
+            while stack and stack[-1][0] <= start + EPSILON_US:
+                stack.pop()
+            if stack and end > stack[-1][0] + EPSILON_US:
+                fail(f"tid {tid}: span '{name}' [{start:.3f}, {end:.3f}] "
+                     f"partially overlaps enclosing '{stack[-1][1]}' "
+                     f"ending at {stack[-1][0]:.3f}")
+            stack.append((end, name))
+
+    # 4. Commit coverage.
+    if args.expect_commits is not None:
+        need = math.ceil(args.min_coverage * args.expect_commits)
+        if commit_events < need:
+            fail(f"only {commit_events} commit events for "
+                 f"{args.expect_commits} committed ops "
+                 f"(need >= {need} at coverage {args.min_coverage})")
+
+    n_spans = sum(len(s) for s in spans_by_tid.values())
+    print(f"check_trace: OK: {len(events)} events, {n_spans} spans across "
+          f"{len(spans_by_tid)} threads, {commit_events} commits")
+
+
+if __name__ == "__main__":
+    main()
